@@ -1,0 +1,35 @@
+"""O2 — §2.3 Vertex Batching ablation.
+
+"The extreme case could be to run each active vertex in a different
+worker.  However, this leads to many UDF calls, which are relatively
+expensive...  Therefore, Vertexica batches several vertices together."
+
+Partition count sweeps from 1 (one giant batch) through moderate batching
+to one-call-per-few-vertices.  Expected shape: runtime is flat-to-slightly-
+better for small partition counts and degrades as the per-call overhead
+dominates (largest partition counts slowest).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import Vertexica, VertexicaConfig
+from repro.programs import PageRank
+
+ITERATIONS = 3
+
+
+def prepare(graph, n_partitions: int):
+    vx = Vertexica(config=VertexicaConfig(n_partitions=n_partitions))
+    handle = vx.load_graph(
+        f"{graph.name}_p{n_partitions}", graph.src, graph.dst,
+        num_vertices=graph.num_vertices,
+    )
+    return lambda: vx.run(handle, PageRank(iterations=ITERATIONS)).values
+
+
+@pytest.mark.parametrize("n_partitions", [1, 8, 64, 512])
+@pytest.mark.benchmark(group="ablation-vertex-batching")
+def test_batch_count_sweep(benchmark, twitter, n_partitions):
+    values = run_once(benchmark, prepare(twitter, n_partitions))
+    assert len(values) == twitter.num_vertices

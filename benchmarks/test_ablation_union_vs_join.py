@@ -1,0 +1,54 @@
+"""O1 — §2.3 Table Unions ablation.
+
+The paper replaces the naive three-way join (vertex x edge x message) with
+a UNION ALL of the three tables: "for large number of messages (every
+vertex could send a message to every other vertex in the worst case), this
+three-way join could be very expensive and kill the performance".
+
+The join input has ``out_degree(v) x messages(v)`` rows per vertex, so the
+blowup only exists when vertices receive many messages — message combiners
+collapse the inbox to one row and hide it.  The bench therefore measures
+PageRank with combining disabled (every vertex receives ``in_degree``
+messages), on both strategies, plus the combined variant as a reference
+point.
+
+Expected shape: join is several times slower than union without a
+combiner; with a combiner the two converge (and both beat the uncombined
+runs) — exactly why the paper unions the tables instead.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import Vertexica, VertexicaConfig
+from repro.programs import PageRank
+
+ITERATIONS = 4
+
+
+def prepare(graph, strategy: str, use_combiner: bool):
+    vx = Vertexica(
+        config=VertexicaConfig(
+            n_partitions=8, input_strategy=strategy, use_combiner=use_combiner
+        )
+    )
+    suffix = "c" if use_combiner else "nc"
+    handle = vx.load_graph(
+        f"{graph.name}_{strategy}_{suffix}", graph.src, graph.dst,
+        num_vertices=graph.num_vertices,
+    )
+    return lambda: vx.run(handle, PageRank(iterations=ITERATIONS)).values
+
+
+@pytest.mark.parametrize("strategy", ["union", "join"])
+@pytest.mark.benchmark(group="ablation-union-vs-join")
+def test_union_vs_join_uncombined(benchmark, twitter, strategy):
+    values = run_once(benchmark, prepare(twitter, strategy, use_combiner=False))
+    assert len(values) == twitter.num_vertices
+
+
+@pytest.mark.parametrize("strategy", ["union", "join"])
+@pytest.mark.benchmark(group="ablation-union-vs-join")
+def test_union_vs_join_combined_reference(benchmark, twitter, strategy):
+    values = run_once(benchmark, prepare(twitter, strategy, use_combiner=True))
+    assert len(values) == twitter.num_vertices

@@ -1,0 +1,57 @@
+"""O3 — §2.3 Update-vs-Replace ablation.
+
+"Instead of updating the vertices and messages in the existing tables,
+Vertexica creates new vertex and message tables ... Such modifications via
+replace are much faster.  Still, if the number of updated tuples is below
+a fixed threshold, then Vertexica updates the existing tables."
+
+Two workloads probe both regimes:
+
+* PageRank — dense updates (every vertex, every superstep): replace must
+  win big; forced per-tuple updates are pathological.
+* SSSP on a long chain — sparse updates (a handful of vertices per
+  superstep after the frontier passes): the update path is competitive,
+  which is exactly why the paper keeps the threshold rule.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import Vertexica, VertexicaConfig
+from repro.datasets.generators import twitter_like
+from repro.programs import PageRank, ShortestPaths
+
+
+def prepare_pagerank(graph, strategy: str):
+    vx = Vertexica(config=VertexicaConfig(n_partitions=8, update_strategy=strategy))
+    handle = vx.load_graph(
+        f"{graph.name}_u{strategy}", graph.src, graph.dst,
+        num_vertices=graph.num_vertices,
+    )
+    return lambda: vx.run(handle, PageRank(iterations=3)).values
+
+
+@pytest.mark.parametrize("strategy", ["replace", "update", "auto"])
+@pytest.mark.benchmark(group="ablation-update-replace-dense")
+def test_dense_updates_pagerank(benchmark, strategy):
+    # A smaller graph keeps the pathological per-tuple path affordable.
+    graph = twitter_like(scale=0.05)
+    values = run_once(benchmark, prepare_pagerank(graph, strategy))
+    assert len(values) == graph.num_vertices
+
+
+def prepare_sssp_chain(n: int, strategy: str):
+    vx = Vertexica(config=VertexicaConfig(update_strategy=strategy))
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    handle = vx.load_graph(f"chain_{strategy}", src, dst)
+    return lambda: vx.run(handle, ShortestPaths(source=0)).values
+
+
+@pytest.mark.parametrize("strategy", ["replace", "update", "auto"])
+@pytest.mark.benchmark(group="ablation-update-replace-sparse")
+def test_sparse_updates_sssp(benchmark, strategy):
+    # Chain SSSP: one vertex updated per superstep — the sparse regime.
+    values = run_once(benchmark, prepare_sssp_chain(60, strategy))
+    assert values[59] == 59.0

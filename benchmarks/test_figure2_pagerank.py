@@ -1,0 +1,31 @@
+"""F2a — Figure 2(a): PageRank runtime across systems and graphs.
+
+Reproduces the paper's grid: {Graph Database, Apache Giraph, Vertexica,
+Vertexica (SQL)} x {Twitter, GPlus, LiveJournal}-shaped graphs.  The graph
+database runs only the smallest graph (the paper's DNF behaviour).
+
+Expected shape (paper): graph DB slowest by an order of magnitude;
+Vertexica ~4x faster than Giraph on the smallest graph and comparable on
+the largest; Vertexica (SQL) fastest everywhere.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figure2 import GRAPHDB_ONLY_SMALLEST, prepare_system
+from repro.bench.harness import GRAPH_ORDER, SYSTEM_ORDER
+
+ALGORITHM = "pagerank"
+
+
+@pytest.mark.parametrize("graph_name", GRAPH_ORDER)
+@pytest.mark.parametrize("system", SYSTEM_ORDER)
+@pytest.mark.benchmark(group="figure2a-pagerank")
+def test_figure2a(benchmark, graphs, system, graph_name):
+    graph = graphs.by_name(graph_name)
+    smallest = min(graphs.ordered(), key=lambda g: g.num_edges).name
+    if system == "graphdb" and GRAPHDB_ONLY_SMALLEST and graph_name != smallest:
+        pytest.skip("DNF — paper: the graph database runs only the smallest graph")
+    runner = prepare_system(system, graph, ALGORITHM)
+    fingerprint = run_once(benchmark, runner)
+    assert fingerprint > 0.0

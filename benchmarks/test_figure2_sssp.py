@@ -1,0 +1,27 @@
+"""F2b — Figure 2(b): single-source shortest paths across systems/graphs.
+
+Same grid as Figure 2(a) with SSSP from the max-out-degree vertex.
+Expected shape (paper): graph DB slowest; Vertexica ~4x faster than Giraph
+on the smallest graph; Vertexica (SQL) fastest everywhere.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figure2 import GRAPHDB_ONLY_SMALLEST, prepare_system
+from repro.bench.harness import GRAPH_ORDER, SYSTEM_ORDER
+
+ALGORITHM = "sssp"
+
+
+@pytest.mark.parametrize("graph_name", GRAPH_ORDER)
+@pytest.mark.parametrize("system", SYSTEM_ORDER)
+@pytest.mark.benchmark(group="figure2b-sssp")
+def test_figure2b(benchmark, graphs, system, graph_name):
+    graph = graphs.by_name(graph_name)
+    smallest = min(graphs.ordered(), key=lambda g: g.num_edges).name
+    if system == "graphdb" and GRAPHDB_ONLY_SMALLEST and graph_name != smallest:
+        pytest.skip("DNF — paper: the graph database runs only the smallest graph")
+    runner = prepare_system(system, graph, ALGORITHM)
+    fingerprint = run_once(benchmark, runner)
+    assert fingerprint >= 0.0

@@ -1,0 +1,53 @@
+"""Connected components across engines (extends Figure 2's grid to the
+paper's third named vertex-centric algorithm, §3.1).
+
+Undirected semantics: Vertexica and SQL run on the symmetrized edge
+table; the Giraph baseline gets the mirrored edge list.  Same expected
+ordering as Figure 2: SQL < vertex-centric < Giraph-sim.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.baselines.giraph import GiraphConfig, GiraphEngine
+from repro.core import Vertexica, VertexicaConfig
+from repro.programs import ConnectedComponents
+from repro.sql_graph import connected_components_sql
+
+
+@pytest.fixture(scope="module")
+def prepared(graphs):
+    graph = graphs.twitter
+    vx = Vertexica(config=VertexicaConfig(n_partitions=8))
+    handle = vx.load_graph(
+        "cc_bench", graph.src, graph.dst,
+        num_vertices=graph.num_vertices, symmetrize=True,
+    )
+    sym_src = np.concatenate([graph.src, graph.dst])
+    sym_dst = np.concatenate([graph.dst, graph.src])
+    engine = GiraphEngine(
+        graph.num_vertices, sym_src, sym_dst, config=GiraphConfig()
+    )
+    return vx, handle, engine, graph
+
+
+@pytest.mark.benchmark(group="usecase-components")
+def test_cc_vertexica(benchmark, prepared):
+    vx, handle, _, graph = prepared
+    values = run_once(benchmark, lambda: vx.run(handle, ConnectedComponents()).values)
+    assert len(values) == graph.num_vertices
+
+
+@pytest.mark.benchmark(group="usecase-components")
+def test_cc_giraph(benchmark, prepared):
+    _, _, engine, graph = prepared
+    values = run_once(benchmark, lambda: engine.run(ConnectedComponents()).values)
+    assert len(values) == graph.num_vertices
+
+
+@pytest.mark.benchmark(group="usecase-components")
+def test_cc_vertexica_sql(benchmark, prepared):
+    vx, handle, _, graph = prepared
+    values = run_once(benchmark, lambda: connected_components_sql(vx.db, handle))
+    assert len(values) >= graph.num_vertices

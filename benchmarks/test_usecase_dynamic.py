@@ -1,0 +1,77 @@
+"""U2 — §3.3 dynamic graph analysis.
+
+Continuous mode: mutate the graph, re-run the analysis, observe runtimes —
+"treat graph analytics as a continuous process".  Plus the temporal
+queries: PageRank drift between snapshots and shortest-path decreases.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import Vertexica
+from repro.sql_graph import pagerank_sql, triangle_count_sql
+from repro.temporal import (
+    ContinuousAnalysis,
+    VersionedEdgeStore,
+    pagerank_delta,
+    pagerank_over_time,
+    paths_decreased,
+)
+
+
+@pytest.mark.benchmark(group="usecase-dynamic")
+def test_continuous_triangle_monitoring(benchmark, twitter):
+    """Initial analysis + 5 mutation batches with re-analysis after each."""
+    vx = Vertexica()
+    handle = vx.load_graph(
+        "cont", twitter.src, twitter.dst, num_vertices=twitter.num_vertices
+    )
+    rng = np.random.default_rng(5)
+
+    def drive():
+        analysis = ContinuousAnalysis(
+            vx.db, handle, lambda db, g: triangle_count_sql(db, g)
+        )
+        analysis.run_once()
+        for _ in range(5):
+            a, b = rng.integers(0, twitter.num_vertices, size=2)
+            analysis.apply_and_rerun(edges_to_add=[(int(a), int(b), 1.0)])
+        return analysis.history
+
+    history = run_once(benchmark, drive)
+    assert len(history) == 6
+
+
+@pytest.mark.benchmark(group="usecase-dynamic")
+def test_pagerank_over_time(benchmark, twitter):
+    """PageRank on three snapshots of a growing graph + drift report."""
+    vx = Vertexica()
+    store = VersionedEdgeStore(vx.db, "ts")
+    third = twitter.num_edges // 3
+    for i, (s, d) in enumerate(zip(twitter.src.tolist(), twitter.dst.tolist())):
+        store.add_edge(s, d, timestamp=(i // third) * 100)
+
+    def drive():
+        series = pagerank_over_time(vx.db, store, [50, 150, 250], iterations=5)
+        return pagerank_delta(series[50], series[250], top_k=10)
+
+    drift = run_once(benchmark, drive)
+    assert len(drift) == 10
+
+
+@pytest.mark.benchmark(group="usecase-dynamic")
+def test_paths_decreased(benchmark, twitter):
+    """'Which nodes have come closer in the last year?' between snapshots."""
+    vx = Vertexica()
+    store = VersionedEdgeStore(vx.db, "pd")
+    half = twitter.num_edges // 2
+    for i, (s, d) in enumerate(zip(twitter.src.tolist(), twitter.dst.tolist())):
+        store.add_edge(s, d, timestamp=0 if i < half else 500)
+    source = int(np.argmax(twitter.degree_sequence()))
+
+    closer = run_once(
+        benchmark,
+        lambda: paths_decreased(vx.db, store, source, 100, 600, min_decrease=1.0),
+    )
+    assert isinstance(closer, list)

@@ -1,0 +1,60 @@
+"""U1 — §3.2 one-hop SQL algorithms.
+
+Triangle counting, strong overlap, and weak ties over the Twitter-shaped
+graph — the analyses the paper calls "very difficult or even not possible
+on traditional graph processing systems" and expresses as plain SQL.
+Also measures PageRank-SQL over the same graph as the baseline for "how
+expensive is a 1-hop query relative to an iterative one".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import Vertexica
+from repro.sql_graph import (
+    pagerank_sql,
+    strong_overlap_sql,
+    triangle_count_sql,
+    weak_ties_sql,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded(graphs):
+    vx = Vertexica()
+    graph = graphs.twitter
+    handle = vx.load_graph(
+        f"{graph.name}_onehop", graph.src, graph.dst,
+        num_vertices=graph.num_vertices,
+    )
+    return vx, handle
+
+
+@pytest.mark.benchmark(group="usecase-onehop")
+def test_triangle_counting(benchmark, loaded):
+    vx, handle = loaded
+    total = run_once(benchmark, lambda: triangle_count_sql(vx.db, handle))
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="usecase-onehop")
+def test_strong_overlap(benchmark, loaded):
+    vx, handle = loaded
+    pairs = run_once(
+        benchmark, lambda: strong_overlap_sql(vx.db, handle, min_common=5)
+    )
+    assert isinstance(pairs, list)
+
+
+@pytest.mark.benchmark(group="usecase-onehop")
+def test_weak_ties(benchmark, loaded):
+    vx, handle = loaded
+    ties = run_once(benchmark, lambda: weak_ties_sql(vx.db, handle, min_pairs=5))
+    assert ties
+
+
+@pytest.mark.benchmark(group="usecase-onehop")
+def test_pagerank_sql_reference_point(benchmark, loaded):
+    vx, handle = loaded
+    ranks = run_once(benchmark, lambda: pagerank_sql(vx.db, handle, iterations=5))
+    assert len(ranks) == handle.num_vertices

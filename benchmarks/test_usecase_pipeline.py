@@ -1,0 +1,81 @@
+"""U3 — §3.4 end-to-end pipelines.
+
+The GUI's example dataflow (Selection -> Triangle Counting -> Shortest
+Paths -> PageRank -> Aggregate) measured as one pipeline, compared against
+running the full-graph algorithms without the selection step — the point
+being that relational pre-filtering shrinks the graph the expensive
+algorithms see.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figure2 import sssp_source
+from repro.core import Vertexica
+from repro.pipeline import (
+    Pipeline,
+    aggregate_stage,
+    pagerank_stage,
+    select_subgraph_stage,
+    shortest_paths_stage,
+    triangle_count_stage,
+)
+from repro.sql_graph import pagerank_sql, shortest_paths_sql, triangle_count_sql
+
+
+@pytest.fixture(scope="module")
+def loaded(graphs):
+    vx = Vertexica()
+    graph = graphs.twitter
+    handle = vx.load_graph(
+        f"{graph.name}_pipe", graph.src, graph.dst,
+        num_vertices=graph.num_vertices,
+    )
+    return vx, graph, handle
+
+
+@pytest.mark.benchmark(group="usecase-pipeline")
+def test_filtered_pipeline(benchmark, loaded):
+    vx, graph, handle = loaded
+    keep_below = graph.num_vertices // 2
+    pipe = (
+        Pipeline("demo")
+        .add_stage(
+            "subgraph",
+            select_subgraph_stage(
+                f"src < {keep_below} AND dst < {keep_below}", name="pipe_sub"
+            ),
+        )
+        .add_stage("triangles", triangle_count_stage(graph_key="subgraph"),
+                   depends_on=["subgraph"])
+        .add_stage("paths", shortest_paths_stage(0, graph_key="subgraph"),
+                   depends_on=["subgraph"])
+        .add_stage("ranks", pagerank_stage(iterations=5, graph_key="subgraph"),
+                   depends_on=["subgraph"])
+        .add_stage(
+            "top10",
+            aggregate_stage("ranks", lambda r: sorted(
+                r.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:10]),
+            depends_on=["ranks"],
+        )
+    )
+    result = run_once(benchmark, lambda: pipe.run({"db": vx.db, "graph": handle}))
+    assert len(result["top10"]) == 10
+
+
+@pytest.mark.benchmark(group="usecase-pipeline")
+def test_unfiltered_equivalent(benchmark, loaded):
+    """The same three algorithms over the full graph (no selection stage)."""
+    vx, graph, handle = loaded
+    source = sssp_source(graph)
+
+    def run_all():
+        return (
+            triangle_count_sql(vx.db, handle),
+            shortest_paths_sql(vx.db, handle, source),
+            pagerank_sql(vx.db, handle, iterations=5),
+        )
+
+    triangles, paths, ranks = run_once(benchmark, run_all)
+    assert len(ranks) == graph.num_vertices

@@ -1,0 +1,64 @@
+"""The §4 demonstration, console edition.
+
+Recreates the Figure 3 interaction programmatically: lay out the graph,
+select scopes (a bounding rectangle, a metadata filter, clicked vertices),
+and print the console blocks the GUI shows for each scope — node/edge/
+triangle counts, top shortest paths, top PageRanks, and a histogram.
+
+Run:
+    python examples/demo_console.py
+"""
+
+from repro import Vertexica
+from repro.datasets import MetadataSpec, attach_metadata, twitter_like
+from repro.demo import DemoConsole, ScopeSelector, assign_layout
+
+
+def main() -> None:
+    vx = Vertexica()
+    data = twitter_like(scale=0.04)
+    graph = vx.load_graph(
+        "march", data.src, data.dst, num_vertices=data.num_vertices
+    )
+    attach_metadata(
+        vx.db, graph, MetadataSpec(uniform_ints=2, zipf_ints=1, floats=1, strings=1)
+    )
+    assign_layout(vx.db, graph, seed=3)
+    hub = vx.sql(
+        "SELECT src FROM march_edge GROUP BY src ORDER BY COUNT(*) DESC LIMIT 1"
+    ).scalar()
+
+    # -- full-graph console (the GUI's default view) ---------------------
+    print(DemoConsole(vx.db, graph, label="Mar").report(source=hub))
+
+    selector = ScopeSelector(vx.db, graph)
+
+    # -- scope 1: draw a bounding rectangle over the visualization -------
+    rect = selector.by_rectangle(-0.4, -0.4, 0.4, 0.4)
+    print("\n" + "=" * 60)
+    print("scope: rectangle (-0.4,-0.4)..(0.4,0.4)\n")
+    print(DemoConsole(vx.db, rect, label="Mar[rect]").report())
+
+    # -- scope 2: metadata filter ('Family' edges, as in §4.2.3) ----------
+    family = selector.by_edge_predicate("etype = 'family'")
+    print("\n" + "=" * 60)
+    print("scope: edges of type 'family'\n")
+    console = DemoConsole(vx.db, family, label="Mar[family]")
+    print(console.node_count())
+    print(console.edge_count())
+    print(console.triangle_count())
+
+    # -- scope 3: clicked vertices (the hub's neighborhood) ---------------
+    neighborhood = [hub] + [
+        r[0] for r in vx.sql(
+            "SELECT dst FROM march_edge WHERE src = ? LIMIT 12", params=(hub,)
+        ).rows()
+    ]
+    clicked = selector.by_vertices(neighborhood)
+    print("\n" + "=" * 60)
+    print(f"scope: clicked vertices around hub {hub}\n")
+    print(DemoConsole(vx.db, clicked, label="Mar[clicked]").report(source=hub))
+
+
+if __name__ == "__main__":
+    main()

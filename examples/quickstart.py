@@ -1,0 +1,63 @@
+"""Quickstart: vertex-centric PageRank on a relational engine.
+
+Loads a small social-network-shaped graph, runs PageRank through the
+Pregel-style API, cross-checks the hand-tuned SQL implementation, and
+shows that the graph is ordinary relational data you can keep querying.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Vertexica
+from repro.datasets import twitter_like
+from repro.programs import PageRank
+from repro.sql_graph import pagerank_sql
+
+
+def main() -> None:
+    # 1. One object wraps the relational engine + the vertex-centric layer.
+    vx = Vertexica()
+
+    # 2. Load a graph: it becomes two tables, {name}_edge and {name}_node.
+    graph_data = twitter_like(scale=0.05)
+    graph = vx.load_graph(
+        "quickstart",
+        graph_data.src,
+        graph_data.dst,
+        num_vertices=graph_data.num_vertices,
+    )
+    print(f"loaded {graph.num_vertices} vertices / {graph.num_edges} edges")
+
+    # 3. Run a vertex program.  The coordinator is a stored procedure; the
+    #    workers are transform UDFs; state lives in vertex/edge/message
+    #    tables — exactly the paper's architecture.
+    result = vx.run(graph, PageRank(iterations=10))
+    print(f"\n{result.stats.summary()}")
+    print("\nTop 5 vertices by PageRank (vertex-centric):")
+    for vertex, rank in result.top(5):
+        print(f"  vertex {vertex:>5}  rank {rank:.6f}")
+
+    # 4. The same algorithm as hand-written SQL — the paper's fastest path.
+    sql_ranks = pagerank_sql(vx.db, graph, iterations=10)
+    top_sql = sorted(sql_ranks.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    print("\nTop 5 vertices by PageRank (pure SQL):")
+    for vertex, rank in top_sql:
+        print(f"  vertex {vertex:>5}  rank {rank:.6f}")
+
+    worst = max(
+        abs(result.values[v] - sql_ranks[v]) for v in range(graph.num_vertices)
+    )
+    print(f"\nmax |vertex-centric - SQL| = {worst:.2e}  (same algorithm, same answer)")
+
+    # 5. Results are rows in the vertex table: keep analyzing relationally.
+    histogram = vx.sql(
+        "SELECT ROUND(value * 1000) AS bucket, COUNT(*) AS n "
+        "FROM quickstart_vertex GROUP BY bucket ORDER BY bucket DESC LIMIT 5"
+    ).rows()
+    print("\nrank histogram (top buckets, straight from SQL):")
+    for bucket, count in histogram:
+        print(f"  ~{bucket/1000:.3f}: {count} vertices")
+
+
+if __name__ == "__main__":
+    main()

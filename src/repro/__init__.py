@@ -1,0 +1,31 @@
+"""Vertexica reproduction: vertex-centric graph analytics inside a
+from-scratch columnar relational engine.
+
+Reproduces *"Vertexica: Your Relational Friend for Graph Analytics!"*
+(Jindal et al., PVLDB 7(13), 2014).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Vertexica
+    from repro.programs import PageRank
+
+    vx = Vertexica()
+    graph = vx.load_graph("g", src=[0, 1, 2], dst=[1, 2, 0])
+    result = vx.run(graph, PageRank(iterations=10))
+    print(result.values)
+"""
+
+from repro.core import Vertexica, VertexicaConfig, VertexicaResult, VertexProgram
+from repro.engine import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Vertexica",
+    "VertexicaConfig",
+    "VertexicaResult",
+    "VertexProgram",
+    "Database",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""A Giraph-like in-memory BSP engine (the paper's main comparison system).
+
+Runs the *same* :class:`~repro.core.program.VertexProgram` objects as
+Vertexica, but on a dedicated vertex-centric runtime instead of a
+relational engine: vertices are hash partitioned across workers, messages
+are combined at the sender, serialized (pickled) per worker pair to model
+the network shuffle, and every superstep ends at a synchronization
+barrier with a configurable coordination latency — the costs that
+dominate real Giraph deployments at these graph sizes.
+"""
+
+from repro.baselines.giraph.engine import GiraphConfig, GiraphEngine, GiraphResult
+
+__all__ = ["GiraphEngine", "GiraphConfig", "GiraphResult"]

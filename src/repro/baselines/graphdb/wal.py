@@ -1,0 +1,81 @@
+"""Write-ahead log for the property-graph store.
+
+Every mutating operation is appended as a JSON line *before* it is applied
+(write-ahead); a commit marker with the transaction id seals the batch and
+the file is flushed.  Recovery replays committed transactions in order and
+discards uncommitted tails — exercised by the store's tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.errors import GraphDbError
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """An append-only JSON-lines log with commit/abort markers."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self.appends = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    def log_operation(self, tx_id: int, op: str, payload: dict[str, Any]) -> None:
+        """Append one operation record (not yet durable)."""
+        record = {"tx": tx_id, "op": op, **payload}
+        self._fh.write(json.dumps(record) + "\n")
+        self.appends += 1
+
+    def log_commit(self, tx_id: int) -> None:
+        """Append the commit marker and flush — the durability point."""
+        self._fh.write(json.dumps({"tx": tx_id, "op": "commit"}) + "\n")
+        self._fh.flush()
+        self.appends += 1
+        self.flushes += 1
+
+    def log_abort(self, tx_id: int) -> None:
+        """Append an abort marker (uncommitted ops are ignored on replay)."""
+        self._fh.write(json.dumps({"tx": tx_id, "op": "abort"}) + "\n")
+        self._fh.flush()
+        self.appends += 1
+        self.flushes += 1
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: str) -> Iterator[dict[str, Any]]:
+        """Yield the operations of committed transactions, in log order.
+
+        Raises:
+            GraphDbError: when the log file does not exist.
+        """
+        if not os.path.exists(path):
+            raise GraphDbError(f"no WAL at {path!r}")
+        pending: dict[int, list[dict[str, Any]]] = {}
+        committed: list[dict[str, Any]] = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                tx_id = record["tx"]
+                op = record["op"]
+                if op == "commit":
+                    committed.extend(pending.pop(tx_id, []))
+                elif op == "abort":
+                    pending.pop(tx_id, None)
+                else:
+                    pending.setdefault(tx_id, []).append(record)
+        return iter(committed)

@@ -1,0 +1,188 @@
+"""Figure 2 runners: one prepared (setup, timed-run) pair per system.
+
+Each ``prepare_*`` function performs all loading/setup work and returns a
+zero-argument callable executing only what the paper times: the query.
+The callable returns a result fingerprint so the harness can assert all
+systems agree before trusting any timing.
+
+The graph database runs only the smallest graph, mirroring the paper
+("the graph database runs only for the smallest graph"); on the larger
+ones it reports DNF.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.baselines.giraph import GiraphConfig, GiraphEngine
+from repro.baselines.graphdb import (
+    PropertyGraphStore,
+    graphdb_pagerank,
+    graphdb_shortest_paths,
+)
+from repro.bench.harness import SystemTiming, pagerank_iterations
+from repro.core import Vertexica, VertexicaConfig
+from repro.datasets.generators import Graph
+from repro.programs import PageRank, ShortestPaths
+from repro.sql_graph import pagerank_sql, shortest_paths_sql
+
+__all__ = [
+    "prepare_system",
+    "run_system",
+    "figure2_rows",
+    "sssp_source",
+    "GRAPHDB_ONLY_SMALLEST",
+]
+
+#: Mirrors the paper: the transactional graph DB handles only the smallest
+#: dataset.  Set False to force it to run everything (it will, slowly).
+GRAPHDB_ONLY_SMALLEST = True
+
+Runner = Callable[[], float]
+
+
+def sssp_source(graph: Graph) -> int:
+    """A deterministic, well-connected SSSP source: the max-out-degree
+    vertex (smallest id on ties)."""
+    degrees = graph.degree_sequence()
+    return int(np.argmax(degrees))
+
+
+def _fingerprint(values: dict[int, Any]) -> float:
+    """Order-independent sum of finite values — cheap cross-system check."""
+    total = 0.0
+    for value in values.values():
+        if isinstance(value, (int, float)) and np.isfinite(value):
+            total += float(value)
+    return total
+
+
+def _program_for(algorithm: str, graph: Graph) -> Any:
+    if algorithm == "pagerank":
+        return PageRank(iterations=pagerank_iterations())
+    return ShortestPaths(source=sssp_source(graph))
+
+
+# ---------------------------------------------------------------------------
+# Per-system preparation.  Setup is NOT timed; the returned runner is.
+# ---------------------------------------------------------------------------
+def _prepare_vertexica(graph: Graph, algorithm: str) -> Runner:
+    vx = Vertexica(config=VertexicaConfig(n_partitions=8))
+    handle = vx.load_graph(
+        graph.name, graph.src, graph.dst, num_vertices=graph.num_vertices
+    )
+
+    def run() -> float:
+        result = vx.run(handle, _program_for(algorithm, graph))
+        return _fingerprint(result.values)
+
+    return run
+
+
+def _prepare_vertexica_sql(graph: Graph, algorithm: str) -> Runner:
+    vx = Vertexica()
+    handle = vx.load_graph(
+        graph.name, graph.src, graph.dst, num_vertices=graph.num_vertices
+    )
+
+    def run() -> float:
+        if algorithm == "pagerank":
+            values = pagerank_sql(vx.db, handle, iterations=pagerank_iterations())
+        else:
+            values = shortest_paths_sql(vx.db, handle, sssp_source(graph))
+        return _fingerprint(values)
+
+    return run
+
+
+def _prepare_giraph(graph: Graph, algorithm: str) -> Runner:
+    engine = GiraphEngine(
+        graph.num_vertices, graph.src, graph.dst, config=GiraphConfig()
+    )
+
+    def run() -> float:
+        result = engine.run(_program_for(algorithm, graph), graph_name=graph.name)
+        return _fingerprint(result.values)
+
+    return run
+
+
+def _prepare_graphdb(graph: Graph, algorithm: str) -> Runner:
+    store = PropertyGraphStore()
+    store.load_edge_list(graph.src, graph.dst)
+    with store.transaction() as tx:
+        for vertex in range(graph.num_vertices):
+            if not store.has_node(vertex):
+                tx.create_node(vertex)
+
+    def run() -> float:
+        if algorithm == "pagerank":
+            values: dict[int, float] = graphdb_pagerank(
+                store, iterations=pagerank_iterations()
+            )
+        else:
+            values = graphdb_shortest_paths(store, sssp_source(graph))
+        return _fingerprint(values)
+
+    return run
+
+
+_PREPARERS: dict[str, Callable[[Graph, str], Runner]] = {
+    "vertexica": _prepare_vertexica,
+    "vertexica_sql": _prepare_vertexica_sql,
+    "giraph": _prepare_giraph,
+    "graphdb": _prepare_graphdb,
+}
+
+
+def prepare_system(system: str, graph: Graph, algorithm: str) -> Runner:
+    """Set up one grid cell (untimed); the returned callable is the timed
+    region and yields the result fingerprint."""
+    return _PREPARERS[system](graph, algorithm)
+
+
+def run_system(system: str, graph: Graph, algorithm: str) -> tuple[float, float]:
+    """Run one cell; returns ``(seconds, fingerprint)``."""
+    runner = prepare_system(system, graph, algorithm)
+    started = time.perf_counter()
+    fingerprint = runner()
+    return time.perf_counter() - started, fingerprint
+
+
+def figure2_rows(
+    algorithm: str,
+    graphs: list[Graph],
+    systems: tuple[str, ...] = ("graphdb", "giraph", "vertexica", "vertexica_sql"),
+    check_agreement: bool = True,
+) -> list[SystemTiming]:
+    """The full grid for one algorithm.
+
+    When ``check_agreement`` is set, systems that produced results on the
+    same graph must agree on the fingerprint to 1e-6 relative tolerance —
+    a guard against benchmarking two different computations.
+    """
+    rows: list[SystemTiming] = []
+    smallest = min(graphs, key=lambda g: g.num_edges).name
+    fingerprints: dict[str, list[float]] = {}
+    for graph in graphs:
+        for system in systems:
+            if system == "graphdb" and GRAPHDB_ONLY_SMALLEST and graph.name != smallest:
+                rows.append(
+                    SystemTiming(system, graph.name, None, note="exceeds capacity")
+                )
+                continue
+            seconds, fingerprint = run_system(system, graph, algorithm)
+            rows.append(SystemTiming(system, graph.name, seconds))
+            fingerprints.setdefault(graph.name, []).append(fingerprint)
+    if check_agreement:
+        for graph_name, prints in fingerprints.items():
+            base = prints[0]
+            for other in prints[1:]:
+                if not np.isclose(base, other, rtol=1e-6):
+                    raise AssertionError(
+                        f"systems disagree on {algorithm}@{graph_name}: {prints}"
+                    )
+    return rows

@@ -1,0 +1,130 @@
+"""Shared benchmark plumbing: graphs, scale, result formatting.
+
+Scale semantics: ``REPRO_BENCH_SCALE`` (float, default 0.25) multiplies
+the preset graph sizes from :mod:`repro.datasets.generators`.  At the
+default scale the full Figure 2 grid runs in a couple of minutes on a
+laptop; scale 1.0 is the "full" reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.datasets.generators import (
+    Graph,
+    gplus_like,
+    livejournal_like,
+    twitter_like,
+)
+
+__all__ = [
+    "SystemTiming",
+    "BenchGraphs",
+    "bench_scale",
+    "bench_graphs",
+    "pagerank_iterations",
+    "format_figure2_table",
+    "GRAPH_ORDER",
+    "SYSTEM_ORDER",
+]
+
+GRAPH_ORDER = ("twitter", "gplus", "livejournal")
+SYSTEM_ORDER = ("graphdb", "giraph", "vertexica", "vertexica_sql")
+
+_SYSTEM_LABELS = {
+    "graphdb": "Graph Database",
+    "giraph": "Apache Giraph (sim)",
+    "vertexica": "Vertexica",
+    "vertexica_sql": "Vertexica (SQL)",
+}
+
+
+@dataclass(frozen=True)
+class SystemTiming:
+    """One cell of the Figure 2 grid.
+
+    ``seconds is None`` means DNF — the paper's graph database only runs
+    the smallest graph; the harness mirrors that.
+    """
+
+    system: str
+    graph: str
+    seconds: float | None
+    note: str = ""
+
+    @property
+    def display(self) -> str:
+        """Rendered cell value (notes go to the table footnote)."""
+        if self.seconds is None:
+            return "DNF"
+        return f"{self.seconds:.3f}s"
+
+
+def bench_scale() -> float:
+    """The configured scale factor (``REPRO_BENCH_SCALE``, default 0.25)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "0.25")
+    try:
+        scale = float(raw)
+    except ValueError:
+        scale = 0.25
+    return max(scale, 0.01)
+
+
+def pagerank_iterations() -> int:
+    """Fixed PageRank horizon used across every system in the grid."""
+    return int(os.environ.get("REPRO_BENCH_PR_ITERS", "5"))
+
+
+@dataclass(frozen=True)
+class BenchGraphs:
+    """The three Figure 2 graphs at the configured scale."""
+
+    twitter: Graph
+    gplus: Graph
+    livejournal: Graph
+
+    def ordered(self) -> list[Graph]:
+        """Graphs in the paper's presentation order (small -> large)."""
+        return [self.twitter, self.gplus, self.livejournal]
+
+    def by_name(self, name: str) -> Graph:
+        """Lookup by preset name."""
+        return {g.name: g for g in self.ordered()}[name]
+
+
+@lru_cache(maxsize=4)
+def bench_graphs(scale: float | None = None) -> BenchGraphs:
+    """Generate (and cache) the three benchmark graphs."""
+    s = bench_scale() if scale is None else scale
+    return BenchGraphs(
+        twitter=twitter_like(scale=s),
+        gplus=gplus_like(scale=s),
+        livejournal=livejournal_like(scale=s),
+    )
+
+
+def format_figure2_table(title: str, rows: list[SystemTiming]) -> str:
+    """Render the grid the way the paper's Figure 2 tabulates it:
+    one row per system, one column per graph."""
+    cells: dict[tuple[str, str], SystemTiming] = {
+        (row.system, row.graph): row for row in rows
+    }
+    graphs = [g for g in GRAPH_ORDER if any(r.graph == g for r in rows)]
+    header = f"{'System':<22}" + "".join(f"{g:>16}" for g in graphs)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for system in SYSTEM_ORDER:
+        if not any(r.system == system for r in rows):
+            continue
+        label = _SYSTEM_LABELS.get(system, system)
+        line = f"{label:<22}"
+        for graph in graphs:
+            cell = cells.get((system, graph))
+            line += f"{cell.display if cell else '-':>16}"
+        lines.append(line)
+    lines.append("=" * len(header))
+    notes = sorted({row.note for row in rows if row.seconds is None and row.note})
+    for note in notes:
+        lines.append(f"DNF: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""``repro.core`` — the Vertexica layer (the paper's primary contribution).
+
+A Pregel-compatible vertex-centric interface executed *inside* the
+relational engine: the coordinator is a stored procedure, workers are
+partitioned transform UDFs, and graph state lives in vertex/edge/message
+tables.  See DESIGN.md §1 for the architecture map.
+"""
+
+from repro.core.api import OutEdge, Vertex
+from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC, ValueCodec
+from repro.core.config import VertexicaConfig
+from repro.core.coordinator import Coordinator, register_coordinator
+from repro.core.metrics import RunStats, SuperstepStats
+from repro.core.program import VertexProgram
+from repro.core.runner import Vertexica, VertexicaResult
+from repro.core.storage import GraphHandle, GraphStorage
+
+__all__ = [
+    "Vertex",
+    "OutEdge",
+    "VertexProgram",
+    "ValueCodec",
+    "FLOAT_CODEC",
+    "INTEGER_CODEC",
+    "JSON_CODEC",
+    "VertexicaConfig",
+    "Coordinator",
+    "register_coordinator",
+    "Vertexica",
+    "VertexicaResult",
+    "GraphHandle",
+    "GraphStorage",
+    "RunStats",
+    "SuperstepStats",
+]

@@ -1,0 +1,186 @@
+"""The vertex-centric API surface, Pregel-compatible.
+
+The worker hands each vertex program a :class:`Vertex` exposing exactly the
+paper's API: ``getVertexValue()``, ``getMessages()``, ``getOutEdges()``,
+``modifyVertexValue()``, ``sendMessage()``, ``voteToHalt()`` — with
+snake_case spellings as the primary names and the paper's camelCase
+spellings as aliases, so examples can be written either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ProgramError
+
+__all__ = ["OutEdge", "Vertex"]
+
+
+@dataclass(frozen=True)
+class OutEdge:
+    """One outgoing edge of the current vertex."""
+
+    target: int
+    weight: float = 1.0
+
+
+class Vertex:
+    """Per-vertex execution context for one superstep.
+
+    Mutations (value changes, sent messages, the halt vote) are buffered on
+    this object; the worker collects them after ``compute`` returns and
+    never exposes half-applied state to other vertices — the synchronous
+    superstep barrier the paper inherits from Pregel.
+    """
+
+    __slots__ = (
+        "id",
+        "superstep",
+        "num_vertices",
+        "_value",
+        "_out_edges",
+        "_messages",
+        "_halted",
+        "_value_changed",
+        "_outbox",
+        "_vote_halt",
+        "_aggregated",
+        "_agg_outbox",
+    )
+
+    def __init__(
+        self,
+        vertex_id: int,
+        value: Any,
+        out_edges: Sequence[OutEdge],
+        messages: Sequence[Any],
+        superstep: int,
+        num_vertices: int,
+        halted: bool,
+        aggregated: dict[str, float] | None = None,
+    ) -> None:
+        self.id = vertex_id
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self._value = value
+        self._out_edges = tuple(out_edges)
+        self._messages = tuple(messages)
+        self._halted = halted
+        self._value_changed = False
+        self._outbox: list[tuple[int, Any]] = []
+        self._vote_halt = False
+        self._aggregated = aggregated or {}
+        self._agg_outbox: list[tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """Current vertex value (as decoded by the program's codec)."""
+        return self._value
+
+    def get_vertex_value(self) -> Any:
+        """Paper API: current vertex value."""
+        return self._value
+
+    @property
+    def messages(self) -> tuple[Any, ...]:
+        """Messages delivered to this vertex this superstep."""
+        return self._messages
+
+    def get_messages(self) -> tuple[Any, ...]:
+        """Paper API: this superstep's incoming messages."""
+        return self._messages
+
+    @property
+    def out_edges(self) -> tuple[OutEdge, ...]:
+        """Outgoing edges of this vertex."""
+        return self._out_edges
+
+    def get_out_edges(self) -> tuple[OutEdge, ...]:
+        """Paper API: outgoing edges."""
+        return self._out_edges
+
+    @property
+    def out_degree(self) -> int:
+        """Number of outgoing edges."""
+        return len(self._out_edges)
+
+    @property
+    def was_halted(self) -> bool:
+        """True when this vertex had voted to halt before this superstep
+        (it is running again because a message arrived)."""
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # Writes (buffered)
+    # ------------------------------------------------------------------
+    def modify_vertex_value(self, value: Any) -> None:
+        """Set the vertex value, visible from the next superstep on."""
+        self._value = value
+        self._value_changed = True
+
+    def send_message(self, target: int, value: Any) -> None:
+        """Queue a message for delivery at the next superstep.
+
+        Raises:
+            ProgramError: on a non-integer target id.
+        """
+        if not isinstance(target, int):
+            raise ProgramError(
+                f"sendMessage target must be an int vertex id, got {target!r}"
+            )
+        self._outbox.append((target, value))
+
+    def send_message_to_all_neighbors(self, value: Any) -> None:
+        """Queue the same message along every outgoing edge."""
+        for edge in self._out_edges:
+            self._outbox.append((edge.target, value))
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message re-activates it."""
+        self._vote_halt = True
+
+    # ------------------------------------------------------------------
+    # Global aggregators (Pregel-style)
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, value: float) -> None:
+        """Contribute ``value`` to a global aggregator declared by the
+        program; the reduced result is visible to every vertex at the
+        *next* superstep via :meth:`aggregated`."""
+        self._agg_outbox.append((name, float(value)))
+
+    def aggregated(self, name: str, default: float | None = None) -> float | None:
+        """The previous superstep's reduced value of an aggregator, or
+        ``default`` when nothing was aggregated yet (e.g. superstep 0)."""
+        return self._aggregated.get(name, default)
+
+    # Paper-spelling aliases -------------------------------------------
+    getVertexValue = get_vertex_value
+    getMessages = get_messages
+    getOutEdges = get_out_edges
+    modifyVertexValue = modify_vertex_value
+    sendMessage = send_message
+    sendMessageToAllNeighbors = send_message_to_all_neighbors
+    voteToHalt = vote_to_halt
+
+    # ------------------------------------------------------------------
+    # Worker-side collection
+    # ------------------------------------------------------------------
+    def collect_value_update(self) -> tuple[bool, Any]:
+        """(changed, new_value) after compute ran."""
+        return self._value_changed, self._value
+
+    def collect_outbox(self) -> list[tuple[int, Any]]:
+        """Messages queued this superstep."""
+        return self._outbox
+
+    def collect_halt_vote(self) -> bool:
+        """Whether the vertex voted to halt this superstep."""
+        return self._vote_halt
+
+    def collect_aggregates(self) -> list[tuple[str, float]]:
+        """Aggregator contributions made this superstep."""
+        return self._agg_outbox

@@ -1,0 +1,54 @@
+"""Value codecs: how vertex/message values map to relational columns.
+
+The paper stores "the vertex value" in a relational column.  Scalar-valued
+programs (PageRank, SSSP, connected components) use FLOAT or INTEGER
+columns directly; programs with structured state (collaborative filtering
+keeps a latent-factor vector per vertex) serialize through a VARCHAR
+column as JSON.  A codec declares the SQL type and the encode/decode pair,
+so the Vertexica storage layer can create correctly-typed vertex/message
+tables for any program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.engine.types import FLOAT, INTEGER, VARCHAR, DataType
+
+__all__ = ["ValueCodec", "FLOAT_CODEC", "INTEGER_CODEC", "JSON_CODEC"]
+
+
+@dataclass(frozen=True)
+class ValueCodec:
+    """Bidirectional mapping between Python values and one SQL column.
+
+    Attributes:
+        name: codec identifier (used in error messages and metrics).
+        sql_type: the column type holding encoded values.
+        encode: Python value -> storable value (None passes through as NULL).
+        decode: storable value -> Python value (None passes through).
+    """
+
+    name: str
+    sql_type: DataType
+    encode: Callable[[Any], Any]
+    decode: Callable[[Any], Any]
+
+    def encode_or_none(self, value: Any) -> Any:
+        """Encode, mapping ``None`` to SQL NULL."""
+        if value is None:
+            return None
+        return self.encode(value)
+
+    def decode_or_none(self, value: Any) -> Any:
+        """Decode, mapping SQL NULL to ``None``."""
+        if value is None:
+            return None
+        return self.decode(value)
+
+
+FLOAT_CODEC = ValueCodec("float", FLOAT, float, float)
+INTEGER_CODEC = ValueCodec("integer", INTEGER, int, int)
+JSON_CODEC = ValueCodec("json", VARCHAR, json.dumps, json.loads)

@@ -1,0 +1,79 @@
+"""Vertexica runtime configuration.
+
+Every §2.3 optimization is a knob here so that the ablation benchmarks can
+run both sides of each design decision:
+
+* ``input_strategy`` — ``"union"`` (the paper's Table Unions optimization)
+  vs ``"join"`` (the naive three-way join it replaces);
+* ``n_partitions`` + ``n_workers`` — Vertex Batching / Parallel Workers;
+* ``update_strategy`` + ``replace_threshold`` — Update vs Replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from repro.errors import VertexicaError
+
+__all__ = ["VertexicaConfig"]
+
+
+@dataclass(frozen=True)
+class VertexicaConfig:
+    """Knobs for one Vertexica run.
+
+    Attributes:
+        n_partitions: how many vertex batches the worker input is hash
+            partitioned into.  1 = a single batch; ``num_vertices`` would
+            be one UDF call per vertex (the paper's "extreme case").
+        n_workers: parallel worker threads executing partitions.  1 keeps
+            execution serial and fully deterministic.
+        input_strategy: ``"union"`` or ``"join"`` (see module docstring).
+        update_strategy: ``"auto"`` applies the paper's rule — replace the
+            table unless the updated-tuple count is below
+            ``replace_threshold`` × table size; ``"update"`` / ``"replace"``
+            force one path (for the ablation).
+        replace_threshold: fraction of the vertex table below which the
+            in-place update path is used under ``"auto"``.
+        use_combiner: honor the program's combiner declaration (pushed into
+            SQL aggregation between supersteps).
+        max_supersteps: overrides the program's cap when not ``None``.
+        track_metrics: collect per-superstep statistics.
+    """
+
+    n_partitions: int = 4
+    n_workers: int = 1
+    input_strategy: str = "union"
+    update_strategy: str = "auto"
+    replace_threshold: float = 0.05
+    use_combiner: bool = True
+    max_supersteps: int | None = None
+    track_metrics: bool = True
+
+    def validated(self) -> "VertexicaConfig":
+        """Return self after checking invariants.
+
+        Raises:
+            VertexicaError: on out-of-range or unknown settings.
+        """
+        if self.n_partitions < 1:
+            raise VertexicaError("n_partitions must be >= 1")
+        if self.n_workers < 1:
+            raise VertexicaError("n_workers must be >= 1")
+        if self.input_strategy not in ("union", "join"):
+            raise VertexicaError(
+                f"input_strategy must be 'union' or 'join', got {self.input_strategy!r}"
+            )
+        if self.update_strategy not in ("auto", "update", "replace"):
+            raise VertexicaError(
+                "update_strategy must be 'auto', 'update', or 'replace', "
+                f"got {self.update_strategy!r}"
+            )
+        if not 0.0 <= self.replace_threshold <= 1.0:
+            raise VertexicaError("replace_threshold must be within [0, 1]")
+        if self.max_supersteps is not None and self.max_supersteps < 1:
+            raise VertexicaError("max_supersteps must be >= 1")
+        return self
+
+    def with_overrides(self, **kwargs: object) -> "VertexicaConfig":
+        """A copy with some fields replaced (validated)."""
+        return replace(self, **kwargs).validated()  # type: ignore[arg-type]

@@ -1,0 +1,162 @@
+"""The coordinator: the stored procedure driving supersteps.
+
+Per Figure 1 / §2.2 of the paper, the coordinator (a) builds the worker
+input relation (union or join strategy), (b) fans it out to parallel
+workers as a partitioned transform UDF, (c) applies the staged vertex
+updates and messages (choosing the update or replace path), and (d) loops
+"as long as there is any message for the next superstep" — extended, as in
+Pregel, to also stop only when every vertex has voted to halt.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import VertexicaConfig
+from repro.core.metrics import RunStats, SuperstepStats
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.core.worker import VertexWorker
+from repro.engine.database import Database
+from repro.engine.parallel import make_thread_executor, serial_executor
+from repro.engine.types import VARCHAR
+from repro.errors import VertexicaError
+
+__all__ = ["Coordinator", "register_coordinator", "SUPERSTEP_SAFETY_LIMIT"]
+
+#: Hard cap when neither the program nor the config bounds supersteps;
+#: prevents a buggy never-halting program from spinning forever.
+SUPERSTEP_SAFETY_LIMIT = 10_000
+
+
+class Coordinator:
+    """Drives one vertex-program run over one graph."""
+
+    def __init__(self, db: Database, config: VertexicaConfig) -> None:
+        self.db = db
+        self.config = config.validated()
+        self.storage = GraphStorage(db)
+
+    # ------------------------------------------------------------------
+    def run(self, graph: GraphHandle, program: VertexProgram) -> RunStats:
+        """Execute the program to quiescence (or the superstep cap).
+
+        Returns:
+            Per-superstep and total metrics.
+
+        Raises:
+            VertexicaError: if the safety superstep limit is hit.
+        """
+        program.validate()
+        config = self.config
+        storage = self.storage
+        stats = RunStats(program=program.name, graph=graph.name)
+        started = time.perf_counter()
+
+        storage.setup_run(graph, program)
+        limit = config.max_supersteps or program.max_supersteps
+        hard_cap = limit if limit is not None else SUPERSTEP_SAFETY_LIMIT
+        executor = (
+            serial_executor
+            if config.n_workers == 1
+            else make_thread_executor(config.n_workers)
+        )
+        transform_name = f"{graph.name}_worker"
+        aggregated: dict[str, float] = {}
+
+        superstep = 0
+        while True:
+            messages_in = storage.pending_messages(graph)
+            active = storage.active_vertices(graph)
+            if superstep > 0 and messages_in == 0 and active == 0:
+                break
+            if limit is not None and superstep >= limit:
+                break
+            if superstep >= hard_cap:
+                raise VertexicaError(
+                    f"superstep safety limit ({hard_cap}) exceeded by "
+                    f"{program.name}; declare max_supersteps"
+                )
+            step_started = time.perf_counter()
+
+            worker = VertexWorker(
+                program,
+                superstep,
+                graph.num_vertices,
+                input_format=config.input_strategy,
+                aggregated=aggregated,
+            )
+            self.db.register_transform(transform_name, worker, worker.schema)
+            if config.input_strategy == "union":
+                input_sql = storage.union_input_sql(
+                    graph, program.vertex_codec.sql_type is VARCHAR
+                )
+                order_by = ("vid", "kind")
+            else:
+                input_sql = storage.join_input_sql(graph)
+                order_by = ("vid", "edst", "msrc")
+            output = self.db.run_transform(
+                transform_name,
+                input_sql,
+                partition_by=("vid",),
+                order_by=order_by,
+                n_partitions=config.n_partitions,
+                executor=executor,
+            )
+            storage.stage_worker_output(graph, output)
+
+            vertex_updates = storage.count_staged(graph, 0)
+            replace, path = self._choose_path(vertex_updates, graph.num_vertices)
+            storage.apply_vertex_updates(graph, program, replace)
+            messages_out = storage.apply_messages(
+                graph, program, config.use_combiner, replace=replace
+            )
+            aggregated = storage.reduce_aggregators(graph, program)
+
+            if config.track_metrics:
+                stats.supersteps.append(
+                    SuperstepStats(
+                        superstep=superstep,
+                        active_vertices=worker.vertices_ran,
+                        messages_in=messages_in,
+                        messages_out=messages_out,
+                        vertex_updates=vertex_updates,
+                        update_path=path if vertex_updates else "none",
+                        seconds=time.perf_counter() - step_started,
+                        aggregated=tuple(sorted(aggregated.items())),
+                    )
+                )
+            superstep += 1
+
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    # ------------------------------------------------------------------
+    def _choose_path(self, updates: int, table_size: int) -> tuple[bool, str]:
+        """The paper's Update-vs-Replace rule: replace the table unless the
+        updated-tuple count is below the threshold."""
+        strategy = self.config.update_strategy
+        if strategy == "replace":
+            return True, "replace"
+        if strategy == "update":
+            return False, "update"
+        threshold = self.config.replace_threshold * max(table_size, 1)
+        if updates <= threshold:
+            return False, "update"
+        return True, "replace"
+
+
+def register_coordinator(db: Database) -> None:
+    """Install the coordinator as the stored procedure ``vertexica_run``,
+    matching the paper's architecture ("We implement the coordinator as a
+    stored procedure").  Call it via::
+
+        db.call("vertexica_run", graph_handle, program, config)
+    """
+
+    def procedure(
+        db_: Database, graph: GraphHandle, program: VertexProgram, config: VertexicaConfig
+    ) -> RunStats:
+        return Coordinator(db_, config).run(graph, program)
+
+    db.register_procedure("vertexica_run", procedure)

@@ -1,0 +1,58 @@
+"""Per-superstep and per-run metrics.
+
+The demo GUI's "time monitor" plots runtimes; these records are its
+programmatic equivalent and also feed the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SuperstepStats", "RunStats"]
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """What one superstep did and how long it took."""
+
+    superstep: int
+    active_vertices: int
+    messages_in: int
+    messages_out: int
+    vertex_updates: int
+    update_path: str  # "update" | "replace" | "none" | "memory"
+    seconds: float
+    #: global aggregator values produced this superstep (name, value)
+    aggregated: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass
+class RunStats:
+    """Aggregated metrics for one Vertexica run."""
+
+    program: str
+    graph: str
+    supersteps: list[SuperstepStats] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def n_supersteps(self) -> int:
+        """Number of supersteps executed."""
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages produced across all supersteps."""
+        return sum(s.messages_out for s in self.supersteps)
+
+    @property
+    def total_vertex_updates(self) -> int:
+        """Vertex-value updates across all supersteps."""
+        return sum(s.vertex_updates for s in self.supersteps)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.program} on {self.graph}: {self.n_supersteps} supersteps, "
+            f"{self.total_messages} messages, {self.total_seconds:.3f}s"
+        )

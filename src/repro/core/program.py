@@ -1,0 +1,120 @@
+"""Vertex program base class and combiner declarations.
+
+A :class:`VertexProgram` is the user-supplied "vertex compute function"
+from the paper.  Subclasses implement :meth:`compute`; the same program
+object runs unchanged on Vertexica *and* on the Giraph-like baseline,
+which is what makes the Figure 2 comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.api import Vertex
+from repro.core.codecs import FLOAT_CODEC, ValueCodec
+from repro.errors import ProgramError
+
+__all__ = ["VertexProgram", "Combiner", "COMBINERS"]
+
+#: SQL-pushable combiner names; ``None`` disables combining.
+COMBINERS = ("SUM", "MIN", "MAX")
+
+Combiner = str
+
+
+class VertexProgram:
+    """Base class for message-passing vertex programs.
+
+    Class attributes (override per program):
+        vertex_codec: codec for the vertex value column.
+        message_codec: codec for the message value column.
+        combiner: ``"SUM"``, ``"MIN"``, ``"MAX"``, or ``None``.  Combiners
+            are associative/commutative reductions over messages to the
+            same destination; Vertexica pushes them into a SQL GROUP BY
+            between supersteps, the Giraph baseline applies them at the
+            sending worker — both mirror the real systems.
+        aggregators: Pregel-style global aggregators: ``{name: op}`` with
+            op in SUM/MIN/MAX.  Vertices contribute via
+            ``vertex.aggregate(name, value)``; the reduced value is global
+            state available to every vertex the next superstep via
+            ``vertex.aggregated(name)``.  In Vertexica, partials flow
+            through the worker-output staging table and are reduced by a
+            SQL GROUP BY — global state through the relational engine.
+        max_supersteps: hard cap on supersteps (``None`` = run to
+            quiescence: every vertex halted and no messages in flight).
+    """
+
+    vertex_codec: ValueCodec = FLOAT_CODEC
+    message_codec: ValueCodec = FLOAT_CODEC
+    combiner: Combiner | None = None
+    aggregators: dict[str, str] = {}
+    max_supersteps: int | None = None
+
+    # ------------------------------------------------------------------
+    def initial_value(self, vertex_id: int, out_degree: int, num_vertices: int) -> Any:
+        """Value a vertex starts with before superstep 0.
+
+        Default: ``None`` (NULL in the vertex table).
+        """
+        return None
+
+    def compute(self, vertex: Vertex) -> None:
+        """The vertex compute function, run once per superstep for every
+        active vertex.  Must be implemented by subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def combine(self, values: Sequence[Any]) -> Any:
+        """Reduce messages headed to one destination per ``combiner``.
+
+        Raises:
+            ProgramError: when called with no combiner declared.
+        """
+        if self.combiner == "SUM":
+            return sum(values)
+        if self.combiner == "MIN":
+            return min(values)
+        if self.combiner == "MAX":
+            return max(values)
+        raise ProgramError(f"program {type(self).__name__} declares no combiner")
+
+    def validate(self) -> None:
+        """Sanity-check declarations before a run.
+
+        Raises:
+            ProgramError: on an unknown combiner name or a combiner with a
+                non-numeric message codec (SQL can only push down numeric
+                reductions).
+        """
+        if self.combiner is not None:
+            if self.combiner not in COMBINERS:
+                raise ProgramError(
+                    f"unknown combiner {self.combiner!r}; expected one of {COMBINERS}"
+                )
+            if not self.message_codec.sql_type.is_numeric:
+                raise ProgramError(
+                    "combiners require a numeric message codec "
+                    f"(got {self.message_codec.name})"
+                )
+        for name, op in self.aggregators.items():
+            if op not in COMBINERS:
+                raise ProgramError(
+                    f"aggregator {name!r} has unknown op {op!r}; "
+                    f"expected one of {COMBINERS}"
+                )
+        if self.max_supersteps is not None and self.max_supersteps < 1:
+            raise ProgramError("max_supersteps must be >= 1")
+
+    @staticmethod
+    def reduce_aggregate(op: str, values: Sequence[float]) -> float:
+        """Reduce aggregator partials with the declared op."""
+        if op == "SUM":
+            return float(sum(values))
+        if op == "MIN":
+            return float(min(values))
+        return float(max(values))
+
+    @property
+    def name(self) -> str:
+        """Human-readable program name for logs and metrics."""
+        return type(self).__name__

@@ -1,0 +1,138 @@
+"""The user-facing Vertexica facade.
+
+Bundles a :class:`~repro.engine.database.Database`, the graph storage
+layer, and the coordinator stored procedure behind the three calls an
+analyst needs::
+
+    vx = Vertexica()
+    graph = vx.load_graph("twitter", src=..., dst=...)
+    result = vx.run(graph, PageRankProgram(iterations=10))
+    result.values          # {vertex_id: rank}
+    result.stats.summary() # timings per superstep
+
+The database stays fully accessible (``vx.sql(...)``) so graph runs can be
+freely mixed with relational pre-/post-processing — the paper's §3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.config import VertexicaConfig
+from repro.core.coordinator import register_coordinator
+from repro.core.metrics import RunStats
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.engine.database import Database, Result
+
+__all__ = ["Vertexica", "VertexicaResult"]
+
+
+@dataclass
+class VertexicaResult:
+    """Output of one vertex-program run."""
+
+    values: dict[int, Any]
+    stats: RunStats
+
+    def top(self, k: int, reverse: bool = True) -> list[tuple[int, Any]]:
+        """The ``k`` vertices with the largest (or smallest) values,
+        ties broken by vertex id for determinism."""
+        items = [(vid, value) for vid, value in self.values.items() if value is not None]
+        items.sort(key=lambda pair: (-pair[1], pair[0]) if reverse else (pair[1], pair[0]))
+        return items[:k]
+
+
+class Vertexica:
+    """Vertex-centric graph analytics on top of the relational engine."""
+
+    def __init__(self, db: Database | None = None, config: VertexicaConfig | None = None) -> None:
+        self.db = db if db is not None else Database()
+        self.config = (config or VertexicaConfig()).validated()
+        self.storage = GraphStorage(self.db)
+        register_coordinator(self.db)
+
+    # ------------------------------------------------------------------
+    # Graph loading
+    # ------------------------------------------------------------------
+    def load_graph(
+        self,
+        name: str,
+        src: Sequence[int] | np.ndarray,
+        dst: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+        num_vertices: int | None = None,
+        symmetrize: bool = False,
+    ) -> GraphHandle:
+        """Load an edge list into relational tables.
+
+        Args:
+            name: graph name (prefix of its tables).
+            src, dst: edge endpoint arrays.
+            weights: optional edge weights (default 1.0).
+            num_vertices: ensure ids ``0..num_vertices-1`` all exist even
+                if isolated.
+            symmetrize: also insert every reverse edge — required by
+                algorithms that treat the graph as undirected (connected
+                components, triangle counting on out-edges).
+        """
+        src_arr = np.asarray(src, dtype=np.int64)
+        dst_arr = np.asarray(dst, dtype=np.int64)
+        if weights is None:
+            weight_arr = np.ones(len(src_arr), dtype=np.float64)
+        else:
+            weight_arr = np.asarray(weights, dtype=np.float64)
+        if symmetrize:
+            src_arr, dst_arr, weight_arr = _symmetrized(src_arr, dst_arr, weight_arr)
+        return self.storage.load_graph(
+            name, src_arr, dst_arr, weight_arr, num_vertices=num_vertices
+        )
+
+    def graph(self, name: str) -> GraphHandle:
+        """Re-attach to a loaded graph by name."""
+        return self.storage.handle(name)
+
+    # ------------------------------------------------------------------
+    # Running programs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: GraphHandle | str,
+        program: VertexProgram,
+        **overrides: Any,
+    ) -> VertexicaResult:
+        """Run a vertex program via the coordinator stored procedure.
+
+        Keyword overrides are applied on top of this instance's config,
+        e.g. ``vx.run(g, prog, n_partitions=16, input_strategy="join")``.
+        """
+        handle = self.graph(graph) if isinstance(graph, str) else graph
+        config = self.config.with_overrides(**overrides) if overrides else self.config
+        stats: RunStats = self.db.call("vertexica_run", handle, program, config)
+        values = self.storage.read_values(handle, program)
+        return VertexicaResult(values=values, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Relational access (§3.4: pre-/post-processing in the same system)
+    # ------------------------------------------------------------------
+    def sql(self, statement: str, params: Sequence[Any] | None = None) -> Result:
+        """Run arbitrary SQL against the shared database."""
+        return self.db.execute(statement, params)
+
+
+def _symmetrized(
+    src: np.ndarray, dst: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Edge list plus its reverse, with exact duplicates removed."""
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    all_w = np.concatenate([weights, weights])
+    # Dedup on (src, dst); keep the first weight.
+    width = max(int(all_dst.max(initial=0)) + 1, 1)
+    key = all_src * width + all_dst
+    _, first = np.unique(key, return_index=True)
+    first.sort()
+    return all_src[first], all_dst[first], all_w[first]

@@ -1,0 +1,414 @@
+"""Relational storage for Vertexica graphs.
+
+Exactly the paper's §2.2 "Physical Storage": a *vertex* table (id, value,
+state), an *edge* table (src, dst, weight), and a *message* table (sender,
+receiver, value) — plus one scratch table holding worker output between
+the transform call and the SQL that applies it.
+
+Tables for a graph named ``g``:
+
+==============  =====================================================
+``g_edge``      src INTEGER, dst INTEGER, weight FLOAT   (loaded once)
+``g_vertex``    id INTEGER, value <codec type>, halted BOOLEAN
+``g_message``   src INTEGER, dst INTEGER, value <codec type>
+``g_out``       worker output staging (kind, vid, dst, f1, s1, halted)
+==============  =====================================================
+
+The vertex/message/output tables are (re)created per run because their
+value column types depend on the program's codecs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.codecs import ValueCodec
+from repro.core.program import VertexProgram
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
+from repro.errors import GraphLoadError
+
+__all__ = ["GraphHandle", "GraphStorage", "WORKER_OUTPUT_COLUMNS"]
+
+#: Worker output staging schema (kind 0 = vertex update, 1 = message).
+WORKER_OUTPUT_COLUMNS = (
+    ("kind", INTEGER, False),
+    ("vid", INTEGER, False),
+    ("dst", INTEGER, True),
+    ("f1", FLOAT, True),
+    ("s1", VARCHAR, True),
+    ("halted", BOOLEAN, True),
+)
+
+
+def _staged_value_expr(codec: ValueCodec, alias: str | None) -> str:
+    """SQL expression extracting a codec's value from the staging columns.
+
+    The staging table keeps all non-string payloads in the FLOAT ``f1``
+    column, so INTEGER codecs need a cast on the way out.
+    """
+    prefix = f"{alias}." if alias else ""
+    if codec.sql_type is VARCHAR:
+        return f"{prefix}s1"
+    if codec.sql_type is INTEGER:
+        return f"CAST({prefix}f1 AS INTEGER)"
+    return f"{prefix}f1"
+
+
+class GraphHandle:
+    """A loaded graph: names of its tables plus cached size facts."""
+
+    def __init__(self, db: Database, name: str, num_vertices: int, num_edges: int) -> None:
+        self.db = db
+        self.name = name
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+
+    # Table names -------------------------------------------------------
+    @property
+    def edge_table(self) -> str:
+        """Name of the edge table."""
+        return f"{self.name}_edge"
+
+    @property
+    def node_table(self) -> str:
+        """Name of the node-id table (the bare vertex set)."""
+        return f"{self.name}_node"
+
+    @property
+    def vertex_table(self) -> str:
+        """Name of the per-run vertex state table."""
+        return f"{self.name}_vertex"
+
+    @property
+    def message_table(self) -> str:
+        """Name of the per-run message table."""
+        return f"{self.name}_message"
+
+    @property
+    def output_table(self) -> str:
+        """Name of the worker-output staging table."""
+        return f"{self.name}_out"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GraphHandle({self.name!r}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+class GraphStorage:
+    """Creates, loads, and mutates the relational graph tables."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_graph(
+        self,
+        name: str,
+        src: Sequence[int] | np.ndarray,
+        dst: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+        num_vertices: int | None = None,
+    ) -> GraphHandle:
+        """Bulk-load an edge list into ``{name}_edge`` / ``{name}_node``.
+
+        Vertex ids must be integers; the node table is the union of
+        endpoint ids with ``0..num_vertices-1`` when ``num_vertices`` is
+        given (isolated vertices are kept that way).
+
+        Raises:
+            GraphLoadError: empty name, ragged arrays, or negative ids.
+        """
+        if not name or not name.isidentifier():
+            raise GraphLoadError(f"graph name must be an identifier, got {name!r}")
+        src_arr = np.asarray(src, dtype=np.int64)
+        dst_arr = np.asarray(dst, dtype=np.int64)
+        if src_arr.shape != dst_arr.shape:
+            raise GraphLoadError("src and dst arrays differ in length")
+        if len(src_arr) and (src_arr.min() < 0 or dst_arr.min() < 0):
+            raise GraphLoadError("vertex ids must be non-negative")
+        if weights is None:
+            weight_arr = np.ones(len(src_arr), dtype=np.float64)
+        else:
+            weight_arr = np.asarray(weights, dtype=np.float64)
+            if weight_arr.shape != src_arr.shape:
+                raise GraphLoadError("weights array length differs from edges")
+
+        handle = GraphHandle(self.db, name, 0, len(src_arr))
+        db = self.db
+        db.execute(f"DROP TABLE IF EXISTS {handle.edge_table}")
+        db.execute(f"DROP TABLE IF EXISTS {handle.node_table}")
+        db.execute(
+            f"CREATE TABLE {handle.edge_table} "
+            "(src INTEGER NOT NULL, dst INTEGER NOT NULL, weight FLOAT NOT NULL)"
+        )
+        edge_schema = db.table(handle.edge_table).schema
+        db.insert_batch(
+            handle.edge_table,
+            RecordBatch(
+                edge_schema,
+                [
+                    Column.from_numpy(INTEGER, src_arr),
+                    Column.from_numpy(INTEGER, dst_arr),
+                    Column.from_numpy(FLOAT, weight_arr),
+                ],
+            ),
+        )
+        ids = np.union1d(src_arr, dst_arr) if len(src_arr) else np.empty(0, np.int64)
+        if num_vertices is not None:
+            ids = np.union1d(ids, np.arange(num_vertices, dtype=np.int64))
+        db.execute(f"CREATE TABLE {handle.node_table} (id INTEGER NOT NULL)")
+        db.insert_batch(
+            handle.node_table,
+            RecordBatch(
+                db.table(handle.node_table).schema,
+                [Column.from_numpy(INTEGER, ids)],
+            ),
+        )
+        handle.num_vertices = len(ids)
+        return handle
+
+    def handle(self, name: str) -> GraphHandle:
+        """Re-attach to a previously loaded graph by name."""
+        edge_table = f"{name}_edge"
+        node_table = f"{name}_node"
+        if not (self.db.has_table(edge_table) and self.db.has_table(node_table)):
+            raise GraphLoadError(f"graph {name!r} is not loaded")
+        return GraphHandle(
+            self.db,
+            name,
+            self.db.table(node_table).num_rows,
+            self.db.table(edge_table).num_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-run working tables
+    # ------------------------------------------------------------------
+    def setup_run(self, graph: GraphHandle, program: VertexProgram) -> None:
+        """(Re)create the vertex/message/output tables for a program run
+        and populate initial vertex values via
+        :meth:`VertexProgram.initial_value`."""
+        db = self.db
+        vt = program.vertex_codec.sql_type.name
+        mt = program.message_codec.sql_type.name
+        db.execute(f"DROP TABLE IF EXISTS {graph.vertex_table}")
+        db.execute(f"DROP TABLE IF EXISTS {graph.message_table}")
+        db.execute(f"DROP TABLE IF EXISTS {graph.output_table}")
+        db.execute(
+            f"CREATE TABLE {graph.vertex_table} "
+            f"(id INTEGER NOT NULL, value {vt}, halted BOOLEAN NOT NULL)"
+        )
+        db.execute(
+            f"CREATE TABLE {graph.message_table} "
+            f"(src INTEGER, dst INTEGER NOT NULL, value {mt})"
+        )
+        db.execute(
+            f"CREATE TABLE {graph.output_table} ("
+            "kind INTEGER NOT NULL, vid INTEGER NOT NULL, dst INTEGER, "
+            "f1 FLOAT, s1 VARCHAR, halted BOOLEAN)"
+        )
+        degrees = self.out_degrees(graph)
+        ids = [row[0] for row in db.execute(
+            f"SELECT id FROM {graph.node_table} ORDER BY id"
+        ).rows()]
+        codec = program.vertex_codec
+        n = graph.num_vertices
+        values = [
+            codec.encode_or_none(
+                program.initial_value(vertex_id, degrees.get(vertex_id, 0), n)
+            )
+            for vertex_id in ids
+        ]
+        schema = db.table(graph.vertex_table).schema
+        batch = RecordBatch(
+            schema,
+            [
+                Column.from_values(INTEGER, ids),
+                Column.from_values(codec.sql_type, values),
+                Column.from_values(BOOLEAN, [False] * len(ids)),
+            ],
+        )
+        db.insert_batch(graph.vertex_table, batch)
+
+    def out_degrees(self, graph: GraphHandle) -> dict[int, int]:
+        """Out-degree per vertex (absent = 0), computed in SQL."""
+        rows = self.db.execute(
+            f"SELECT src, COUNT(*) AS deg FROM {graph.edge_table} GROUP BY src"
+        ).rows()
+        return {src: deg for src, deg in rows}
+
+    # ------------------------------------------------------------------
+    # Worker input queries (the §2.3 Table Unions optimization + its foil)
+    # ------------------------------------------------------------------
+    def union_input_sql(self, graph: GraphHandle, value_is_varchar: bool) -> str:
+        """UNION ALL of the three tables renamed to a common narrow schema
+        ``(vid, kind, i1, f1, s1)`` — kind 0/1/2 = vertex/edge/message."""
+        if value_is_varchar:
+            v_f1, v_s1 = "NULL", "v.value"
+            m_f1, m_s1 = "NULL", "m.value"
+        else:
+            v_f1, v_s1 = "v.value", "NULL"
+            m_f1, m_s1 = "m.value", "NULL"
+        return (
+            f"SELECT v.id AS vid, 0 AS kind, "
+            f"CASE WHEN v.halted THEN 1 ELSE 0 END AS i1, "
+            f"CAST({v_f1} AS FLOAT) AS f1, CAST({v_s1} AS VARCHAR) AS s1 "
+            f"FROM {graph.vertex_table} v "
+            f"UNION ALL "
+            f"SELECT e.src, 1, e.dst, e.weight, NULL FROM {graph.edge_table} e "
+            f"UNION ALL "
+            f"SELECT m.dst, 2, m.src, CAST({m_f1} AS FLOAT), CAST({m_s1} AS VARCHAR) "
+            f"FROM {graph.message_table} m"
+        )
+
+    def join_input_sql(self, graph: GraphHandle) -> str:
+        """The naive three-way join the paper warns against: one row per
+        (vertex x out-edge x incoming-message) combination."""
+        return (
+            "SELECT v.id AS vid, CASE WHEN v.halted THEN 1 ELSE 0 END AS halted, "
+            "v.value AS vvalue, e.dst AS edst, e.weight AS eweight, "
+            "m.src AS msrc, m.value AS mvalue "
+            f"FROM {graph.vertex_table} v "
+            f"LEFT JOIN {graph.edge_table} e ON v.id = e.src "
+            f"LEFT JOIN {graph.message_table} m ON v.id = m.dst"
+        )
+
+    # ------------------------------------------------------------------
+    # Applying worker output
+    # ------------------------------------------------------------------
+    def stage_worker_output(self, graph: GraphHandle, batch: RecordBatch) -> None:
+        """Load the worker's output batch into the staging table."""
+        table = self.db.table(graph.output_table)
+        table.truncate()
+        table.insert_batch(batch.with_schema(table.schema))
+
+    def count_staged(self, graph: GraphHandle, kind: int) -> int:
+        """Rows of one kind currently staged."""
+        return int(
+            self.db.execute(
+                f"SELECT COUNT(*) FROM {graph.output_table} WHERE kind = ?",
+                params=(kind,),
+            ).scalar()
+        )
+
+    def apply_messages(
+        self, graph: GraphHandle, program: VertexProgram, use_combiner: bool, replace: bool
+    ) -> int:
+        """Replace the message table with staged kind-1 rows, applying the
+        program's combiner in SQL (a GROUP BY) when enabled.
+
+        Returns the number of messages now pending.
+        """
+        db = self.db
+        value_expr = _staged_value_expr(program.message_codec, alias=None)
+        if use_combiner and program.combiner is not None:
+            select = (
+                f"SELECT MIN(vid) AS src, dst, {program.combiner}({value_expr}) AS value "
+                f"FROM {graph.output_table} WHERE kind = 1 GROUP BY dst"
+            )
+        else:
+            select = (
+                f"SELECT vid AS src, dst, {value_expr} AS value "
+                f"FROM {graph.output_table} WHERE kind = 1"
+            )
+        fresh = db.query_batch(select)
+        message_table = db.table(graph.message_table)
+        if replace:
+            message_table.replace_data(fresh)
+        else:
+            # The slow tuple-DML path: DELETE then INSERT through SQL.
+            db.execute(f"DELETE FROM {graph.message_table}")
+            message_table.insert_batch(fresh.with_schema(message_table.schema))
+        return message_table.num_rows
+
+    def apply_vertex_updates(
+        self, graph: GraphHandle, program: VertexProgram, replace: bool
+    ) -> int:
+        """Apply staged kind-0 rows to the vertex table.
+
+        Replace path (paper's fast path): rebuild the whole table with one
+        LEFT JOIN against the staged updates and swap it in.  Update path:
+        one UPDATE statement per staged tuple — genuine tuple-at-a-time
+        DML, which is exactly what the optimization avoids.
+
+        Returns the number of vertex rows updated.
+        """
+        db = self.db
+        codec = program.vertex_codec
+        value_col = "s1" if codec.sql_type is VARCHAR else "f1"
+        updates = self.count_staged(graph, 0)
+        if updates == 0:
+            return 0
+        if replace:
+            value_expr = _staged_value_expr(codec, alias="w")
+            fresh = db.query_batch(
+                f"SELECT v.id AS id, "
+                f"CASE WHEN w.vid IS NULL THEN v.value ELSE {value_expr} END AS value, "
+                f"CASE WHEN w.vid IS NULL THEN v.halted ELSE w.halted END AS halted "
+                f"FROM {graph.vertex_table} v "
+                f"LEFT JOIN (SELECT vid, {value_col}, halted "
+                f"           FROM {graph.output_table} WHERE kind = 0) w "
+                f"ON v.id = w.vid"
+            )
+            db.table(graph.vertex_table).replace_data(fresh)
+            return updates
+        staged = db.execute(
+            f"SELECT vid, {value_col}, halted FROM {graph.output_table} WHERE kind = 0"
+        ).rows()
+        integral = codec.sql_type is INTEGER
+        for vid, value, halted in staged:
+            if integral and value is not None:
+                value = int(value)
+            db.execute(
+                f"UPDATE {graph.vertex_table} SET value = ?, halted = ? WHERE id = ?",
+                params=(value, halted, vid),
+            )
+        return updates
+
+    def reduce_aggregators(
+        self, graph: GraphHandle, program: VertexProgram
+    ) -> dict[str, float]:
+        """Reduce the staged kind-2 aggregator partials in SQL.
+
+        Returns a value per aggregator that received contributions this
+        superstep (Pregel semantics: aggregators reset each superstep).
+        """
+        out: dict[str, float] = {}
+        for name, op in program.aggregators.items():
+            value = self.db.execute(
+                f"SELECT {op}(f1) FROM {graph.output_table} "
+                f"WHERE kind = 2 AND s1 = ?",
+                params=(name,),
+            ).scalar()
+            if value is not None:
+                out[name] = float(value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Run-state queries
+    # ------------------------------------------------------------------
+    def pending_messages(self, graph: GraphHandle) -> int:
+        """Messages waiting for the next superstep."""
+        return self.db.table(graph.message_table).num_rows
+
+    def active_vertices(self, graph: GraphHandle) -> int:
+        """Vertices that have not voted to halt."""
+        return int(
+            self.db.execute(
+                f"SELECT COUNT(*) FROM {graph.vertex_table} WHERE NOT halted"
+            ).scalar()
+        )
+
+    def read_values(self, graph: GraphHandle, program: VertexProgram) -> dict[int, Any]:
+        """Final vertex values, decoded through the program's codec."""
+        rows = self.db.execute(
+            f"SELECT id, value FROM {graph.vertex_table} ORDER BY id"
+        ).rows()
+        codec = program.vertex_codec
+        return {vid: codec.decode_or_none(value) for vid, value in rows}

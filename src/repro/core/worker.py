@@ -1,0 +1,321 @@
+"""The worker: a transform UDF that runs vertex programs over partitions.
+
+Mirrors §2.2/§2.3 of the paper: the engine hash-partitions the worker
+input on vertex id, sorts each partition, and calls the worker once per
+partition ("Vertex Batching").  The worker walks its partition, rebuilds
+per-vertex context (value, out-edges, incoming messages) from the unified
+tuple stream, invokes the user's compute function serially per vertex, and
+emits vertex updates and outgoing messages in the staging schema.
+
+Two input formats are supported, matching the Table Unions ablation:
+
+* ``union``  — narrow rows ``(vid, kind, i1, f1, s1)`` from a UNION ALL of
+  the three tables (kind 0/1/2 = vertex/edge/message);
+* ``join``   — wide rows from the naive three-way join, one per
+  (vertex x out-edge x incoming-message) combination, which the worker
+  must de-duplicate.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.core.api import OutEdge, Vertex
+from repro.core.program import VertexProgram
+from repro.core.storage import WORKER_OUTPUT_COLUMNS
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import VARCHAR
+from repro.errors import ProgramError
+
+__all__ = ["VertexWorker", "worker_output_schema"]
+
+
+def worker_output_schema() -> Schema:
+    """The staging schema worker calls must produce."""
+    return Schema(
+        ColumnDef(name, dtype, nullable=nullable)
+        for name, dtype, nullable in WORKER_OUTPUT_COLUMNS
+    )
+
+
+class _Outputs:
+    """Columnar accumulators for one worker invocation."""
+
+    __slots__ = ("kind", "vid", "dst", "f1", "s1", "halted", "agg_partials")
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.vid: list[int] = []
+        self.dst: list[int | None] = []
+        self.f1: list[float | None] = []
+        self.s1: list[str | None] = []
+        self.halted: list[bool | None] = []
+        self.agg_partials: list[tuple[str, float]] = []
+
+    def add_vertex_update(self, vid: int, f1: float | None, s1: str | None, halted: bool) -> None:
+        self.kind.append(0)
+        self.vid.append(vid)
+        self.dst.append(None)
+        self.f1.append(f1)
+        self.s1.append(s1)
+        self.halted.append(halted)
+
+    def add_message(self, sender: int, dst: int, f1: float | None, s1: str | None) -> None:
+        self.kind.append(1)
+        self.vid.append(sender)
+        self.dst.append(dst)
+        self.f1.append(f1)
+        self.s1.append(s1)
+        self.halted.append(None)
+
+    def add_aggregate(self, name: str, value: float) -> None:
+        """One pre-reduced aggregator partial for this partition (kind 2)."""
+        self.kind.append(2)
+        self.vid.append(0)
+        self.dst.append(None)
+        self.f1.append(value)
+        self.s1.append(name)
+        self.halted.append(None)
+
+    def to_batch(self, schema: Schema) -> RecordBatch:
+        return RecordBatch(
+            schema,
+            [
+                Column.from_values(schema[0].dtype, self.kind),
+                Column.from_values(schema[1].dtype, self.vid),
+                Column.from_values(schema[2].dtype, self.dst),
+                Column.from_values(schema[3].dtype, self.f1),
+                Column.from_values(schema[4].dtype, self.s1),
+                Column.from_values(schema[5].dtype, self.halted),
+            ],
+        )
+
+
+class VertexWorker:
+    """One superstep's worker UDF over a program.
+
+    Thread-safe across partitions: per-partition state is local; shared
+    counters are guarded by a lock (cheap — updated once per partition).
+    """
+
+    def __init__(
+        self,
+        program: VertexProgram,
+        superstep: int,
+        num_vertices: int,
+        input_format: str = "union",
+        aggregated: dict[str, float] | None = None,
+    ) -> None:
+        if input_format not in ("union", "join"):
+            raise ProgramError(f"unknown worker input format {input_format!r}")
+        self.program = program
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self.input_format = input_format
+        self.aggregated = aggregated or {}
+        self.schema = worker_output_schema()
+        self._lock = threading.Lock()
+        #: vertices whose compute function ran this superstep
+        self.vertices_ran = 0
+        #: messages addressed to ids with no vertex row (dropped)
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    def __call__(self, partition: RecordBatch, partition_index: int) -> RecordBatch:
+        """Process one sorted partition; returns staged output rows."""
+        if self.input_format == "union":
+            out, ran, dropped = self._process_union(partition)
+        else:
+            out, ran, dropped = self._process_join(partition)
+        self._reduce_partition_aggregates(out)
+        with self._lock:
+            self.vertices_ran += ran
+            self.messages_dropped += dropped
+        return out.to_batch(self.schema)
+
+    def _reduce_partition_aggregates(self, out: _Outputs) -> None:
+        """Pre-reduce this partition's aggregator contributions to one
+        kind-2 row per aggregator (the SQL GROUP BY finishes the job)."""
+        if not out.agg_partials:
+            return
+        grouped: dict[str, list[float]] = {}
+        for name, value in out.agg_partials:
+            op = self.program.aggregators.get(name)
+            if op is None:
+                raise ProgramError(
+                    f"vertex aggregated to undeclared aggregator {name!r}; "
+                    f"declare it in {type(self.program).__name__}.aggregators"
+                )
+            grouped.setdefault(name, []).append(value)
+        for name, values in grouped.items():
+            op = self.program.aggregators[name]
+            out.add_aggregate(name, self.program.reduce_aggregate(op, values))
+
+    # ------------------------------------------------------------------
+    # Union format
+    # ------------------------------------------------------------------
+    def _process_union(self, batch: RecordBatch) -> tuple[_Outputs, int, int]:
+        vid = batch.column("vid").values
+        kind = batch.column("kind").values
+        i1 = batch.column("i1")
+        f1 = batch.column("f1")
+        s1 = batch.column("s1")
+        out = _Outputs()
+        ran = 0
+        dropped = 0
+        boundaries = _group_boundaries(vid)
+        v_codec = self.program.vertex_codec
+        m_codec = self.program.message_codec
+        varchar_values = v_codec.sql_type is VARCHAR
+        varchar_messages = m_codec.sql_type is VARCHAR
+        for start, stop in boundaries:
+            vertex_id = int(vid[start])
+            value: Any = None
+            halted = False
+            has_vertex_row = False
+            edges: list[OutEdge] = []
+            messages: list[Any] = []
+            for row in range(start, stop):
+                k = kind[row]
+                if k == 0:
+                    has_vertex_row = True
+                    halted = i1.values[row] == 1
+                    if varchar_values:
+                        raw = s1.values[row] if s1.valid[row] else None
+                    else:
+                        raw = f1.values[row] if f1.valid[row] else None
+                    value = v_codec.decode_or_none(raw)
+                elif k == 1:
+                    edges.append(OutEdge(int(i1.values[row]), float(f1.values[row])))
+                else:
+                    if varchar_messages:
+                        raw = s1.values[row] if s1.valid[row] else None
+                    else:
+                        raw = f1.values[row] if f1.valid[row] else None
+                    messages.append(m_codec.decode_or_none(raw))
+            if not has_vertex_row:
+                dropped += len(messages)
+                continue
+            ran += self._run_vertex(out, vertex_id, value, halted, edges, messages)
+        return out, ran, dropped
+
+    # ------------------------------------------------------------------
+    # Join format
+    # ------------------------------------------------------------------
+    def _process_join(self, batch: RecordBatch) -> tuple[_Outputs, int, int]:
+        vid = batch.column("vid").values
+        halted_col = batch.column("halted").values
+        vvalue = batch.column("vvalue")
+        edst = batch.column("edst")
+        eweight = batch.column("eweight")
+        msrc = batch.column("msrc")
+        mvalue = batch.column("mvalue")
+        out = _Outputs()
+        ran = 0
+        v_codec = self.program.vertex_codec
+        m_codec = self.program.message_codec
+        for start, stop in _group_boundaries(vid):
+            vertex_id = int(vid[start])
+            halted = halted_col[start] == 1
+            value = v_codec.decode_or_none(
+                vvalue.values[start] if vvalue.valid[start] else None
+            )
+            edges: list[OutEdge] = []
+            messages: list[Any] = []
+            has_edges = bool(edst.valid[start])
+            if not has_edges:
+                # No out-edges: every row is a pure message combination.
+                for row in range(start, stop):
+                    if msrc.valid[row]:
+                        messages.append(
+                            m_codec.decode_or_none(
+                                mvalue.values[row] if mvalue.valid[row] else None
+                            )
+                        )
+            else:
+                # Rows are sorted by (edst, msrc): distinct edst values give
+                # the edge list; the first edge's block carries each message
+                # exactly once.
+                first_edst = edst.values[start]
+                previous_edst: int | None = None
+                for row in range(start, stop):
+                    current = int(edst.values[row])
+                    if current != previous_edst:
+                        edges.append(OutEdge(current, float(eweight.values[row])))
+                        previous_edst = current
+                    if current == first_edst and msrc.valid[row]:
+                        messages.append(
+                            m_codec.decode_or_none(
+                                mvalue.values[row] if mvalue.valid[row] else None
+                            )
+                        )
+            ran += self._run_vertex(out, vertex_id, value, halted, edges, messages)
+        return out, ran, 0
+
+    # ------------------------------------------------------------------
+    # Shared per-vertex execution
+    # ------------------------------------------------------------------
+    def _run_vertex(
+        self,
+        out: _Outputs,
+        vertex_id: int,
+        value: Any,
+        halted: bool,
+        edges: list[OutEdge],
+        messages: list[Any],
+    ) -> int:
+        """Run compute if the vertex is active; stage its effects.
+
+        Returns 1 when the vertex ran, 0 when it was skipped.
+        """
+        should_run = self.superstep == 0 or messages or not halted
+        if not should_run:
+            return 0
+        vertex = Vertex(
+            vertex_id,
+            value,
+            edges,
+            messages,
+            self.superstep,
+            self.num_vertices,
+            halted,
+            aggregated=self.aggregated,
+        )
+        self.program.compute(vertex)
+        changed, new_value = vertex.collect_value_update()
+        vote = vertex.collect_halt_vote()
+        # A vertex that ran always records its (possibly re-set) halt state;
+        # value is carried through unchanged when compute did not touch it.
+        encoded = self.program.vertex_codec.encode_or_none(new_value)
+        f1, s1 = self._payload(encoded, self.program.vertex_codec)
+        out.add_vertex_update(vertex_id, f1, s1, vote)
+        m_codec = self.program.message_codec
+        for target, message in vertex.collect_outbox():
+            mf1, ms1 = self._payload(m_codec.encode_or_none(message), m_codec)
+            out.add_message(vertex_id, target, mf1, ms1)
+        out.agg_partials.extend(vertex.collect_aggregates())
+        return 1
+
+    @staticmethod
+    def _payload(encoded: Any, codec: Any) -> tuple[float | None, str | None]:
+        if encoded is None:
+            return None, None
+        if codec.sql_type is VARCHAR:
+            return None, encoded
+        return float(encoded), None
+
+
+def _group_boundaries(vid: np.ndarray) -> list[tuple[int, int]]:
+    """(start, stop) index pairs of equal-vid runs in a sorted array."""
+    n = len(vid)
+    if n == 0:
+        return []
+    changes = np.flatnonzero(np.diff(vid)) + 1
+    starts = np.concatenate(([0], changes))
+    stops = np.concatenate((changes, [n]))
+    return list(zip(starts.tolist(), stops.tolist()))

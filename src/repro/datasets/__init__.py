@@ -1,0 +1,35 @@
+"""``repro.datasets`` — synthetic graphs, metadata, and edge-list I/O.
+
+The paper evaluates on SNAP social graphs (Twitter, GPlus, LiveJournal).
+Offline, :mod:`repro.datasets.generators` produces power-law graphs with
+the same shape characteristics at laptop scale; a SNAP-format reader is
+provided for anyone with the real files.  :mod:`repro.datasets.metadata`
+implements the §4 metadata specification (uniform/zipfian/float/string
+node attributes; weight/timestamp/type edge attributes).
+"""
+
+from repro.datasets.generators import (
+    Graph,
+    gplus_like,
+    livejournal_like,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+    twitter_like,
+)
+from repro.datasets.metadata import MetadataSpec, attach_metadata
+from repro.datasets.snap import read_snap_edge_list, write_snap_edge_list
+
+__all__ = [
+    "Graph",
+    "power_law_graph",
+    "twitter_like",
+    "gplus_like",
+    "livejournal_like",
+    "ring_graph",
+    "star_graph",
+    "MetadataSpec",
+    "attach_metadata",
+    "read_snap_edge_list",
+    "write_snap_edge_list",
+]

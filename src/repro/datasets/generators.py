@@ -1,0 +1,172 @@
+"""Synthetic graph generators.
+
+:func:`power_law_graph` draws both edge endpoints from a Zipf-like
+distribution over vertex ids, yielding the heavy-tailed in/out degree
+distributions of social networks (a configuration-model analogue of the
+SNAP graphs the paper uses).  The three presets scale the paper's datasets
+down to laptop size while preserving their *relative* shapes:
+
+=================  ==========  ==========  ================  =============
+preset             paper |V|   paper |E|   default (|V|,|E|)  density rank
+=================  ==========  ==========  ================  =============
+twitter_like       81 K        1.7 M       (2 000, 40 000)    medium (~20)
+gplus_like         107 K       13.6 M      (1 200, 110 000)   dense (~92)
+livejournal_like   4.8 M       68 M        (24 000, 340 000)  sparse (~14)
+=================  ==========  ==========  ================  =============
+
+All generators are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = [
+    "Graph",
+    "power_law_graph",
+    "twitter_like",
+    "gplus_like",
+    "livejournal_like",
+    "ring_graph",
+    "star_graph",
+]
+
+
+@dataclass
+class Graph:
+    """An edge-list graph with optional weights.
+
+    Attributes:
+        name: identifier (doubles as the Vertexica table prefix).
+        num_vertices: ids are ``0..num_vertices-1``.
+        src, dst: int64 endpoint arrays.
+        weights: float64 edge weights (``None`` = unweighted/1.0).
+        directed: whether edges are one-way (generators produce directed).
+    """
+
+    name: str
+    num_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray | None = None
+    directed: bool = True
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count."""
+        return len(self.src)
+
+    def degree_sequence(self) -> np.ndarray:
+        """Out-degree per vertex."""
+        return np.bincount(self.src, minlength=self.num_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph({self.name!r}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probabilities = ranks**-exponent
+    return probabilities / probabilities.sum()
+
+
+def power_law_graph(
+    name: str,
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 1.4,
+    seed: int = 42,
+    weighted: bool = False,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> Graph:
+    """A directed multigraph-free power-law graph.
+
+    Endpoints are drawn independently from a Zipf(``exponent``)
+    distribution over a seed-shuffled id permutation (so hubs are spread
+    over the id space rather than clustered at 0, which would bias
+    hash-partitioning experiments).  Duplicate edges and self-loops are
+    rejected and redrawn, so exactly ``num_edges`` distinct edges return.
+
+    Raises:
+        DatasetError: when ``num_edges`` exceeds what a simple directed
+            graph of this size can hold.
+    """
+    if num_vertices < 2:
+        raise DatasetError("power_law_graph needs at least 2 vertices")
+    capacity = num_vertices * (num_vertices - 1)
+    if num_edges > capacity * 0.8:
+        raise DatasetError(
+            f"cannot draw {num_edges} distinct edges from a {num_vertices}-vertex "
+            f"graph (capacity {capacity}); lower num_edges or raise num_vertices"
+        )
+    rng = np.random.default_rng(seed)
+    probabilities = _zipf_probabilities(num_vertices, exponent)
+    permutation = rng.permutation(num_vertices)
+
+    chosen: set[int] = set()
+    src_out = np.empty(num_edges, dtype=np.int64)
+    dst_out = np.empty(num_edges, dtype=np.int64)
+    filled = 0
+    while filled < num_edges:
+        need = int((num_edges - filled) * 1.5) + 16
+        s = permutation[rng.choice(num_vertices, size=need, p=probabilities)]
+        d = permutation[rng.choice(num_vertices, size=need, p=probabilities)]
+        for a, b in zip(s, d):
+            if a == b:
+                continue
+            key = int(a) * num_vertices + int(b)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            src_out[filled] = a
+            dst_out[filled] = b
+            filled += 1
+            if filled == num_edges:
+                break
+    weights = None
+    if weighted:
+        low, high = weight_range
+        weights = rng.uniform(low, high, size=num_edges)
+    return Graph(name, num_vertices, src_out, dst_out, weights=weights)
+
+
+def _preset(name: str, n: int, e: int, exponent: float, seed: int) -> Graph:
+    """Build a preset, clamping edges to half the simple-graph capacity so
+    very small scales of the dense presets stay generatable."""
+    n = max(n, 10)
+    capacity_cap = n * (n - 1) // 2
+    e = max(min(e, capacity_cap), 20)
+    return power_law_graph(name, n, e, exponent=exponent, seed=seed)
+
+
+def twitter_like(scale: float = 1.0, seed: int = 42) -> Graph:
+    """The small, moderately dense graph of Figure 2 (Twitter-shaped)."""
+    return _preset("twitter", int(2_000 * scale), int(40_000 * scale), 1.5, seed)
+
+
+def gplus_like(scale: float = 1.0, seed: int = 43) -> Graph:
+    """The medium graph with very high density (GPlus-shaped)."""
+    return _preset("gplus", int(1_200 * scale), int(110_000 * scale), 1.2, seed)
+
+
+def livejournal_like(scale: float = 1.0, seed: int = 44) -> Graph:
+    """The large sparse graph (LiveJournal-shaped)."""
+    return _preset("livejournal", int(24_000 * scale), int(340_000 * scale), 1.35, seed)
+
+
+def ring_graph(name: str, num_vertices: int) -> Graph:
+    """A directed cycle — worst case for propagation algorithms (diameter
+    ``|V|``); used by tests and the SSSP edge-case benches."""
+    ids = np.arange(num_vertices, dtype=np.int64)
+    return Graph(name, num_vertices, ids, (ids + 1) % num_vertices)
+
+
+def star_graph(name: str, num_leaves: int) -> Graph:
+    """Vertex 0 pointing at every leaf — maximal skew for batching tests."""
+    dst = np.arange(1, num_leaves + 1, dtype=np.int64)
+    src = np.zeros(num_leaves, dtype=np.int64)
+    return Graph(name, num_leaves + 1, src, dst)

@@ -1,0 +1,185 @@
+"""The §4 metadata generator.
+
+"For each node, we added 24 uniformly distributed integer attributes with
+cardinality varying from 2 to 10^9, 8 skewed (zipfian distribution)
+integer attributes with varying skewness, 18 floating point attributes
+with varying value ranges, and 10 string attributes with varying size and
+cardinality.  For each edge, we added three additional attributes: the
+weight, the creation timestamp, and an edge type (friend, family, or
+classmate), chosen uniformly at random."
+
+:func:`attach_metadata` materializes exactly that into two tables,
+``{g}_node_attrs`` and ``{g}_edge_attrs``, enabling the §3.4 "richer graph
+analytics" use cases (select a subgraph by attribute, aggregate algorithm
+output against metadata, extract implicit graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.storage import GraphHandle
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import FLOAT, INTEGER, VARCHAR
+
+__all__ = ["MetadataSpec", "attach_metadata", "EDGE_TYPES"]
+
+EDGE_TYPES = ("friend", "family", "classmate")
+
+#: 2014-01-01 .. 2014-08-31 in unix seconds — the demo's "last one year".
+_TS_RANGE = (1_388_534_400, 1_409_443_200)
+
+
+@dataclass(frozen=True)
+class MetadataSpec:
+    """How many attributes of each §4 class to generate.
+
+    Defaults are the paper's exact counts; tests shrink them for speed.
+    """
+
+    uniform_ints: int = 24
+    zipf_ints: int = 8
+    floats: int = 18
+    strings: int = 10
+
+    @property
+    def total(self) -> int:
+        """Total node-attribute count."""
+        return self.uniform_ints + self.zipf_ints + self.floats + self.strings
+
+
+def _uniform_cardinalities(count: int) -> list[int]:
+    """Log-spaced cardinalities from 2 to 10^9, as the paper specifies."""
+    if count == 1:
+        return [2]
+    exponents = np.linspace(np.log10(2), 9.0, count)
+    return [max(int(round(10**e)), 2) for e in exponents]
+
+
+def _zipf_exponents(count: int) -> list[float]:
+    """Varying skewness: a in [1.5, 4.0]."""
+    if count == 1:
+        return [2.0]
+    return list(np.linspace(1.5, 4.0, count))
+
+
+def _float_ranges(count: int) -> list[tuple[float, float]]:
+    """Varying value ranges: widths from 1 to 10^6."""
+    widths = np.logspace(0, 6, count) if count > 1 else np.array([1.0])
+    return [(-w / 2, w / 2) for w in widths]
+
+
+def _string_pools(rng: np.random.Generator, count: int) -> list[list[str]]:
+    """Pools with varying string size (4..32 chars) and cardinality
+    (5..1000 distinct values)."""
+    alphabet = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+    pools: list[list[str]] = []
+    sizes = np.linspace(4, 32, count).astype(int) if count > 1 else [8]
+    cards = np.geomspace(5, 1000, count).astype(int) if count > 1 else [10]
+    for size, card in zip(sizes, cards):
+        pool = [
+            "".join(rng.choice(alphabet, size=int(size)))
+            for _ in range(int(card))
+        ]
+        pools.append(pool)
+    return pools
+
+
+def attach_metadata(
+    db: Database,
+    graph: GraphHandle,
+    spec: MetadataSpec | None = None,
+    seed: int = 1234,
+) -> tuple[str, str]:
+    """Create ``{g}_node_attrs`` and ``{g}_edge_attrs`` for a loaded graph.
+
+    Node attribute columns are named ``u0..``, ``z0..``, ``f0..``,
+    ``s0..`` by class.  Edge attributes are ``weight`` (uniform 0..10),
+    ``created_at`` (unix seconds across 2014), and ``etype`` (uniform over
+    friend/family/classmate).
+
+    Returns:
+        ``(node_attrs_table, edge_attrs_table)`` names.
+    """
+    spec = spec or MetadataSpec()
+    rng = np.random.default_rng(seed)
+    node_table = f"{graph.name}_node_attrs"
+    edge_table = f"{graph.name}_edge_attrs"
+    db.execute(f"DROP TABLE IF EXISTS {node_table}")
+    db.execute(f"DROP TABLE IF EXISTS {edge_table}")
+
+    ids = np.array(
+        [row[0] for row in db.execute(
+            f"SELECT id FROM {graph.node_table} ORDER BY id"
+        ).rows()],
+        dtype=np.int64,
+    )
+    n = len(ids)
+
+    defs: list[ColumnDef] = [ColumnDef("id", INTEGER, nullable=False)]
+    columns: list[Column] = [Column.from_numpy(INTEGER, ids)]
+
+    for i, cardinality in enumerate(_uniform_cardinalities(spec.uniform_ints)):
+        defs.append(ColumnDef(f"u{i}", INTEGER))
+        columns.append(
+            Column.from_numpy(INTEGER, rng.integers(0, cardinality, size=n))
+        )
+    for i, a in enumerate(_zipf_exponents(spec.zipf_ints)):
+        defs.append(ColumnDef(f"z{i}", INTEGER))
+        columns.append(Column.from_numpy(INTEGER, rng.zipf(a, size=n)))
+    for i, (low, high) in enumerate(_float_ranges(spec.floats)):
+        defs.append(ColumnDef(f"f{i}", FLOAT))
+        columns.append(Column.from_numpy(FLOAT, rng.uniform(low, high, size=n)))
+    for i, pool in enumerate(_string_pools(rng, spec.strings)):
+        defs.append(ColumnDef(f"s{i}", VARCHAR))
+        picks = rng.integers(0, len(pool), size=n)
+        values = np.empty(n, dtype=object)
+        values[:] = [pool[p] for p in picks]
+        columns.append(Column(VARCHAR, values))
+
+    node_schema = Schema(defs)
+    node_ddl = ", ".join(
+        f"{c.name} {c.dtype.name}" + ("" if c.nullable else " NOT NULL")
+        for c in node_schema
+    )
+    db.execute(f"CREATE TABLE {node_table} ({node_ddl})")
+    db.insert_batch(node_table, RecordBatch(node_schema, columns))
+
+    edges = db.execute(
+        f"SELECT src, dst FROM {graph.edge_table}"
+    ).batch
+    m = edges.num_rows
+    etype_values = np.empty(m, dtype=object)
+    etype_values[:] = [EDGE_TYPES[i] for i in rng.integers(0, len(EDGE_TYPES), size=m)]
+    edge_schema = Schema(
+        [
+            ColumnDef("src", INTEGER, nullable=False),
+            ColumnDef("dst", INTEGER, nullable=False),
+            ColumnDef("weight", FLOAT, nullable=False),
+            ColumnDef("created_at", INTEGER, nullable=False),
+            ColumnDef("etype", VARCHAR, nullable=False),
+        ]
+    )
+    db.execute(
+        f"CREATE TABLE {edge_table} (src INTEGER NOT NULL, dst INTEGER NOT NULL, "
+        "weight FLOAT NOT NULL, created_at INTEGER NOT NULL, etype VARCHAR NOT NULL)"
+    )
+    db.insert_batch(
+        edge_table,
+        RecordBatch(
+            edge_schema,
+            [
+                edges.column("src"),
+                edges.column("dst"),
+                Column.from_numpy(FLOAT, rng.uniform(0.0, 10.0, size=m)),
+                Column.from_numpy(INTEGER, rng.integers(*_TS_RANGE, size=m)),
+                Column(VARCHAR, etype_values),
+            ],
+        ),
+    )
+    return node_table, edge_table

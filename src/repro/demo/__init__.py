@@ -1,0 +1,20 @@
+"""``repro.demo`` — the programmatic equivalent of the §4 demo GUI.
+
+Figure 3's interface has a console (node/edge/triangle counts, top
+shortest paths, top PageRanks, histograms), a scope-of-analysis selector
+(click nodes, draw a bounding rectangle, filter on metadata), and a time
+monitor.  This package exposes those as a library:
+
+* :class:`~repro.demo.scope.ScopeSelector` — subgraph selection by id set,
+  by layout bounding box, or by metadata predicate;
+* :class:`~repro.demo.console.DemoConsole` — the console reports of
+  Figure 3, rendered as text;
+* :func:`~repro.demo.layout.assign_layout` — deterministic 2D coordinates
+  so rectangle selection has something to select against.
+"""
+
+from repro.demo.console import DemoConsole
+from repro.demo.layout import assign_layout
+from repro.demo.scope import ScopeSelector
+
+__all__ = ["DemoConsole", "ScopeSelector", "assign_layout"]

@@ -1,0 +1,108 @@
+"""The Figure 3 console, as text reports.
+
+The demo GUI's console shows, for the selected scope: node count, edge
+count, triangle count, top shortest paths, top PageRanks, and a histogram.
+:class:`DemoConsole` renders exactly those blocks (the figure's mocked
+console lists ``node count``, ``edges count``, ``triangle count``,
+``top shortest path``, ``top pageranks``, ``histogram``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph.pagerank import pagerank_sql
+from repro.sql_graph.shortest_paths import shortest_paths_sql
+from repro.sql_graph.triangle_counting import triangle_count_sql
+
+__all__ = ["DemoConsole"]
+
+
+class DemoConsole:
+    """Text reports over one graph scope, in Figure 3's console format."""
+
+    def __init__(self, db: Database, graph: GraphHandle, label: str | None = None) -> None:
+        self.db = db
+        self.graph = graph
+        self.label = label or graph.name
+
+    # ------------------------------------------------------------------
+    # Individual blocks
+    # ------------------------------------------------------------------
+    def node_count(self) -> str:
+        """``<label> node count = N`` (from the node table, not the cache)."""
+        count = self.db.execute(
+            f"SELECT COUNT(*) FROM {self.graph.node_table}"
+        ).scalar()
+        return f"{self.label} node count = {count}"
+
+    def edge_count(self) -> str:
+        """``<label> edges count = M``."""
+        count = self.db.execute(
+            f"SELECT COUNT(*) FROM {self.graph.edge_table}"
+        ).scalar()
+        return f"{self.label} edges count = {count}"
+
+    def triangle_count(self) -> str:
+        """``<label> triangle count = T``."""
+        return f"{self.label} triangle count = {triangle_count_sql(self.db, self.graph)}"
+
+    def top_shortest_paths(self, source: int, k: int = 3) -> str:
+        """The k nearest vertices to ``source`` with their distances."""
+        distances = shortest_paths_sql(self.db, self.graph, source)
+        reachable = sorted(
+            (d, v) for v, d in distances.items()
+            if v != source and math.isfinite(d)
+        )
+        lines = [f"{self.label} top shortest paths from {source}", "> vertex | distance"]
+        for distance, vertex in reachable[:k]:
+            lines.append(f"> {vertex} | {distance:g}")
+        return "\n".join(lines)
+
+    def top_pageranks(self, k: int = 3, iterations: int = 10) -> str:
+        """The k highest-ranked vertices."""
+        ranks = pagerank_sql(self.db, self.graph, iterations=iterations)
+        ordered = sorted(ranks.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines = [f"{self.label} top pageranks", "> vertex | rank"]
+        for vertex, rank in ordered[:k]:
+            lines.append(f"> {vertex} | {rank:.6f}")
+        return "\n".join(lines)
+
+    def histogram(
+        self,
+        values: dict[int, float] | None = None,
+        buckets: int = 5,
+        iterations: int = 10,
+    ) -> str:
+        """An equi-width histogram over per-vertex values (PageRank by
+        default) — §4.2.2's "distribution of PageRank values"."""
+        if values is None:
+            values = pagerank_sql(self.db, self.graph, iterations=iterations)
+        finite = [v for v in values.values() if math.isfinite(v)]
+        lines = [f"{self.label} histogram", "> bucket | count"]
+        if not finite:
+            return "\n".join(lines)
+        low, high = min(finite), max(finite)
+        width = (high - low) / buckets if high > low else 1.0
+        counts = [0] * buckets
+        for value in finite:
+            index = min(int((value - low) / width), buckets - 1)
+            counts[index] += 1
+        for i, count in enumerate(counts):
+            left = low + i * width
+            right = left + width
+            lines.append(f"> [{left:.5f}, {right:.5f}) | {count}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def report(self, source: int | None = None, k: int = 3) -> str:
+        """The full Figure 3 console block."""
+        blocks = [self.node_count(), self.edge_count(), self.triangle_count()]
+        if source is not None:
+            blocks.append(self.top_shortest_paths(source, k=k))
+        blocks.append(self.top_pageranks(k=k))
+        blocks.append(self.histogram())
+        return "\n\n".join(blocks)

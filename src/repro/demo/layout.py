@@ -1,0 +1,80 @@
+"""Deterministic 2D layout for graph visualization / rectangle selection.
+
+The demo GUI lets users "draw a minimum bounding rectangle" over the graph
+visualization.  To make that selectable programmatically, every vertex
+gets (x, y) coordinates in a ``{graph}_layout`` table.  The layout is a
+cheap deterministic force-free embedding: vertices are placed on a golden-
+angle spiral ordered by degree (hubs central, periphery sparse), which
+looks social-network-ish and — more importantly — is stable under a seed
+so tests can assert selections exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.storage import GraphHandle
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.types import FLOAT, INTEGER
+
+__all__ = ["assign_layout", "layout_table_name"]
+
+_GOLDEN_ANGLE = np.pi * (3.0 - np.sqrt(5.0))
+
+
+def layout_table_name(graph: GraphHandle) -> str:
+    """Name of a graph's layout table."""
+    return f"{graph.name}_layout"
+
+
+def assign_layout(db: Database, graph: GraphHandle, seed: int = 0) -> str:
+    """Create (or replace) ``{graph}_layout`` with one (id, x, y) row per
+    vertex; coordinates fall in [-1, 1] x [-1, 1].
+
+    Returns the layout table name.
+    """
+    table = layout_table_name(graph)
+    db.execute(f"DROP TABLE IF EXISTS {table}")
+    db.execute(
+        f"CREATE TABLE {table} "
+        "(id INTEGER NOT NULL, x FLOAT NOT NULL, y FLOAT NOT NULL)"
+    )
+    ids = np.array(
+        [row[0] for row in db.execute(
+            f"SELECT id FROM {graph.node_table} ORDER BY id"
+        ).rows()],
+        dtype=np.int64,
+    )
+    n = len(ids)
+    if n == 0:
+        return table
+    degrees = np.zeros(n, dtype=np.int64)
+    degree_rows = db.execute(
+        f"SELECT src, COUNT(*) FROM {graph.edge_table} GROUP BY src"
+    ).rows()
+    position_of = {vertex_id: i for i, vertex_id in enumerate(ids)}
+    for vertex_id, degree in degree_rows:
+        if vertex_id in position_of:
+            degrees[position_of[vertex_id]] = degree
+    # Hubs first -> spiral center; jitter breaks ties deterministically.
+    rng = np.random.default_rng(seed)
+    jitter = rng.random(n) * 0.01
+    order = np.lexsort((ids, -degrees))
+    radius = np.sqrt((np.arange(n) + 0.5) / n)
+    theta = np.arange(n) * _GOLDEN_ANGLE + jitter[order]
+    x = np.zeros(n)
+    y = np.zeros(n)
+    x[order] = radius * np.cos(theta)
+    y[order] = radius * np.sin(theta)
+    batch = RecordBatch(
+        db.table(table).schema,
+        [
+            Column.from_numpy(INTEGER, ids),
+            Column.from_numpy(FLOAT, x),
+            Column.from_numpy(FLOAT, y),
+        ],
+    )
+    db.insert_batch(table, batch)
+    return table

@@ -1,0 +1,144 @@
+"""Scope of analysis (§4.1): interactive subgraph selection, as a library.
+
+"Users can also select portions of the graph for analysis ... visual
+selection by clicking on one or more nodes or by drawing a minimum
+bounding rectangle.  Alternatively, users can also apply filters based on
+node/edge metadata, e.g. select all edges of type 'Family'."
+
+Each selector materializes the chosen subgraph as ordinary edge/node
+tables and returns a :class:`~repro.core.storage.GraphHandle`, so every
+algorithm in the repository runs on the selection unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.demo.layout import layout_table_name
+from repro.engine.database import Database
+from repro.errors import VertexicaError
+
+__all__ = ["ScopeSelector"]
+
+
+class ScopeSelector:
+    """Builds analysis scopes (subgraphs) over one loaded graph."""
+
+    def __init__(self, db: Database, graph: GraphHandle) -> None:
+        self.db = db
+        self.graph = graph
+        self.storage = GraphStorage(db)
+        self._counter = 0
+
+    def _fresh_name(self, kind: str) -> str:
+        self._counter += 1
+        return f"{self.graph.name}_scope_{kind}{self._counter}"
+
+    def _load_edges(self, name: str, rows: list[tuple]) -> GraphHandle:
+        return self.storage.load_graph(
+            name,
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        )
+
+    # ------------------------------------------------------------------
+    # Selection modes
+    # ------------------------------------------------------------------
+    def by_vertices(self, vertex_ids: Iterable[int], name: str | None = None) -> GraphHandle:
+        """The induced subgraph over clicked vertex ids (both endpoints
+        must be selected for an edge to survive)."""
+        ids = sorted(set(int(v) for v in vertex_ids))
+        if not ids:
+            raise VertexicaError("by_vertices needs at least one vertex id")
+        scope = name or self._fresh_name("ids")
+        id_table = f"{scope}_pick"
+        self.db.execute(f"DROP TABLE IF EXISTS {id_table}")
+        self.db.execute(f"CREATE TABLE {id_table} (id INTEGER NOT NULL)")
+        for vertex_id in ids:
+            self.db.execute(f"INSERT INTO {id_table} VALUES (?)", params=(vertex_id,))
+        rows = self.db.execute(
+            f"SELECT e.src, e.dst, e.weight FROM {self.graph.edge_table} e "
+            f"JOIN {id_table} a ON e.src = a.id "
+            f"JOIN {id_table} b ON e.dst = b.id"
+        ).rows()
+        self.db.execute(f"DROP TABLE {id_table}")
+        handle = self._load_edges(scope, rows)
+        # Clicked-but-isolated vertices stay in scope.
+        known = {
+            r[0] for r in self.db.execute(f"SELECT id FROM {handle.node_table}").rows()
+        }
+        for vertex_id in ids:
+            if vertex_id not in known:
+                self.db.execute(
+                    f"INSERT INTO {handle.node_table} VALUES (?)", params=(vertex_id,)
+                )
+        handle.num_vertices = len(known | set(ids))
+        return handle
+
+    def by_rectangle(
+        self,
+        x_min: float,
+        y_min: float,
+        x_max: float,
+        y_max: float,
+        name: str | None = None,
+    ) -> GraphHandle:
+        """The induced subgraph of vertices whose layout coordinates fall
+        inside the rectangle (requires :func:`repro.demo.assign_layout`).
+
+        Raises:
+            VertexicaError: when no layout table exists for the graph.
+        """
+        layout = layout_table_name(self.graph)
+        if not self.db.has_table(layout):
+            raise VertexicaError(
+                f"graph {self.graph.name!r} has no layout; call assign_layout first"
+            )
+        picked = self.db.execute(
+            f"SELECT id FROM {layout} "
+            f"WHERE x BETWEEN ? AND ? AND y BETWEEN ? AND ?",
+            params=(float(x_min), float(x_max), float(y_min), float(y_max)),
+        ).rows()
+        if not picked:
+            raise VertexicaError("rectangle selects no vertices")
+        return self.by_vertices([r[0] for r in picked], name=name or self._fresh_name("rect"))
+
+    def by_edge_predicate(self, predicate: str, name: str | None = None) -> GraphHandle:
+        """Edges satisfying a SQL predicate over (src, dst, weight) — or,
+        when an edge-attributes table exists, over its metadata columns.
+
+        The predicate is applied against ``{graph}_edge_attrs`` when that
+        table exists (so ``"etype = 'family'"`` works out of the box),
+        falling back to the plain edge table otherwise.
+        """
+        attrs = f"{self.graph.name}_edge_attrs"
+        source = attrs if self.db.has_table(attrs) else self.graph.edge_table
+        weight = "weight" if self.db.table(source).schema.has_column("weight") else "1.0"
+        rows = self.db.execute(
+            f"SELECT src, dst, {weight} FROM {source} WHERE {predicate}"
+        ).rows()
+        return self._load_edges(name or self._fresh_name("meta"), rows)
+
+    def by_node_predicate(self, predicate: str, name: str | None = None) -> GraphHandle:
+        """The induced subgraph of vertices whose ``{graph}_node_attrs``
+        row satisfies a SQL predicate (both endpoints must qualify).
+
+        Raises:
+            VertexicaError: when the graph has no node-attributes table.
+        """
+        attrs = f"{self.graph.name}_node_attrs"
+        if not self.db.has_table(attrs):
+            raise VertexicaError(
+                f"graph {self.graph.name!r} has no node attributes; "
+                "call attach_metadata first"
+            )
+        picked = self.db.execute(
+            f"SELECT id FROM {attrs} WHERE {predicate}"
+        ).rows()
+        if not picked:
+            raise VertexicaError("node predicate selects no vertices")
+        return self.by_vertices(
+            [r[0] for r in picked], name=name or self._fresh_name("node")
+        )

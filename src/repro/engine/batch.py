@@ -1,0 +1,169 @@
+"""Record batches: the unit of data flowing between physical operators.
+
+A :class:`RecordBatch` is a schema plus one :class:`~repro.engine.column.Column`
+per schema entry.  All operators consume and produce batches; a stored table
+is just a named batch plus constraints (see :mod:`repro.engine.table`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.column import Column, concat_columns
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
+from repro.errors import ExecutionError, TypeMismatchError
+
+__all__ = ["RecordBatch"]
+
+
+class RecordBatch:
+    """An immutable table fragment: a schema and aligned columns.
+
+    Invariant: every column has exactly ``num_rows`` entries and the i-th
+    column's dtype equals the i-th schema entry's dtype.
+    """
+
+    __slots__ = ("schema", "columns", "num_rows")
+
+    def __init__(self, schema: Schema, columns: Sequence[Column]) -> None:
+        if len(schema) != len(columns):
+            raise TypeMismatchError(
+                f"schema has {len(schema)} columns but {len(columns)} were given"
+            )
+        num_rows = len(columns[0]) if columns else 0
+        for coldef, col in zip(schema, columns):
+            if col.dtype is not coldef.dtype:
+                raise TypeMismatchError(
+                    f"column {coldef.qualified_name!r} declared {coldef.dtype.name} "
+                    f"but holds {col.dtype.name}"
+                )
+            if len(col) != num_rows:
+                raise TypeMismatchError("ragged record batch: column lengths differ")
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.num_rows = num_rows
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, schema: Schema) -> "RecordBatch":
+        """A zero-row batch of ``schema``."""
+        return cls(schema, [Column.empty(col.dtype) for col in schema])
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "RecordBatch":
+        """Build a batch from Python row tuples (``None`` entries are NULL)."""
+        rows = list(rows)
+        width = len(schema)
+        for row in rows:
+            if len(row) != width:
+                raise TypeMismatchError(
+                    f"row has {len(row)} values, schema has {width} columns"
+                )
+        columns = [
+            Column.from_values(coldef.dtype, [row[i] for row in rows])
+            for i, coldef in enumerate(schema)
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def from_pydict(cls, data: dict[str, tuple[DataType, Sequence[Any]]]) -> "RecordBatch":
+        """Build a batch from ``{name: (dtype, values)}`` — a test/helper
+        convenience mirroring Arrow's ``from_pydict``."""
+        schema = Schema(ColumnDef(name, dtype) for name, (dtype, _) in data.items())
+        columns = [Column.from_values(dtype, values) for dtype, values in data.values()]
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecordBatch({self.schema!r}, rows={self.num_rows})"
+
+    def column(self, name: str, qualifier: str | None = None) -> Column:
+        """The column for a (possibly qualified) name reference."""
+        return self.columns[self.schema.index_of(name, qualifier)]
+
+    def column_at(self, index: int) -> Column:
+        """The column at a position."""
+        return self.columns[index]
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Materialize as Python row tuples (``None`` for NULL)."""
+        if self.num_rows == 0:
+            return []
+        lists = [col.to_list() for col in self.columns]
+        return [tuple(col[i] for col in lists) for i in range(self.num_rows)]
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate row tuples without building the whole list twice."""
+        return iter(self.to_rows())
+
+    def to_pydict(self) -> dict[str, list[Any]]:
+        """``{bare name: values}`` — convenient in tests; raises if bare
+        names collide (use qualified access instead)."""
+        names = self.schema.names()
+        if len(set(names)) != len(names):
+            raise ExecutionError("to_pydict on a batch with duplicate bare names")
+        return {name: col.to_list() for name, col in zip(names, self.columns)}
+
+    # ------------------------------------------------------------------
+    # Vectorized transforms
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Gather rows by position into a new batch."""
+        return RecordBatch(self.schema, [col.take(indices) for col in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "RecordBatch":
+        """Keep rows where ``mask`` is True."""
+        return RecordBatch(self.schema, [col.filter(mask) for col in self.columns])
+
+    def select(self, indices: Sequence[int]) -> "RecordBatch":
+        """Keep only the columns at ``indices`` (projection by position)."""
+        return RecordBatch(
+            self.schema.project(indices), [self.columns[i] for i in indices]
+        )
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Rows in ``[start, stop)`` — used by LIMIT/OFFSET."""
+        indices = np.arange(start, min(stop, self.num_rows))
+        return self.take(indices)
+
+    def with_schema(self, schema: Schema) -> "RecordBatch":
+        """The same columns under a different (type-identical) schema;
+        used for aliasing and UNION name unification."""
+        if not self.schema.union_compatible_with(schema):
+            raise TypeMismatchError("with_schema requires identical column types")
+        return RecordBatch(schema, self.columns)
+
+    def append_column(self, coldef: ColumnDef, column: Column) -> "RecordBatch":
+        """A new batch with one extra column on the right."""
+        return RecordBatch(
+            Schema(tuple(self.schema.columns) + (coldef,)),
+            list(self.columns) + [column],
+        )
+
+    @staticmethod
+    def concat(batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """Vertical concatenation (UNION ALL).  The first batch's schema
+        wins; all batches must be union-compatible with it."""
+        if not batches:
+            raise ExecutionError("cannot concatenate zero batches")
+        head = batches[0]
+        for batch in batches[1:]:
+            if not head.schema.union_compatible_with(batch.schema):
+                raise TypeMismatchError("UNION ALL between incompatible schemas")
+        if len(batches) == 1:
+            return head
+        columns = [
+            concat_columns([batch.columns[i] for batch in batches])
+            for i in range(len(head.schema))
+        ]
+        return RecordBatch(head.schema, columns)

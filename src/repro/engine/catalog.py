@@ -1,0 +1,119 @@
+"""The catalog: name -> stored table mapping.
+
+Names are case-insensitive (the lexer lower-cases identifiers, and the
+programmatic API lower-cases on entry, so both paths agree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A flat namespace of tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def table_names(self) -> list[str]:
+        """Sorted table names."""
+        return sorted(self._tables)
+
+    def get(self, name: str) -> Table:
+        """Look up a table.
+
+        Raises:
+            CatalogError: unknown table.
+        """
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"unknown table: {name!r}")
+        return table
+
+    def create(
+        self,
+        name: str,
+        schema: Schema,
+        primary_key: str | None = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create an empty table.
+
+        Raises:
+            CatalogError: name already exists and ``if_not_exists`` is False.
+        """
+        key = name.lower()
+        existing = self._tables.get(key)
+        if existing is not None:
+            if if_not_exists:
+                return existing
+            raise CatalogError(f"table already exists: {name!r}")
+        table = Table(key, schema, primary_key=primary_key)
+        self._tables[key] = table
+        return table
+
+    def register(self, table: Table, if_not_exists: bool = False) -> Table:
+        """Register a fully-built table object (CTAS, checkpoint restore)."""
+        key = table.name.lower()
+        existing = self._tables.get(key)
+        if existing is not None:
+            if if_not_exists:
+                return existing
+            raise CatalogError(f"table already exists: {table.name!r}")
+        self._tables[key] = table
+        return table
+
+    def drop(self, name: str, if_exists: bool = False) -> bool:
+        """Drop a table; returns True if something was dropped.
+
+        Raises:
+            CatalogError: unknown table and ``if_exists`` is False.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown table: {name!r}")
+        del self._tables[key]
+        return True
+
+    # -- transaction support -------------------------------------------
+    def snapshot(self) -> dict[str, tuple["object", int]]:
+        """Capture (batch, version) per table; batches are immutable so
+        this is O(#tables)."""
+        return {
+            name: (table.data(), table.version) for name, table in self._tables.items()
+        }
+
+    def restore(self, snapshot: dict[str, tuple["object", int]]) -> None:
+        """Roll the catalog back to a snapshot: tables created since are
+        dropped, dropped tables are *not* resurrected (the engine snapshots
+        the table objects too via :class:`Database` for full rollback)."""
+        for name in list(self._tables):
+            if name not in snapshot:
+                del self._tables[name]
+        for name, (batch, version) in snapshot.items():
+            table = self._tables.get(name)
+            if table is not None:
+                table.restore(batch, version)  # type: ignore[arg-type]
+
+    def tables_snapshot(self) -> dict[str, Table]:
+        """Shallow copy of the name->Table mapping (for DROP rollback)."""
+        return dict(self._tables)
+
+    def restore_tables(self, tables: dict[str, Table]) -> None:
+        """Restore the name->Table mapping captured by
+        :meth:`tables_snapshot`."""
+        self._tables = dict(tables)

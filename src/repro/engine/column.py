@@ -1,0 +1,249 @@
+"""Null-aware columnar storage.
+
+A :class:`Column` pairs a numpy values array with a boolean validity mask.
+Every physical operator in the engine manipulates columns with vectorized
+numpy operations — this is what makes the "column store" substrate honest:
+scans, joins, and aggregations work on arrays, not on Python row objects,
+mirroring how Vertica gains its performance edge in the paper.
+
+Columns are treated as immutable once constructed.  Operators produce new
+columns via :meth:`Column.take`, :meth:`Column.filter`, and
+:func:`concat_columns`; this immutability is also what makes transaction
+snapshots cheap (see :mod:`repro.engine.transactions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    VARCHAR,
+    DataType,
+    coerce_python_value,
+)
+from repro.errors import TypeMismatchError
+
+__all__ = ["Column", "concat_columns"]
+
+
+class Column:
+    """A typed vector of values with an out-of-band NULL mask.
+
+    Attributes:
+        dtype: the SQL :class:`~repro.engine.types.DataType` of the column.
+        values: numpy array of storage values; positions that are NULL hold
+            an arbitrary filler and must never be interpreted.
+        valid: boolean numpy array, ``True`` where the value is non-NULL.
+    """
+
+    __slots__ = ("dtype", "values", "valid")
+
+    def __init__(self, dtype: DataType, values: np.ndarray, valid: np.ndarray | None = None) -> None:
+        if valid is None:
+            valid = np.ones(len(values), dtype=bool)
+        if len(values) != len(valid):
+            raise TypeMismatchError(
+                f"values ({len(values)}) and validity mask ({len(valid)}) lengths differ"
+            )
+        self.dtype = dtype
+        self.values = values
+        self.valid = valid
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, dtype: DataType, items: Iterable[Any]) -> "Column":
+        """Build a column from Python values, treating ``None`` as NULL.
+
+        Each value is validated against ``dtype`` via
+        :func:`~repro.engine.types.coerce_python_value`, so a bad row fails
+        fast with :class:`~repro.errors.TypeMismatchError`.
+        """
+        coerced = [coerce_python_value(item, dtype) for item in items]
+        valid = np.array([item is not None for item in coerced], dtype=bool)
+        filler = dtype.default_value()
+        storage = [filler if item is None else item for item in coerced]
+        if dtype is VARCHAR:
+            values = np.empty(len(storage), dtype=object)
+            values[:] = storage
+        else:
+            values = np.array(storage, dtype=dtype.numpy_dtype)
+        return cls(dtype, values, valid)
+
+    @classmethod
+    def from_numpy(cls, dtype: DataType, values: np.ndarray, valid: np.ndarray | None = None) -> "Column":
+        """Wrap an existing numpy array without copying.
+
+        The caller guarantees the array's dtype matches ``dtype``; integer
+        arrays are normalized to int64 and floats to float64 so that joins
+        and comparisons never hit cross-width surprises.
+        """
+        if dtype is VARCHAR:
+            if values.dtype != object:
+                values = values.astype(object)
+        elif values.dtype != dtype.numpy_dtype:
+            values = values.astype(dtype.numpy_dtype)
+        return cls(dtype, values, valid)
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "Column":
+        """A zero-length column of ``dtype``."""
+        return cls.from_values(dtype, [])
+
+    @classmethod
+    def constant(cls, dtype: DataType, value: Any, length: int) -> "Column":
+        """A column repeating one value (or NULL) ``length`` times."""
+        if value is None:
+            filler = dtype.default_value()
+            if dtype is VARCHAR:
+                values = np.empty(length, dtype=object)
+                values[:] = filler
+            else:
+                values = np.full(length, filler, dtype=dtype.numpy_dtype)
+            return cls(dtype, values, np.zeros(length, dtype=bool))
+        coerced = coerce_python_value(value, dtype)
+        if dtype is VARCHAR:
+            values = np.empty(length, dtype=object)
+            values[:] = coerced
+        else:
+            values = np.full(length, coerced, dtype=dtype.numpy_dtype)
+        return cls(dtype, values, np.ones(length, dtype=bool))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_list())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        preview = ", ".join(repr(item) for item in self.to_list()[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Column({self.dtype.name}, [{preview}{suffix}])"
+
+    def null_count(self) -> int:
+        """Number of NULL entries."""
+        return int(len(self.valid) - np.count_nonzero(self.valid))
+
+    def has_nulls(self) -> bool:
+        """True if at least one entry is NULL."""
+        return not bool(self.valid.all())
+
+    def value_at(self, index: int) -> Any:
+        """The Python value at ``index`` (``None`` for NULL)."""
+        if not self.valid[index]:
+            return None
+        return self._to_python(self.values[index])
+
+    def to_list(self) -> list[Any]:
+        """Materialize the column as a list of Python values with ``None``
+        for NULLs.  Used at result boundaries, never inside operators."""
+        if not self.has_nulls():
+            return [self._to_python(item) for item in self.values]
+        return [
+            self._to_python(item) if ok else None
+            for item, ok in zip(self.values, self.valid)
+        ]
+
+    def _to_python(self, item: Any) -> Any:
+        if self.dtype is INTEGER:
+            return int(item)
+        if self.dtype is FLOAT:
+            return float(item)
+        if self.dtype is BOOLEAN:
+            return bool(item)
+        return item
+
+    # ------------------------------------------------------------------
+    # Vectorized transforms (operators build new columns from these)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position; the backbone of joins and sorts."""
+        return Column(self.dtype, self.values[indices], self.valid[indices])
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where ``mask`` is True; the backbone of selections."""
+        return Column(self.dtype, self.values[mask], self.valid[mask])
+
+    def cast(self, target: DataType) -> "Column":
+        """Cast to another type.
+
+        Supported casts: numeric widening/narrowing (FLOAT<->INTEGER, with
+        truncation toward zero), anything -> VARCHAR (SQL rendering), and
+        VARCHAR -> numeric (parse, raising on garbage).
+        """
+        if target is self.dtype:
+            return self
+        if self.dtype.is_numeric and target.is_numeric:
+            return Column(target, self.values.astype(target.numpy_dtype), self.valid.copy())
+        if target is VARCHAR:
+            out = np.empty(len(self), dtype=object)
+            for i, (item, ok) in enumerate(zip(self.values, self.valid)):
+                out[i] = self._render_sql_text(item) if ok else ""
+            return Column(VARCHAR, out, self.valid.copy())
+        if self.dtype is VARCHAR and target.is_numeric:
+            out = np.zeros(len(self), dtype=target.numpy_dtype)
+            for i, (item, ok) in enumerate(zip(self.values, self.valid)):
+                if not ok:
+                    continue
+                try:
+                    out[i] = target.python_type(item)
+                except ValueError as exc:
+                    raise TypeMismatchError(
+                        f"cannot cast {item!r} to {target.name}"
+                    ) from exc
+            return Column(target, out, self.valid.copy())
+        if self.dtype is BOOLEAN and target.is_numeric:
+            return Column(target, self.values.astype(target.numpy_dtype), self.valid.copy())
+        raise TypeMismatchError(f"unsupported cast: {self.dtype.name} -> {target.name}")
+
+    def _render_sql_text(self, item: Any) -> str:
+        if self.dtype is BOOLEAN:
+            return "true" if item else "false"
+        if self.dtype is INTEGER:
+            return str(int(item))
+        if self.dtype is FLOAT:
+            return repr(float(item))
+        return str(item)
+
+    # ------------------------------------------------------------------
+    # Equality (used heavily in tests)
+    # ------------------------------------------------------------------
+    def equals(self, other: "Column") -> bool:
+        """Exact equality: same type, same NULL positions, same values at
+        every non-NULL position."""
+        if self.dtype is not other.dtype or len(self) != len(other):
+            return False
+        if not np.array_equal(self.valid, other.valid):
+            return False
+        mask = self.valid
+        if self.dtype is VARCHAR:
+            return all(a == b for a, b in zip(self.values[mask], other.values[mask]))
+        return bool(np.array_equal(self.values[mask], other.values[mask]))
+
+
+def concat_columns(columns: Sequence[Column]) -> Column:
+    """Concatenate columns of identical type; the backbone of UNION ALL."""
+    if not columns:
+        raise TypeMismatchError("cannot concatenate zero columns")
+    dtype = columns[0].dtype
+    for col in columns[1:]:
+        if col.dtype is not dtype:
+            raise TypeMismatchError(
+                f"UNION of incompatible column types: {dtype.name} vs {col.dtype.name}"
+            )
+    if len(columns) == 1:
+        return columns[0]
+    values = np.concatenate([col.values for col in columns])
+    valid = np.concatenate([col.valid for col in columns])
+    if dtype is VARCHAR and values.dtype != object:  # empty-object edge case
+        values = values.astype(object)
+    return Column(dtype, values, valid)

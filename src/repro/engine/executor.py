@@ -1,0 +1,293 @@
+"""Statement execution: DML, DDL, and query dispatch.
+
+The :class:`StatementExecutor` turns parsed statements into effects against
+a catalog (via the planner for queries) and wraps query output in
+:class:`Result`, the row-oriented boundary object handed back to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.batch import RecordBatch
+from repro.engine.catalog import Catalog
+from repro.engine.column import Column
+from repro.engine.expressions import ColumnRef, Expression, evaluate, infer_type
+from repro.engine.functions import FunctionRegistry
+from repro.engine.planner import Planner
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import FLOAT, INTEGER, DataType, type_from_name
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    TypeMismatchError,
+)
+from repro.engine.sql.ast import (
+    CreateTableAsStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    SetOperation,
+    Statement,
+    TruncateStatement,
+    UpdateStatement,
+)
+
+__all__ = ["Result", "StatementExecutor"]
+
+
+class Result:
+    """Output of one statement.
+
+    For queries, carries the result batch; for DML/DDL, carries the
+    affected-row count.  Iterating a Result yields row tuples.
+    """
+
+    def __init__(self, batch: RecordBatch | None = None, row_count: int = 0) -> None:
+        self._batch = batch
+        self.row_count = batch.num_rows if batch is not None else row_count
+
+    # -- query-side accessors ------------------------------------------
+    @property
+    def is_query(self) -> bool:
+        """True when the statement produced rows."""
+        return self._batch is not None
+
+    @property
+    def batch(self) -> RecordBatch:
+        """The underlying record batch (queries only)."""
+        if self._batch is None:
+            raise ExecutionError("statement did not produce rows")
+        return self._batch
+
+    @property
+    def schema(self) -> Schema:
+        """Result schema (queries only)."""
+        return self.batch.schema
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """All rows as Python tuples (``None`` for NULL)."""
+        return self.batch.to_rows()
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def column(self, name: str) -> list[Any]:
+        """One output column as a Python list."""
+        return self.batch.column(name).to_list()
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result.
+
+        Raises:
+            ExecutionError: when the result is not exactly one row/column.
+        """
+        if self.batch.num_rows != 1 or len(self.batch.schema) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{self.batch.num_rows}x{len(self.batch.schema)}"
+            )
+        return self.batch.columns[0].value_at(0)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dicts keyed by bare column name."""
+        names = self.schema.names()
+        return [dict(zip(names, row)) for row in self.rows()]
+
+
+class StatementExecutor:
+    """Executes parsed statements against a catalog."""
+
+    def __init__(self, catalog: Catalog, registry: FunctionRegistry) -> None:
+        self.catalog = catalog
+        self.registry = registry
+        self.planner = Planner(catalog, registry)
+
+    def run(self, stmt: Statement) -> Result:
+        """Execute one statement and return its :class:`Result`."""
+        if isinstance(stmt, (SelectStatement, SetOperation)):
+            plan = self.planner.plan_select(stmt)
+            return Result(batch=plan.execute())
+        if isinstance(stmt, InsertStatement):
+            return self._run_insert(stmt)
+        if isinstance(stmt, UpdateStatement):
+            return self._run_update(stmt)
+        if isinstance(stmt, DeleteStatement):
+            return self._run_delete(stmt)
+        if isinstance(stmt, CreateTableStatement):
+            return self._run_create(stmt)
+        if isinstance(stmt, CreateTableAsStatement):
+            return self._run_ctas(stmt)
+        if isinstance(stmt, DropTableStatement):
+            self.catalog.drop(stmt.name, if_exists=stmt.if_exists)
+            return Result(row_count=0)
+        if isinstance(stmt, TruncateStatement):
+            table = self.catalog.get(stmt.name)
+            removed = table.num_rows
+            table.truncate()
+            return Result(row_count=removed)
+        raise PlanError(f"unsupported statement: {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # INSERT
+    # ------------------------------------------------------------------
+    def _run_insert(self, stmt: InsertStatement) -> Result:
+        table = self.catalog.get(stmt.table)
+        target_columns = list(stmt.columns) if stmt.columns is not None else table.schema.names()
+        for name in target_columns:
+            if name not in table.schema.names():
+                raise CatalogError(f"unknown column {name!r} in INSERT into {stmt.table!r}")
+        if stmt.select is not None:
+            plan = self.planner.plan_select(stmt.select)
+            incoming = plan.execute()
+        else:
+            incoming = self._values_batch(stmt.rows, table.schema, target_columns)
+        if len(incoming.schema) != len(target_columns):
+            raise TypeMismatchError(
+                f"INSERT provides {len(incoming.schema)} columns for "
+                f"{len(target_columns)} targets"
+            )
+        aligned = self._align_to_table(incoming, table.schema, target_columns)
+        count = table.insert_batch(aligned)
+        return Result(row_count=count)
+
+    def _values_batch(
+        self,
+        rows: tuple[tuple[Expression, ...], ...],
+        table_schema: Schema,
+        target_columns: list[str],
+    ) -> RecordBatch:
+        """Evaluate VALUES expressions (constants / functions of constants)."""
+        dummy = RecordBatch(
+            Schema([ColumnDef("__dummy", INTEGER)]),
+            [Column.from_values(INTEGER, [0])],
+        )
+        value_rows: list[list[Any]] = []
+        for row in rows:
+            if len(row) != len(target_columns):
+                raise TypeMismatchError(
+                    f"VALUES row has {len(row)} entries, expected {len(target_columns)}"
+                )
+            value_rows.append([evaluate(e, dummy, self.registry).value_at(0) for e in row])
+        schema = Schema(
+            table_schema.column(name).with_qualifier(None) for name in target_columns
+        )
+        return RecordBatch.from_rows(schema, value_rows)
+
+    def _align_to_table(
+        self, incoming: RecordBatch, table_schema: Schema, target_columns: list[str]
+    ) -> RecordBatch:
+        """Reorder/pad an incoming batch to the table's full column list;
+        unmentioned columns become NULL."""
+        by_target = dict(zip(target_columns, incoming.columns))
+        columns: list[Column] = []
+        for coldef in table_schema:
+            col = by_target.get(coldef.name)
+            if col is None:
+                columns.append(Column.constant(coldef.dtype, None, incoming.num_rows))
+            else:
+                columns.append(self._coerce_column(col, coldef.dtype, coldef.name))
+        return RecordBatch(table_schema, columns)
+
+    @staticmethod
+    def _coerce_column(col: Column, dtype: DataType, name: str) -> Column:
+        if col.dtype is dtype:
+            return col
+        if col.dtype is INTEGER and dtype is FLOAT:
+            return col.cast(FLOAT)
+        if not col.valid.any():  # all-NULL column can adopt any type
+            return Column.constant(dtype, None, len(col))
+        raise TypeMismatchError(
+            f"cannot insert {col.dtype.name} into {dtype.name} column {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE
+    # ------------------------------------------------------------------
+    def _where_mask(self, table_batch: RecordBatch, where: Expression | None) -> np.ndarray:
+        if where is None:
+            return np.ones(table_batch.num_rows, dtype=bool)
+        if infer_type(where, table_batch.schema, self.registry).name != "BOOLEAN":
+            raise TypeMismatchError("WHERE predicate must be BOOLEAN")
+        flags = evaluate(where, table_batch, self.registry)
+        return flags.values.astype(bool) & flags.valid
+
+    def _run_update(self, stmt: UpdateStatement) -> Result:
+        table = self.catalog.get(stmt.table)
+        batch = table.data()
+        mask = self._where_mask(batch, stmt.where)
+        assignments: dict[str, Any] = {}
+        for name, expr in stmt.assignments:
+            coldef = table.schema.column(name)
+            expr_type = infer_type(expr, table.schema, self.registry)
+            if expr_type is not coldef.dtype and not (
+                expr_type is INTEGER and coldef.dtype is FLOAT
+            ):
+                # Allow the NULL literal (typeless) into any column.
+                from repro.engine.expressions import Literal
+
+                if not (isinstance(expr, Literal) and expr.value is None):
+                    raise TypeMismatchError(
+                        f"cannot assign {expr_type.name} to {coldef.dtype.name} "
+                        f"column {name!r}"
+                    )
+
+            def build(current: RecordBatch, expr=expr, dtype=coldef.dtype) -> Column:
+                col = evaluate(expr, current, self.registry)
+                if col.dtype is not dtype:
+                    if not col.valid.any():
+                        return Column.constant(dtype, None, len(col))
+                    col = col.cast(dtype)
+                return col
+
+            assignments[name] = build
+        count = table.update_rows(mask, assignments)
+        return Result(row_count=count)
+
+    def _run_delete(self, stmt: DeleteStatement) -> Result:
+        table = self.catalog.get(stmt.table)
+        mask = self._where_mask(table.data(), stmt.where)
+        return Result(row_count=table.delete_rows(mask))
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _run_create(self, stmt: CreateTableStatement) -> Result:
+        primary_key: str | None = None
+        defs: list[ColumnDef] = []
+        for spec in stmt.columns:
+            if spec.primary_key:
+                if primary_key is not None:
+                    raise CatalogError("multiple PRIMARY KEY columns")
+                primary_key = spec.name
+            defs.append(
+                ColumnDef(spec.name, type_from_name(spec.type_name), nullable=not spec.not_null)
+            )
+        self.catalog.create(
+            stmt.name, Schema(defs), primary_key=primary_key, if_not_exists=stmt.if_not_exists
+        )
+        return Result(row_count=0)
+
+    def _run_ctas(self, stmt: CreateTableAsStatement) -> Result:
+        if stmt.name.lower() in self.catalog and stmt.if_not_exists:
+            return Result(row_count=0)
+        plan = self.planner.plan_select(stmt.select)
+        batch = plan.execute()
+        names = batch.schema.names()
+        if len(set(names)) != len(names):
+            raise CatalogError(
+                "CREATE TABLE AS result has duplicate column names; alias them"
+            )
+        from repro.engine.table import Table
+
+        table = Table(stmt.name.lower(), batch.schema.unqualified(), batch.with_schema(batch.schema.unqualified()))
+        self.catalog.register(table, if_not_exists=stmt.if_not_exists)
+        return Result(row_count=batch.num_rows)

@@ -1,0 +1,895 @@
+"""Physical operators: vectorized, batch-at-a-time execution.
+
+Every operator materializes its full result as a
+:class:`~repro.engine.batch.RecordBatch` — the engine is an in-memory
+column store, so operator-at-a-time execution over whole columns (the
+MonetDB/Vertica style) is both the simplest and the fastest model in
+Python: all heavy lifting happens inside numpy.
+
+The join, aggregation, and sort algorithms are implemented with
+factorize/searchsorted/reduceat patterns rather than per-row Python loops;
+string columns fall back to per-group loops only where numpy cannot help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.expressions import (
+    Expression,
+    Star,
+    evaluate,
+    infer_type,
+)
+from repro.engine.functions import FunctionRegistry
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR, DataType
+from repro.errors import ExecutionError, PlanError, TypeMismatchError
+
+__all__ = [
+    "Operator",
+    "TableScanOp",
+    "BatchSourceOp",
+    "AliasOp",
+    "FilterOp",
+    "ProjectOp",
+    "HashJoinOp",
+    "CrossJoinOp",
+    "UnionAllOp",
+    "AggregateSpec",
+    "AggregateOp",
+    "SortOp",
+    "LimitOp",
+    "DistinctOp",
+    "TransformOp",
+    "factorize_columns",
+    "explain_tree",
+    "analyze_tree",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared vectorized helpers
+# ---------------------------------------------------------------------------
+def _column_codes(column: Column) -> np.ndarray:
+    """Dense group codes for one column; NULLs form their own group."""
+    n = len(column)
+    codes = np.zeros(n, dtype=np.int64)
+    mask = column.valid
+    if mask.any():
+        _, inverse = np.unique(column.values[mask], return_inverse=True)
+        codes[mask] = inverse
+    if not mask.all():
+        codes[~mask] = codes[mask].max(initial=-1) + 1 if mask.any() else 0
+    return codes
+
+
+def factorize_columns(columns: Sequence[Column]) -> tuple[np.ndarray, int]:
+    """Dense group codes over rows of one or more aligned columns.
+
+    Returns ``(codes, n_groups)`` with ``codes`` in ``[0, n_groups)``.
+    Codes are *not* in value order; they are compacted via ``np.unique``.
+    NULLs compare equal to each other (SQL GROUP BY semantics).
+    """
+    if not columns:
+        raise ExecutionError("factorize_columns needs at least one column")
+    combined = _column_codes(columns[0])
+    for column in columns[1:]:
+        nxt = _column_codes(column)
+        width = int(nxt.max(initial=0)) + 1
+        combined = combined * width + nxt
+        # Re-compact so the product never overflows across many columns.
+        _, combined = np.unique(combined, return_inverse=True)
+        combined = combined.astype(np.int64)
+    uniques, codes = np.unique(combined, return_inverse=True)
+    return codes.astype(np.int64), len(uniques)
+
+
+def _sort_key_ranks(column: Column, ascending: bool) -> np.ndarray:
+    """A numeric key whose ascending order equals the column's SQL order.
+
+    Equal values share a dense rank (so ties fall through to later sort
+    keys under both directions).  NULLs sort after all values in ascending
+    order (NULLS LAST) and before them when descending — i.e. NULL behaves
+    like the largest value.
+    """
+    n = len(column)
+    ranks = np.zeros(n, dtype=np.int64)
+    mask = column.valid
+    if mask.any():
+        _, inverse = np.unique(column.values[mask], return_inverse=True)
+        ranks[mask] = inverse
+        null_rank = int(inverse.max()) + 1
+    else:
+        null_rank = 0
+    if not mask.all():
+        ranks[~mask] = null_rank
+    return ranks if ascending else -ranks
+
+
+# ---------------------------------------------------------------------------
+# Operator base
+# ---------------------------------------------------------------------------
+class Operator:
+    """Base physical operator: a tree node that produces a batch."""
+
+    #: filled in by subclasses
+    schema: Schema
+
+    def execute(self) -> RecordBatch:
+        """Produce the full result batch."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Operator", ...]:
+        """Child operators (for EXPLAIN)."""
+        return ()
+
+    def describe(self) -> str:
+        """One EXPLAIN line for this node."""
+        return type(self).__name__
+
+
+def explain_tree(op: Operator, indent: int = 0) -> str:
+    """Render an operator tree as indented EXPLAIN text."""
+    lines = ["  " * indent + op.describe()]
+    for child in op.children():
+        lines.append(explain_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def analyze_tree(op: Operator) -> tuple[RecordBatch, str]:
+    """EXPLAIN ANALYZE: execute the tree with per-operator instrumentation.
+
+    Every node's ``execute`` is shadowed (instance attribute) with a timed
+    wrapper; after the run the tree is rendered with inclusive wall time
+    and output row count per operator.
+
+    Returns:
+        ``(result batch, annotated plan text)``.
+    """
+    import time as _time
+
+    metrics: dict[int, tuple[float, int]] = {}
+
+    def instrument(node: Operator) -> None:
+        for child in node.children():
+            instrument(child)
+        original = node.execute
+
+        def timed() -> RecordBatch:
+            started = _time.perf_counter()
+            batch = original()
+            metrics[id(node)] = (_time.perf_counter() - started, batch.num_rows)
+            return batch
+
+        node.execute = timed  # type: ignore[method-assign]
+
+    instrument(op)
+    result = op.execute()
+
+    def render(node: Operator, indent: int) -> list[str]:
+        seconds, rows = metrics.get(id(node), (0.0, 0))
+        line = (
+            "  " * indent
+            + f"{node.describe()}  [rows={rows}, time={seconds * 1000:.2f}ms]"
+        )
+        lines = [line]
+        for child in node.children():
+            lines.extend(render(child, indent + 1))
+        return lines
+
+    return result, "\n".join(render(op, 0))
+
+
+class TableScanOp(Operator):
+    """Scan a stored table (by reference, so it sees the version current
+    at execution time) under an optional alias."""
+
+    def __init__(self, table: "Table", qualifier: str | None) -> None:
+        self.table = table
+        self.qualifier = qualifier
+        self.schema = table.schema.with_qualifier(qualifier)
+
+    def execute(self) -> RecordBatch:
+        return self.table.data().with_schema(self.schema)
+
+    def describe(self) -> str:
+        alias = f" AS {self.qualifier}" if self.qualifier else ""
+        return f"TableScan({self.table.name}{alias}, rows={self.table.num_rows})"
+
+
+class BatchSourceOp(Operator):
+    """Wrap an already-materialized batch (derived tables, transform IO)."""
+
+    def __init__(self, batch: RecordBatch, qualifier: str | None = None) -> None:
+        self.batch = batch
+        if qualifier is not None:
+            self.schema = batch.schema.unqualified().with_qualifier(qualifier)
+        else:
+            self.schema = batch.schema
+
+    def execute(self) -> RecordBatch:
+        return self.batch.with_schema(self.schema)
+
+    def describe(self) -> str:
+        return f"BatchSource(rows={self.batch.num_rows})"
+
+
+class AliasOp(Operator):
+    """Re-qualify a child's output under a table alias (derived tables)."""
+
+    def __init__(self, child: Operator, alias: str) -> None:
+        self.child = child
+        self.alias = alias
+        self.schema = child.schema.unqualified().with_qualifier(alias)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Alias({self.alias})"
+
+    def execute(self) -> RecordBatch:
+        return self.child.execute().with_schema(self.schema)
+
+
+class FilterOp(Operator):
+    """Keep rows whose predicate evaluates to exactly TRUE."""
+
+    def __init__(self, child: Operator, predicate: Expression, registry: FunctionRegistry) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.registry = registry
+        self.schema = child.schema
+        if infer_type(predicate, child.schema, registry) is not BOOLEAN:
+            raise TypeMismatchError("WHERE/HAVING predicate must be BOOLEAN")
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        flags = evaluate(self.predicate, batch, self.registry)
+        mask = flags.values.astype(bool) & flags.valid
+        return batch.filter(mask)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class ProjectOp(Operator):
+    """Compute one output column per expression.
+
+    ``qualifiers`` (parallel to ``names``) lets ``SELECT *`` over a join
+    keep table aliases on otherwise-colliding bare names.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[Expression],
+        names: Sequence[str],
+        registry: FunctionRegistry,
+        qualifiers: Sequence[str | None] | None = None,
+    ) -> None:
+        self.child = child
+        self.exprs = list(exprs)
+        self.registry = registry
+        if qualifiers is None:
+            qualifiers = [None] * len(names)
+        dtypes = [infer_type(expr, child.schema, registry) for expr in self.exprs]
+        self.schema = Schema(
+            ColumnDef(name, dtype, qualifier=qual)
+            for name, dtype, qual in zip(names, dtypes, qualifiers)
+        )
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        columns = []
+        for expr, coldef in zip(self.exprs, self.schema):
+            column = evaluate(expr, batch, self.registry)
+            if column.dtype is not coldef.dtype:
+                column = column.cast(coldef.dtype)
+            columns.append(column)
+        return RecordBatch(self.schema, columns)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(c.qualified_name for c in self.schema)})"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+def _join_codes(left_cols: Sequence[Column], right_cols: Sequence[Column]) -> tuple[np.ndarray, np.ndarray]:
+    """Consistent group codes for the two sides of an equi-join.
+
+    Codes are computed over the concatenation so equal keys share a code.
+    Rows with any NULL key get code -1 (SQL: NULL never joins).
+    """
+    from repro.engine.column import concat_columns
+
+    stacked = [
+        concat_columns([lc, rc]) for lc, rc in zip(left_cols, right_cols)
+    ]
+    codes, _ = factorize_columns(stacked)
+    null_mask = np.zeros(len(codes), dtype=bool)
+    for col in stacked:
+        null_mask |= ~col.valid
+    codes = codes.copy()
+    codes[null_mask] = -1
+    n_left = len(left_cols[0])
+    return codes[:n_left], codes[n_left:]
+
+
+def _expand_matches(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All matching (left_index, right_index) pairs via sort + searchsorted."""
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    start = np.searchsorted(sorted_codes, left_codes, side="left")
+    end = np.searchsorted(sorted_codes, left_codes, side="right")
+    matchable = left_codes >= 0
+    counts = np.where(matchable, end - start, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    left_idx = np.repeat(np.arange(len(left_codes)), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, counts)
+    right_pos = np.repeat(start, counts) + within
+    return left_idx, order[right_pos]
+
+
+def _null_padded(column: Column, indices: np.ndarray, pad: int) -> Column:
+    """Take ``indices`` rows then append ``pad`` NULL rows (left-join side)."""
+    taken = column.take(indices)
+    if pad == 0:
+        return taken
+    padding = Column.constant(column.dtype, None, pad)
+    from repro.engine.column import concat_columns
+
+    return concat_columns([taken, padding])
+
+
+class HashJoinOp(Operator):
+    """Equi-join (inner or left outer) with optional residual predicate.
+
+    The planner extracts equality conjuncts between the two sides as hash
+    keys; any remaining condition is evaluated over candidate pairs.  For
+    LEFT joins the residual is part of the join condition (unmatched left
+    rows still appear once, padded with NULLs), matching SQL semantics.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        kind: str,
+        residual: Expression | None,
+        registry: FunctionRegistry,
+    ) -> None:
+        if kind not in ("inner", "left"):
+            raise PlanError(f"unsupported join kind {kind!r}")
+        if not left_keys:
+            raise PlanError("HashJoinOp requires at least one equi-key")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.kind = kind
+        self.residual = residual
+        self.registry = registry
+        self.schema = left.schema.concat(right.schema)
+        for lk, rk in zip(self.left_keys, self.right_keys):
+            lt = infer_type(lk, left.schema, registry)
+            rt = infer_type(rk, right.schema, registry)
+            if lt is not rt and not (lt.is_numeric and rt.is_numeric):
+                raise TypeMismatchError(
+                    f"join keys have incompatible types: {lt.name} vs {rt.name}"
+                )
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind}, keys={len(self.left_keys)}, residual={self.residual is not None})"
+
+    def execute(self) -> RecordBatch:
+        left_batch = self.left.execute()
+        right_batch = self.right.execute()
+        left_cols = [evaluate(k, left_batch, self.registry) for k in self.left_keys]
+        right_cols = [evaluate(k, right_batch, self.registry) for k in self.right_keys]
+        for i, (lc, rc) in enumerate(zip(left_cols, right_cols)):
+            if lc.dtype is not rc.dtype:  # INTEGER vs FLOAT keys: widen both
+                left_cols[i] = lc.cast(FLOAT)
+                right_cols[i] = rc.cast(FLOAT)
+        left_codes, right_codes = _join_codes(left_cols, right_cols)
+        left_idx, right_idx = _expand_matches(left_codes, right_codes)
+
+        if self.residual is not None and len(left_idx):
+            candidate = self._combine(left_batch, right_batch, left_idx, right_idx, 0)
+            flags = evaluate(self.residual, candidate, self.registry)
+            keep = flags.values.astype(bool) & flags.valid
+            left_idx = left_idx[keep]
+            right_idx = right_idx[keep]
+
+        pad = 0
+        pad_indices: np.ndarray | None = None
+        if self.kind == "left":
+            matched = np.zeros(left_batch.num_rows, dtype=bool)
+            matched[left_idx] = True
+            pad_indices = np.flatnonzero(~matched)
+            pad = len(pad_indices)
+        return self._combine(left_batch, right_batch, left_idx, right_idx, pad, pad_indices)
+
+    def _combine(
+        self,
+        left_batch: RecordBatch,
+        right_batch: RecordBatch,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+        pad: int,
+        pad_indices: np.ndarray | None = None,
+    ) -> RecordBatch:
+        columns: list[Column] = []
+        if pad and pad_indices is not None:
+            full_left = np.concatenate([left_idx, pad_indices])
+        else:
+            full_left = left_idx
+        for col in left_batch.columns:
+            columns.append(col.take(full_left))
+        for col in right_batch.columns:
+            columns.append(_null_padded(col, right_idx, pad))
+        return RecordBatch(self.schema, columns)
+
+
+class CrossJoinOp(Operator):
+    """Cartesian product (also the fallback for non-equi join conditions,
+    which the planner expresses as CrossJoin + Filter)."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "CrossJoin"
+
+    def execute(self) -> RecordBatch:
+        left_batch = self.left.execute()
+        right_batch = self.right.execute()
+        n_left, n_right = left_batch.num_rows, right_batch.num_rows
+        left_idx = np.repeat(np.arange(n_left), n_right)
+        right_idx = np.tile(np.arange(n_right), n_left)
+        columns = [col.take(left_idx) for col in left_batch.columns]
+        columns += [col.take(right_idx) for col in right_batch.columns]
+        return RecordBatch(self.schema, columns)
+
+
+class UnionAllOp(Operator):
+    """Concatenate child results; the paper's Table Unions optimization is
+    exactly this node feeding a TransformOp."""
+
+    def __init__(self, children: Sequence[Operator]) -> None:
+        if not children:
+            raise PlanError("UNION ALL of zero inputs")
+        head = children[0]
+        for child in children[1:]:
+            if not head.schema.union_compatible_with(child.schema):
+                raise TypeMismatchError("UNION ALL between incompatible schemas")
+        self._children = list(children)
+        self.schema = head.schema.unqualified()
+
+    def children(self) -> tuple[Operator, ...]:
+        return tuple(self._children)
+
+    def describe(self) -> str:
+        return f"UnionAll({len(self._children)} inputs)"
+
+    def execute(self) -> RecordBatch:
+        batches = [child.execute().with_schema(self.schema) for child in self._children]
+        return RecordBatch.concat(batches)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate to compute: function name, argument, DISTINCT flag."""
+
+    func: str
+    arg: Expression | None  # None encodes COUNT(*)
+    distinct: bool = False
+
+
+class AggregateOp(Operator):
+    """Vectorized GROUP BY: factorize keys, sort once, reduceat per agg.
+
+    Output columns are the group keys (in ``group_exprs`` order) followed
+    by the aggregates (in ``specs`` order), named by ``names``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_exprs: Sequence[Expression],
+        specs: Sequence[AggregateSpec],
+        names: Sequence[str],
+        registry: FunctionRegistry,
+    ) -> None:
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.specs = list(specs)
+        self.registry = registry
+        dtypes: list[DataType] = [
+            infer_type(expr, child.schema, registry) for expr in self.group_exprs
+        ]
+        for spec in self.specs:
+            dtypes.append(self._result_type(spec, child.schema))
+        if len(names) != len(dtypes):
+            raise PlanError("aggregate output names/arity mismatch")
+        self.schema = Schema(ColumnDef(n, t) for n, t in zip(names, dtypes))
+
+    def _result_type(self, spec: AggregateSpec, schema: Schema) -> DataType:
+        if spec.func == "COUNT":
+            return INTEGER
+        assert spec.arg is not None
+        arg_type = infer_type(spec.arg, schema, self.registry)
+        if spec.func in ("AVG", "STDDEV"):
+            return FLOAT
+        return arg_type
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{s.func}" for s in self.specs)
+        return f"Aggregate(groups={len(self.group_exprs)}, aggs=[{aggs}])"
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        n = batch.num_rows
+        if self.group_exprs:
+            key_cols = [evaluate(e, batch, self.registry) for e in self.group_exprs]
+            if n == 0:
+                return RecordBatch.empty(self.schema)
+            codes, n_groups = factorize_columns(key_cols)
+        else:
+            key_cols = []
+            codes = np.zeros(n, dtype=np.int64)
+            n_groups = 1  # global aggregate: one output row even on empty input
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = (
+            np.flatnonzero(np.diff(sorted_codes, prepend=sorted_codes[0] - 1))
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        group_sizes = np.diff(np.append(boundaries, n))
+        present = sorted_codes[boundaries] if n else np.empty(0, dtype=np.int64)
+
+        out_columns: list[Column] = []
+        for key_col, coldef in zip(key_cols, self.schema):
+            reps = order[boundaries]
+            out_columns.append(key_col.take(reps))
+        for spec, coldef in zip(self.specs, self.schema[len(key_cols):]):
+            out_columns.append(
+                self._compute(spec, coldef.dtype, batch, order, boundaries, group_sizes, n_groups, present)
+            )
+        return RecordBatch(self.schema, out_columns)
+
+    # -- per-aggregate computation -------------------------------------
+    def _compute(
+        self,
+        spec: AggregateSpec,
+        out_type: DataType,
+        batch: RecordBatch,
+        order: np.ndarray,
+        boundaries: np.ndarray,
+        group_sizes: np.ndarray,
+        n_groups: int,
+        present: np.ndarray,
+    ) -> Column:
+        n_out = n_groups
+        if spec.func == "COUNT" and spec.arg is None:
+            counts = np.zeros(n_out, dtype=np.int64)
+            counts[present] = group_sizes
+            return Column(INTEGER, counts, np.ones(n_out, dtype=bool))
+
+        assert spec.arg is not None
+        arg = evaluate(spec.arg, batch, self.registry)
+        sorted_valid = arg.valid[order]
+        sorted_values = arg.values[order]
+
+        if spec.distinct:
+            return self._compute_distinct(spec, out_type, arg, order, boundaries, present, n_out)
+
+        if len(boundaries) == 0:
+            counts_present = np.empty(0, dtype=np.int64)
+        else:
+            counts_present = np.add.reduceat(sorted_valid.astype(np.int64), boundaries)
+        counts = np.zeros(n_out, dtype=np.int64)
+        counts[present] = counts_present
+
+        if spec.func == "COUNT":
+            return Column(INTEGER, counts, np.ones(n_out, dtype=bool))
+
+        if spec.func in ("SUM", "AVG", "STDDEV"):
+            values = sorted_values.astype(np.float64)
+            values = np.where(sorted_valid, values, 0.0)
+            sums = np.zeros(n_out, dtype=np.float64)
+            if len(boundaries):
+                sums[present] = np.add.reduceat(values, boundaries)
+            if spec.func == "SUM":
+                valid = counts > 0
+                if out_type is INTEGER:
+                    return Column(INTEGER, sums.astype(np.int64), valid)
+                return Column(FLOAT, sums, valid)
+            if spec.func == "AVG":
+                valid = counts > 0
+                safe = np.where(valid, counts, 1)
+                return Column(FLOAT, sums / safe, valid)
+            # STDDEV (sample)
+            sq = np.where(sorted_valid, sorted_values.astype(np.float64) ** 2, 0.0)
+            sumsq = np.zeros(n_out, dtype=np.float64)
+            if len(boundaries):
+                sumsq[present] = np.add.reduceat(sq, boundaries)
+            valid = counts > 1
+            safe_n = np.where(valid, counts, 2).astype(np.float64)
+            var = (sumsq - sums**2 / safe_n) / (safe_n - 1.0)
+            return Column(FLOAT, np.sqrt(np.maximum(var, 0.0)), valid)
+
+        if spec.func in ("MIN", "MAX"):
+            return self._compute_extremum(
+                spec.func, out_type, sorted_values, sorted_valid, boundaries, present, counts, n_out
+            )
+        raise PlanError(f"unknown aggregate {spec.func!r}")  # pragma: no cover
+
+    def _compute_extremum(
+        self,
+        func: str,
+        out_type: DataType,
+        sorted_values: np.ndarray,
+        sorted_valid: np.ndarray,
+        boundaries: np.ndarray,
+        present: np.ndarray,
+        counts: np.ndarray,
+        n_out: int,
+    ) -> Column:
+        valid = counts > 0
+        if out_type is VARCHAR:
+            out = np.empty(n_out, dtype=object)
+            out[:] = ""
+            ends = np.append(boundaries, len(sorted_values))
+            for g in range(len(boundaries)):
+                chunk_vals = sorted_values[boundaries[g] : ends[g + 1]]
+                chunk_ok = sorted_valid[boundaries[g] : ends[g + 1]]
+                items = [v for v, ok in zip(chunk_vals, chunk_ok) if ok]
+                if items:
+                    out[present[g]] = min(items) if func == "MIN" else max(items)
+            return Column(VARCHAR, out, valid)
+        values = sorted_values.astype(np.float64)
+        if func == "MIN":
+            values = np.where(sorted_valid, values, np.inf)
+            agg = np.full(n_out, np.inf)
+            if len(boundaries):
+                agg[present] = np.minimum.reduceat(values, boundaries)
+        else:
+            values = np.where(sorted_valid, values, -np.inf)
+            agg = np.full(n_out, -np.inf)
+            if len(boundaries):
+                agg[present] = np.maximum.reduceat(values, boundaries)
+        agg = np.where(valid, agg, 0.0)
+        if out_type is INTEGER:
+            return Column(INTEGER, agg.astype(np.int64), valid)
+        if out_type is BOOLEAN:
+            return Column(BOOLEAN, agg.astype(bool), valid)
+        return Column(FLOAT, agg, valid)
+
+    def _compute_distinct(
+        self,
+        spec: AggregateSpec,
+        out_type: DataType,
+        arg: Column,
+        order: np.ndarray,
+        boundaries: np.ndarray,
+        present: np.ndarray,
+        n_out: int,
+    ) -> Column:
+        if spec.func != "COUNT":
+            raise PlanError("DISTINCT is supported only for COUNT")
+        codes_in_group = np.repeat(
+            np.arange(len(boundaries)), np.diff(np.append(boundaries, len(order)))
+        )
+        sorted_valid = arg.valid[order]
+        value_codes = _column_codes(arg.take(order))
+        pairs = codes_in_group * (value_codes.max(initial=0) + 1) + value_codes
+        keep = sorted_valid
+        uniq_pairs, idx = np.unique(pairs[keep], return_index=True)
+        group_of_pair = codes_in_group[keep][idx]
+        counts = np.zeros(n_out, dtype=np.int64)
+        if len(group_of_pair):
+            bin_counts = np.bincount(group_of_pair, minlength=len(boundaries))
+            counts[present] = bin_counts
+        return Column(INTEGER, counts, np.ones(n_out, dtype=bool))
+
+
+# ---------------------------------------------------------------------------
+# Sort / limit / distinct
+# ---------------------------------------------------------------------------
+class SortOp(Operator):
+    """ORDER BY via rank conversion + a single stable lexsort."""
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[Expression],
+        ascending: Sequence[bool],
+        registry: FunctionRegistry,
+    ) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.ascending = list(ascending)
+        self.registry = registry
+        self.schema = child.schema
+        for key in self.keys:
+            infer_type(key, child.schema, registry)  # type check early
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        dirs = ", ".join("ASC" if a else "DESC" for a in self.ascending)
+        return f"Sort({dirs})"
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        if batch.num_rows <= 1:
+            return batch
+        rank_arrays = [
+            _sort_key_ranks(evaluate(key, batch, self.registry), asc)
+            for key, asc in zip(self.keys, self.ascending)
+        ]
+        # lexsort's last key is primary, so reverse.
+        order = np.lexsort(tuple(reversed(rank_arrays)))
+        return batch.take(order)
+
+
+class LimitOp(Operator):
+    """LIMIT/OFFSET."""
+
+    def __init__(self, child: Operator, limit: int | None, offset: int) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.schema = child.schema
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        stop = batch.num_rows if self.limit is None else self.offset + self.limit
+        return batch.slice(self.offset, stop)
+
+
+class DistinctOp(Operator):
+    """SELECT DISTINCT / UNION dedup: keep the first row of each group,
+    preserving first-occurrence order."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        if batch.num_rows == 0:
+            return batch
+        codes, _ = factorize_columns(list(batch.columns))
+        _, first_positions = np.unique(codes, return_index=True)
+        return batch.take(np.sort(first_positions))
+
+
+# ---------------------------------------------------------------------------
+# Transform (table UDF) — the Vertexica worker container
+# ---------------------------------------------------------------------------
+class TransformOp(Operator):
+    """Partitioned table-UDF execution, Vertica-style.
+
+    The input batch is hash partitioned on ``partition_exprs`` into
+    ``n_partitions`` buckets; each bucket is sorted by ``sort_exprs`` and
+    handed to ``fn`` (one call per non-empty bucket).  Outputs are
+    concatenated.  This is exactly the execution shape of the paper's
+    workers: "hash partitions the table union on the vertex id into a fixed
+    number of partitions; each partition is sorted on the vertex id".
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        fn: Callable[[RecordBatch, int], RecordBatch],
+        output_schema: Schema,
+        partition_exprs: Sequence[Expression],
+        sort_exprs: Sequence[Expression],
+        n_partitions: int,
+        registry: FunctionRegistry,
+        executor: Callable[..., list[RecordBatch]] | None = None,
+    ) -> None:
+        if n_partitions < 1:
+            raise PlanError("n_partitions must be >= 1")
+        self.child = child
+        self.fn = fn
+        self.schema = output_schema
+        self.partition_exprs = list(partition_exprs)
+        self.sort_exprs = list(sort_exprs)
+        self.n_partitions = n_partitions
+        self.registry = registry
+        self.executor = executor
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Transform(partitions={self.n_partitions})"
+
+    def execute(self) -> RecordBatch:
+        batch = self.child.execute()
+        buckets = self._partition(batch)
+        tasks = [
+            (self._sorted(bucket), index)
+            for index, bucket in enumerate(buckets)
+            if bucket.num_rows
+        ]
+        if self.executor is not None:
+            outputs = self.executor(self.fn, tasks)
+        else:
+            outputs = [self.fn(piece, index) for piece, index in tasks]
+        outputs = [out for out in outputs if out.num_rows]
+        if not outputs:
+            return RecordBatch.empty(self.schema)
+        return RecordBatch.concat([out.with_schema(self.schema) for out in outputs])
+
+    def _partition(self, batch: RecordBatch) -> list[RecordBatch]:
+        if self.n_partitions == 1 or not self.partition_exprs:
+            return [batch]
+        key_cols = [evaluate(e, batch, self.registry) for e in self.partition_exprs]
+        if len(key_cols) == 1 and key_cols[0].dtype is INTEGER:
+            hashes = key_cols[0].values % self.n_partitions
+        else:
+            codes, _ = factorize_columns(key_cols)
+            hashes = codes % self.n_partitions
+        return [batch.filter(hashes == p) for p in range(self.n_partitions)]
+
+    def _sorted(self, batch: RecordBatch) -> RecordBatch:
+        if not self.sort_exprs or batch.num_rows <= 1:
+            return batch
+        rank_arrays = [
+            _sort_key_ranks(evaluate(e, batch, self.registry), True)
+            for e in self.sort_exprs
+        ]
+        order = np.lexsort(tuple(reversed(rank_arrays)))
+        return batch.take(order)

@@ -1,0 +1,155 @@
+"""Schemas: ordered, possibly qualified column definitions.
+
+A schema describes the output of a table or operator.  Column names may be
+qualified with a table alias (``e.src``) so the planner can resolve
+references unambiguously across joins — crucial for the paper's SQL graph
+algorithms, which self-join the edge table repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+__all__ = ["ColumnDef", "Schema"]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a schema.
+
+    Attributes:
+        name: bare column name (``src``).
+        dtype: SQL type.
+        nullable: whether NULLs are allowed (enforced on insert/update).
+        qualifier: optional table alias the column is visible under.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    qualifier: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        """``alias.name`` if qualified, else just ``name``."""
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def with_qualifier(self, qualifier: str | None) -> "ColumnDef":
+        """A copy visible under a different (or no) table alias."""
+        return replace(self, qualifier=qualifier)
+
+    def renamed(self, name: str) -> "ColumnDef":
+        """A copy with a different bare name (used by SELECT aliases)."""
+        return replace(self, name=name)
+
+
+class Schema:
+    """An ordered sequence of :class:`ColumnDef` with name resolution.
+
+    Duplicate *qualified* names are rejected at construction; duplicate bare
+    names across different qualifiers are fine (that's what joins produce)
+    and become ambiguous only when referenced without a qualifier.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Iterable[ColumnDef]) -> None:
+        self.columns: tuple[ColumnDef, ...] = tuple(columns)
+        seen: set[str] = set()
+        for col in self.columns:
+            key = col.qualified_name
+            if key in seen:
+                raise CatalogError(f"duplicate column name in schema: {key!r}")
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self.columns)
+
+    def __getitem__(self, index: int) -> ColumnDef:
+        return self.columns[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{c.qualified_name} {c.dtype.name}" for c in self.columns)
+        return f"Schema({inner})"
+
+    def names(self) -> list[str]:
+        """Bare column names in order."""
+        return [col.name for col in self.columns]
+
+    def dtypes(self) -> list[DataType]:
+        """Column types in order."""
+        return [col.dtype for col in self.columns]
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def index_of(self, name: str, qualifier: str | None = None) -> int:
+        """Resolve a column reference to its position.
+
+        A qualified lookup (``qualifier="e"``) matches only columns under
+        that alias.  An unqualified lookup matches on bare name and raises
+        if several qualifiers expose that name.
+
+        Raises:
+            CatalogError: unknown or ambiguous column.
+        """
+        matches = [
+            i
+            for i, col in enumerate(self.columns)
+            if col.name == name and (qualifier is None or col.qualifier == qualifier)
+        ]
+        if not matches:
+            shown = f"{qualifier}.{name}" if qualifier else name
+            raise CatalogError(f"unknown column: {shown!r}")
+        if len(matches) > 1:
+            raise CatalogError(f"ambiguous column reference: {name!r}")
+        return matches[0]
+
+    def has_column(self, name: str, qualifier: str | None = None) -> bool:
+        """True if :meth:`index_of` would succeed unambiguously."""
+        try:
+            self.index_of(name, qualifier)
+        except CatalogError:
+            return False
+        return True
+
+    def column(self, name: str, qualifier: str | None = None) -> ColumnDef:
+        """The :class:`ColumnDef` for a reference (see :meth:`index_of`)."""
+        return self.columns[self.index_of(name, qualifier)]
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_qualifier(self, qualifier: str | None) -> "Schema":
+        """All columns re-qualified under one alias (FROM t AS x)."""
+        return Schema(col.with_qualifier(qualifier) for col in self.columns)
+
+    def unqualified(self) -> "Schema":
+        """All qualifiers stripped (the shape of a final result set)."""
+        return Schema(col.with_qualifier(None) for col in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Columns of ``self`` followed by ``other`` (the shape of a join)."""
+        return Schema(tuple(self.columns) + tuple(other.columns))
+
+    def project(self, indices: Sequence[int]) -> "Schema":
+        """A schema of the columns at ``indices``, in that order."""
+        return Schema(self.columns[i] for i in indices)
+
+    def union_compatible_with(self, other: "Schema") -> bool:
+        """True when UNION ALL between the two shapes is legal: same arity
+        and pairwise identical types (names may differ; the left side's
+        names win, as in standard SQL)."""
+        if len(self) != len(other):
+            return False
+        return all(a.dtype is b.dtype for a, b in zip(self.columns, other.columns))

@@ -1,0 +1,21 @@
+"""SQL front end: lexer, statement AST, and recursive-descent parser.
+
+The dialect is the subset of SQL-92 (plus a few column-store conveniences)
+that the paper's workloads need: SELECT with joins / GROUP BY / HAVING /
+ORDER BY / LIMIT / UNION [ALL], derived tables, CASE, CAST, IN / BETWEEN /
+LIKE / IS NULL, INSERT (VALUES and SELECT), UPDATE, DELETE, CREATE TABLE
+[AS], DROP TABLE, and TRUNCATE.
+"""
+
+from repro.engine.sql.lexer import Lexer, Token, TokenKind, tokenize
+from repro.engine.sql.parser import Parser, parse_statement, parse_statements
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_statement",
+    "parse_statements",
+]

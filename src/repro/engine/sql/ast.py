@@ -1,0 +1,198 @@
+"""Statement-level AST nodes produced by the SQL parser.
+
+Expression-level nodes live in :mod:`repro.engine.expressions`; this module
+holds the statement shapes (SELECT, INSERT, ...) plus table references.
+All nodes are frozen dataclasses: parsing is pure, planning never mutates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.engine.expressions import Expression
+
+__all__ = [
+    "Statement",
+    "SelectItem",
+    "TableRef",
+    "NamedTable",
+    "DerivedTable",
+    "Join",
+    "SelectStatement",
+    "SetOperation",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "ColumnSpec",
+    "CreateTableStatement",
+    "CreateTableAsStatement",
+    "DropTableStatement",
+    "TruncateStatement",
+    "OrderItem",
+]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for all statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression with an optional alias.
+
+    ``*`` and ``alias.*`` arrive as a :class:`~repro.engine.expressions.Star`
+    expression with no alias.
+    """
+
+    expr: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key with direction."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    """A catalog table, optionally aliased: ``edge AS e``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible under in the enclosing scope."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    """A parenthesized subquery in FROM: ``(SELECT ...) AS d``."""
+
+    select: "SelectLike"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    """A binary join; ``kind`` is ``"inner"``, ``"left"``, or ``"cross"``.
+
+    CROSS joins carry no condition; the planner rejects a missing condition
+    for the other kinds.
+    """
+
+    left: TableRef
+    right: TableRef
+    kind: str
+    condition: Expression | None
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """A single SELECT block (no set operations)."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: TableRef | None = None
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOperation(Statement):
+    """``left UNION [ALL] right``; chains left-associatively."""
+
+    op: str  # "union" | "union_all"
+    left: "SelectLike"
+    right: "SelectLike"
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+
+SelectLike = Union[SelectStatement, SetOperation]
+
+
+@dataclass(frozen=True)
+class InsertStatement(Statement):
+    """INSERT from VALUES rows or from a SELECT."""
+
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: SelectLike | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    """``UPDATE t SET c = e, ... [WHERE p]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement(Statement):
+    """``DELETE FROM t [WHERE p]``."""
+
+    table: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class ColumnSpec(Statement):
+    """One column in CREATE TABLE: name, type name, constraints."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Statement):
+    """``CREATE TABLE [IF NOT EXISTS] t (col TYPE [NOT NULL] [PRIMARY KEY], ...)``."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableAsStatement(Statement):
+    """``CREATE TABLE [IF NOT EXISTS] t AS SELECT ...``."""
+
+    name: str
+    select: SelectLike
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTableStatement(Statement):
+    """``DROP TABLE [IF EXISTS] t``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class TruncateStatement(Statement):
+    """``TRUNCATE [TABLE] t`` — delete all rows, keep the schema."""
+
+    name: str

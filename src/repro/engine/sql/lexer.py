@@ -1,0 +1,201 @@
+"""SQL tokenizer.
+
+Produces a flat token stream with positions so the parser can report
+errors precisely.  Supports ``--`` line comments, ``/* */`` block comments,
+single-quoted strings with ``''`` escaping, integer/float/scientific
+numeric literals, and ``?`` parameter placeholders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "UNION", "ALL",
+        "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "AS",
+        "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+        "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "DROP", "IF", "EXISTS", "PRIMARY", "KEY",
+        "TRUNCATE",
+    }
+)
+
+_MULTI_CHAR_OPS = ("<>", "!=", "<=", ">=", "||")
+_SINGLE_CHAR_OPS = "+-*/%<>=(),.;?"
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENT = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PARAM = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: kind, normalized text, and source location."""
+
+    kind: TokenKind
+    text: str
+    position: int
+    line: int
+
+    def matches(self, kind: TokenKind, text: str | None = None) -> bool:
+        """True when kind (and, if given, text) match."""
+        return self.kind is kind and (text is None or self.text == text)
+
+
+class Lexer:
+    """Single-pass tokenizer over SQL text."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.pos = 0
+        self.line = 1
+
+    def error(self, message: str) -> SqlSyntaxError:
+        """Build a positioned syntax error."""
+        return SqlSyntaxError(message, position=self.pos, line=self.line)
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input, ending with one EOF token."""
+        out: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.sql):
+                out.append(Token(TokenKind.EOF, "", self.pos, self.line))
+                return out
+            out.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        sql = self.sql
+        while self.pos < len(sql):
+            ch = sql[self.pos]
+            if ch == "\n":
+                self.line += 1
+                self.pos += 1
+            elif ch.isspace():
+                self.pos += 1
+            elif sql.startswith("--", self.pos):
+                end = sql.find("\n", self.pos)
+                self.pos = len(sql) if end == -1 else end
+            elif sql.startswith("/*", self.pos):
+                end = sql.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated block comment")
+                self.line += sql.count("\n", self.pos, end)
+                self.pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        sql = self.sql
+        start, line = self.pos, self.line
+        ch = sql[start]
+        if ch == "'":
+            return self._string(start, line)
+        if ch.isdigit() or (ch == "." and start + 1 < len(sql) and sql[start + 1].isdigit()):
+            return self._number(start, line)
+        if ch.isalpha() or ch == "_":
+            return self._word(start, line)
+        if ch == '"':
+            return self._quoted_identifier(start, line)
+        for op in _MULTI_CHAR_OPS:
+            if sql.startswith(op, start):
+                self.pos += len(op)
+                text = "<>" if op == "!=" else op
+                return Token(TokenKind.OPERATOR, text, start, line)
+        if ch == "?":
+            self.pos += 1
+            return Token(TokenKind.PARAM, "?", start, line)
+        if ch in _SINGLE_CHAR_OPS:
+            self.pos += 1
+            return Token(TokenKind.OPERATOR, ch, start, line)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _string(self, start: int, line: int) -> Token:
+        sql = self.sql
+        i = start + 1
+        pieces: list[str] = []
+        while i < len(sql):
+            if sql[i] == "'":
+                if i + 1 < len(sql) and sql[i + 1] == "'":  # escaped quote
+                    pieces.append("'")
+                    i += 2
+                    continue
+                self.pos = i + 1
+                return Token(TokenKind.STRING, "".join(pieces), start, line)
+            if sql[i] == "\n":
+                self.line += 1
+            pieces.append(sql[i])
+            i += 1
+        self.pos = start
+        raise self.error("unterminated string literal")
+
+    def _number(self, start: int, line: int) -> Token:
+        sql = self.sql
+        i = start
+        seen_dot = False
+        seen_exp = False
+        while i < len(sql):
+            ch = sql[i]
+            if ch.isdigit():
+                i += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                i += 1
+            elif ch in "eE" and not seen_exp and i > start:
+                nxt = i + 1
+                if nxt < len(sql) and sql[nxt] in "+-":
+                    nxt += 1
+                if nxt < len(sql) and sql[nxt].isdigit():
+                    seen_exp = True
+                    i = nxt
+                else:
+                    break
+            else:
+                break
+        text = sql[start:i]
+        self.pos = i
+        kind = TokenKind.FLOAT if (seen_dot or seen_exp) else TokenKind.INTEGER
+        return Token(kind, text, start, line)
+
+    def _word(self, start: int, line: int) -> Token:
+        sql = self.sql
+        i = start
+        while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+            i += 1
+        text = sql[start:i]
+        self.pos = i
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, start, line)
+        return Token(TokenKind.IDENT, text.lower(), start, line)
+
+    def _quoted_identifier(self, start: int, line: int) -> Token:
+        sql = self.sql
+        end = sql.find('"', start + 1)
+        if end == -1:
+            raise self.error("unterminated quoted identifier")
+        self.pos = end + 1
+        return Token(TokenKind.IDENT, sql[start + 1 : end], start, line)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` (convenience wrapper over :class:`Lexer`)."""
+    return Lexer(sql).tokens()

@@ -1,0 +1,179 @@
+"""Type system of the columnar engine.
+
+The engine supports four scalar SQL types, each mapped to a numpy storage
+dtype.  NULLs are represented out-of-band by a boolean validity mask (see
+:mod:`repro.engine.column`), so the storage arrays never hold sentinel
+values that a user could observe.
+
+Types intentionally mirror what the Vertexica paper needs: 64-bit integers
+for vertex ids, doubles for vertex values / PageRank scores, strings for
+metadata and serialized state, and booleans for flags such as the Pregel
+"halted" bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+__all__ = [
+    "DataType",
+    "INTEGER",
+    "FLOAT",
+    "VARCHAR",
+    "BOOLEAN",
+    "ALL_TYPES",
+    "type_from_name",
+    "infer_literal_type",
+    "common_type",
+    "coerce_python_value",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A scalar SQL type.
+
+    Attributes:
+        name: upper-case SQL spelling, e.g. ``"INTEGER"``.
+        numpy_dtype: dtype used for the values array of a column.
+        python_type: canonical Python type accepted for literals.
+    """
+
+    name: str
+    numpy_dtype: Any
+    python_type: type
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for INTEGER and FLOAT."""
+        return self.name in ("INTEGER", "FLOAT")
+
+    def default_value(self) -> Any:
+        """Storage filler used under a null mask (never user visible)."""
+        if self.name == "INTEGER":
+            return 0
+        if self.name == "FLOAT":
+            return 0.0
+        if self.name == "BOOLEAN":
+            return False
+        return ""
+
+
+INTEGER = DataType("INTEGER", np.int64, int)
+FLOAT = DataType("FLOAT", np.float64, float)
+VARCHAR = DataType("VARCHAR", object, str)
+BOOLEAN = DataType("BOOLEAN", np.bool_, bool)
+
+ALL_TYPES = (INTEGER, FLOAT, VARCHAR, BOOLEAN)
+
+_NAME_ALIASES = {
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "BIGINT": INTEGER,
+    "SMALLINT": INTEGER,
+    "TINYINT": INTEGER,
+    "FLOAT": FLOAT,
+    "DOUBLE": FLOAT,
+    "REAL": FLOAT,
+    "NUMERIC": FLOAT,
+    "DECIMAL": FLOAT,
+    "VARCHAR": VARCHAR,
+    "TEXT": VARCHAR,
+    "STRING": VARCHAR,
+    "CHAR": VARCHAR,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Resolve a SQL type name (case-insensitive, common aliases) to a
+    :class:`DataType`.
+
+    Raises:
+        TypeMismatchError: if the name is not a supported type.
+    """
+    dtype = _NAME_ALIASES.get(name.upper())
+    if dtype is None:
+        raise TypeMismatchError(f"unknown SQL type: {name!r}")
+    return dtype
+
+
+def infer_literal_type(value: Any) -> DataType:
+    """Infer the SQL type of a Python literal.
+
+    ``bool`` is checked before ``int`` because ``bool`` is a subclass of
+    ``int`` in Python.
+
+    Raises:
+        TypeMismatchError: for unsupported Python types (``None`` has no
+            type of its own; callers handle NULL literals separately).
+    """
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        return INTEGER
+    if isinstance(value, (float, np.floating)):
+        return FLOAT
+    if isinstance(value, str):
+        return VARCHAR
+    raise TypeMismatchError(f"unsupported literal type: {type(value).__name__}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Numeric promotion used by arithmetic and comparisons.
+
+    INTEGER combined with FLOAT widens to FLOAT; identical types pass
+    through.  Everything else is a type error — the engine performs no
+    implicit string/number conversion, matching strict SQL engines.
+    """
+    if left is right:
+        return left
+    if {left, right} == {INTEGER, FLOAT}:
+        return FLOAT
+    raise TypeMismatchError(f"incompatible types: {left.name} and {right.name}")
+
+
+def coerce_python_value(value: Any, dtype: DataType) -> Any:
+    """Coerce one Python value for storage in a column of ``dtype``.
+
+    Accepts ints where floats are expected (SQL-style widening) and numpy
+    scalars of a matching kind.  Returns the coerced value; ``None`` passes
+    through untouched (it becomes a NULL).
+
+    Raises:
+        TypeMismatchError: if the value cannot represent the type losslessly.
+    """
+    if value is None:
+        return None
+    if dtype is INTEGER:
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            raise TypeMismatchError("BOOLEAN value given for INTEGER column")
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in INTEGER column")
+    if dtype is FLOAT:
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            raise TypeMismatchError("BOOLEAN value given for FLOAT column")
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} in FLOAT column")
+    if dtype is BOOLEAN:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise TypeMismatchError(f"cannot store {value!r} in BOOLEAN column")
+    if dtype is VARCHAR:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in VARCHAR column")
+    raise TypeMismatchError(f"unknown column type {dtype!r}")  # pragma: no cover

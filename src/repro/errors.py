@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+The engine, the Vertexica layer, and both baselines raise exceptions from
+this module so that callers can catch a single family (``ReproError``) or a
+precise subclass (for example ``SqlSyntaxError``) without importing engine
+internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so tests and users can pinpoint the
+    problem inside multi-line statements.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
+        self.position = position
+        self.line = line
+        location = f" (line {line}, offset {position})" if position >= 0 else ""
+        super().__init__(f"{message}{location}")
+
+
+class CatalogError(EngineError):
+    """A table, column, function, or procedure name could not be resolved,
+    or a CREATE collided with an existing object."""
+
+
+class TypeMismatchError(EngineError):
+    """An expression or insert combined values of incompatible types."""
+
+
+class ConstraintError(EngineError):
+    """An integrity constraint (NOT NULL, PRIMARY KEY) was violated."""
+
+
+class TransactionError(EngineError):
+    """Illegal transaction usage, e.g. nested BEGIN or COMMIT without BEGIN."""
+
+
+class UdfError(EngineError):
+    """A user-defined function or transform failed or was misregistered."""
+
+
+class PlanError(EngineError):
+    """The planner could not translate a statement into an operator tree."""
+
+
+class ExecutionError(EngineError):
+    """A physical operator failed while producing rows."""
+
+
+class VertexicaError(ReproError):
+    """Base class for errors raised by the vertex-centric layer."""
+
+
+class ProgramError(VertexicaError):
+    """A user vertex program misbehaved (bad message type, bad halt, ...)."""
+
+
+class GraphLoadError(VertexicaError):
+    """Graph data could not be loaded into the vertex/edge tables."""
+
+
+class BaselineError(ReproError):
+    """Base class for errors raised by the Giraph / graph-DB baselines."""
+
+
+class GraphDbError(BaselineError):
+    """Errors from the transactional property-graph baseline."""
+
+
+class GraphDbCapacityError(GraphDbError):
+    """The graph exceeds the store's configured capacity — used to mirror
+    the paper's observation that the graph database could only handle the
+    smallest dataset."""
+
+
+class DatasetError(ReproError):
+    """Errors from dataset generation or parsing."""
+
+
+class PipelineError(ReproError):
+    """Errors from the dataflow pipeline layer."""

@@ -1,0 +1,21 @@
+"""``repro.hybrid`` — hybrid graph queries (§3.2).
+
+Queries that combine vertex-centric analysis, 1-hop SQL algorithms, and
+plain relational operators inside one database — the analyses the paper
+calls "very difficult or even not possible on traditional graph
+processing systems".
+"""
+
+from repro.hybrid.queries import (
+    important_bridges,
+    near_or_important,
+    pagerank_on_subgraph,
+    sssp_from_most_clustered,
+)
+
+__all__ = [
+    "important_bridges",
+    "sssp_from_most_clustered",
+    "near_or_important",
+    "pagerank_on_subgraph",
+]

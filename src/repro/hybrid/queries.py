@@ -1,0 +1,143 @@
+"""The paper's hybrid analyses, composed from SQL + vertex-centric pieces.
+
+Each function is one of the §3.2 / §4.2.2 examples:
+
+* :func:`important_bridges` — "find all nodes which act as ties between
+  otherwise disconnected nodes and have PageRank greater than a
+  threshold";
+* :func:`sssp_from_most_clustered` — "compute the single source shortest
+  path with the source node being the node with the maximum local
+  clustering coefficient";
+* :func:`near_or_important` — "emit nodes which are either very near
+  (path distance less than a threshold) or are relatively very important
+  (PageRank greater than a threshold)";
+* :func:`pagerank_on_subgraph` — localized PageRank: relational selection
+  first, graph algorithm on the resulting subgraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import Vertexica
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph.clustering import local_clustering_coefficients
+from repro.sql_graph.pagerank import pagerank_sql
+from repro.sql_graph.shortest_paths import shortest_paths_sql
+from repro.sql_graph.weak_ties import weak_ties_sql
+
+__all__ = [
+    "important_bridges",
+    "sssp_from_most_clustered",
+    "near_or_important",
+    "pagerank_on_subgraph",
+]
+
+
+def important_bridges(
+    db: Database,
+    graph: GraphHandle,
+    rank_percentile: float = 0.9,
+    min_bridged_pairs: int = 1,
+    pagerank_iterations: int = 10,
+) -> list[tuple[int, float, int]]:
+    """Sufficiently important nodes that bridge disconnected neighbors.
+
+    Combines weak ties (1-hop SQL) with PageRank; the rank threshold is
+    taken as a percentile of the rank distribution so the query is
+    meaningful on any graph size.
+
+    Returns:
+        ``[(vertex_id, rank, bridged_pairs)]`` sorted by rank descending.
+    """
+    ranks = pagerank_sql(db, graph, iterations=pagerank_iterations)
+    ties = weak_ties_sql(db, graph, min_pairs=min_bridged_pairs)
+    ordered = sorted(ranks.values())
+    cutoff_index = min(int(len(ordered) * rank_percentile), len(ordered) - 1)
+    threshold = ordered[cutoff_index]
+    out = [
+        (vertex_id, ranks[vertex_id], pairs)
+        for vertex_id, pairs in ties.items()
+        if ranks.get(vertex_id, 0.0) > threshold
+    ]
+    out.sort(key=lambda item: (-item[1], item[0]))
+    return out
+
+
+def sssp_from_most_clustered(
+    db: Database, graph: GraphHandle
+) -> tuple[int, dict[int, float]]:
+    """Distances from the vertex with the maximum local clustering
+    coefficient (ties broken toward the smallest id).
+
+    Returns:
+        ``(source_vertex, distances)``.
+    """
+    coefficients = local_clustering_coefficients(db, graph)
+    source = min(coefficients, key=lambda v: (-coefficients[v], v))
+    return source, shortest_paths_sql(db, graph, source)
+
+
+def near_or_important(
+    db: Database,
+    graph: GraphHandle,
+    source: int,
+    distance_threshold: float,
+    rank_percentile: float = 0.95,
+    pagerank_iterations: int = 10,
+) -> list[tuple[int, str]]:
+    """Nodes near ``source`` or globally important (§4.2.2).
+
+    Returns:
+        ``[(vertex_id, reason)]`` with reason ``"near"``, ``"important"``,
+        or ``"both"``, ordered by vertex id.
+    """
+    distances = shortest_paths_sql(db, graph, source)
+    ranks = pagerank_sql(db, graph, iterations=pagerank_iterations)
+    ordered = sorted(ranks.values())
+    cutoff_index = min(int(len(ordered) * rank_percentile), len(ordered) - 1)
+    threshold = ordered[cutoff_index]
+    out: list[tuple[int, str]] = []
+    for vertex_id in sorted(distances):
+        near = distances[vertex_id] < distance_threshold
+        important = ranks.get(vertex_id, 0.0) > threshold
+        if near and important:
+            out.append((vertex_id, "both"))
+        elif near:
+            out.append((vertex_id, "near"))
+        elif important:
+            out.append((vertex_id, "important"))
+    return out
+
+
+def pagerank_on_subgraph(
+    vx: Vertexica,
+    graph: GraphHandle,
+    edge_predicate: str,
+    iterations: int = 10,
+    subgraph_name: str | None = None,
+) -> dict[int, float]:
+    """Localized PageRank: select a subgraph relationally, then rank it.
+
+    Args:
+        vx: the Vertexica instance holding the graph.
+        edge_predicate: SQL boolean over the edge table's columns
+            (``src``, ``dst``, ``weight``) or any joined attribute table —
+            the predicate is spliced into a WHERE clause, e.g.
+            ``"weight > 2.5"``.
+        subgraph_name: name for the materialized subgraph tables
+            (default ``{graph}_sub``).
+
+    Returns:
+        PageRank over the selected subgraph only.
+    """
+    name = subgraph_name or f"{graph.name}_sub"
+    rows = vx.db.execute(
+        f"SELECT src, dst, weight FROM {graph.edge_table} WHERE {edge_predicate}"
+    ).rows()
+    src = [r[0] for r in rows]
+    dst = [r[1] for r in rows]
+    weights = [r[2] for r in rows]
+    sub = vx.load_graph(name, src, dst, weights=weights)
+    return pagerank_sql(vx.db, sub, iterations=iterations)

@@ -1,0 +1,29 @@
+"""``repro.pipeline`` — dataflow pipelines (§3.4 / the GUI's Dataflow panel).
+
+A small DAG executor over named stages, plus stage factories for the
+operators the demo GUI offers (selection, graph algorithms, aggregation),
+so the paper's example pipeline — Selection -> Triangle Counting ->
+Shortest Paths -> PageRank -> Aggregate — is a few lines of composition.
+"""
+
+from repro.pipeline.dataflow import Pipeline, PipelineResult, StageResult
+from repro.pipeline.stages import (
+    aggregate_stage,
+    pagerank_stage,
+    select_subgraph_stage,
+    shortest_paths_stage,
+    sql_stage,
+    triangle_count_stage,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "StageResult",
+    "select_subgraph_stage",
+    "triangle_count_stage",
+    "shortest_paths_stage",
+    "pagerank_stage",
+    "aggregate_stage",
+    "sql_stage",
+]

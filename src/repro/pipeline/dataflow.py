@@ -1,0 +1,127 @@
+"""The dataflow DAG executor.
+
+Stages are named callables ``stage(context) -> value``; declaring
+``depends_on`` orders execution (topological, deterministic by insertion
+order among ready stages).  Each stage's output lands in the shared
+context under its name, so downstream stages compose freely — the
+programmatic version of dragging boxes in the demo's Dataflow panel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import PipelineError
+
+__all__ = ["Pipeline", "PipelineResult", "StageResult"]
+
+StageFn = Callable[[dict[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's outcome."""
+
+    name: str
+    value: Any
+    seconds: float
+
+
+@dataclass
+class PipelineResult:
+    """Every stage's outcome, in execution order."""
+
+    stages: list[StageResult] = field(default_factory=list)
+
+    def __getitem__(self, name: str) -> Any:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage.value
+        raise KeyError(name)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of stage runtimes."""
+        return sum(stage.seconds for stage in self.stages)
+
+    def timings(self) -> dict[str, float]:
+        """``{stage: seconds}`` — the demo GUI's time monitor."""
+        return {stage.name: stage.seconds for stage in self.stages}
+
+
+class Pipeline:
+    """A named DAG of analysis stages."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self._stages: dict[str, tuple[StageFn, tuple[str, ...]]] = {}
+
+    def add_stage(
+        self,
+        name: str,
+        fn: StageFn,
+        depends_on: Sequence[str] = (),
+    ) -> "Pipeline":
+        """Register a stage; returns self for chaining.
+
+        Raises:
+            PipelineError: duplicate name or unknown dependency.
+        """
+        if name in self._stages:
+            raise PipelineError(f"duplicate stage name {name!r}")
+        for dep in depends_on:
+            if dep not in self._stages:
+                raise PipelineError(
+                    f"stage {name!r} depends on unknown stage {dep!r} "
+                    "(declare dependencies before dependents)"
+                )
+        self._stages[name] = (fn, tuple(depends_on))
+        return self
+
+    def stage_names(self) -> list[str]:
+        """Stages in insertion order."""
+        return list(self._stages)
+
+    # ------------------------------------------------------------------
+    def run(self, context: Mapping[str, Any] | None = None) -> PipelineResult:
+        """Execute all stages topologically.
+
+        Args:
+            context: initial values visible to every stage (e.g. the
+                database and graph handles).
+
+        Raises:
+            PipelineError: on dependency cycles (unreachable given the
+                declare-before-use rule, but checked defensively) or when
+                a stage raises (wrapped with stage context).
+        """
+        shared: dict[str, Any] = dict(context or {})
+        done: set[str] = set()
+        result = PipelineResult()
+        remaining = dict(self._stages)
+        while remaining:
+            ready = [
+                name
+                for name, (_, deps) in remaining.items()
+                if all(dep in done for dep in deps)
+            ]
+            if not ready:
+                raise PipelineError(
+                    f"dependency cycle among stages: {sorted(remaining)}"
+                )
+            for name in ready:
+                fn, _ = remaining.pop(name)
+                started = time.perf_counter()
+                try:
+                    value = fn(shared)
+                except PipelineError:
+                    raise
+                except Exception as exc:
+                    raise PipelineError(f"stage {name!r} failed: {exc}") from exc
+                elapsed = time.perf_counter() - started
+                shared[name] = value
+                done.add(name)
+                result.stages.append(StageResult(name, value, elapsed))
+        return result

@@ -1,0 +1,112 @@
+"""Prebuilt pipeline stages matching the demo GUI's toolbar.
+
+Each factory returns a stage function closed over its parameters; stages
+expect the shared context to provide ``"db"`` (the engine) and ``"graph"``
+(a :class:`~repro.core.storage.GraphHandle`), and subgraph-producing
+stages replace ``"graph"`` downstream via their own output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.sql_graph.pagerank import pagerank_sql
+from repro.sql_graph.shortest_paths import shortest_paths_sql
+from repro.sql_graph.triangle_counting import triangle_count_sql
+
+__all__ = [
+    "select_subgraph_stage",
+    "triangle_count_stage",
+    "shortest_paths_stage",
+    "pagerank_stage",
+    "aggregate_stage",
+    "sql_stage",
+]
+
+StageFn = Callable[[dict[str, Any]], Any]
+
+
+def _graph_from(context: dict[str, Any], source: str | None) -> GraphHandle:
+    return context[source] if source else context["graph"]
+
+
+def select_subgraph_stage(
+    edge_predicate: str,
+    name: str,
+    graph_key: str | None = None,
+) -> StageFn:
+    """Relational selection producing a new graph (the GUI's "Graph
+    Selection" operator).  ``edge_predicate`` is SQL over src/dst/weight."""
+
+    def stage(context: dict[str, Any]) -> GraphHandle:
+        db = context["db"]
+        graph = _graph_from(context, graph_key)
+        rows = db.execute(
+            f"SELECT src, dst, weight FROM {graph.edge_table} "
+            f"WHERE {edge_predicate}"
+        ).rows()
+        storage = GraphStorage(db)
+        return storage.load_graph(
+            name,
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        )
+
+    return stage
+
+
+def triangle_count_stage(graph_key: str | None = None) -> StageFn:
+    """Total triangle count of the (possibly selected) graph."""
+
+    def stage(context: dict[str, Any]) -> int:
+        return triangle_count_sql(context["db"], _graph_from(context, graph_key))
+
+    return stage
+
+
+def shortest_paths_stage(source: int, graph_key: str | None = None) -> StageFn:
+    """SSSP distances from ``source``."""
+
+    def stage(context: dict[str, Any]) -> dict[int, float]:
+        return shortest_paths_sql(
+            context["db"], _graph_from(context, graph_key), source
+        )
+
+    return stage
+
+
+def pagerank_stage(
+    iterations: int = 10, damping: float = 0.85, graph_key: str | None = None
+) -> StageFn:
+    """PageRank over the (possibly selected) graph."""
+
+    def stage(context: dict[str, Any]) -> dict[int, float]:
+        return pagerank_sql(
+            context["db"], _graph_from(context, graph_key),
+            iterations=iterations, damping=damping,
+        )
+
+    return stage
+
+
+def aggregate_stage(
+    input_key: str,
+    fn: Callable[[Any], Any],
+) -> StageFn:
+    """Post-process another stage's output (histograms, top-k, stats)."""
+
+    def stage(context: dict[str, Any]) -> Any:
+        return fn(context[input_key])
+
+    return stage
+
+
+def sql_stage(sql: str) -> StageFn:
+    """Run arbitrary SQL; the stage value is the row list."""
+
+    def stage(context: dict[str, Any]) -> Any:
+        return context["db"].execute(sql).rows()
+
+    return stage

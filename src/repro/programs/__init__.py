@@ -1,0 +1,34 @@
+"""``repro.programs`` — vertex-centric graph programs (§3.1 of the paper).
+
+Every class here is a :class:`~repro.core.program.VertexProgram` and runs
+unchanged on both Vertexica and the Giraph-like baseline:
+
+* :class:`PageRank` — relative vertex importance;
+* :class:`ShortestPaths` — single-source shortest paths;
+* :class:`ConnectedComponents` — minimum-label propagation (undirected);
+* :class:`CollaborativeFiltering` — latent-factor SGD on a bipartite graph;
+* :class:`RandomWalkWithRestart` — personalized PageRank;
+* :class:`InDegree` / :class:`OutDegree` — degree counting warm-ups;
+* :class:`LabelPropagation` — majority-label communities.
+"""
+
+from repro.programs.adaptive_pagerank import AdaptivePageRank
+from repro.programs.collaborative_filtering import CollaborativeFiltering
+from repro.programs.connected_components import ConnectedComponents
+from repro.programs.degree import InDegree, OutDegree
+from repro.programs.label_propagation import LabelPropagation
+from repro.programs.pagerank import PageRank
+from repro.programs.random_walk import RandomWalkWithRestart
+from repro.programs.shortest_paths import ShortestPaths
+
+__all__ = [
+    "PageRank",
+    "AdaptivePageRank",
+    "ShortestPaths",
+    "ConnectedComponents",
+    "CollaborativeFiltering",
+    "RandomWalkWithRestart",
+    "InDegree",
+    "OutDegree",
+    "LabelPropagation",
+]

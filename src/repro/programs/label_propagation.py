@@ -1,0 +1,57 @@
+"""Label propagation — majority-vote community detection.
+
+Each vertex starts labeled with its own id (or a seed label) and each
+superstep adopts the most frequent label among its neighbors' messages,
+breaking ties toward the smallest label for determinism.  Runs a fixed
+number of rounds; communities are the final label groups.
+
+Unlike PageRank/SSSP this program has no SQL-pushable combiner — the
+update needs the full label multiset — so it also exercises Vertexica's
+uncombined message path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.api import Vertex
+from repro.core.codecs import INTEGER_CODEC
+from repro.core.program import VertexProgram
+
+__all__ = ["LabelPropagation"]
+
+
+class LabelPropagation(VertexProgram):
+    """Synchronous label propagation over an undirected (symmetrized) graph.
+
+    Args:
+        iterations: label-update rounds.
+        seeds: optional ``{vertex_id: label}`` fixing initial labels
+            (e.g. known communities); unlisted vertices start as their id.
+    """
+
+    vertex_codec = INTEGER_CODEC
+    message_codec = INTEGER_CODEC
+    combiner = None
+
+    def __init__(self, iterations: int = 5, seeds: dict[int, int] | None = None) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self.seeds = dict(seeds) if seeds else {}
+        self.max_supersteps = iterations + 1
+
+    def initial_value(self, vertex_id: int, out_degree: int, num_vertices: int) -> int:
+        return self.seeds.get(vertex_id, vertex_id)
+
+    def compute(self, vertex: Vertex) -> None:
+        if vertex.superstep > 0 and vertex.messages:
+            counts = Counter(vertex.messages)
+            best_count = max(counts.values())
+            winner = min(label for label, count in counts.items() if count == best_count)
+            if winner != vertex.value:
+                vertex.modify_vertex_value(winner)
+        if vertex.superstep < self.iterations:
+            vertex.send_message_to_all_neighbors(vertex.value)
+        else:
+            vertex.vote_to_halt()

@@ -1,0 +1,38 @@
+"""``repro.sql_graph`` — hand-written SQL graph algorithms.
+
+The paper's "Vertexica (SQL)" bars: the same algorithms expressed directly
+as set-oriented SQL over the edge/node tables, which beats the
+vertex-centric execution by avoiding per-vertex UDF invocation entirely.
+Also home to the §3.2 one-hop algorithms (triangle counting, strong
+overlap, weak ties) that are natural in SQL but awkward vertex-centrically.
+
+All functions take a :class:`~repro.engine.database.Database` plus a
+:class:`~repro.core.storage.GraphHandle` and manage their own scratch
+tables (prefixed with the graph name, dropped on completion).
+"""
+
+from repro.sql_graph.clustering import (
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+)
+from repro.sql_graph.connected_components import connected_components_sql
+from repro.sql_graph.pagerank import pagerank_sql
+from repro.sql_graph.shortest_paths import shortest_paths_sql
+from repro.sql_graph.strong_overlap import strong_overlap_sql
+from repro.sql_graph.triangle_counting import (
+    per_node_triangle_counts_sql,
+    triangle_count_sql,
+)
+from repro.sql_graph.weak_ties import weak_ties_sql
+
+__all__ = [
+    "pagerank_sql",
+    "shortest_paths_sql",
+    "connected_components_sql",
+    "triangle_count_sql",
+    "per_node_triangle_counts_sql",
+    "strong_overlap_sql",
+    "weak_ties_sql",
+    "local_clustering_coefficients",
+    "global_clustering_coefficient",
+]

@@ -1,0 +1,41 @@
+"""Scratch-table plumbing shared by the SQL graph algorithms."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.engine.database import Database
+
+__all__ = ["scratch_tables", "undirected_neighbors_sql", "canonical_edges_sql"]
+
+
+@contextmanager
+def scratch_tables(db: Database, *names: str) -> Iterator[None]:
+    """Drop the named tables on entry (fresh start) and again on exit
+    (cleanup), even when the algorithm raises."""
+    for name in names:
+        db.execute(f"DROP TABLE IF EXISTS {name}")
+    try:
+        yield
+    finally:
+        for name in names:
+            db.execute(f"DROP TABLE IF EXISTS {name}")
+
+
+def undirected_neighbors_sql(edge_table: str) -> str:
+    """SELECT producing the distinct undirected neighbor relation
+    (both directions, self-loops removed)."""
+    return (
+        f"SELECT src, dst FROM {edge_table} WHERE src <> dst "
+        f"UNION "
+        f"SELECT dst, src FROM {edge_table} WHERE src <> dst"
+    )
+
+
+def canonical_edges_sql(edge_table: str) -> str:
+    """SELECT producing each undirected edge once as (small, large)."""
+    return (
+        f"SELECT DISTINCT LEAST(src, dst) AS src, GREATEST(src, dst) AS dst "
+        f"FROM {edge_table} WHERE src <> dst"
+    )

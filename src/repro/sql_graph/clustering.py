@@ -1,0 +1,49 @@
+"""Clustering coefficients in SQL (§3.2: "could be used for computing
+clustering coefficients"; §4.2.2: global clustering = triangles + wedges).
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph._util import scratch_tables, undirected_neighbors_sql
+from repro.sql_graph.triangle_counting import (
+    per_node_triangle_counts_sql,
+    triangle_count_sql,
+)
+
+__all__ = ["local_clustering_coefficients", "global_clustering_coefficient"]
+
+
+def _undirected_degrees(db: Database, graph: GraphHandle) -> dict[int, int]:
+    g = graph.name
+    nbr = f"{g}_cl_nbr"
+    with scratch_tables(db, nbr):
+        db.execute(
+            f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
+        )
+        rows = db.execute(
+            f"SELECT src, COUNT(*) AS deg FROM {nbr} GROUP BY src"
+        ).rows()
+    return {vertex_id: degree for vertex_id, degree in rows}
+
+
+def local_clustering_coefficients(db: Database, graph: GraphHandle) -> dict[int, float]:
+    """``cc(v) = triangles(v) / C(deg(v), 2)``; 0 for degree < 2."""
+    triangles = per_node_triangle_counts_sql(db, graph)
+    degrees = _undirected_degrees(db, graph)
+    out: dict[int, float] = {}
+    for vertex_id, tri in triangles.items():
+        degree = degrees.get(vertex_id, 0)
+        possible = degree * (degree - 1) / 2
+        out[vertex_id] = (tri / possible) if possible else 0.0
+    return out
+
+
+def global_clustering_coefficient(db: Database, graph: GraphHandle) -> float:
+    """``3 * triangles / wedges`` over the undirected graph (0 when the
+    graph has no wedge)."""
+    total_triangles = triangle_count_sql(db, graph)
+    degrees = _undirected_degrees(db, graph)
+    wedges = sum(d * (d - 1) / 2 for d in degrees.values())
+    return (3.0 * total_triangles / wedges) if wedges else 0.0

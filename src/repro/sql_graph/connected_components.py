@@ -1,0 +1,49 @@
+"""Connected components in pure SQL (minimum-label fixpoint).
+
+Requires the edge table to contain both directions of every edge (load the
+graph with ``symmetrize=True``); the iteration then converges to the same
+labels as the vertex-centric program and the union-find oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph._util import scratch_tables
+
+__all__ = ["connected_components_sql"]
+
+
+def connected_components_sql(db: Database, graph: GraphHandle) -> dict[int, int]:
+    """Component label (smallest member id) per vertex."""
+    g = graph.name
+    comp, cand, merged = f"{g}_cc_comp", f"{g}_cc_cand", f"{g}_cc_merged"
+    with scratch_tables(db, comp, cand, merged):
+        db.execute(
+            f"CREATE TABLE {comp} AS SELECT id, id AS comp FROM {graph.node_table}"
+        )
+        while True:
+            db.execute(
+                f"CREATE TABLE {cand} AS "
+                f"SELECT e.dst AS id, MIN(c.comp) AS m "
+                f"FROM {comp} c JOIN {graph.edge_table} e ON c.id = e.src "
+                f"GROUP BY e.dst"
+            )
+            improved = db.execute(
+                f"SELECT COUNT(*) FROM {cand} n JOIN {comp} c ON n.id = c.id "
+                f"WHERE n.m < c.comp"
+            ).scalar()
+            if not improved:
+                db.execute(f"DROP TABLE {cand}")
+                break
+            db.execute(
+                f"CREATE TABLE {merged} AS "
+                f"SELECT c.id AS id, LEAST(c.comp, COALESCE(n.m, c.comp)) AS comp "
+                f"FROM {comp} c LEFT JOIN {cand} n ON c.id = n.id"
+            )
+            db.execute(f"DROP TABLE {comp}")
+            db.execute(f"CREATE TABLE {comp} AS SELECT id, comp FROM {merged}")
+            db.execute(f"DROP TABLE {merged}")
+            db.execute(f"DROP TABLE {cand}")
+        rows = db.execute(f"SELECT id, comp FROM {comp} ORDER BY id").rows()
+    return {vertex_id: comp_id for vertex_id, comp_id in rows}

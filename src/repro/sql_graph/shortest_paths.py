@@ -1,0 +1,59 @@
+"""Single-source shortest paths in pure SQL (iterated Bellman-Ford).
+
+Each round relaxes every edge with one join + GROUP BY and merges the
+improvements back with a LEFT JOIN; the loop stops as soon as a round
+improves nothing (at most ``|V| - 1`` rounds).  NULL distance = not yet
+reached; the returned dict uses ``float('inf')`` for unreachable vertices
+to match the vertex-centric program.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph._util import scratch_tables
+
+__all__ = ["shortest_paths_sql"]
+
+
+def shortest_paths_sql(db: Database, graph: GraphHandle, source: int) -> dict[int, float]:
+    """Shortest-path distances from ``source`` to every vertex."""
+    g = graph.name
+    dist, cand, merged = f"{g}_sp_dist", f"{g}_sp_cand", f"{g}_sp_merged"
+    with scratch_tables(db, dist, cand, merged):
+        db.execute(
+            f"CREATE TABLE {dist} AS "
+            f"SELECT id, CASE WHEN id = {source} THEN 0.0 ELSE NULL END AS d "
+            f"FROM {graph.node_table}"
+        )
+        max_rounds = max(graph.num_vertices - 1, 1)
+        for _ in range(max_rounds):
+            db.execute(
+                f"CREATE TABLE {cand} AS "
+                f"SELECT e.dst AS id, MIN(t.d + e.weight) AS nd "
+                f"FROM {dist} t JOIN {graph.edge_table} e ON t.id = e.src "
+                f"WHERE t.d IS NOT NULL "
+                f"GROUP BY e.dst"
+            )
+            improved = db.execute(
+                f"SELECT COUNT(*) FROM {cand} c JOIN {dist} t ON c.id = t.id "
+                f"WHERE t.d IS NULL OR c.nd < t.d"
+            ).scalar()
+            if not improved:
+                db.execute(f"DROP TABLE {cand}")
+                break
+            db.execute(
+                f"CREATE TABLE {merged} AS "
+                f"SELECT t.id AS id, "
+                f"CASE WHEN c.nd IS NULL THEN t.d "
+                f"     WHEN t.d IS NULL THEN c.nd "
+                f"     WHEN c.nd < t.d THEN c.nd ELSE t.d END AS d "
+                f"FROM {dist} t LEFT JOIN {cand} c ON t.id = c.id"
+            )
+            db.execute(f"DROP TABLE {dist}")
+            db.execute(f"CREATE TABLE {dist} AS SELECT id, d FROM {merged}")
+            db.execute(f"DROP TABLE {merged}")
+            db.execute(f"DROP TABLE {cand}")
+        rows = db.execute(f"SELECT id, d FROM {dist} ORDER BY id").rows()
+    infinity = float("inf")
+    return {vertex_id: (infinity if d is None else d) for vertex_id, d in rows}

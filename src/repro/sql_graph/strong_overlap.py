@@ -1,0 +1,37 @@
+"""Strong overlap (§3.2): node pairs sharing many neighbors.
+
+"Find pairs of nodes having strong overlap between them.  Overlap could be
+defined as number of common neighbors."  One self-join of the undirected
+neighbor relation + GROUP BY/HAVING — a query shape that is natural in SQL
+and awkward vertex-centrically (it needs the full 1-hop neighborhood).
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph._util import scratch_tables, undirected_neighbors_sql
+
+__all__ = ["strong_overlap_sql"]
+
+
+def strong_overlap_sql(
+    db: Database, graph: GraphHandle, min_common: int = 2
+) -> list[tuple[int, int, int]]:
+    """Pairs ``(a, b, common)`` with at least ``min_common`` shared
+    neighbors, ``a < b``, ordered by overlap (descending) then ids."""
+    g = graph.name
+    nbr = f"{g}_so_nbr"
+    with scratch_tables(db, nbr):
+        db.execute(
+            f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
+        )
+        rows = db.execute(
+            f"SELECT n1.src AS a, n2.src AS b, COUNT(*) AS common "
+            f"FROM {nbr} n1 JOIN {nbr} n2 "
+            f"ON n1.dst = n2.dst AND n1.src < n2.src "
+            f"GROUP BY n1.src, n2.src "
+            f"HAVING COUNT(*) >= {int(min_common)} "
+            f"ORDER BY common DESC, a, b"
+        ).rows()
+    return [(a, b, common) for a, b, common in rows]

@@ -1,0 +1,42 @@
+"""Weak ties (§3.2): nodes bridging otherwise-disconnected neighbors.
+
+A vertex ``v`` is a weak tie for the pair ``(a, b)`` when both are its
+neighbors but no edge connects them directly — Granovetter's bridges.  The
+query is two joins of the undirected neighbor relation plus an anti-join
+(LEFT JOIN ... IS NULL) ruling out directly-connected pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+from repro.sql_graph._util import scratch_tables, undirected_neighbors_sql
+
+__all__ = ["weak_ties_sql"]
+
+
+def weak_ties_sql(
+    db: Database, graph: GraphHandle, min_pairs: int = 1
+) -> dict[int, int]:
+    """Bridged-pair count per bridging vertex.
+
+    Returns ``{vertex_id: number of disconnected neighbor pairs it
+    bridges}`` for vertices with at least ``min_pairs``.
+    """
+    g = graph.name
+    nbr = f"{g}_wt_nbr"
+    with scratch_tables(db, nbr):
+        db.execute(
+            f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
+        )
+        rows = db.execute(
+            f"SELECT n1.dst AS v, COUNT(*) AS pairs "
+            f"FROM {nbr} n1 "
+            f"JOIN {nbr} n2 ON n1.dst = n2.src AND n1.src < n2.dst "
+            f"LEFT JOIN {nbr} n3 ON n3.src = n1.src AND n3.dst = n2.dst "
+            f"WHERE n3.src IS NULL "
+            f"GROUP BY n1.dst "
+            f"HAVING COUNT(*) >= {int(min_pairs)} "
+            f"ORDER BY pairs DESC, v"
+        ).rows()
+    return {vertex_id: pairs for vertex_id, pairs in rows}

@@ -1,0 +1,25 @@
+"""``repro.temporal`` — dynamic graph analysis (§3.3).
+
+Graph mutations through SQL DML, a versioned edge store for time-travel
+snapshots, temporal queries (PageRank drift, shortest-path decreases),
+and a continuous-analysis driver — "treat graph analytics as a continuous
+process rather than an offline one-time activity".
+"""
+
+from repro.temporal.continuous import ContinuousAnalysis
+from repro.temporal.mutations import GraphMutator
+from repro.temporal.queries import (
+    pagerank_delta,
+    pagerank_over_time,
+    paths_decreased,
+)
+from repro.temporal.versioned import VersionedEdgeStore
+
+__all__ = [
+    "GraphMutator",
+    "VersionedEdgeStore",
+    "pagerank_over_time",
+    "pagerank_delta",
+    "paths_decreased",
+    "ContinuousAnalysis",
+]

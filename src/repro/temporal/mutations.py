@@ -1,0 +1,89 @@
+"""Ad-hoc graph mutations through SQL DML (§3.3).
+
+"Vertexica allows ad-hoc mutations to the graph as well as the associated
+metadata, which is simply impossible to do in many new graph processing
+systems such as Giraph."  Every mutation here is ordinary DML against the
+edge/node tables, wrapped in an engine transaction so a failing batch
+leaves the graph untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.storage import GraphHandle
+from repro.engine.database import Database
+
+__all__ = ["GraphMutator"]
+
+
+class GraphMutator:
+    """SQL-DML mutations over a loaded graph's tables."""
+
+    def __init__(self, db: Database, graph: GraphHandle) -> None:
+        self.db = db
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex_id: int) -> None:
+        """Insert a (possibly isolated) vertex id."""
+        self.db.execute(
+            f"INSERT INTO {self.graph.node_table} VALUES (?)", params=(vertex_id,)
+        )
+        self.graph.num_vertices += 1
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        """Insert one edge, creating unseen endpoint ids in the node table."""
+        db = self.db
+        for endpoint in (src, dst):
+            known = db.execute(
+                f"SELECT COUNT(*) FROM {self.graph.node_table} WHERE id = ?",
+                params=(endpoint,),
+            ).scalar()
+            if not known:
+                self.add_vertex(endpoint)
+        db.execute(
+            f"INSERT INTO {self.graph.edge_table} VALUES (?, ?, ?)",
+            params=(src, dst, float(weight)),
+        )
+        self.graph.num_edges += 1
+
+    def add_edges(self, edges: Iterable[tuple[int, int, float]]) -> int:
+        """Insert a batch of ``(src, dst, weight)`` edges atomically."""
+        edges = list(edges)
+        with self.db.transaction():
+            for src, dst, weight in edges:
+                self.add_edge(src, dst, weight)
+        return len(edges)
+
+    def remove_edge(self, src: int, dst: int) -> int:
+        """Delete edges between two endpoints; returns how many went away."""
+        removed = self.db.execute(
+            f"DELETE FROM {self.graph.edge_table} WHERE src = ? AND dst = ?",
+            params=(src, dst),
+        ).row_count
+        self.graph.num_edges -= removed
+        return removed
+
+    def update_weight(self, src: int, dst: int, weight: float) -> int:
+        """Set the weight of existing edges; returns the rows touched."""
+        return self.db.execute(
+            f"UPDATE {self.graph.edge_table} SET weight = ? WHERE src = ? AND dst = ?",
+            params=(float(weight), src, dst),
+        ).row_count
+
+    def remove_vertex(self, vertex_id: int) -> int:
+        """Delete a vertex and every incident edge; returns edges removed."""
+        db = self.db
+        with db.transaction():
+            removed = db.execute(
+                f"DELETE FROM {self.graph.edge_table} WHERE src = ? OR dst = ?",
+                params=(vertex_id, vertex_id),
+            ).row_count
+            db.execute(
+                f"DELETE FROM {self.graph.node_table} WHERE id = ?",
+                params=(vertex_id,),
+            )
+        self.graph.num_edges -= removed
+        self.graph.num_vertices -= 1
+        return removed

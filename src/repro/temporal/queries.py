@@ -1,0 +1,78 @@
+"""Temporal queries over versioned graphs (§3.3 / §4.2.3).
+
+The paper's examples: "the nodes whose PageRanks have changed over last
+one year", "all node-pairs whose shortest paths have decreased by at least
+a threshold", "how the PageRank of a given node has changed in the last 5
+years".  Each query snapshots the versioned store at the requested
+timestamps and runs the SQL algorithms on the snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.database import Database
+from repro.sql_graph.pagerank import pagerank_sql
+from repro.sql_graph.shortest_paths import shortest_paths_sql
+from repro.temporal.versioned import VersionedEdgeStore
+
+__all__ = ["pagerank_over_time", "pagerank_delta", "paths_decreased"]
+
+
+def pagerank_over_time(
+    db: Database,
+    store: VersionedEdgeStore,
+    timestamps: Sequence[int],
+    iterations: int = 10,
+) -> dict[int, dict[int, float]]:
+    """PageRank at each timestamp: ``{timestamp: {vertex: rank}}``."""
+    out: dict[int, dict[int, float]] = {}
+    for timestamp in timestamps:
+        snapshot = store.snapshot(timestamp)
+        out[timestamp] = pagerank_sql(db, snapshot, iterations=iterations)
+    return out
+
+
+def pagerank_delta(
+    before: dict[int, float],
+    after: dict[int, float],
+    min_change: float = 0.0,
+    top_k: int | None = None,
+) -> list[tuple[int, float]]:
+    """Vertices whose rank changed by more than ``min_change`` between two
+    snapshots, largest absolute change first."""
+    changes = []
+    for vertex_id in set(before) | set(after):
+        delta = after.get(vertex_id, 0.0) - before.get(vertex_id, 0.0)
+        if abs(delta) > min_change:
+            changes.append((vertex_id, delta))
+    changes.sort(key=lambda item: (-abs(item[1]), item[0]))
+    return changes[:top_k] if top_k is not None else changes
+
+
+def paths_decreased(
+    db: Database,
+    store: VersionedEdgeStore,
+    source: int,
+    before_ts: int,
+    after_ts: int,
+    min_decrease: float = 1.0,
+) -> list[tuple[int, float, float]]:
+    """Vertices that moved closer to ``source`` between two timestamps.
+
+    The paper asks for "node-pairs whose shortest paths have decreased by
+    at least a threshold"; per-source keeps the cost one SSSP per snapshot
+    (run it per source of interest for the all-pairs variant).
+
+    Returns:
+        ``[(vertex, old_distance, new_distance)]`` sorted by decrease.
+    """
+    before = shortest_paths_sql(db, store.snapshot(before_ts), source)
+    after = shortest_paths_sql(db, store.snapshot(after_ts), source)
+    out = []
+    for vertex_id, new_distance in after.items():
+        old_distance = before.get(vertex_id, float("inf"))
+        if old_distance - new_distance >= min_decrease:
+            out.append((vertex_id, old_distance, new_distance))
+    out.sort(key=lambda item: (item[2] - item[1], item[0]))
+    return out

@@ -1,0 +1,181 @@
+"""Tests for the property-graph store, its WAL, and its algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.graphdb import (
+    PropertyGraphStore,
+    StoreConfig,
+    graphdb_pagerank,
+    graphdb_shortest_paths,
+    graphdb_wcc,
+)
+from repro.baselines.graphdb.wal import WriteAheadLog
+from repro.errors import GraphDbCapacityError, GraphDbError
+from repro.programs.connected_components import reference_components
+from repro.programs.pagerank import reference_pagerank
+from repro.programs.shortest_paths import reference_sssp
+
+
+class TestStoreBasics:
+    def test_create_and_read(self, fast_store):
+        with fast_store.transaction() as tx:
+            tx.create_node(1)
+            tx.create_node(2)
+            tx.create_relationship(1, 2, "KNOWS", weight=2.5)
+        assert fast_store.num_nodes == 2
+        assert fast_store.num_relationships == 1
+        rel = fast_store.node(1).out_rels[0]
+        assert rel.end == 2 and rel.properties["weight"] == 2.5
+        assert fast_store.node(2).in_rels[0].start == 1
+
+    def test_duplicate_node_rejected(self, fast_store):
+        with fast_store.transaction() as tx:
+            tx.create_node(1)
+        with pytest.raises(GraphDbError, match="already exists"):
+            with fast_store.transaction() as tx:
+                tx.create_node(1)
+
+    def test_unknown_node(self, fast_store):
+        with pytest.raises(GraphDbError, match="unknown node"):
+            fast_store.node(42)
+
+    def test_relationship_needs_endpoints(self, fast_store):
+        with pytest.raises(GraphDbError):
+            with fast_store.transaction() as tx:
+                tx.create_relationship(1, 2)
+
+    def test_single_writer(self, fast_store):
+        fast_store.begin()
+        with pytest.raises(GraphDbError, match="already active"):
+            fast_store.begin()
+
+    def test_capacity_cap(self, tmp_path):
+        store = PropertyGraphStore(
+            StoreConfig(
+                wal_path=str(tmp_path / "w.jsonl"),
+                max_nodes=2,
+                access_latency_s=0.0,
+            )
+        )
+        with store.transaction() as tx:
+            tx.create_node(0)
+            tx.create_node(1)
+            with pytest.raises(GraphDbCapacityError):
+                tx.create_node(2)
+        store.close()
+
+
+class TestTransactions:
+    def test_rollback_undoes_everything(self, fast_store):
+        with fast_store.transaction() as tx:
+            tx.create_node(1)
+            tx.set_property(1, "rank", 0.5)
+        tx = fast_store.begin()
+        tx.create_node(2)
+        tx.create_relationship(1, 2)
+        tx.set_property(1, "rank", 0.9)
+        tx.rollback()
+        assert not fast_store.has_node(2)
+        assert fast_store.node(1).properties["rank"] == 0.5
+        assert fast_store.node(1).out_rels == []
+        assert fast_store.num_relationships == 0
+
+    def test_context_manager_rolls_back_on_error(self, fast_store):
+        with pytest.raises(RuntimeError):
+            with fast_store.transaction() as tx:
+                tx.create_node(5)
+                raise RuntimeError("boom")
+        assert not fast_store.has_node(5)
+
+    def test_closed_tx_rejects_reuse(self, fast_store):
+        tx = fast_store.begin()
+        tx.commit()
+        with pytest.raises(GraphDbError, match="closed"):
+            tx.commit()
+
+    def test_set_property_undo_removes_new_key(self, fast_store):
+        with fast_store.transaction() as tx:
+            tx.create_node(1)
+        tx = fast_store.begin()
+        tx.set_property(1, "fresh", 1)
+        tx.rollback()
+        assert "fresh" not in fast_store.node(1).properties
+
+
+class TestWal:
+    def test_replay_returns_only_committed(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.log_operation(1, "create_node", {"id": 1})
+        wal.log_commit(1)
+        wal.log_operation(2, "create_node", {"id": 2})
+        wal.log_abort(2)
+        wal.log_operation(3, "create_node", {"id": 3})  # crash: no commit
+        wal.close()
+        ops = list(WriteAheadLog.replay(path))
+        assert [op["id"] for op in ops] == [1]
+
+    def test_replay_missing_file(self, tmp_path):
+        with pytest.raises(GraphDbError, match="no WAL"):
+            list(WriteAheadLog.replay(str(tmp_path / "nope.jsonl")))
+
+    def test_store_writes_wal(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        store = PropertyGraphStore(StoreConfig(wal_path=path, access_latency_s=0.0))
+        with store.transaction() as tx:
+            tx.create_node(1)
+        store.close()
+        ops = list(WriteAheadLog.replay(path))
+        assert ops[0]["op"] == "create_node"
+
+
+class TestAlgorithms:
+    @pytest.fixture
+    def loaded(self, fast_store, small_graph):
+        fast_store.load_edge_list(small_graph.src, small_graph.dst)
+        with fast_store.transaction() as tx:
+            for v in range(small_graph.num_vertices):
+                if not fast_store.has_node(v):
+                    tx.create_node(v)
+        return fast_store, small_graph
+
+    def test_pagerank_matches_oracle(self, loaded):
+        store, graph = loaded
+        got = graphdb_pagerank(store, iterations=6)
+        oracle = reference_pagerank(graph.num_vertices, graph.src, graph.dst, 6)
+        for v in range(graph.num_vertices):
+            assert got[v] == pytest.approx(oracle[v], abs=1e-10)
+
+    def test_sssp_matches_dijkstra(self, loaded):
+        store, graph = loaded
+        got = graphdb_shortest_paths(store, 0)
+        oracle = reference_sssp(
+            graph.num_vertices, graph.src, graph.dst,
+            np.ones(graph.num_edges), 0,
+        )
+        for v in range(graph.num_vertices):
+            if np.isinf(oracle[v]):
+                assert np.isinf(got[v])
+            else:
+                assert got[v] == oracle[v]
+
+    def test_wcc_matches_union_find(self, loaded):
+        store, graph = loaded
+        got = graphdb_wcc(store)
+        oracle = reference_components(graph.num_vertices, graph.src, graph.dst)
+        for v in range(graph.num_vertices):
+            assert got[v] == oracle[v]
+
+    def test_pagerank_empty_store(self, fast_store):
+        assert graphdb_pagerank(fast_store) == {}
+
+    def test_simulated_latency_accounted(self, tmp_path, tiny_edges):
+        src, dst = tiny_edges
+        store = PropertyGraphStore(
+            StoreConfig(wal_path=str(tmp_path / "w.jsonl"), access_latency_s=1e-5)
+        )
+        store.load_edge_list(src, dst)
+        graphdb_pagerank(store, iterations=2)
+        assert store.simulated_latency_s > 0
+        store.close()

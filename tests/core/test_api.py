@@ -1,0 +1,84 @@
+"""Tests for the vertex API surface."""
+
+import pytest
+
+from repro.core.api import OutEdge, Vertex
+from repro.errors import ProgramError
+
+
+def make_vertex(**overrides) -> Vertex:
+    defaults = dict(
+        vertex_id=3,
+        value=1.5,
+        out_edges=[OutEdge(4, 2.0), OutEdge(5, 1.0)],
+        messages=[0.5, 0.25],
+        superstep=2,
+        num_vertices=10,
+        halted=False,
+    )
+    defaults.update(overrides)
+    return Vertex(**defaults)
+
+
+class TestReads:
+    def test_basic_accessors(self):
+        v = make_vertex()
+        assert v.id == 3
+        assert v.value == 1.5
+        assert v.superstep == 2
+        assert v.num_vertices == 10
+        assert v.out_degree == 2
+        assert v.messages == (0.5, 0.25)
+        assert v.out_edges[0].target == 4
+        assert not v.was_halted
+
+    def test_paper_spelling_aliases(self):
+        v = make_vertex()
+        assert v.getVertexValue() == v.get_vertex_value() == 1.5
+        assert v.getMessages() == v.messages
+        assert v.getOutEdges() == v.out_edges
+
+
+class TestWritesAreBuffered:
+    def test_modify_value(self):
+        v = make_vertex()
+        v.modify_vertex_value(9.0)
+        changed, value = v.collect_value_update()
+        assert changed and value == 9.0
+
+    def test_unmodified_value_flagged(self):
+        v = make_vertex()
+        changed, value = v.collect_value_update()
+        assert not changed and value == 1.5
+
+    def test_send_message(self):
+        v = make_vertex()
+        v.send_message(7, 0.125)
+        v.sendMessage(8, 0.25)
+        assert v.collect_outbox() == [(7, 0.125), (8, 0.25)]
+
+    def test_send_to_all_neighbors(self):
+        v = make_vertex()
+        v.send_message_to_all_neighbors("hi")
+        assert v.collect_outbox() == [(4, "hi"), (5, "hi")]
+
+    def test_send_message_validates_target(self):
+        v = make_vertex()
+        with pytest.raises(ProgramError, match="int vertex id"):
+            v.send_message("four", 1.0)
+
+    def test_vote_to_halt(self):
+        v = make_vertex()
+        assert not v.collect_halt_vote()
+        v.vote_to_halt()
+        assert v.collect_halt_vote()
+
+
+class TestOutEdge:
+    def test_defaults(self):
+        edge = OutEdge(9)
+        assert edge.target == 9 and edge.weight == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            OutEdge(1).target = 2

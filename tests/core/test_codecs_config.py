@@ -1,0 +1,63 @@
+"""Tests for value codecs and the Vertexica configuration."""
+
+import pytest
+
+from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC
+from repro.core.config import VertexicaConfig
+from repro.engine.types import FLOAT, INTEGER, VARCHAR
+from repro.errors import VertexicaError
+
+
+class TestCodecs:
+    def test_float_codec(self):
+        assert FLOAT_CODEC.sql_type is FLOAT
+        assert FLOAT_CODEC.encode_or_none(3) == 3.0
+        assert FLOAT_CODEC.decode_or_none(3.5) == 3.5
+
+    def test_integer_codec(self):
+        assert INTEGER_CODEC.sql_type is INTEGER
+        assert INTEGER_CODEC.encode_or_none(7.0) == 7
+
+    def test_json_codec_roundtrip(self):
+        assert JSON_CODEC.sql_type is VARCHAR
+        payload = {"vector": [1.0, 2.5], "id": 3}
+        encoded = JSON_CODEC.encode_or_none(payload)
+        assert isinstance(encoded, str)
+        assert JSON_CODEC.decode_or_none(encoded) == payload
+
+    def test_none_maps_to_null_both_ways(self):
+        for codec in (FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC):
+            assert codec.encode_or_none(None) is None
+            assert codec.decode_or_none(None) is None
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = VertexicaConfig().validated()
+        assert config.input_strategy == "union"
+        assert config.update_strategy == "auto"
+
+    def test_with_overrides(self):
+        config = VertexicaConfig().with_overrides(n_partitions=16, n_workers=2)
+        assert config.n_partitions == 16 and config.n_workers == 2
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_partitions", 0),
+            ("n_workers", 0),
+            ("input_strategy", "magic"),
+            ("update_strategy", "yolo"),
+            ("replace_threshold", 1.5),
+            ("replace_threshold", -0.1),
+            ("max_supersteps", 0),
+        ],
+    )
+    def test_invalid_settings_rejected(self, field, value):
+        with pytest.raises(VertexicaError):
+            VertexicaConfig(**{field: value}).validated()
+
+    def test_frozen(self):
+        config = VertexicaConfig()
+        with pytest.raises(Exception):
+            config.n_workers = 5

@@ -1,0 +1,136 @@
+"""Tests for the coordinator stored procedure."""
+
+import pytest
+
+from repro.core import Vertexica, VertexicaConfig
+from repro.core.api import Vertex
+from repro.core.coordinator import Coordinator
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphStorage
+from repro.engine import Database
+from repro.errors import VertexicaError
+from repro.programs import PageRank, ShortestPaths
+
+
+class NeverHalts(VertexProgram):
+    """Pathological program: never votes halt, never messages."""
+
+    def initial_value(self, vertex_id, out_degree, num_vertices):
+        return 0.0
+
+    def compute(self, vertex: Vertex) -> None:
+        pass  # neither halts nor sends
+
+
+class TwoStep(VertexProgram):
+    """Counts its own supersteps via the vertex value."""
+
+    def initial_value(self, vertex_id, out_degree, num_vertices):
+        return 0.0
+
+    def compute(self, vertex: Vertex) -> None:
+        vertex.modify_vertex_value(vertex.value + 1.0)
+        if vertex.superstep == 0:
+            vertex.send_message_to_all_neighbors(1.0)
+        vertex.vote_to_halt()
+
+
+class TestTermination:
+    def test_quiescence_all_halted_no_messages(self, vx):
+        g = vx.load_graph("g", [0, 1], [1, 0])
+        result = vx.run(g, TwoStep())
+        # superstep 0 runs everyone; superstep 1 delivers messages; done.
+        assert result.stats.n_supersteps == 2
+        assert result.values == {0: 2.0, 1: 2.0}
+
+    def test_max_supersteps_from_program(self, vx):
+        g = vx.load_graph("g", [0, 1], [1, 0])
+        program = PageRank(iterations=3)
+        result = vx.run(g, program)
+        assert result.stats.n_supersteps == 4  # iterations + final halt step
+
+    def test_max_supersteps_override_via_config(self, vx):
+        g = vx.load_graph("g", [0, 1], [1, 0])
+        result = vx.run(g, PageRank(iterations=10), max_supersteps=2)
+        assert result.stats.n_supersteps == 2
+
+    def test_safety_limit_raises(self, db):
+        storage = GraphStorage(db)
+        handle = storage.load_graph("g", [0], [1])
+        import repro.core.coordinator as coordinator_module
+
+        coordinator = Coordinator(db, VertexicaConfig())
+        original = coordinator_module.SUPERSTEP_SAFETY_LIMIT
+        coordinator_module.SUPERSTEP_SAFETY_LIMIT = 5
+        try:
+            with pytest.raises(VertexicaError, match="safety limit"):
+                coordinator.run(handle, NeverHalts())
+        finally:
+            coordinator_module.SUPERSTEP_SAFETY_LIMIT = original
+
+
+class TestMetrics:
+    def test_superstep_stats_recorded(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=3))
+        stats = result.stats
+        assert stats.program == "PageRank"
+        assert stats.graph == "g"
+        assert stats.total_seconds > 0
+        first = stats.supersteps[0]
+        assert first.superstep == 0
+        assert first.active_vertices == 5
+        assert first.messages_in == 0
+        assert first.messages_out > 0
+        assert stats.total_messages == sum(s.messages_out for s in stats.supersteps)
+
+    def test_metrics_can_be_disabled(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=2), track_metrics=False)
+        assert result.stats.supersteps == []
+        assert result.stats.total_seconds > 0
+
+
+class TestUpdatePathSelection:
+    def test_forced_paths(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        for strategy in ("update", "replace"):
+            result = vx.run(g, PageRank(iterations=2), update_strategy=strategy)
+            paths = {s.update_path for s in result.stats.supersteps if s.vertex_updates}
+            assert paths == {strategy}
+
+    def test_auto_uses_replace_for_dense_updates(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        # PageRank updates every vertex every superstep; threshold 5% -> replace
+        result = vx.run(g, PageRank(iterations=2), update_strategy="auto")
+        assert result.stats.supersteps[0].update_path == "replace"
+
+    def test_auto_uses_update_for_sparse_updates(self, vx):
+        # A long path: late SSSP supersteps touch exactly one vertex,
+        # under the 50% threshold -> in-place update path.
+        n = 6
+        g = vx.load_graph("chain", list(range(n - 1)), list(range(1, n)))
+        result = vx.run(
+            g, ShortestPaths(source=0), update_strategy="auto", replace_threshold=0.5
+        )
+        late = result.stats.supersteps[-2]
+        assert late.update_path == "update"
+
+    def test_both_paths_same_results(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        by_update = vx.run(g, PageRank(iterations=4), update_strategy="update").values
+        by_replace = vx.run(g, PageRank(iterations=4), update_strategy="replace").values
+        assert by_update == by_replace
+
+
+class TestStoredProcedureWiring:
+    def test_coordinator_registered_as_procedure(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        stats = vx.db.call("vertexica_run", g, PageRank(iterations=1), VertexicaConfig())
+        assert stats.n_supersteps == 2

@@ -1,0 +1,60 @@
+"""Failure injection for the Vertexica runtime: a crashing vertex program
+must not corrupt the graph's relational state."""
+
+import pytest
+
+from repro.core import Vertexica
+from repro.core.api import Vertex
+from repro.core.program import VertexProgram
+from repro.errors import UdfError
+from repro.programs import PageRank
+
+
+class ExplodesAtSuperstep(VertexProgram):
+    """Runs normally, then raises inside compute at a chosen superstep."""
+
+    combiner = "SUM"
+
+    def __init__(self, fail_at: int) -> None:
+        self.fail_at = fail_at
+        self.max_supersteps = 10
+
+    def initial_value(self, vertex_id, out_degree, num_vertices):
+        return 1.0
+
+    def compute(self, vertex: Vertex) -> None:
+        if vertex.superstep == self.fail_at:
+            raise RuntimeError("vertex program exploded")
+        vertex.send_message_to_all_neighbors(1.0)
+
+
+class TestCrashConsistency:
+    def test_exception_propagates(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with pytest.raises(RuntimeError, match="exploded"):
+            vx.run(g, ExplodesAtSuperstep(fail_at=1))
+
+    def test_tables_remain_consistent_after_crash(self, vx, tiny_edges):
+        """The worker crashes before any of its output is staged, so the
+        vertex table holds the last completed superstep's state and the
+        graph remains fully analyzable."""
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with pytest.raises(RuntimeError):
+            vx.run(g, ExplodesAtSuperstep(fail_at=2))
+        # vertex table: one consistent row per vertex
+        rows = vx.sql("SELECT id, halted FROM g_vertex ORDER BY id").rows()
+        assert [r[0] for r in rows] == [0, 1, 2, 3, 4]
+        # and a fresh run on the same graph succeeds end-to-end
+        result = vx.run(g, PageRank(iterations=3))
+        assert len(result.values) == 5
+
+    def test_crash_does_not_leak_worker_registrations(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with pytest.raises(RuntimeError):
+            vx.run(g, ExplodesAtSuperstep(fail_at=0))
+        # the transform slot is simply overwritten by the next run
+        result = vx.run(g, PageRank(iterations=2))
+        assert result.stats.n_supersteps == 3

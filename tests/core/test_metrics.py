@@ -1,0 +1,52 @@
+"""Tests for run metrics containers."""
+
+from repro.core.metrics import RunStats, SuperstepStats
+
+
+def make_step(i: int, **overrides) -> SuperstepStats:
+    defaults = dict(
+        superstep=i,
+        active_vertices=10,
+        messages_in=5,
+        messages_out=7,
+        vertex_updates=10,
+        update_path="replace",
+        seconds=0.5,
+    )
+    defaults.update(overrides)
+    return SuperstepStats(**defaults)
+
+
+class TestRunStats:
+    def test_totals(self):
+        stats = RunStats(program="P", graph="g")
+        stats.supersteps = [make_step(0), make_step(1, messages_out=3)]
+        stats.total_seconds = 1.25
+        assert stats.n_supersteps == 2
+        assert stats.total_messages == 10
+        assert stats.total_vertex_updates == 20
+
+    def test_summary_mentions_key_facts(self):
+        stats = RunStats(program="PageRank", graph="twitter")
+        stats.supersteps = [make_step(0)]
+        stats.total_seconds = 2.0
+        text = stats.summary()
+        assert "PageRank" in text and "twitter" in text
+        assert "1 supersteps" in text and "2.000s" in text
+
+    def test_empty_run(self):
+        stats = RunStats(program="P", graph="g")
+        assert stats.n_supersteps == 0
+        assert stats.total_messages == 0
+
+    def test_superstep_stats_frozen(self):
+        step = make_step(0)
+        try:
+            step.seconds = 1.0
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+    def test_aggregated_defaults_empty(self):
+        assert make_step(0).aggregated == ()

@@ -1,0 +1,86 @@
+"""Tests for the Vertexica facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import Vertexica, VertexicaConfig
+from repro.programs import ConnectedComponents, PageRank
+
+
+class TestLoadGraph:
+    def test_symmetrize_adds_reverse_edges(self, vx):
+        g = vx.load_graph("g", [0, 1], [1, 2], symmetrize=True)
+        assert g.num_edges == 4
+        rows = vx.sql("SELECT src, dst FROM g_edge ORDER BY src, dst").rows()
+        assert (1, 0) in rows and (2, 1) in rows
+
+    def test_symmetrize_dedups_existing_reverse(self, vx):
+        g = vx.load_graph("g", [0, 1], [1, 0], symmetrize=True)
+        assert g.num_edges == 2
+
+    def test_symmetrize_preserves_weights(self, vx):
+        vx.load_graph("g", [0], [1], weights=[3.5], symmetrize=True)
+        rows = vx.sql("SELECT src, dst, weight FROM g_edge ORDER BY src").rows()
+        assert rows == [(0, 1, 3.5), (1, 0, 3.5)]
+
+    def test_graph_reattach_by_name(self, vx):
+        vx.load_graph("g", [0], [1])
+        handle = vx.graph("g")
+        assert handle.num_edges == 1
+
+    def test_run_accepts_graph_name(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run("g", PageRank(iterations=2))
+        assert len(result.values) == 5
+
+
+class TestResult:
+    def test_top_k(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=5))
+        top = result.top(2)
+        ranks = sorted(result.values.values(), reverse=True)
+        assert [value for _, value in top] == ranks[:2]
+
+    def test_top_k_ascending(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=5))
+        bottom = result.top(1, reverse=False)
+        assert bottom[0][1] == min(result.values.values())
+
+
+class TestConfigPlumbing:
+    def test_constructor_config_used(self, tiny_edges):
+        src, dst = tiny_edges
+        vx = Vertexica(config=VertexicaConfig(input_strategy="join"))
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=2))
+        assert len(result.values) == 5
+
+    def test_override_does_not_mutate_base(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        vx.run(g, PageRank(iterations=1), n_partitions=9)
+        assert vx.config.n_partitions == 4  # default untouched
+
+    def test_invalid_override_rejected(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with pytest.raises(Exception):
+            vx.run(g, PageRank(iterations=1), input_strategy="nope")
+
+
+class TestSqlAccess:
+    def test_post_processing_in_sql(self, vx, tiny_edges):
+        """§3.4: relational post-processing of graph-algorithm output."""
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        vx.run(g, ConnectedComponents())
+        histogram = vx.sql(
+            "SELECT value AS comp, COUNT(*) AS size FROM g_vertex "
+            "GROUP BY value ORDER BY size DESC"
+        ).rows()
+        assert histogram[0][1] == 5  # tiny graph is one component

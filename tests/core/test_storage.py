@@ -1,0 +1,105 @@
+"""Tests for the relational graph storage layer."""
+
+import pytest
+
+from repro.core.storage import GraphStorage
+from repro.engine import Database
+from repro.errors import GraphLoadError
+from repro.programs import ConnectedComponents, PageRank
+
+
+@pytest.fixture
+def storage(db: Database) -> GraphStorage:
+    return GraphStorage(db)
+
+
+class TestLoadGraph:
+    def test_creates_edge_and_node_tables(self, storage, db):
+        handle = storage.load_graph("g", [0, 1], [1, 2])
+        assert db.has_table("g_edge") and db.has_table("g_node")
+        assert handle.num_vertices == 3
+        assert handle.num_edges == 2
+
+    def test_num_vertices_adds_isolated(self, storage):
+        handle = storage.load_graph("g", [0], [1], num_vertices=5)
+        assert handle.num_vertices == 5
+
+    def test_default_weights_are_one(self, storage, db):
+        storage.load_graph("g", [0], [1])
+        assert db.execute("SELECT weight FROM g_edge").scalar() == 1.0
+
+    def test_reload_replaces(self, storage, db):
+        storage.load_graph("g", [0, 1], [1, 2])
+        handle = storage.load_graph("g", [5], [6])
+        assert handle.num_edges == 1
+
+    def test_bad_name_rejected(self, storage):
+        with pytest.raises(GraphLoadError, match="identifier"):
+            storage.load_graph("bad name!", [0], [1])
+
+    def test_ragged_arrays_rejected(self, storage):
+        with pytest.raises(GraphLoadError, match="differ in length"):
+            storage.load_graph("g", [0, 1], [1])
+
+    def test_negative_ids_rejected(self, storage):
+        with pytest.raises(GraphLoadError, match="non-negative"):
+            storage.load_graph("g", [-1], [1])
+
+    def test_handle_reattach(self, storage):
+        storage.load_graph("g", [0, 1], [1, 2])
+        handle = storage.handle("g")
+        assert handle.num_vertices == 3
+
+    def test_handle_unknown_graph(self, storage):
+        with pytest.raises(GraphLoadError, match="not loaded"):
+            storage.handle("ghost")
+
+
+class TestSetupRun:
+    def test_vertex_table_types_follow_codec(self, storage, db):
+        handle = storage.load_graph("g", [0, 1], [1, 2])
+        storage.setup_run(handle, PageRank(iterations=2))
+        assert db.table("g_vertex").schema.column("value").dtype.name == "FLOAT"
+        storage.setup_run(handle, ConnectedComponents())
+        assert db.table("g_vertex").schema.column("value").dtype.name == "INTEGER"
+
+    def test_initial_values_computed(self, storage, db):
+        handle = storage.load_graph("g", [0, 1], [1, 2], num_vertices=4)
+        storage.setup_run(handle, PageRank(iterations=2))
+        values = db.execute("SELECT value FROM g_vertex").column("value")
+        assert all(v == pytest.approx(0.25) for v in values)
+
+    def test_no_vertex_starts_halted(self, storage, db):
+        handle = storage.load_graph("g", [0], [1])
+        storage.setup_run(handle, PageRank(iterations=1))
+        assert db.execute(
+            "SELECT COUNT(*) FROM g_vertex WHERE halted"
+        ).scalar() == 0
+
+    def test_out_degrees(self, storage):
+        handle = storage.load_graph("g", [0, 0, 1], [1, 2, 2], num_vertices=4)
+        degrees = storage.out_degrees(handle)
+        assert degrees == {0: 2, 1: 1}
+
+
+class TestInputSql:
+    def test_union_input_has_all_three_kinds(self, storage, db):
+        handle = storage.load_graph("g", [0, 1], [1, 0])
+        storage.setup_run(handle, PageRank(iterations=1))
+        db.execute("INSERT INTO g_message VALUES (0, 1, 0.5)")
+        batch = db.query_batch(storage.union_input_sql(handle, value_is_varchar=False))
+        kinds = sorted(set(batch.column("kind").to_list()))
+        assert kinds == [0, 1, 2]
+        assert batch.num_rows == 2 + 2 + 1
+
+    def test_join_input_row_count_is_product(self, storage, db):
+        # vertex 0 has 2 out-edges and 2 incoming messages -> 4 combo rows.
+        handle = storage.load_graph("g", [0, 0], [1, 2], num_vertices=3)
+        storage.setup_run(handle, PageRank(iterations=1))
+        db.execute("INSERT INTO g_message VALUES (1, 0, 0.5), (2, 0, 0.25)")
+        batch = db.query_batch(storage.join_input_sql(handle))
+        zero_rows = [r for r in batch.to_rows() if r[0] == 0]
+        assert len(zero_rows) == 4
+        # vertices with no edges/messages still appear once
+        one_rows = [r for r in batch.to_rows() if r[0] == 1]
+        assert len(one_rows) == 1

@@ -1,0 +1,140 @@
+"""Tests for the worker transform UDF (both input formats)."""
+
+import pytest
+
+from repro.core.api import Vertex
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphStorage
+from repro.core.worker import VertexWorker, worker_output_schema
+from repro.engine import Database
+from repro.errors import ProgramError
+from repro.programs import PageRank
+
+
+class EchoProgram(VertexProgram):
+    """Sends its value to every neighbor, records messages seen."""
+
+    def __init__(self):
+        self.seen: dict[int, list] = {}
+
+    def compute(self, vertex: Vertex) -> None:
+        self.seen[vertex.id] = list(vertex.messages)
+        vertex.send_message_to_all_neighbors(float(vertex.id))
+        vertex.vote_to_halt()
+
+
+@pytest.fixture
+def staged(db: Database):
+    """Graph 0->1, 0->2, 1->2 with one pending message to vertex 0."""
+    storage = GraphStorage(db)
+    handle = storage.load_graph("g", [0, 0, 1], [1, 2, 2])
+    program = EchoProgram()
+    storage.setup_run(handle, program)
+    db.execute("INSERT INTO g_message VALUES (2, 0, 7.5)")
+    return db, storage, handle, program
+
+
+class TestUnionFormat:
+    def test_parses_vertices_edges_messages(self, staged):
+        db, storage, handle, program = staged
+        worker = VertexWorker(program, superstep=1, num_vertices=3)
+        db.register_transform("w", worker, worker.schema)
+        out = db.run_transform(
+            "w", storage.union_input_sql(handle, False),
+            partition_by=("vid",), order_by=("vid", "kind"),
+        )
+        assert program.seen[0] == [7.5]
+        # vertex 0 has out-degree 2 -> 2 messages; plus 3 vertex updates...
+        kinds = out.column("kind").to_list()
+        assert kinds.count(1) == 2 + 1 + 0  # v0 two edges, v1 one, v2 none
+
+    def test_superstep0_runs_all_with_no_messages(self, staged):
+        db, storage, handle, program = staged
+        db.execute("TRUNCATE TABLE g_message")
+        worker = VertexWorker(program, superstep=0, num_vertices=3)
+        db.register_transform("w", worker, worker.schema)
+        db.run_transform("w", storage.union_input_sql(handle, False),
+                         partition_by=("vid",), order_by=("vid", "kind"))
+        assert worker.vertices_ran == 3
+        assert program.seen == {0: [], 1: [], 2: []}
+
+    def test_halted_without_messages_skipped(self, staged):
+        db, storage, handle, program = staged
+        db.execute("UPDATE g_vertex SET halted = TRUE")
+        worker = VertexWorker(program, superstep=2, num_vertices=3)
+        db.register_transform("w", worker, worker.schema)
+        db.run_transform("w", storage.union_input_sql(handle, False),
+                         partition_by=("vid",), order_by=("vid", "kind"))
+        # only vertex 0 has a message; others halted with empty inbox
+        assert worker.vertices_ran == 1
+
+    def test_message_to_missing_vertex_dropped(self, staged):
+        db, storage, handle, program = staged
+        db.execute("INSERT INTO g_message VALUES (0, 99, 1.0)")
+        worker = VertexWorker(program, superstep=1, num_vertices=3)
+        db.register_transform("w", worker, worker.schema)
+        db.run_transform("w", storage.union_input_sql(handle, False),
+                         partition_by=("vid",), order_by=("vid", "kind"))
+        assert worker.messages_dropped == 1
+
+    def test_partition_count_does_not_change_results(self, staged):
+        db, storage, handle, program = staged
+        results = []
+        for n_partitions in (1, 2, 8):
+            worker = VertexWorker(program, superstep=1, num_vertices=3)
+            db.register_transform("w", worker, worker.schema)
+            out = db.run_transform(
+                "w", storage.union_input_sql(handle, False),
+                partition_by=("vid",), order_by=("vid", "kind"),
+                n_partitions=n_partitions,
+            )
+            results.append(sorted(out.to_rows()))
+        assert results[0] == results[1] == results[2]
+
+
+class TestJoinFormat:
+    def test_join_format_matches_union_format(self, staged):
+        db, storage, handle, program = staged
+        union_worker = VertexWorker(program, superstep=1, num_vertices=3, input_format="union")
+        db.register_transform("wu", union_worker, union_worker.schema)
+        union_out = db.run_transform(
+            "wu", storage.union_input_sql(handle, False),
+            partition_by=("vid",), order_by=("vid", "kind"),
+        )
+        join_worker = VertexWorker(program, superstep=1, num_vertices=3, input_format="join")
+        db.register_transform("wj", join_worker, join_worker.schema)
+        join_out = db.run_transform(
+            "wj", storage.join_input_sql(handle),
+            partition_by=("vid",), order_by=("vid", "edst", "msrc"),
+        )
+        assert sorted(union_out.to_rows()) == sorted(join_out.to_rows())
+
+    def test_join_format_dedups_messages(self, db):
+        # vertex 0: 3 out-edges x 2 messages = 6 combo rows, but compute
+        # must see exactly 2 messages and 3 edges.
+        storage = GraphStorage(db)
+        handle = storage.load_graph("g", [0, 0, 0], [1, 2, 3])
+        program = EchoProgram()
+        storage.setup_run(handle, program)
+        db.execute("INSERT INTO g_message VALUES (1, 0, 1.0), (2, 0, 2.0)")
+        worker = VertexWorker(program, superstep=1, num_vertices=4, input_format="join")
+        db.register_transform("w", worker, worker.schema)
+        out = db.run_transform(
+            "w", storage.join_input_sql(handle),
+            partition_by=("vid",), order_by=("vid", "edst", "msrc"),
+        )
+        assert sorted(program.seen[0]) == [1.0, 2.0]
+        messages_from_zero = [
+            r for r in out.to_rows() if r[0] == 1 and r[1] == 0
+        ]
+        assert len(messages_from_zero) == 3  # one per out-edge
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ProgramError, match="input format"):
+            VertexWorker(PageRank(iterations=1), 0, 3, input_format="csv")
+
+
+class TestOutputSchema:
+    def test_schema_shape(self):
+        schema = worker_output_schema()
+        assert schema.names() == ["kind", "vid", "dst", "f1", "s1", "halted"]

@@ -1,0 +1,94 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    gplus_like,
+    livejournal_like,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+    twitter_like,
+)
+from repro.errors import DatasetError
+
+
+class TestPowerLaw:
+    def test_exact_edge_count_no_dupes_no_loops(self):
+        g = power_law_graph("g", 100, 500, seed=1)
+        assert g.num_edges == 500
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert len(pairs) == 500
+        assert all(s != d for s, d in pairs)
+
+    def test_ids_in_range(self):
+        g = power_law_graph("g", 50, 200, seed=2)
+        assert g.src.min() >= 0 and g.src.max() < 50
+        assert g.dst.min() >= 0 and g.dst.max() < 50
+
+    def test_deterministic_under_seed(self):
+        a = power_law_graph("g", 80, 300, seed=9)
+        b = power_law_graph("g", 80, 300, seed=9)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+
+    def test_different_seeds_differ(self):
+        a = power_law_graph("g", 80, 300, seed=1)
+        b = power_law_graph("g", 80, 300, seed=2)
+        assert not (np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst))
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        g = power_law_graph("g", 500, 5000, seed=3, exponent=1.5)
+        degrees = np.sort(g.degree_sequence())[::-1]
+        # hubs: top 5% of vertices own a disproportionate share of edges
+        top = degrees[: len(degrees) // 20].sum()
+        assert top / g.num_edges > 0.25
+
+    def test_capacity_check(self):
+        with pytest.raises(DatasetError, match="capacity"):
+            power_law_graph("g", 5, 100, seed=1)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(DatasetError):
+            power_law_graph("g", 1, 0, seed=1)
+
+    def test_weighted(self):
+        g = power_law_graph("g", 30, 100, seed=4, weighted=True, weight_range=(2.0, 3.0))
+        assert g.weights is not None
+        assert g.weights.min() >= 2.0 and g.weights.max() <= 3.0
+
+
+class TestPresets:
+    def test_density_ordering_matches_paper(self):
+        tw = twitter_like(scale=0.1)
+        gp = gplus_like(scale=0.1)
+        lj = livejournal_like(scale=0.1)
+        density = lambda g: g.num_edges / g.num_vertices
+        # GPlus is by far the densest; LiveJournal the sparsest (paper shapes)
+        assert density(gp) > density(tw) > density(lj)
+
+    def test_size_ordering(self):
+        tw = twitter_like(scale=0.1)
+        lj = livejournal_like(scale=0.1)
+        assert lj.num_edges > tw.num_edges
+        assert lj.num_vertices > tw.num_vertices
+
+    def test_scale_parameter(self):
+        small = twitter_like(scale=0.05)
+        big = twitter_like(scale=0.2)
+        assert big.num_edges > small.num_edges
+
+
+class TestFixedShapes:
+    def test_ring(self):
+        g = ring_graph("r", 5)
+        assert g.num_edges == 5
+        assert set(zip(g.src.tolist(), g.dst.tolist())) == {
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0)
+        }
+
+    def test_star(self):
+        g = star_graph("s", 4)
+        assert g.num_vertices == 5
+        assert all(s == 0 for s in g.src)
+        assert sorted(g.dst.tolist()) == [1, 2, 3, 4]

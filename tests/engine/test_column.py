@@ -1,0 +1,145 @@
+"""Tests for null-aware columnar storage."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import Column, concat_columns
+from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
+from repro.errors import TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_values_with_nulls(self):
+        col = Column.from_values(INTEGER, [1, None, 3])
+        assert col.to_list() == [1, None, 3]
+        assert col.null_count() == 1
+        assert col.has_nulls()
+
+    def test_from_values_validates_types(self):
+        with pytest.raises(TypeMismatchError):
+            Column.from_values(INTEGER, [1, "two"])
+
+    def test_empty(self):
+        col = Column.empty(VARCHAR)
+        assert len(col) == 0
+        assert col.to_list() == []
+
+    def test_constant_value(self):
+        col = Column.constant(FLOAT, 2.5, 4)
+        assert col.to_list() == [2.5] * 4
+
+    def test_constant_null(self):
+        col = Column.constant(VARCHAR, None, 3)
+        assert col.to_list() == [None] * 3
+        assert col.null_count() == 3
+
+    def test_from_numpy_normalizes_width(self):
+        col = Column.from_numpy(INTEGER, np.array([1, 2], dtype=np.int32))
+        assert col.values.dtype == np.int64
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column(INTEGER, np.array([1, 2]), np.array([True]))
+
+    def test_value_at(self):
+        col = Column.from_values(VARCHAR, ["a", None])
+        assert col.value_at(0) == "a"
+        assert col.value_at(1) is None
+
+
+class TestTransforms:
+    def test_take(self):
+        col = Column.from_values(INTEGER, [10, 20, 30, None])
+        taken = col.take(np.array([3, 0, 0]))
+        assert taken.to_list() == [None, 10, 10]
+
+    def test_filter(self):
+        col = Column.from_values(FLOAT, [1.0, 2.0, 3.0])
+        kept = col.filter(np.array([True, False, True]))
+        assert kept.to_list() == [1.0, 3.0]
+
+    def test_python_values_are_native(self):
+        col = Column.from_values(INTEGER, [5])
+        assert type(col.to_list()[0]) is int
+        bcol = Column.from_values(BOOLEAN, [True])
+        assert type(bcol.to_list()[0]) is bool
+
+
+class TestCast:
+    def test_int_to_float(self):
+        col = Column.from_values(INTEGER, [1, None]).cast(FLOAT)
+        assert col.dtype is FLOAT
+        assert col.to_list() == [1.0, None]
+
+    def test_float_to_int_truncates(self):
+        col = Column.from_values(FLOAT, [2.9, -2.9]).cast(INTEGER)
+        assert col.to_list() == [2, -2]
+
+    def test_to_varchar_rendering(self):
+        assert Column.from_values(INTEGER, [7]).cast(VARCHAR).to_list() == ["7"]
+        assert Column.from_values(BOOLEAN, [True]).cast(VARCHAR).to_list() == ["true"]
+
+    def test_varchar_to_numeric_parses(self):
+        col = Column.from_values(VARCHAR, ["42", None]).cast(INTEGER)
+        assert col.to_list() == [42, None]
+
+    def test_varchar_garbage_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column.from_values(VARCHAR, ["pear"]).cast(FLOAT)
+
+    def test_identity_cast_is_same_object(self):
+        col = Column.from_values(INTEGER, [1])
+        assert col.cast(INTEGER) is col
+
+    def test_unsupported_cast_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column.from_values(FLOAT, [1.0]).cast(BOOLEAN)
+
+
+class TestEquality:
+    def test_equals_ignores_filler_under_null(self):
+        a = Column(INTEGER, np.array([1, 99]), np.array([True, False]))
+        b = Column(INTEGER, np.array([1, -7]), np.array([True, False]))
+        assert a.equals(b)
+
+    def test_not_equal_on_values(self):
+        a = Column.from_values(INTEGER, [1, 2])
+        b = Column.from_values(INTEGER, [1, 3])
+        assert not a.equals(b)
+
+    def test_not_equal_on_null_positions(self):
+        a = Column.from_values(INTEGER, [1, None])
+        b = Column.from_values(INTEGER, [None, 1])
+        assert not a.equals(b)
+
+    def test_not_equal_across_types(self):
+        a = Column.from_values(INTEGER, [1])
+        b = Column.from_values(FLOAT, [1.0])
+        assert not a.equals(b)
+
+
+class TestConcat:
+    def test_concat_preserves_nulls(self):
+        a = Column.from_values(INTEGER, [1, None])
+        b = Column.from_values(INTEGER, [3])
+        merged = concat_columns([a, b])
+        assert merged.to_list() == [1, None, 3]
+
+    def test_concat_single_is_identity(self):
+        a = Column.from_values(VARCHAR, ["x"])
+        assert concat_columns([a]) is a
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            concat_columns(
+                [Column.from_values(INTEGER, [1]), Column.from_values(FLOAT, [1.0])]
+            )
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(TypeMismatchError):
+            concat_columns([])
+
+    def test_concat_empty_varchar_columns(self):
+        merged = concat_columns([Column.empty(VARCHAR), Column.empty(VARCHAR)])
+        assert len(merged) == 0
+        assert merged.dtype is VARCHAR

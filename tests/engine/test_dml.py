@@ -1,0 +1,158 @@
+"""Tests for INSERT / UPDATE / DELETE / DDL execution."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, ConstraintError, TypeMismatchError
+
+
+class TestInsert:
+    def test_values_multiple_rows(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.row_count == 2
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_column_list_pads_missing_with_null(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR, c FLOAT)")
+        db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)")
+        assert db.execute("SELECT a, b, c FROM t").rows() == [(7, None, 1.5)]
+
+    def test_unknown_column_rejected(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(CatalogError, match="unknown column"):
+            db.execute("INSERT INTO t (nope) VALUES (1)")
+
+    def test_arity_mismatch(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_int_widens_into_float_column(self, db):
+        db.execute("CREATE TABLE t (x FLOAT)")
+        db.execute("INSERT INTO t VALUES (3)")
+        assert db.execute("SELECT x FROM t").scalar() == 3.0
+
+    def test_type_mismatch_rejected(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t VALUES ('text')")
+
+    def test_insert_from_select(self, db):
+        db.execute("CREATE TABLE src (x INTEGER)")
+        db.execute("INSERT INTO src VALUES (1), (2), (3)")
+        db.execute("CREATE TABLE dst (x INTEGER)")
+        result = db.execute("INSERT INTO dst SELECT x * 10 FROM src WHERE x > 1")
+        assert result.row_count == 2
+        assert db.execute("SELECT SUM(x) FROM dst").scalar() == 50
+
+    def test_insert_expression_values(self, db):
+        db.execute("CREATE TABLE t (x FLOAT)")
+        db.execute("INSERT INTO t VALUES (SQRT(16.0))")
+        assert db.execute("SELECT x FROM t").scalar() == 4.0
+
+    def test_constraint_violation_leaves_table_unchanged(self, db):
+        db.execute("CREATE TABLE t (x INTEGER NOT NULL)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestUpdate:
+    def test_update_with_where(self, sample_table):
+        result = sample_table.execute("UPDATE people SET age = age + 1 WHERE age = 28")
+        assert result.row_count == 2
+        assert sample_table.execute(
+            "SELECT COUNT(*) FROM people WHERE age = 29"
+        ).scalar() == 2
+
+    def test_update_all_rows(self, sample_table):
+        assert sample_table.execute("UPDATE people SET score = 0.0").row_count == 5
+
+    def test_update_to_null(self, sample_table):
+        sample_table.execute("UPDATE people SET score = NULL WHERE id = 1")
+        assert sample_table.execute(
+            "SELECT score FROM people WHERE id = 1"
+        ).scalar() is None
+
+    def test_update_type_checked(self, sample_table):
+        with pytest.raises(TypeMismatchError):
+            sample_table.execute("UPDATE people SET age = 'old'")
+
+    def test_update_int_into_float(self, sample_table):
+        sample_table.execute("UPDATE people SET score = 5 WHERE id = 2")
+        assert sample_table.execute(
+            "SELECT score FROM people WHERE id = 2"
+        ).scalar() == 5.0
+
+    def test_update_uses_old_values_consistently(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.execute("UPDATE t SET a = b, b = a")
+        assert db.execute("SELECT a, b FROM t").rows() == [(10, 1)]
+
+
+class TestDelete:
+    def test_delete_with_where(self, sample_table):
+        assert sample_table.execute("DELETE FROM people WHERE age IS NULL").row_count == 1
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 4
+
+    def test_delete_all(self, sample_table):
+        assert sample_table.execute("DELETE FROM people").row_count == 5
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 0
+
+
+class TestDdl:
+    def test_create_drop(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        assert db.has_table("t")
+        db.execute("DROP TABLE t")
+        assert not db.has_table("t")
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(CatalogError, match="already exists"):
+            db.execute("CREATE TABLE t (x INTEGER)")
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (x INTEGER)")  # no error
+
+    def test_drop_missing_rejected_unless_if_exists(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghost")
+        db.execute("DROP TABLE IF EXISTS ghost")  # no error
+
+    def test_ctas(self, sample_table):
+        result = sample_table.execute(
+            "CREATE TABLE adults AS SELECT id, name FROM people WHERE age > 30"
+        )
+        assert result.row_count == 2
+        assert sample_table.execute("SELECT COUNT(*) FROM adults").scalar() == 2
+
+    def test_ctas_duplicate_names_uniquified(self, sample_table):
+        # Colliding output names are disambiguated positionally (DuckDB
+        # style), so CTAS over a star-join still produces a legal table.
+        sample_table.execute(
+            "CREATE TABLE pairs AS SELECT a.id, b.id "
+            "FROM people a JOIN people b ON a.id = b.id"
+        )
+        names = sample_table.table("pairs").schema.names()
+        assert names == ["id", "id_1"]
+
+    def test_truncate(self, sample_table):
+        result = sample_table.execute("TRUNCATE TABLE people")
+        assert result.row_count == 5
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 0
+
+    def test_multiple_primary_keys_rejected(self, db):
+        with pytest.raises(CatalogError, match="multiple PRIMARY KEY"):
+            db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)")
+
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2); "
+            "SELECT SUM(x) FROM t"
+        )
+        assert results[-1].scalar() == 3

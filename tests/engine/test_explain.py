@@ -1,0 +1,49 @@
+"""Tests for EXPLAIN and EXPLAIN ANALYZE."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+
+
+class TestExplain:
+    def test_tree_shape(self, sample_table):
+        plan = sample_table.explain(
+            "SELECT name FROM people WHERE age > 30 ORDER BY name LIMIT 2"
+        )
+        lines = plan.splitlines()
+        assert "Limit" in lines[0]
+        assert any("Sort" in line for line in lines)
+        assert any("Filter" in line for line in lines)
+        assert "TableScan(people" in lines[-1]
+
+    def test_join_plan_shows_hash_join(self, sample_table):
+        plan = sample_table.explain(
+            "SELECT a.name FROM people a JOIN people b ON a.id = b.id"
+        )
+        assert "HashJoin(inner" in plan
+
+    def test_explain_rejects_dml(self, sample_table):
+        with pytest.raises(SqlSyntaxError):
+            sample_table.explain("DELETE FROM people")
+
+
+class TestExplainAnalyze:
+    def test_returns_result_and_annotations(self, sample_table):
+        result, text = sample_table.explain_analyze(
+            "SELECT COUNT(*) FROM people WHERE age IS NOT NULL"
+        )
+        assert result.scalar() == 4
+        assert "rows=" in text and "time=" in text and "ms" in text
+
+    def test_row_counts_per_operator(self, sample_table):
+        _, text = sample_table.explain_analyze(
+            "SELECT name FROM people WHERE age > 30"
+        )
+        scan_line = [l for l in text.splitlines() if "TableScan" in l][0]
+        filter_line = [l for l in text.splitlines() if "Filter" in l][0]
+        assert "rows=5" in scan_line
+        assert "rows=2" in filter_line
+
+    def test_rejects_dml(self, sample_table):
+        with pytest.raises(SqlSyntaxError):
+            sample_table.explain_analyze("TRUNCATE TABLE people")

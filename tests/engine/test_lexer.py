@@ -1,0 +1,105 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.engine.sql.lexer import Token, TokenKind, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql: str) -> list[str]:
+    return [t.text for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert texts("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        assert texts("Vertex EDGE_TABLE") == ["vertex", "edge_table"]
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MiXeD"')
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "MiXeD"
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("select")[-1].kind is TokenKind.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INTEGER and token.text == "42"
+
+    def test_float_forms(self):
+        for text in ("4.25", ".5", "1e3", "1.5E-2", "2e+10"):
+            token = tokenize(text)[0]
+            assert token.kind is TokenKind.FLOAT, text
+
+    def test_integer_then_dot_identifier(self):
+        # "1e" with no exponent digits must not absorb the e.
+        tokens = tokenize("1ex")
+        assert tokens[0].kind is TokenKind.INTEGER
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING and token.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_multichar(self):
+        assert texts("<> <= >= ||") == ["<>", "<=", ">=", "||"]
+
+    def test_bang_equals_normalized(self):
+        assert texts("a != b") == ["a", "<>", "b"]
+
+    def test_param(self):
+        assert tokenize("?")[0].kind is TokenKind.PARAM
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select @")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("select -- comment\n 1") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert texts("select /* multi\nline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated block"):
+            tokenize("/* never ends")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("select\n\nx")
+        ident = [t for t in tokens if t.kind is TokenKind.IDENT][0]
+        assert ident.line == 3
+
+
+class TestTokenMatches:
+    def test_matches(self):
+        token = Token(TokenKind.KEYWORD, "SELECT", 0, 1)
+        assert token.matches(TokenKind.KEYWORD)
+        assert token.matches(TokenKind.KEYWORD, "SELECT")
+        assert not token.matches(TokenKind.KEYWORD, "FROM")
+        assert not token.matches(TokenKind.IDENT)

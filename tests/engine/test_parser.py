@@ -1,0 +1,276 @@
+"""Tests for the SQL parser (AST construction, not execution)."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.engine.sql.ast import (
+    CreateTableAsStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DerivedTable,
+    DropTableStatement,
+    InsertStatement,
+    Join,
+    NamedTable,
+    SelectStatement,
+    SetOperation,
+    TruncateStatement,
+    UpdateStatement,
+)
+from repro.engine.sql.parser import parse_statement, parse_statements
+from repro.errors import SqlSyntaxError
+
+
+def parse_expr(sql: str):
+    stmt = parse_statement(f"SELECT {sql}")
+    return stmt.items[0].expr
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expr("a OR b AND c")
+        assert expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expr("NOT a = b")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+        assert isinstance(expr.operand, BinaryOp)
+
+    def test_unary_minus_folds_literal(self):
+        assert parse_expr("-5") == Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_qualified_column(self):
+        assert parse_expr("e.src") == ColumnRef("src", qualifier="e")
+
+    def test_function_call(self):
+        expr = parse_expr("count(DISTINCT x)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "count" and expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expr("count(*)")
+        assert isinstance(expr.args[0], Star)
+
+    def test_between_and_not_between(self):
+        assert isinstance(parse_expr("x BETWEEN 1 AND 2"), Between)
+        expr = parse_expr("x NOT BETWEEN 1 AND 2")
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_in_list(self):
+        expr = parse_expr("x IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_is_null_variants(self):
+        assert isinstance(parse_expr("x IS NULL"), IsNull)
+        expr = parse_expr("x IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_like(self):
+        expr = parse_expr("name NOT LIKE 'a%'")
+        assert isinstance(expr, LikeExpr) and expr.negated
+
+    def test_case_searched(self):
+        expr = parse_expr("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, CaseExpr)
+        assert expr.operand is None and expr.default is not None
+
+    def test_case_simple(self):
+        expr = parse_expr("CASE x WHEN 1 THEN 'one' END")
+        assert isinstance(expr, CaseExpr) and expr.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expr("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expr("CAST(x AS integer)")
+        assert isinstance(expr, CastExpr) and expr.type_name == "integer"
+
+    def test_boolean_literals(self):
+        assert parse_expr("TRUE") == Literal(True)
+        assert parse_expr("NULL") == Literal(None)
+
+    def test_string_concat_operator(self):
+        assert parse_expr("a || b").op == "||"
+
+
+class TestSelect:
+    def test_full_clause_order(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) AS c FROM t WHERE a > 0 GROUP BY a "
+            "HAVING COUNT(*) > 1 ORDER BY c DESC LIMIT 5 OFFSET 2"
+        )
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.items[1].alias == "c"
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_alias_without_as(self):
+        stmt = parse_statement("SELECT x total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, e.* FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.items[1].expr.qualifier == "e"
+
+    def test_join_chain_left_deep(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_clause
+        assert isinstance(join, Join) and join.kind == "left"
+        assert isinstance(join.left, Join) and join.left.kind == "inner"
+
+    def test_cross_join_and_comma(self):
+        explicit = parse_statement("SELECT * FROM a CROSS JOIN b").from_clause
+        comma = parse_statement("SELECT * FROM a, b").from_clause
+        assert isinstance(explicit, Join) and explicit.kind == "cross"
+        assert isinstance(comma, Join) and comma.kind == "cross"
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT * FROM (SELECT 1 AS x) AS d")
+        assert isinstance(stmt.from_clause, DerivedTable)
+        assert stmt.from_clause.alias == "d"
+
+    def test_union_all_chain(self):
+        stmt = parse_statement("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3")
+        assert isinstance(stmt, SetOperation) and stmt.op == "union"
+        assert isinstance(stmt.left, SetOperation) and stmt.left.op == "union_all"
+
+    def test_union_with_order_limit(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u ORDER BY 1 LIMIT 3")
+        assert isinstance(stmt, SetOperation)
+        assert stmt.limit == 3 and len(stmt.order_by) == 1
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 1")
+        assert stmt.from_clause is None
+
+
+class TestOtherStatements:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ("a", "b") and len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert stmt.select is not None
+
+    def test_insert_parenthesized_select(self):
+        stmt = parse_statement("INSERT INTO t (SELECT * FROM u)")
+        assert stmt.select is not None and stmt.columns is None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, UpdateStatement)
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE x IS NULL")
+        assert isinstance(stmt, DeleteStatement)
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT NOT NULL, s VARCHAR)"
+        )
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns[0].primary_key and stmt.columns[0].not_null
+        assert stmt.columns[1].not_null and not stmt.columns[1].primary_key
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_create_table_as(self):
+        stmt = parse_statement("CREATE TABLE t AS SELECT 1 AS x")
+        assert isinstance(stmt, CreateTableAsStatement)
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTableStatement) and stmt.if_exists
+
+    def test_truncate(self):
+        stmt = parse_statement("TRUNCATE TABLE t")
+        assert isinstance(stmt, TruncateStatement)
+
+    def test_script(self):
+        statements = parse_statements("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1);")
+        assert len(statements) == 2
+
+
+class TestParameters:
+    def test_binding(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?", params=(1, "x"))
+        conjuncts = stmt.where
+        assert conjuncts.left.right == Literal(1)
+        assert conjuncts.right.right == Literal("x")
+
+    def test_missing_params(self):
+        with pytest.raises(SqlSyntaxError, match="no parameters"):
+            parse_statement("SELECT ? ")
+
+    def test_too_few_params(self):
+        with pytest.raises(SqlSyntaxError, match="not enough parameters"):
+            parse_statement("SELECT ?, ?", params=(1,))
+
+    def test_unused_params_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="placeholders"):
+            parse_statement("SELECT 1", params=(1,))
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_statement("SELECT 1 bogus extra")
+
+    def test_incomplete_select(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlSyntaxError, match="expected a statement"):
+            parse_statement("EXPLODE TABLE t")
+
+    def test_join_missing_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+    def test_error_carries_position(self):
+        try:
+            parse_statement("SELECT 1 +")
+        except SqlSyntaxError as exc:
+            assert exc.line >= 1
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

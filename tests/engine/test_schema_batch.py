@@ -1,0 +1,165 @@
+"""Tests for schemas and record batches."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import FLOAT, INTEGER, VARCHAR
+from repro.errors import CatalogError, ExecutionError, TypeMismatchError
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            ColumnDef("id", INTEGER, nullable=False),
+            ColumnDef("name", VARCHAR),
+            ColumnDef("score", FLOAT),
+        ]
+    )
+
+
+class TestSchema:
+    def test_names_and_dtypes(self):
+        s = make_schema()
+        assert s.names() == ["id", "name", "score"]
+        assert s.dtypes() == [INTEGER, VARCHAR, FLOAT]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            Schema([ColumnDef("x", INTEGER), ColumnDef("x", FLOAT)])
+
+    def test_duplicate_bare_names_ok_across_qualifiers(self):
+        s = Schema(
+            [
+                ColumnDef("id", INTEGER, qualifier="a"),
+                ColumnDef("id", INTEGER, qualifier="b"),
+            ]
+        )
+        assert s.index_of("id", "a") == 0
+        assert s.index_of("id", "b") == 1
+
+    def test_unqualified_lookup_ambiguous(self):
+        s = Schema(
+            [
+                ColumnDef("id", INTEGER, qualifier="a"),
+                ColumnDef("id", INTEGER, qualifier="b"),
+            ]
+        )
+        with pytest.raises(CatalogError, match="ambiguous"):
+            s.index_of("id")
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError, match="unknown column"):
+            make_schema().index_of("missing")
+
+    def test_with_qualifier_and_unqualified(self):
+        s = make_schema().with_qualifier("t")
+        assert s.column("id", "t").qualified_name == "t.id"
+        assert s.unqualified().column("id").qualified_name == "id"
+
+    def test_concat_and_project(self):
+        s = make_schema()
+        both = s.with_qualifier("a").concat(s.with_qualifier("b"))
+        assert len(both) == 6
+        sub = both.project([0, 3])
+        assert [c.qualified_name for c in sub] == ["a.id", "b.id"]
+
+    def test_union_compatibility(self):
+        s = make_schema()
+        renamed = Schema(
+            [ColumnDef("x", INTEGER), ColumnDef("y", VARCHAR), ColumnDef("z", FLOAT)]
+        )
+        assert s.union_compatible_with(renamed)
+        assert not s.union_compatible_with(s.project([0, 1]))
+        flipped = Schema(
+            [ColumnDef("x", VARCHAR), ColumnDef("y", INTEGER), ColumnDef("z", FLOAT)]
+        )
+        assert not s.union_compatible_with(flipped)
+
+
+class TestRecordBatch:
+    def test_from_rows_roundtrip(self):
+        batch = RecordBatch.from_rows(
+            make_schema(), [(1, "a", 1.5), (2, None, None)]
+        )
+        assert batch.to_rows() == [(1, "a", 1.5), (2, None, None)]
+        assert batch.num_rows == 2
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            RecordBatch.from_rows(make_schema(), [(1, "a")])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(TypeMismatchError, match="ragged"):
+            RecordBatch(
+                Schema([ColumnDef("a", INTEGER), ColumnDef("b", INTEGER)]),
+                [Column.from_values(INTEGER, [1]), Column.from_values(INTEGER, [1, 2])],
+            )
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(TypeMismatchError, match="declared"):
+            RecordBatch(
+                Schema([ColumnDef("a", INTEGER)]),
+                [Column.from_values(FLOAT, [1.0])],
+            )
+
+    def test_take_filter_slice(self):
+        batch = RecordBatch.from_rows(
+            make_schema(), [(i, str(i), float(i)) for i in range(5)]
+        )
+        assert batch.take(np.array([4, 0])).to_rows()[0][0] == 4
+        assert batch.filter(np.array([True, False, False, False, True])).num_rows == 2
+        assert batch.slice(1, 3).to_rows() == [(1, "1", 1.0), (2, "2", 2.0)]
+        assert batch.slice(4, 99).num_rows == 1
+
+    def test_select_columns(self):
+        batch = RecordBatch.from_rows(make_schema(), [(1, "a", 2.0)])
+        sub = batch.select([2, 0])
+        assert sub.schema.names() == ["score", "id"]
+        assert sub.to_rows() == [(2.0, 1)]
+
+    def test_concat(self):
+        a = RecordBatch.from_rows(make_schema(), [(1, "a", 1.0)])
+        b = RecordBatch.from_rows(make_schema(), [(2, "b", 2.0)])
+        merged = RecordBatch.concat([a, b])
+        assert merged.num_rows == 2
+
+    def test_concat_incompatible(self):
+        a = RecordBatch.from_rows(make_schema(), [(1, "a", 1.0)])
+        b = a.select([0])
+        with pytest.raises(TypeMismatchError):
+            RecordBatch.concat([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ExecutionError):
+            RecordBatch.concat([])
+
+    def test_to_pydict(self):
+        batch = RecordBatch.from_rows(make_schema(), [(1, "a", 1.0)])
+        assert batch.to_pydict() == {"id": [1], "name": ["a"], "score": [1.0]}
+
+    def test_to_pydict_duplicate_names_raises(self):
+        s = Schema(
+            [
+                ColumnDef("id", INTEGER, qualifier="a"),
+                ColumnDef("id", INTEGER, qualifier="b"),
+            ]
+        )
+        batch = RecordBatch.from_rows(s, [(1, 2)])
+        with pytest.raises(ExecutionError):
+            batch.to_pydict()
+
+    def test_append_column(self):
+        batch = RecordBatch.from_rows(make_schema(), [(1, "a", 1.0)])
+        extended = batch.append_column(
+            ColumnDef("extra", INTEGER), Column.from_values(INTEGER, [9])
+        )
+        assert extended.schema.names()[-1] == "extra"
+        assert extended.to_rows() == [(1, "a", 1.0, 9)]
+
+    def test_empty_batch(self):
+        batch = RecordBatch.empty(make_schema())
+        assert batch.num_rows == 0
+        assert batch.to_rows() == []

@@ -1,0 +1,84 @@
+"""Tests for engine transactions (snapshot/rollback semantics)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import TransactionError
+
+
+class TestLifecycle:
+    def test_commit_keeps_changes(self, sample_table):
+        sample_table.begin()
+        sample_table.execute("DELETE FROM people WHERE id = 1")
+        sample_table.commit()
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 4
+
+    def test_rollback_restores_data(self, sample_table):
+        sample_table.begin()
+        sample_table.execute("DELETE FROM people")
+        sample_table.rollback()
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_rollback_restores_updates(self, sample_table):
+        before = sample_table.execute("SELECT SUM(age) FROM people").scalar()
+        sample_table.begin()
+        sample_table.execute("UPDATE people SET age = 0")
+        sample_table.rollback()
+        assert sample_table.execute("SELECT SUM(age) FROM people").scalar() == before
+
+    def test_rollback_drops_created_tables(self, db):
+        db.begin()
+        db.execute("CREATE TABLE temp (x INTEGER)")
+        db.rollback()
+        assert not db.has_table("temp")
+
+    def test_rollback_revives_dropped_tables(self, sample_table):
+        sample_table.begin()
+        sample_table.execute("DROP TABLE people")
+        sample_table.rollback()
+        assert sample_table.has_table("people")
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_version_restored_on_rollback(self, sample_table):
+        table = sample_table.table("people")
+        version = table.version
+        sample_table.begin()
+        sample_table.execute("DELETE FROM people WHERE id = 1")
+        sample_table.rollback()
+        assert table.version == version
+
+
+class TestContextManager:
+    def test_success_commits(self, sample_table):
+        with sample_table.transaction():
+            sample_table.execute("DELETE FROM people WHERE id = 5")
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 4
+
+    def test_exception_rolls_back_and_reraises(self, sample_table):
+        with pytest.raises(RuntimeError):
+            with sample_table.transaction():
+                sample_table.execute("DELETE FROM people")
+                raise RuntimeError("boom")
+        assert sample_table.execute("SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction
+        with db.transaction():
+            assert db.in_transaction
+        assert not db.in_transaction
+
+
+class TestErrors:
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError, match="already in progress"):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError, match="no transaction"):
+            db.commit()
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(TransactionError, match="no transaction"):
+            db.rollback()

@@ -1,0 +1,118 @@
+"""Tests for the engine type system."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    VARCHAR,
+    coerce_python_value,
+    common_type,
+    infer_literal_type,
+    type_from_name,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestTypeFromName:
+    def test_canonical_names(self):
+        assert type_from_name("INTEGER") is INTEGER
+        assert type_from_name("FLOAT") is FLOAT
+        assert type_from_name("VARCHAR") is VARCHAR
+        assert type_from_name("BOOLEAN") is BOOLEAN
+
+    def test_aliases(self):
+        assert type_from_name("int") is INTEGER
+        assert type_from_name("BIGINT") is INTEGER
+        assert type_from_name("double") is FLOAT
+        assert type_from_name("real") is FLOAT
+        assert type_from_name("text") is VARCHAR
+        assert type_from_name("string") is VARCHAR
+        assert type_from_name("bool") is BOOLEAN
+
+    def test_case_insensitive(self):
+        assert type_from_name("InTeGeR") is INTEGER
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError, match="unknown SQL type"):
+            type_from_name("blob")
+
+
+class TestInferLiteralType:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; BOOLEAN must win.
+        assert infer_literal_type(True) is BOOLEAN
+        assert infer_literal_type(False) is BOOLEAN
+
+    def test_scalars(self):
+        assert infer_literal_type(7) is INTEGER
+        assert infer_literal_type(7.5) is FLOAT
+        assert infer_literal_type("x") is VARCHAR
+
+    def test_numpy_scalars(self):
+        assert infer_literal_type(np.int64(3)) is INTEGER
+        assert infer_literal_type(np.float64(3.5)) is FLOAT
+        assert infer_literal_type(np.bool_(True)) is BOOLEAN
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_literal_type([1, 2])
+
+
+class TestCommonType:
+    def test_identity(self):
+        for t in (INTEGER, FLOAT, VARCHAR, BOOLEAN):
+            assert common_type(t, t) is t
+
+    def test_numeric_widening(self):
+        assert common_type(INTEGER, FLOAT) is FLOAT
+        assert common_type(FLOAT, INTEGER) is FLOAT
+
+    def test_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(INTEGER, VARCHAR)
+        with pytest.raises(TypeMismatchError):
+            common_type(BOOLEAN, FLOAT)
+
+
+class TestCoercePythonValue:
+    def test_none_passes_through(self):
+        for t in (INTEGER, FLOAT, VARCHAR, BOOLEAN):
+            assert coerce_python_value(None, t) is None
+
+    def test_integer_accepts_exact_float(self):
+        assert coerce_python_value(3.0, INTEGER) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_python_value(3.5, INTEGER)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_python_value(True, INTEGER)
+
+    def test_float_widens_int(self):
+        value = coerce_python_value(3, FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_python_value("3.5", FLOAT)
+
+    def test_boolean_strict(self):
+        assert coerce_python_value(True, BOOLEAN) is True
+        with pytest.raises(TypeMismatchError):
+            coerce_python_value(1, BOOLEAN)
+
+    def test_varchar_strict(self):
+        assert coerce_python_value("hi", VARCHAR) == "hi"
+        with pytest.raises(TypeMismatchError):
+            coerce_python_value(7, VARCHAR)
+
+    def test_default_values_match_type(self):
+        assert INTEGER.default_value() == 0
+        assert FLOAT.default_value() == 0.0
+        assert BOOLEAN.default_value() is False
+        assert VARCHAR.default_value() == ""

@@ -1,0 +1,116 @@
+"""Tests for collaborative filtering, random walk with restart, degrees."""
+
+import numpy as np
+import pytest
+
+from repro.programs import (
+    CollaborativeFiltering,
+    InDegree,
+    OutDegree,
+    RandomWalkWithRestart,
+)
+from repro.programs.random_walk import reference_rwr
+
+
+def bipartite_ratings():
+    """2 users (0,1) x 2 items (2,3) with known ratings."""
+    return [(0, 2, 5.0), (0, 3, 1.0), (1, 2, 4.0), (1, 3, 2.0)]
+
+
+class TestCollaborativeFiltering:
+    def test_learns_ratings(self, vx):
+        ratings = bipartite_ratings()
+        src = [u for u, i, r in ratings]
+        dst = [i for u, i, r in ratings]
+        weights = [r for u, i, r in ratings]
+        g = vx.load_graph("bip", src, dst, weights=weights, symmetrize=True)
+        program = CollaborativeFiltering(iterations=40, rank=4, learning_rate=0.1)
+        result = vx.run(g, program)
+        rmse = program.rmse(result.values, ratings)
+        assert rmse < 0.75
+        # high rating pairs predicted above low rating pairs
+        assert program.predict(result.values, 0, 2) > program.predict(result.values, 0, 3)
+
+    def test_deterministic_under_seed(self, vx):
+        ratings = bipartite_ratings()
+        src = [u for u, i, r in ratings]
+        dst = [i for u, i, r in ratings]
+        weights = [r for u, i, r in ratings]
+        g = vx.load_graph("bip", src, dst, weights=weights, symmetrize=True)
+        a = vx.run(g, CollaborativeFiltering(iterations=5, seed=3)).values
+        b = vx.run(g, CollaborativeFiltering(iterations=5, seed=3)).values
+        assert a == b
+
+    def test_vector_state_survives_json_codec(self, vx):
+        ratings = bipartite_ratings()
+        src = [u for u, i, r in ratings]
+        dst = [i for u, i, r in ratings]
+        g = vx.load_graph("bip", src, dst, weights=[r for _, _, r in ratings],
+                          symmetrize=True)
+        program = CollaborativeFiltering(iterations=2, rank=3)
+        result = vx.run(g, program)
+        for vector in result.values.values():
+            assert isinstance(vector, list) and len(vector) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollaborativeFiltering(iterations=0)
+        with pytest.raises(ValueError):
+            CollaborativeFiltering(rank=0)
+
+    def test_rmse_empty_ratings(self):
+        assert CollaborativeFiltering.rmse({}, []) == 0.0
+
+
+class TestRandomWalkWithRestart:
+    def test_matches_oracle(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, RandomWalkWithRestart(source=0, iterations=8))
+        oracle = reference_rwr(5, np.array(src), np.array(dst), 0, iterations=8)
+        for v in range(5):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-12)
+
+    def test_source_gets_teleport_mass(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, RandomWalkWithRestart(source=2, iterations=6))
+        assert result.values[2] >= 0.15  # at least the restart mass
+
+    def test_proximity_ordering(self, vx):
+        # chain 0 -> 1 -> 2 -> 3: closer to source = more probability mass
+        g = vx.load_graph("chain", [0, 1, 2], [1, 2, 3])
+        result = vx.run(g, RandomWalkWithRestart(source=0, iterations=6))
+        assert result.values[1] > result.values[2] > result.values[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkWithRestart(source=0, iterations=0)
+        with pytest.raises(ValueError):
+            RandomWalkWithRestart(source=0, restart=0.0)
+
+
+class TestDegrees:
+    def test_out_degree(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, OutDegree())
+        expected = {v: float(src.count(v)) for v in range(5)}
+        assert result.values == expected
+
+    def test_in_degree(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, InDegree())
+        expected = {v: float(dst.count(v)) for v in range(5)}
+        assert result.values == expected
+
+    def test_out_degree_single_superstep(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        assert vx.run(g, OutDegree()).stats.n_supersteps == 1
+
+    def test_in_degree_two_supersteps(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        assert vx.run(g, InDegree()).stats.n_supersteps == 2

@@ -1,0 +1,74 @@
+"""Tests for vertex-centric PageRank against the dense oracle."""
+
+import numpy as np
+import pytest
+
+from repro.programs import PageRank
+from repro.programs.pagerank import reference_pagerank
+
+
+class TestValidation:
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            PageRank(iterations=0)
+
+    def test_bad_damping(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+        with pytest.raises(ValueError):
+            PageRank(damping=0.0)
+
+    def test_declares_sum_combiner(self):
+        assert PageRank(iterations=1).combiner == "SUM"
+
+
+class TestAgainstOracle:
+    def test_exact_match_on_tiny_graph(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=10))
+        oracle = reference_pagerank(5, np.array(src), np.array(dst), iterations=10)
+        for v in range(5):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-12)
+
+    def test_ranks_sum_to_at_most_one(self, vx, small_graph):
+        g = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            num_vertices=small_graph.num_vertices,
+        )
+        result = vx.run(g, PageRank(iterations=8))
+        total = sum(result.values.values())
+        # dangling vertices leak rank mass, so total <= 1 (+ float slack)
+        assert total <= 1.0 + 1e-9
+        assert total > 0.5
+
+    def test_dangling_vertex_keeps_teleport_share(self, vx):
+        # vertex 2 has no out-edges and no in-edges beyond teleport
+        g = vx.load_graph("g", [0], [1], num_vertices=3)
+        result = vx.run(g, PageRank(iterations=5))
+        oracle = reference_pagerank(3, np.array([0]), np.array([1]), iterations=5)
+        assert result.values[2] == pytest.approx(oracle[2])
+
+    def test_hub_ranks_highest(self, vx):
+        # Everyone points at vertex 0.
+        src = [1, 2, 3, 4]
+        dst = [0, 0, 0, 0]
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, PageRank(iterations=5))
+        assert max(result.values, key=result.values.get) == 0
+
+    def test_combiner_off_same_result(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with_combiner = vx.run(g, PageRank(iterations=4), use_combiner=True).values
+        without = vx.run(g, PageRank(iterations=4), use_combiner=False).values
+        for v in range(5):
+            assert with_combiner[v] == pytest.approx(without[v], abs=1e-12)
+
+    def test_message_counts_shrink_with_combiner(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        combined = vx.run(g, PageRank(iterations=3), use_combiner=True).stats
+        raw = vx.run(g, PageRank(iterations=3), use_combiner=False).stats
+        # tiny graph has a vertex with in-degree 2 -> combining merges some
+        assert combined.total_messages <= raw.total_messages

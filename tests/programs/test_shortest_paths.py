@@ -1,0 +1,66 @@
+"""Tests for vertex-centric SSSP against the Dijkstra oracle."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import ring_graph
+from repro.programs import ShortestPaths
+from repro.programs.shortest_paths import INFINITY, reference_sssp
+
+
+class TestAgainstOracle:
+    def test_unweighted(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        result = vx.run(g, ShortestPaths(source=0))
+        oracle = reference_sssp(5, src, dst, [1.0] * len(src), 0)
+        for v in range(5):
+            assert result.values[v] == oracle[v]
+
+    def test_weighted_prefers_cheap_detour(self, vx):
+        # 0->1 costs 10 directly but 3 via 2.
+        g = vx.load_graph("g", [0, 0, 2], [1, 2, 1], weights=[10.0, 1.0, 2.0])
+        result = vx.run(g, ShortestPaths(source=0))
+        assert result.values[1] == 3.0
+
+    def test_unreachable_is_infinity(self, vx):
+        g = vx.load_graph("g", [0], [1], num_vertices=3)
+        result = vx.run(g, ShortestPaths(source=0))
+        assert result.values[2] == INFINITY
+
+    def test_source_distance_zero(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        assert vx.run(g, ShortestPaths(source=3)).values[3] == 0.0
+
+    def test_ring_takes_diameter_supersteps(self, vx):
+        ring = ring_graph("ring", 8)
+        g = vx.load_graph(ring.name, ring.src, ring.dst)
+        result = vx.run(g, ShortestPaths(source=0))
+        assert result.values[7] == 7.0
+        # one superstep per hop (7), plus the source step and the final
+        # superstep where vertex 0 rejects the wrapped-around candidate
+        assert result.stats.n_supersteps == 9
+
+    def test_random_graph_matches_dijkstra(self, vx, small_graph):
+        weights = np.abs(np.sin(np.arange(small_graph.num_edges))) + 0.5
+        g = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            weights=weights, num_vertices=small_graph.num_vertices,
+        )
+        result = vx.run(g, ShortestPaths(source=0))
+        oracle = reference_sssp(
+            small_graph.num_vertices, small_graph.src, small_graph.dst, weights, 0
+        )
+        for v in range(small_graph.num_vertices):
+            if np.isinf(oracle[v]):
+                assert result.values[v] == INFINITY
+            else:
+                assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShortestPaths(source=-1)
+
+    def test_min_combiner_declared(self):
+        assert ShortestPaths(source=0).combiner == "MIN"

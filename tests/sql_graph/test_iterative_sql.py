@@ -1,0 +1,109 @@
+"""Tests for SQL PageRank / SSSP / connected components."""
+
+import numpy as np
+import pytest
+
+from repro.programs.connected_components import reference_components
+from repro.programs.pagerank import reference_pagerank
+from repro.programs.shortest_paths import reference_sssp
+from repro.sql_graph import (
+    connected_components_sql,
+    pagerank_sql,
+    shortest_paths_sql,
+)
+
+
+class TestPagerankSql:
+    def test_matches_oracle(self, vx, small_graph):
+        g = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            num_vertices=small_graph.num_vertices,
+        )
+        got = pagerank_sql(vx.db, g, iterations=6)
+        oracle = reference_pagerank(
+            small_graph.num_vertices, small_graph.src, small_graph.dst, iterations=6
+        )
+        for v in range(small_graph.num_vertices):
+            assert got[v] == pytest.approx(oracle[v], abs=1e-12)
+
+    def test_custom_damping(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        got = pagerank_sql(vx.db, g, iterations=4, damping=0.5)
+        oracle = reference_pagerank(5, np.array(src), np.array(dst), 4, damping=0.5)
+        for v in range(5):
+            assert got[v] == pytest.approx(oracle[v])
+
+    def test_scratch_tables_cleaned_up(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        before = set(vx.db.table_names())
+        pagerank_sql(vx.db, g, iterations=2)
+        assert set(vx.db.table_names()) == before
+
+    def test_matches_vertex_centric(self, vx, tiny_edges):
+        from repro.programs import PageRank
+
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        sql_ranks = pagerank_sql(vx.db, g, iterations=7)
+        vertex_ranks = vx.run(g, PageRank(iterations=7)).values
+        for v in range(5):
+            assert sql_ranks[v] == pytest.approx(vertex_ranks[v], abs=1e-12)
+
+
+class TestSsspSql:
+    def test_matches_dijkstra(self, vx, small_graph):
+        weights = (np.arange(small_graph.num_edges) % 5 + 1).astype(float)
+        g = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            weights=weights, num_vertices=small_graph.num_vertices,
+        )
+        got = shortest_paths_sql(vx.db, g, 0)
+        oracle = reference_sssp(
+            small_graph.num_vertices, small_graph.src, small_graph.dst, weights, 0
+        )
+        for v in range(small_graph.num_vertices):
+            if np.isinf(oracle[v]):
+                assert np.isinf(got[v])
+            else:
+                assert got[v] == pytest.approx(oracle[v])
+
+    def test_unreachable_is_inf(self, vx):
+        g = vx.load_graph("g", [0], [1], num_vertices=3)
+        got = shortest_paths_sql(vx.db, g, 0)
+        assert np.isinf(got[2])
+
+    def test_early_termination(self, vx):
+        """The Bellman-Ford loop stops once a round improves nothing."""
+        g = vx.load_graph("chain", [0, 1], [1, 2], num_vertices=3)
+        statements_before = vx.db.statements_executed
+        shortest_paths_sql(vx.db, g, 0)
+        # far fewer statements than |V|-1 full rounds would need
+        assert vx.db.statements_executed - statements_before < 40
+
+    def test_scratch_cleanup(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        before = set(vx.db.table_names())
+        shortest_paths_sql(vx.db, g, 0)
+        assert set(vx.db.table_names()) == before
+
+
+class TestComponentsSql:
+    def test_matches_union_find(self, vx, small_graph):
+        g = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            num_vertices=small_graph.num_vertices, symmetrize=True,
+        )
+        got = connected_components_sql(vx.db, g)
+        oracle = reference_components(
+            small_graph.num_vertices, small_graph.src, small_graph.dst
+        )
+        for v in range(small_graph.num_vertices):
+            assert got[v] == oracle[v]
+
+    def test_isolated_vertices_own_component(self, vx):
+        g = vx.load_graph("g", [0], [1], num_vertices=4, symmetrize=True)
+        got = connected_components_sql(vx.db, g)
+        assert got[2] == 2 and got[3] == 3

@@ -1,0 +1,131 @@
+"""Tests for the 1-hop SQL algorithms against networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sql_graph import (
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+    per_node_triangle_counts_sql,
+    strong_overlap_sql,
+    triangle_count_sql,
+    weak_ties_sql,
+)
+
+
+@pytest.fixture
+def nx_pair(vx, small_graph):
+    """(handle, networkx.Graph) over the same edges."""
+    handle = vx.load_graph(
+        small_graph.name, small_graph.src, small_graph.dst,
+        num_vertices=small_graph.num_vertices,
+    )
+    G = nx.Graph()
+    G.add_nodes_from(range(small_graph.num_vertices))
+    G.add_edges_from(zip(small_graph.src.tolist(), small_graph.dst.tolist()))
+    return handle, G
+
+
+class TestTriangles:
+    def test_total_matches_networkx(self, vx, nx_pair):
+        handle, G = nx_pair
+        expected = sum(nx.triangles(G).values()) // 3
+        assert triangle_count_sql(vx.db, handle) == expected
+
+    def test_per_node_matches_networkx(self, vx, nx_pair):
+        handle, G = nx_pair
+        got = per_node_triangle_counts_sql(vx.db, handle)
+        expected = nx.triangles(G)
+        assert got == expected
+
+    def test_explicit_triangle(self, vx):
+        g = vx.load_graph("tri", [0, 1, 2, 5], [1, 2, 0, 6])
+        assert triangle_count_sql(vx.db, g) == 1
+        counts = per_node_triangle_counts_sql(vx.db, g)
+        assert counts[0] == counts[1] == counts[2] == 1
+        assert counts[5] == counts[6] == 0
+
+    def test_direction_insensitive(self, vx):
+        # 0->1, 2->1, 0->2 forms an undirected triangle regardless of arrows
+        g = vx.load_graph("tri", [0, 2, 0], [1, 1, 2])
+        assert triangle_count_sql(vx.db, g) == 1
+
+    def test_triangle_free_graph(self, vx):
+        g = vx.load_graph("path", [0, 1, 2], [1, 2, 3])
+        assert triangle_count_sql(vx.db, g) == 0
+
+
+class TestClustering:
+    def test_local_matches_networkx(self, vx, nx_pair):
+        handle, G = nx_pair
+        got = local_clustering_coefficients(vx.db, handle)
+        expected = nx.clustering(G)
+        for v in G.nodes:
+            assert got[v] == pytest.approx(expected[v])
+
+    def test_global_matches_transitivity(self, vx, nx_pair):
+        handle, G = nx_pair
+        assert global_clustering_coefficient(vx.db, handle) == pytest.approx(
+            nx.transitivity(G)
+        )
+
+    def test_empty_graph(self, vx):
+        g = vx.load_graph("lonely", [0], [1], num_vertices=5)
+        assert global_clustering_coefficient(vx.db, g) == 0.0
+
+
+class TestStrongOverlap:
+    def test_matches_brute_force(self, vx, nx_pair):
+        handle, G = nx_pair
+        got = {(a, b): c for a, b, c in strong_overlap_sql(vx.db, handle, min_common=3)}
+        for (a, b), common in got.items():
+            assert a < b
+            expected = len(set(G.neighbors(a)) & set(G.neighbors(b)))
+            assert common == expected
+        # completeness: every qualifying pair is present
+        nodes = list(G.nodes)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                overlap = len(set(G.neighbors(a)) & set(G.neighbors(b)))
+                if overlap >= 3:
+                    assert (min(a, b), max(a, b)) in got
+
+    def test_explicit_shape(self, vx):
+        # 0 and 1 share neighbors {2, 3}; symmetrically 2 and 3 share {0, 1}.
+        g = vx.load_graph("v", [0, 0, 1, 1], [2, 3, 2, 3])
+        pairs = strong_overlap_sql(vx.db, g, min_common=2)
+        assert pairs == [(0, 1, 2), (2, 3, 2)]
+
+
+class TestWeakTies:
+    def test_star_center_bridges_all_pairs(self, vx):
+        # star: 0 connected to 1..4; 0 bridges C(4,2)=6 disconnected pairs.
+        g = vx.load_graph("star", [0, 0, 0, 0], [1, 2, 3, 4])
+        ties = weak_ties_sql(vx.db, g)
+        assert ties[0] == 6
+        assert all(v not in ties for v in (1, 2, 3, 4))
+
+    def test_triangle_has_no_weak_ties(self, vx):
+        g = vx.load_graph("tri", [0, 1, 2], [1, 2, 0])
+        assert weak_ties_sql(vx.db, g) == {}
+
+    def test_matches_brute_force(self, vx, nx_pair):
+        handle, G = nx_pair
+        got = weak_ties_sql(vx.db, handle, min_pairs=1)
+        for v in G.nodes:
+            neighbors = sorted(G.neighbors(v))
+            expected = 0
+            for i, a in enumerate(neighbors):
+                for b in neighbors[i + 1:]:
+                    if not G.has_edge(a, b):
+                        expected += 1
+            if expected:
+                assert got[v] == expected
+            else:
+                assert v not in got
+
+    def test_min_pairs_threshold(self, vx):
+        g = vx.load_graph("star", [0, 0, 0], [1, 2, 3])
+        assert weak_ties_sql(vx.db, g, min_pairs=4) == {}
+        assert weak_ties_sql(vx.db, g, min_pairs=3) == {0: 3}

@@ -1,0 +1,107 @@
+"""Tests for the benchmark harness itself (scale, formatting, agreement)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figure2 import figure2_rows, run_system, sssp_source
+from repro.bench.harness import (
+    SystemTiming,
+    bench_graphs,
+    bench_scale,
+    format_figure2_table,
+    pagerank_iterations,
+)
+from repro.datasets.generators import power_law_graph, twitter_like
+
+
+class TestScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.25
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale() == 0.25
+
+    def test_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert bench_scale() == 0.01
+
+    def test_iterations_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PR_ITERS", "7")
+        assert pagerank_iterations() == 7
+
+
+class TestGraphs:
+    def test_bench_graphs_cached(self):
+        assert bench_graphs(0.05) is bench_graphs(0.05)
+
+    def test_ordering_small_to_large(self):
+        graphs = bench_graphs(0.05).ordered()
+        assert [g.name for g in graphs] == ["twitter", "gplus", "livejournal"]
+
+    def test_by_name(self):
+        graphs = bench_graphs(0.05)
+        assert graphs.by_name("gplus").name == "gplus"
+
+
+class TestFormatting:
+    def test_table_layout(self):
+        rows = [
+            SystemTiming("giraph", "twitter", 1.5),
+            SystemTiming("vertexica", "twitter", 0.5),
+            SystemTiming("graphdb", "twitter", None, note="exceeds capacity"),
+        ]
+        text = format_figure2_table("Demo", rows)
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "twitter" in lines[2]
+        assert any("1.500s" in line for line in lines)
+        assert any("DNF" in line for line in lines)
+        assert any("exceeds capacity" in line for line in lines)
+
+    def test_system_row_order_matches_paper(self):
+        rows = [
+            SystemTiming("vertexica_sql", "twitter", 0.1),
+            SystemTiming("graphdb", "twitter", 3.0),
+        ]
+        text = format_figure2_table("t", rows)
+        assert text.index("Graph Database") < text.index("Vertexica (SQL)")
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return power_law_graph("twitter", 40, 150, seed=2)
+
+    def test_sssp_source_is_hub(self, tiny):
+        source = sssp_source(tiny)
+        degrees = tiny.degree_sequence()
+        assert degrees[source] == degrees.max()
+
+    def test_vertexica_and_sql_agree(self, tiny):
+        _, fp_vertex = run_system("vertexica", tiny, "pagerank")
+        _, fp_sql = run_system("vertexica_sql", tiny, "pagerank")
+        assert fp_vertex == pytest.approx(fp_sql, rel=1e-9)
+
+    def test_figure2_rows_checks_agreement(self, tiny):
+        rows = figure2_rows(
+            "pagerank", [tiny], systems=("vertexica", "vertexica_sql")
+        )
+        assert len(rows) == 2
+        assert all(r.seconds is not None for r in rows)
+
+    def test_figure2_rows_graphdb_dnf_on_larger(self):
+        small = power_law_graph("twitter", 30, 80, seed=3)
+        large = power_law_graph("livejournal", 60, 200, seed=3)
+        rows = figure2_rows(
+            "sssp", [small, large],
+            systems=("graphdb", "vertexica_sql"),
+        )
+        cells = {(r.system, r.graph): r for r in rows}
+        assert cells[("graphdb", "twitter")].seconds is not None
+        assert cells[("graphdb", "livejournal")].seconds is None

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy: one family, catchable at any level."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        leaves = [
+            errors.SqlSyntaxError("x"),
+            errors.CatalogError("x"),
+            errors.TypeMismatchError("x"),
+            errors.ConstraintError("x"),
+            errors.TransactionError("x"),
+            errors.UdfError("x"),
+            errors.PlanError("x"),
+            errors.ExecutionError("x"),
+            errors.ProgramError("x"),
+            errors.GraphLoadError("x"),
+            errors.GraphDbError("x"),
+            errors.GraphDbCapacityError("x"),
+            errors.DatasetError("x"),
+            errors.PipelineError("x"),
+        ]
+        for exc in leaves:
+            assert isinstance(exc, errors.ReproError)
+
+    def test_engine_family(self):
+        for cls in (
+            errors.SqlSyntaxError,
+            errors.CatalogError,
+            errors.TypeMismatchError,
+            errors.ConstraintError,
+            errors.TransactionError,
+            errors.UdfError,
+            errors.PlanError,
+            errors.ExecutionError,
+        ):
+            assert issubclass(cls, errors.EngineError)
+
+    def test_vertexica_family(self):
+        assert issubclass(errors.ProgramError, errors.VertexicaError)
+        assert issubclass(errors.GraphLoadError, errors.VertexicaError)
+
+    def test_baseline_family(self):
+        assert issubclass(errors.GraphDbError, errors.BaselineError)
+        assert issubclass(errors.GraphDbCapacityError, errors.GraphDbError)
+
+    def test_sql_syntax_error_location(self):
+        exc = errors.SqlSyntaxError("bad token", position=17, line=2)
+        assert "line 2" in str(exc)
+        assert "17" in str(exc)
+        assert exc.position == 17
+
+    def test_sql_syntax_error_without_location(self):
+        exc = errors.SqlSyntaxError("bad")
+        assert str(exc) == "bad"
+
+    def test_one_except_catches_engine_and_vertexica(self):
+        caught = []
+        for exc in (errors.PlanError("a"), errors.ProgramError("b")):
+            try:
+                raise exc
+            except errors.ReproError as err:
+                caught.append(type(err).__name__)
+        assert caught == ["PlanError", "ProgramError"]

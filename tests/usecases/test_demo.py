@@ -1,0 +1,180 @@
+"""Tests for the §4 demo layer: layout, scope selection, console."""
+
+import math
+
+import pytest
+
+from repro.datasets import MetadataSpec, attach_metadata
+from repro.demo import DemoConsole, ScopeSelector, assign_layout
+from repro.errors import VertexicaError
+from repro.sql_graph import pagerank_sql, triangle_count_sql
+
+
+@pytest.fixture
+def loaded(vx, small_graph):
+    handle = vx.load_graph(
+        small_graph.name, small_graph.src, small_graph.dst,
+        num_vertices=small_graph.num_vertices,
+    )
+    return vx, handle
+
+
+class TestLayout:
+    def test_one_row_per_vertex_in_unit_box(self, loaded):
+        vx, handle = loaded
+        table = assign_layout(vx.db, handle, seed=1)
+        rows = vx.sql(f"SELECT id, x, y FROM {table}").rows()
+        assert len(rows) == handle.num_vertices
+        for _, x, y in rows:
+            assert -1.001 <= x <= 1.001 and -1.001 <= y <= 1.001
+
+    def test_deterministic_under_seed(self, loaded):
+        vx, handle = loaded
+        t1 = assign_layout(vx.db, handle, seed=5)
+        rows1 = vx.sql(f"SELECT * FROM {t1} ORDER BY id").rows()
+        t2 = assign_layout(vx.db, handle, seed=5)
+        rows2 = vx.sql(f"SELECT * FROM {t2} ORDER BY id").rows()
+        assert rows1 == rows2
+
+    def test_hubs_near_center(self, loaded):
+        vx, handle = loaded
+        table = assign_layout(vx.db, handle, seed=1)
+        hub = vx.sql(
+            f"SELECT src FROM {handle.edge_table} GROUP BY src "
+            f"ORDER BY COUNT(*) DESC LIMIT 1"
+        ).scalar()
+        hub_r = vx.sql(
+            f"SELECT SQRT(x*x + y*y) FROM {table} WHERE id = ?", params=(hub,)
+        ).scalar()
+        max_r = vx.sql(f"SELECT MAX(SQRT(x*x + y*y)) FROM {table}").scalar()
+        assert hub_r < max_r / 2
+
+
+class TestScopeSelection:
+    def test_by_vertices_induced_subgraph(self, loaded):
+        vx, handle = loaded
+        picked = [0, 1, 2, 3, 4, 5]
+        sub = ScopeSelector(vx.db, handle).by_vertices(picked)
+        edges = vx.sql(f"SELECT src, dst FROM {sub.edge_table}").rows()
+        for src, dst in edges:
+            assert src in picked and dst in picked
+        oracle = vx.sql(
+            f"SELECT COUNT(*) FROM {handle.edge_table} "
+            f"WHERE src IN (0,1,2,3,4,5) AND dst IN (0,1,2,3,4,5)"
+        ).scalar()
+        assert len(edges) == oracle
+
+    def test_by_vertices_keeps_isolated_picks(self, loaded):
+        vx, handle = loaded
+        sub = ScopeSelector(vx.db, handle).by_vertices([0, 59])
+        ids = {r[0] for r in vx.sql(f"SELECT id FROM {sub.node_table}").rows()}
+        assert {0, 59} <= ids
+
+    def test_by_vertices_empty_rejected(self, loaded):
+        vx, handle = loaded
+        with pytest.raises(VertexicaError):
+            ScopeSelector(vx.db, handle).by_vertices([])
+
+    def test_by_rectangle(self, loaded):
+        vx, handle = loaded
+        assign_layout(vx.db, handle, seed=2)
+        selector = ScopeSelector(vx.db, handle)
+        sub = selector.by_rectangle(-0.5, -0.5, 0.5, 0.5)
+        inside = {
+            r[0] for r in vx.sql(
+                f"SELECT id FROM {handle.name}_layout "
+                "WHERE x BETWEEN -0.5 AND 0.5 AND y BETWEEN -0.5 AND 0.5"
+            ).rows()
+        }
+        picked = {r[0] for r in vx.sql(f"SELECT id FROM {sub.node_table}").rows()}
+        assert picked == inside
+
+    def test_by_rectangle_requires_layout(self, loaded):
+        vx, handle = loaded
+        with pytest.raises(VertexicaError, match="no layout"):
+            ScopeSelector(vx.db, handle).by_rectangle(0, 0, 1, 1)
+
+    def test_by_edge_predicate_uses_metadata(self, loaded):
+        vx, handle = loaded
+        attach_metadata(
+            vx.db, handle,
+            MetadataSpec(uniform_ints=1, zipf_ints=1, floats=1, strings=1),
+            seed=4,
+        )
+        sub = ScopeSelector(vx.db, handle).by_edge_predicate("etype = 'family'")
+        expected = vx.sql(
+            f"SELECT COUNT(*) FROM {handle.name}_edge_attrs WHERE etype = 'family'"
+        ).scalar()
+        assert sub.num_edges == expected
+
+    def test_by_node_predicate(self, loaded):
+        vx, handle = loaded
+        attach_metadata(
+            vx.db, handle,
+            MetadataSpec(uniform_ints=1, zipf_ints=1, floats=1, strings=1),
+            seed=4,
+        )
+        sub = ScopeSelector(vx.db, handle).by_node_predicate("u0 = 1")
+        qualifying = {
+            r[0] for r in vx.sql(
+                f"SELECT id FROM {handle.name}_node_attrs WHERE u0 = 1"
+            ).rows()
+        }
+        picked = {r[0] for r in vx.sql(f"SELECT id FROM {sub.node_table}").rows()}
+        assert picked == qualifying
+
+    def test_algorithms_run_on_scope(self, loaded):
+        """A selected scope is a full graph handle: algorithms just work."""
+        vx, handle = loaded
+        sub = ScopeSelector(vx.db, handle).by_vertices(list(range(20)))
+        ranks = pagerank_sql(vx.db, sub, iterations=4)
+        assert all(v < 20 for v in ranks)
+
+
+class TestConsole:
+    def test_counts(self, loaded):
+        vx, handle = loaded
+        console = DemoConsole(vx.db, handle, label="Mar")
+        assert console.node_count() == f"Mar node count = {handle.num_vertices}"
+        assert console.edge_count() == f"Mar edges count = {handle.num_edges}"
+        triangles = triangle_count_sql(vx.db, handle)
+        assert console.triangle_count() == f"Mar triangle count = {triangles}"
+
+    def test_top_shortest_paths_sorted(self, loaded):
+        vx, handle = loaded
+        console = DemoConsole(vx.db, handle)
+        hub = vx.sql(
+            f"SELECT src FROM {handle.edge_table} GROUP BY src "
+            f"ORDER BY COUNT(*) DESC LIMIT 1"
+        ).scalar()
+        text = console.top_shortest_paths(source=hub, k=3)
+        distances = [
+            float(line.split("|")[1]) for line in text.splitlines()[2:]
+        ]
+        assert distances == sorted(distances)
+        assert len(distances) == 3
+
+    def test_top_pageranks_match_sql(self, loaded):
+        vx, handle = loaded
+        console = DemoConsole(vx.db, handle)
+        text = console.top_pageranks(k=2)
+        ranks = pagerank_sql(vx.db, handle, iterations=10)
+        best = max(ranks, key=lambda v: (ranks[v], -v))
+        assert f"> {best} |" in text
+
+    def test_histogram_counts_every_vertex(self, loaded):
+        vx, handle = loaded
+        console = DemoConsole(vx.db, handle)
+        text = console.histogram(buckets=4)
+        counts = [int(line.rsplit("|", 1)[1]) for line in text.splitlines()[2:]]
+        assert sum(counts) == handle.num_vertices
+        assert len(counts) == 4
+
+    def test_full_report_contains_all_blocks(self, loaded):
+        vx, handle = loaded
+        report = DemoConsole(vx.db, handle, label="Mar").report(source=0)
+        for needle in (
+            "node count", "edges count", "triangle count",
+            "top shortest paths", "top pageranks", "histogram",
+        ):
+            assert needle in report

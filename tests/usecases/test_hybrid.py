@@ -1,0 +1,110 @@
+"""Tests for the §3.2 hybrid queries."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid import (
+    important_bridges,
+    near_or_important,
+    pagerank_on_subgraph,
+    sssp_from_most_clustered,
+)
+from repro.sql_graph import (
+    local_clustering_coefficients,
+    pagerank_sql,
+    shortest_paths_sql,
+    weak_ties_sql,
+)
+
+
+@pytest.fixture
+def loaded(vx, small_graph):
+    handle = vx.load_graph(
+        small_graph.name, small_graph.src, small_graph.dst,
+        num_vertices=small_graph.num_vertices,
+    )
+    return vx, handle
+
+
+class TestImportantBridges:
+    def test_results_satisfy_both_predicates(self, loaded):
+        vx, handle = loaded
+        bridges = important_bridges(vx.db, handle, rank_percentile=0.8)
+        assert bridges, "expected at least one important bridge on this graph"
+        ranks = pagerank_sql(vx.db, handle, iterations=10)
+        ties = weak_ties_sql(vx.db, handle, min_pairs=1)
+        ordered = sorted(ranks.values())
+        threshold = ordered[min(int(len(ordered) * 0.8), len(ordered) - 1)]
+        for vertex, rank, pairs in bridges:
+            assert rank > threshold
+            assert ties[vertex] == pairs
+
+    def test_sorted_by_rank_desc(self, loaded):
+        vx, handle = loaded
+        bridges = important_bridges(vx.db, handle, rank_percentile=0.5)
+        ranks = [rank for _, rank, _ in bridges]
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestSsspFromMostClustered:
+    def test_source_has_max_coefficient(self, loaded):
+        vx, handle = loaded
+        source, distances = sssp_from_most_clustered(vx.db, handle)
+        coefficients = local_clustering_coefficients(vx.db, handle)
+        assert coefficients[source] == max(coefficients.values())
+        assert distances[source] == 0.0
+
+    def test_distances_match_direct_sssp(self, loaded):
+        vx, handle = loaded
+        source, distances = sssp_from_most_clustered(vx.db, handle)
+        assert distances == shortest_paths_sql(vx.db, handle, source)
+
+
+class TestNearOrImportant:
+    def test_categories_are_correct(self, loaded):
+        vx, handle = loaded
+        out = near_or_important(
+            vx.db, handle, source=0, distance_threshold=2.0, rank_percentile=0.9
+        )
+        assert out
+        distances = shortest_paths_sql(vx.db, handle, 0)
+        ranks = pagerank_sql(vx.db, handle, iterations=10)
+        ordered = sorted(ranks.values())
+        threshold = ordered[min(int(len(ordered) * 0.9), len(ordered) - 1)]
+        for vertex, reason in out:
+            near = distances[vertex] < 2.0
+            important = ranks[vertex] > threshold
+            expected = {
+                (True, True): "both",
+                (True, False): "near",
+                (False, True): "important",
+            }[(near, important)]
+            assert reason == expected
+
+    def test_all_flagged_vertices_included(self, loaded):
+        vx, handle = loaded
+        out = dict(near_or_important(vx.db, handle, 0, 2.0, rank_percentile=0.9))
+        distances = shortest_paths_sql(vx.db, handle, 0)
+        for vertex, distance in distances.items():
+            if distance < 2.0:
+                assert vertex in out
+
+
+class TestLocalizedPagerank:
+    def test_subgraph_selection_filters_edges(self, vx):
+        src = [0, 1, 2, 3]
+        dst = [1, 2, 3, 0]
+        weights = [5.0, 1.0, 5.0, 1.0]
+        handle = vx.load_graph("wg", src, dst, weights=weights)
+        sub_ranks = pagerank_on_subgraph(vx, handle, "weight > 2.0", iterations=5)
+        # only the heavy edges 0->1 and 2->3 survive -> 4 vertices remain
+        assert set(sub_ranks) == {0, 1, 2, 3}
+        assert vx.db.table("wg_sub_edge").num_rows == 2
+
+    def test_predicate_can_reference_endpoints(self, vx, small_graph):
+        handle = vx.load_graph(
+            small_graph.name, small_graph.src, small_graph.dst,
+            num_vertices=small_graph.num_vertices,
+        )
+        sub_ranks = pagerank_on_subgraph(vx, handle, "src < 30 AND dst < 30")
+        assert all(v < 30 for v in sub_ranks)

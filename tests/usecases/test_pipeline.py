@@ -1,0 +1,141 @@
+"""Tests for the dataflow pipeline layer (§3.4 / GUI Dataflow panel)."""
+
+import pytest
+
+from repro.pipeline import (
+    Pipeline,
+    aggregate_stage,
+    pagerank_stage,
+    select_subgraph_stage,
+    shortest_paths_stage,
+    sql_stage,
+    triangle_count_stage,
+)
+from repro.errors import PipelineError
+from repro.sql_graph import pagerank_sql
+
+
+@pytest.fixture
+def context(vx, small_graph):
+    handle = vx.load_graph(
+        small_graph.name, small_graph.src, small_graph.dst,
+        num_vertices=small_graph.num_vertices,
+    )
+    return {"db": vx.db, "graph": handle}
+
+
+class TestDagExecution:
+    def test_stages_run_in_dependency_order(self):
+        order = []
+
+        def make(name):
+            def stage(ctx):
+                order.append(name)
+                return name
+
+            return stage
+
+        pipe = (
+            Pipeline()
+            .add_stage("a", make("a"))
+            .add_stage("b", make("b"), depends_on=["a"])
+            .add_stage("c", make("c"), depends_on=["a"])
+            .add_stage("d", make("d"), depends_on=["b", "c"])
+        )
+        pipe.run()
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("d") == 3
+
+    def test_stage_outputs_flow_through_context(self):
+        pipe = (
+            Pipeline()
+            .add_stage("x", lambda ctx: 21)
+            .add_stage("y", lambda ctx: ctx["x"] * 2, depends_on=["x"])
+        )
+        result = pipe.run()
+        assert result["y"] == 42
+
+    def test_initial_context_visible(self):
+        pipe = Pipeline().add_stage("x", lambda ctx: ctx["seed"] + 1)
+        assert pipe.run({"seed": 4})["x"] == 5
+
+    def test_duplicate_stage_rejected(self):
+        pipe = Pipeline().add_stage("x", lambda ctx: 1)
+        with pytest.raises(PipelineError, match="duplicate"):
+            pipe.add_stage("x", lambda ctx: 2)
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PipelineError, match="unknown stage"):
+            Pipeline().add_stage("x", lambda ctx: 1, depends_on=["ghost"])
+
+    def test_stage_failure_wrapped_with_name(self):
+        pipe = Pipeline().add_stage("boom", lambda ctx: 1 / 0)
+        with pytest.raises(PipelineError, match="'boom' failed"):
+            pipe.run()
+
+    def test_timings_recorded(self):
+        pipe = Pipeline().add_stage("x", lambda ctx: 1)
+        result = pipe.run()
+        assert set(result.timings()) == {"x"}
+        assert result.total_seconds >= 0
+
+    def test_missing_result_key(self):
+        result = Pipeline().add_stage("x", lambda ctx: 1).run()
+        with pytest.raises(KeyError):
+            result["nope"]
+
+
+class TestPaperPipeline:
+    def test_selection_triangle_sssp_pagerank_aggregate(self, context):
+        """The GUI's example dataflow: Selection -> Triangle Counting +
+        Shortest Paths + PageRank -> Aggregate."""
+        pipe = (
+            Pipeline("demo")
+            .add_stage("subgraph", select_subgraph_stage("src < 40 AND dst < 40", name="sub"))
+            .add_stage("triangles", triangle_count_stage(graph_key="subgraph"),
+                       depends_on=["subgraph"])
+            .add_stage("paths", shortest_paths_stage(0, graph_key="subgraph"),
+                       depends_on=["subgraph"])
+            .add_stage("ranks", pagerank_stage(iterations=5, graph_key="subgraph"),
+                       depends_on=["subgraph"])
+            .add_stage(
+                "top3",
+                aggregate_stage("ranks", lambda ranks: sorted(
+                    ranks.items(), key=lambda kv: (-kv[1], kv[0])
+                )[:3]),
+                depends_on=["ranks"],
+            )
+        )
+        result = pipe.run(context)
+        assert isinstance(result["triangles"], int)
+        assert len(result["top3"]) == 3
+        sub = result["subgraph"]
+        assert all(v < 40 for v in result["ranks"])
+        # ranks match a direct run over the same subgraph
+        direct = pagerank_sql(context["db"], sub, iterations=5)
+        assert result["ranks"] == direct
+
+    def test_sql_stage(self, context):
+        pipe = Pipeline().add_stage(
+            "count", sql_stage(f"SELECT COUNT(*) FROM {context['graph'].edge_table}")
+        )
+        assert pipe.run(context)["count"][0][0] == context["graph"].num_edges
+
+    def test_rank_histogram_post_processing(self, context):
+        """§4.2.2: 'distribution of PageRank values' as an aggregate stage."""
+
+        def histogram(ranks):
+            buckets = {}
+            for value in ranks.values():
+                bucket = round(value, 3)
+                buckets[bucket] = buckets.get(bucket, 0) + 1
+            return buckets
+
+        pipe = (
+            Pipeline()
+            .add_stage("ranks", pagerank_stage(iterations=4))
+            .add_stage("hist", aggregate_stage("ranks", histogram), depends_on=["ranks"])
+        )
+        result = pipe.run(context)
+        assert sum(result["hist"].values()) == context["graph"].num_vertices

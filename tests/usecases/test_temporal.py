@@ -1,0 +1,163 @@
+"""Tests for §3.3 dynamic graph analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sql_graph import pagerank_sql, triangle_count_sql
+from repro.temporal import (
+    ContinuousAnalysis,
+    GraphMutator,
+    VersionedEdgeStore,
+    pagerank_delta,
+    pagerank_over_time,
+    paths_decreased,
+)
+
+
+class TestMutations:
+    @pytest.fixture
+    def loaded(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        handle = vx.load_graph("g", src, dst, num_vertices=5)
+        return vx, handle, GraphMutator(vx.db, handle)
+
+    def test_add_edge(self, loaded):
+        vx, handle, mutator = loaded
+        before = handle.num_edges
+        mutator.add_edge(4, 1, weight=2.0)
+        assert handle.num_edges == before + 1
+        assert vx.sql(
+            "SELECT weight FROM g_edge WHERE src = 4 AND dst = 1"
+        ).scalar() == 2.0
+
+    def test_add_edge_creates_unknown_endpoints(self, loaded):
+        vx, handle, mutator = loaded
+        mutator.add_edge(100, 101)
+        node_ids = {r[0] for r in vx.sql("SELECT id FROM g_node").rows()}
+        assert {100, 101} <= node_ids
+
+    def test_remove_edge(self, loaded):
+        vx, handle, mutator = loaded
+        removed = mutator.remove_edge(0, 1)
+        assert removed == 1
+        assert vx.sql(
+            "SELECT COUNT(*) FROM g_edge WHERE src = 0 AND dst = 1"
+        ).scalar() == 0
+
+    def test_update_weight(self, loaded):
+        vx, handle, mutator = loaded
+        assert mutator.update_weight(0, 1, 9.5) == 1
+        assert vx.sql(
+            "SELECT weight FROM g_edge WHERE src = 0 AND dst = 1"
+        ).scalar() == 9.5
+
+    def test_remove_vertex_cascades(self, loaded):
+        vx, handle, mutator = loaded
+        removed_edges = mutator.remove_vertex(2)
+        assert removed_edges == 4  # 0->2, 1->2, 2->0, 2->3
+        assert vx.sql("SELECT COUNT(*) FROM g_node WHERE id = 2").scalar() == 0
+
+    def test_batch_is_atomic(self, loaded):
+        vx, handle, mutator = loaded
+        before = vx.sql("SELECT COUNT(*) FROM g_edge").scalar()
+        with pytest.raises(Exception):
+            mutator.add_edges([(0, 4, 1.0), (None, 5, 1.0)])  # second row bad
+        assert vx.sql("SELECT COUNT(*) FROM g_edge").scalar() == before
+
+    def test_analysis_sees_mutations(self, loaded):
+        """§3.3's point: mutate, re-run, results change accordingly."""
+        vx, handle, mutator = loaded
+        before = triangle_count_sql(vx.db, handle)
+        mutator.add_edge(1, 0)  # closes triangle 0-1-2
+        after = triangle_count_sql(vx.db, handle)
+        assert after >= before
+
+
+class TestVersionedStore:
+    def test_snapshot_respects_intervals(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edge(0, 1, timestamp=100)
+        store.add_edge(1, 2, timestamp=200)
+        store.remove_edge(0, 1, timestamp=300)
+        assert store.snapshot(150).num_edges == 1
+        assert store.snapshot(250).num_edges == 2
+        assert store.snapshot(350).num_edges == 1
+
+    def test_snapshot_vertex_set_is_stable_across_time(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edge(0, 1, timestamp=100)
+        store.add_edge(2, 3, timestamp=500)
+        early = store.snapshot(150)
+        assert early.num_vertices == 4  # includes future vertices 2, 3
+
+    def test_timestamps(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edge(0, 1, timestamp=100)
+        store.remove_edge(0, 1, timestamp=300)
+        assert store.timestamps() == [100, 300]
+
+    def test_remove_only_closes_live_intervals(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edge(0, 1, timestamp=100)
+        store.remove_edge(0, 1, timestamp=200)
+        assert store.remove_edge(0, 1, timestamp=400) == 0
+
+
+class TestTemporalQueries:
+    def test_pagerank_over_time_and_delta(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        # at t=100: chain 0->1->2; at t=300 a hub edge appears: 2->1
+        store.add_edges([(0, 1, 100), (1, 2, 100)])
+        store.add_edge(2, 1, timestamp=300)
+        series = pagerank_over_time(db, store, [200, 400], iterations=5)
+        assert set(series) == {200, 400}
+        delta = pagerank_delta(series[200], series[400])
+        moved = dict(delta)
+        assert moved.get(1, 0) > 0  # vertex 1 gained rank from the new edge
+
+    def test_pagerank_delta_thresholds_and_topk(self):
+        before = {0: 0.5, 1: 0.25, 2: 0.25}
+        after = {0: 0.1, 1: 0.6, 2: 0.3}
+        all_changes = pagerank_delta(before, after)
+        assert [v for v, _ in all_changes] == [0, 1, 2]
+        assert pagerank_delta(before, after, top_k=1)[0][0] == 0
+        assert pagerank_delta(before, after, min_change=0.3) == [(0, pytest.approx(-0.4)), (1, pytest.approx(0.35))]
+
+    def test_paths_decreased(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edges([(0, 1, 10), (1, 2, 10)])  # 0->2 costs 2 hops
+        store.add_edge(0, 2, timestamp=500)  # shortcut appears
+        out = paths_decreased(db, store, source=0, before_ts=100, after_ts=600)
+        assert out == [(2, 2.0, 1.0)]
+
+    def test_paths_decreased_respects_threshold(self, db):
+        store = VersionedEdgeStore(db, "vg")
+        store.add_edges([(0, 1, 10), (1, 2, 10)])
+        store.add_edge(0, 2, timestamp=500)
+        assert paths_decreased(db, store, 0, 100, 600, min_decrease=2.0) == []
+
+
+class TestContinuous:
+    def test_history_accumulates(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        handle = vx.load_graph("g", src, dst, num_vertices=5)
+        analysis = ContinuousAnalysis(
+            vx.db, handle, lambda db, g: triangle_count_sql(db, g)
+        )
+        first = analysis.run_once()
+        second = analysis.apply_and_rerun(edges_to_add=[(1, 0, 1.0)])
+        assert first.tick == 0 and second.tick == 1
+        assert second.mutations_applied == 1
+        assert len(analysis.history) == 2
+        assert second.seconds > 0
+
+    def test_removals_applied(self, vx, tiny_edges):
+        src, dst = tiny_edges
+        handle = vx.load_graph("g", src, dst, num_vertices=5)
+        analysis = ContinuousAnalysis(
+            vx.db, handle,
+            lambda db, g: db.execute(f"SELECT COUNT(*) FROM {g.edge_table}").scalar(),
+        )
+        baseline = analysis.run_once().result
+        tick = analysis.apply_and_rerun(edges_to_remove=[(0, 1)])
+        assert tick.result == baseline - 1
