@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Figure-2 perf trajectory runner: PageRank / SSSP / CC on the standard
+generated graphs, batch vs. scalar data plane.
+
+Writes a ``BENCH_*.json`` with wall time per superstep, rows/sec, and
+vertices/sec for every (graph, algorithm, compute-path) cell, so future
+PRs have a trajectory point to compare against::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI smoke
+
+``--quick`` runs a tiny scale, asserts batch/scalar agreement, checks the
+batch path is not slower than scalar (a loud perf-regression tripwire),
+and does not write a file unless ``--out`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any
+
+from repro.bench.figure2 import sssp_source
+from repro.bench.harness import bench_graphs, pagerank_iterations
+from repro.core import Vertexica, VertexicaConfig
+from repro.datasets.generators import Graph
+from repro.programs import ConnectedComponents, PageRank, ShortestPaths
+
+MODES = ("batch", "scalar")
+
+
+ALGORITHMS = ("pagerank", "sssp", "cc")
+
+
+def _program_for(algorithm: str, graph: Graph):
+    if algorithm == "pagerank":
+        return PageRank(iterations=pagerank_iterations())
+    if algorithm == "sssp":
+        return ShortestPaths(source=sssp_source(graph))
+    if algorithm == "cc":
+        return ConnectedComponents()
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def _fingerprint(values: dict[int, Any]) -> float:
+    total = 0.0
+    for value in values.values():
+        if isinstance(value, (int, float)) and value == value and value != float("inf"):
+            total += float(value)
+    return total
+
+
+def run_cell(
+    graph: Graph, algorithm: str, mode: str, n_partitions: int, repeat: int = 1
+) -> dict[str, Any]:
+    """One (graph, algorithm, compute-path) measurement.
+
+    With ``repeat > 1`` the run with the smallest superstep wall time
+    wins — best-of-N suppresses scheduler jitter, the usual practice for
+    sub-second benchmark cells.
+    """
+    vx = Vertexica(
+        config=VertexicaConfig(n_partitions=n_partitions, compute_strategy=mode)
+    )
+    handle = vx.load_graph(
+        graph.name,
+        graph.src,
+        graph.dst,
+        num_vertices=graph.num_vertices,
+        symmetrize=algorithm == "cc",
+    )
+    best: tuple[float, Any] | None = None
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        result = vx.run(handle, _program_for(algorithm, graph))
+        total = time.perf_counter() - started
+        step_secs = sum(s.seconds for s in result.stats.supersteps)
+        if best is None or step_secs < best[0]:
+            best = (step_secs, (total, result))
+    total, result = best[1]
+    stats = result.stats
+    superstep_seconds = sum(s.seconds for s in stats.supersteps)
+    return {
+        "graph": graph.name,
+        "algorithm": algorithm,
+        "mode": mode,
+        "num_vertices": handle.num_vertices,
+        "num_edges": handle.num_edges,
+        "n_supersteps": stats.n_supersteps,
+        "total_seconds": round(total, 6),
+        "superstep_seconds": round(superstep_seconds, 6),
+        "vertices_per_sec": round(stats.vertices_per_sec, 1),
+        "rows_per_sec": round(stats.rows_per_sec, 1),
+        "fingerprint": _fingerprint(result.values),
+        "supersteps": [
+            {
+                "superstep": s.superstep,
+                "seconds": round(s.seconds, 6),
+                "compute_path": s.compute_path,
+                "active_vertices": s.active_vertices,
+                "rows_in": s.rows_in,
+                "rows_out": s.rows_out,
+                "messages_out": s.messages_out,
+                "vertices_per_sec": round(s.vertices_per_sec, 1),
+                "rows_per_sec": round(s.rows_per_sec, 1),
+            }
+            for s in stats.supersteps
+        ],
+    }
+
+
+def git_commit() -> str | None:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except OSError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument("--scale", type=float, default=None, help="graph scale override")
+    parser.add_argument(
+        "--graphs", default="twitter,gplus,livejournal", help="comma-separated graph names"
+    )
+    parser.add_argument(
+        "--algos", default="pagerank,sssp,cc", help="comma-separated algorithms"
+    )
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="runs per cell; the best (min superstep time) is recorded",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny-scale smoke run: twitter only, asserts parity and that "
+        "the batch path did not regress below the scalar path",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.05 if args.quick and args.scale is None else args.scale
+    graphs = bench_graphs(scale)
+    graph_names = ["twitter"] if args.quick else args.graphs.split(",")
+    algos = args.algos.split(",")
+    known_graphs = {g.name for g in graphs.ordered()}
+    bad = [g for g in graph_names if g not in known_graphs] + [
+        a for a in algos if a not in ALGORITHMS
+    ]
+    if bad:
+        parser.error(
+            f"unknown graph/algorithm name(s): {', '.join(bad)} "
+            f"(graphs: {', '.join(sorted(known_graphs))}; algos: {', '.join(ALGORITHMS)})"
+        )
+    out_path = args.out
+    if out_path is None and not args.quick:
+        # Trajectory files are append-only history: never clobber an
+        # existing one implicitly — require an explicit --out for that.
+        out_path = "BENCH_PR1.json"
+        if os.path.exists(out_path):
+            print(
+                f"{out_path} already exists; pass --out to overwrite it or "
+                "choose a new trajectory filename (e.g. --out BENCH_PR2.json)",
+                file=sys.stderr,
+            )
+            out_path = None
+
+    results: list[dict[str, Any]] = []
+    speedups: dict[str, float] = {}
+    failures: list[str] = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        for algorithm in algos:
+            cells = {
+                mode: run_cell(graph, algorithm, mode, args.partitions, args.repeat)
+                for mode in MODES
+            }
+            results.extend(cells.values())
+            batch, scalar = cells["batch"], cells["scalar"]
+            if abs(batch["fingerprint"] - scalar["fingerprint"]) > 1e-6 * max(
+                1.0, abs(scalar["fingerprint"])
+            ):
+                failures.append(
+                    f"{graph_name}/{algorithm}: batch and scalar paths disagree "
+                    f"({batch['fingerprint']} vs {scalar['fingerprint']})"
+                )
+            ratio = (
+                scalar["superstep_seconds"] / batch["superstep_seconds"]
+                if batch["superstep_seconds"]
+                else float("inf")
+            )
+            speedups[f"{graph_name}/{algorithm}"] = round(ratio, 2)
+            print(
+                f"{graph_name:<12} {algorithm:<9} "
+                f"batch {batch['superstep_seconds']:.3f}s  "
+                f"scalar {scalar['superstep_seconds']:.3f}s  "
+                f"({ratio:.1f}x, {batch['vertices_per_sec']:,.0f} v/s)"
+            )
+
+    report = {
+        "bench": "figure2 data-plane trajectory",
+        "commit": git_commit(),
+        "scale": scale if scale is not None else "default",
+        "pagerank_iterations": pagerank_iterations(),
+        "n_partitions": args.partitions,
+        "repeat": args.repeat,
+        "speedup_scalar_over_batch_superstep_seconds": speedups,
+        "results": results,
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {out_path}")
+
+    if failures:
+        for line in failures:
+            print("FAIL:", line, file=sys.stderr)
+        return 1
+    if args.quick:
+        # Loud perf tripwire: the vectorized path must not lose to the
+        # scalar path on any cell (generous 1.2x slack for CI noise).
+        for key, ratio in speedups.items():
+            if ratio < 1.0 / 1.2:
+                print(f"FAIL: batch path slower than scalar on {key} ({ratio}x)", file=sys.stderr)
+                return 1
+        print("quick bench OK:", ", ".join(f"{k}={v}x" for k, v in speedups.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

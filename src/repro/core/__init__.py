@@ -11,7 +11,12 @@ from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC, ValueCodec
 from repro.core.config import VertexicaConfig
 from repro.core.coordinator import Coordinator, register_coordinator
 from repro.core.metrics import RunStats, SuperstepStats
-from repro.core.program import VertexProgram
+from repro.core.program import (
+    BatchVertexProgram,
+    VertexBatch,
+    VertexProgram,
+    supports_batch,
+)
 from repro.core.runner import Vertexica, VertexicaResult
 from repro.core.storage import GraphHandle, GraphStorage
 
@@ -19,6 +24,9 @@ __all__ = [
     "Vertex",
     "OutEdge",
     "VertexProgram",
+    "BatchVertexProgram",
+    "VertexBatch",
+    "supports_batch",
     "ValueCodec",
     "FLOAT_CODEC",
     "INTEGER_CODEC",

@@ -7,6 +7,12 @@ keeps a latent-factor vector per vertex) serialize through a VARCHAR
 column as JSON.  A codec declares the SQL type and the encode/decode pair,
 so the Vertexica storage layer can create correctly-typed vertex/message
 tables for any program.
+
+For the vectorized data plane, a codec may also carry *array* hooks
+(``decode_array_fn`` / ``encode_array_fn``) that map whole numpy arrays at
+once; the builtin FLOAT/INTEGER codecs use dtype casts (effectively free),
+while codecs without hooks fall back to a per-item loop over the scalar
+pair — correct for any custom codec, just not vectorized.
 """
 
 from __future__ import annotations
@@ -15,9 +21,14 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.engine.types import FLOAT, INTEGER, VARCHAR, DataType
 
 __all__ = ["ValueCodec", "FLOAT_CODEC", "INTEGER_CODEC", "JSON_CODEC"]
+
+#: Signature of the optional vectorized hooks: (values, valid) -> values.
+ArrayFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -29,12 +40,18 @@ class ValueCodec:
         sql_type: the column type holding encoded values.
         encode: Python value -> storable value (None passes through as NULL).
         decode: storable value -> Python value (None passes through).
+        decode_array_fn: optional vectorized decode over a storage array
+            (positions where ``valid`` is False hold filler and must be
+            passed through untouched).
+        encode_array_fn: optional vectorized encode to a storage array.
     """
 
     name: str
     sql_type: DataType
     encode: Callable[[Any], Any]
     decode: Callable[[Any], Any]
+    decode_array_fn: ArrayFn | None = None
+    encode_array_fn: ArrayFn | None = None
 
     def encode_or_none(self, value: Any) -> Any:
         """Encode, mapping ``None`` to SQL NULL."""
@@ -48,7 +65,65 @@ class ValueCodec:
             return None
         return self.decode(value)
 
+    # ------------------------------------------------------------------
+    # Vectorized paths (the batch data plane)
+    # ------------------------------------------------------------------
+    def decode_array(self, values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Decode a storage array into a dense decoded array.
 
-FLOAT_CODEC = ValueCodec("float", FLOAT, float, float)
-INTEGER_CODEC = ValueCodec("integer", INTEGER, int, int)
+        NULL positions keep their filler value (callers track validity
+        out-of-band, exactly like :class:`~repro.engine.column.Column`).
+        """
+        if self.decode_array_fn is not None:
+            return self.decode_array_fn(values, valid)
+        out = np.empty(len(values), dtype=object)
+        for i, (item, ok) in enumerate(zip(values, valid)):
+            out[i] = self.decode(item) if ok else item
+        return out
+
+    def encode_array(self, values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Encode a decoded array into a storage array (inverse of
+        :meth:`decode_array`; NULL positions pass through)."""
+        if self.encode_array_fn is not None:
+            return self.encode_array_fn(values, valid)
+        out = np.empty(len(values), dtype=object)
+        for i, (item, ok) in enumerate(zip(values, valid)):
+            out[i] = self.encode(item) if ok else item
+        return out
+
+    def decode_list(self, values: np.ndarray, valid: np.ndarray) -> list[Any]:
+        """Decode a storage array into Python values (``None`` for NULL).
+
+        The scalar compute path uses this to decode a whole partition in
+        one pass instead of calling :meth:`decode_or_none` per row.
+        """
+        decoded = self.decode_array(values, valid).tolist()
+        if bool(valid.all()):
+            return decoded
+        return [item if ok else None for item, ok in zip(decoded, valid)]
+
+
+def _cast_array(dtype: Any) -> ArrayFn:
+    def cast(values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        return values.astype(dtype, copy=False)
+
+    return cast
+
+
+FLOAT_CODEC = ValueCodec(
+    "float",
+    FLOAT,
+    float,
+    float,
+    decode_array_fn=_cast_array(np.float64),
+    encode_array_fn=_cast_array(np.float64),
+)
+INTEGER_CODEC = ValueCodec(
+    "integer",
+    INTEGER,
+    int,
+    int,
+    decode_array_fn=_cast_array(np.int64),
+    encode_array_fn=_cast_array(np.int64),
+)
 JSON_CODEC = ValueCodec("json", VARCHAR, json.dumps, json.loads)

@@ -28,6 +28,11 @@ class VertexicaConfig:
         n_workers: parallel worker threads executing partitions.  1 keeps
             execution serial and fully deterministic.
         input_strategy: ``"union"`` or ``"join"`` (see module docstring).
+        compute_strategy: ``"auto"`` runs the vectorized batch data plane
+            for programs implementing ``compute_batch`` and falls back to
+            the per-vertex scalar path otherwise; ``"batch"`` requires the
+            batch path (raising for programs without it); ``"scalar"``
+            forces the per-vertex path (the parity/ablation foil).
         update_strategy: ``"auto"`` applies the paper's rule — replace the
             table unless the updated-tuple count is below
             ``replace_threshold`` × table size; ``"update"`` / ``"replace"``
@@ -43,6 +48,7 @@ class VertexicaConfig:
     n_partitions: int = 4
     n_workers: int = 1
     input_strategy: str = "union"
+    compute_strategy: str = "auto"
     update_strategy: str = "auto"
     replace_threshold: float = 0.05
     use_combiner: bool = True
@@ -62,6 +68,11 @@ class VertexicaConfig:
         if self.input_strategy not in ("union", "join"):
             raise VertexicaError(
                 f"input_strategy must be 'union' or 'join', got {self.input_strategy!r}"
+            )
+        if self.compute_strategy not in ("auto", "batch", "scalar"):
+            raise VertexicaError(
+                "compute_strategy must be 'auto', 'batch', or 'scalar', "
+                f"got {self.compute_strategy!r}"
             )
         if self.update_strategy not in ("auto", "update", "replace"):
             raise VertexicaError(

@@ -14,7 +14,7 @@ import time
 
 from repro.core.config import VertexicaConfig
 from repro.core.metrics import RunStats, SuperstepStats
-from repro.core.program import VertexProgram
+from repro.core.program import VertexProgram, supports_batch
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.core.worker import VertexWorker
 from repro.engine.database import Database
@@ -63,6 +63,7 @@ class Coordinator:
         )
         transform_name = f"{graph.name}_worker"
         aggregated: dict[str, float] = {}
+        use_batch = self._resolve_compute_path(program)
 
         superstep = 0
         while True:
@@ -85,6 +86,7 @@ class Coordinator:
                 graph.num_vertices,
                 input_format=config.input_strategy,
                 aggregated=aggregated,
+                use_batch=use_batch,
             )
             self.db.register_transform(transform_name, worker, worker.schema)
             if config.input_strategy == "union":
@@ -124,12 +126,36 @@ class Coordinator:
                         update_path=path if vertex_updates else "none",
                         seconds=time.perf_counter() - step_started,
                         aggregated=tuple(sorted(aggregated.items())),
+                        rows_in=worker.rows_in,
+                        rows_out=output.num_rows,
+                        compute_path="batch" if use_batch else "scalar",
                     )
                 )
             superstep += 1
 
         stats.total_seconds = time.perf_counter() - started
         return stats
+
+    # ------------------------------------------------------------------
+    def _resolve_compute_path(self, program: VertexProgram) -> bool:
+        """Pick the vectorized batch path when the program supports it
+        (``compute_strategy="auto"``); honor explicit overrides.
+
+        Raises:
+            VertexicaError: when ``"batch"`` is forced for a program
+                without :meth:`compute_batch`.
+        """
+        strategy = self.config.compute_strategy
+        if strategy == "scalar":
+            return False
+        if strategy == "batch":
+            if not supports_batch(program):
+                raise VertexicaError(
+                    f"compute_strategy='batch' but {program.name} does not "
+                    "implement compute_batch"
+                )
+            return True
+        return supports_batch(program)
 
     # ------------------------------------------------------------------
     def _choose_path(self, updates: int, table_size: int) -> tuple[bool, str]:

@@ -1,7 +1,11 @@
 """Per-superstep and per-run metrics.
 
 The demo GUI's "time monitor" plots runtimes; these records are its
-programmatic equivalent and also feed the benchmark harness.
+programmatic equivalent and also feed the benchmark harness
+(``benchmarks/run_bench.py`` serializes them into BENCH_*.json).  Each
+superstep now carries data-plane throughput — rows into the worker, rows
+staged out, and vertices processed per second — so benchmark output and
+the demo console can show where time goes.
 """
 
 from __future__ import annotations
@@ -24,6 +28,22 @@ class SuperstepStats:
     seconds: float
     #: global aggregator values produced this superstep (name, value)
     aggregated: tuple[tuple[str, float], ...] = ()
+    #: worker input rows (vertex + edge + message tuples seen)
+    rows_in: int = 0
+    #: staged output rows (vertex updates + messages + aggregator partials)
+    rows_out: int = 0
+    #: which data plane ran the compute: "batch" | "scalar"
+    compute_path: str = "scalar"
+
+    @property
+    def vertices_per_sec(self) -> float:
+        """Active vertices processed per second of superstep wall time."""
+        return self.active_vertices / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def rows_per_sec(self) -> float:
+        """Worker input rows consumed per second of superstep wall time."""
+        return self.rows_in / self.seconds if self.seconds > 0 else 0.0
 
 
 @dataclass
@@ -50,9 +70,56 @@ class RunStats:
         """Vertex-value updates across all supersteps."""
         return sum(s.vertex_updates for s in self.supersteps)
 
+    @property
+    def total_rows_in(self) -> int:
+        """Worker input rows consumed across all supersteps."""
+        return sum(s.rows_in for s in self.supersteps)
+
+    @property
+    def total_rows_out(self) -> int:
+        """Staged output rows produced across all supersteps."""
+        return sum(s.rows_out for s in self.supersteps)
+
+    @property
+    def vertices_per_sec(self) -> float:
+        """Active-vertex throughput over superstep wall time."""
+        superstep_seconds = sum(s.seconds for s in self.supersteps)
+        if superstep_seconds <= 0:
+            return 0.0
+        return sum(s.active_vertices for s in self.supersteps) / superstep_seconds
+
+    @property
+    def rows_per_sec(self) -> float:
+        """Worker input-row throughput over superstep wall time."""
+        superstep_seconds = sum(s.seconds for s in self.supersteps)
+        if superstep_seconds <= 0:
+            return 0.0
+        return self.total_rows_in / superstep_seconds
+
     def summary(self) -> str:
-        """One-line human summary."""
-        return (
+        """One-line human summary including data-plane throughput."""
+        line = (
             f"{self.program} on {self.graph}: {self.n_supersteps} supersteps, "
             f"{self.total_messages} messages, {self.total_seconds:.3f}s"
         )
+        if self.total_rows_in:
+            line += (
+                f" ({self.vertices_per_sec:,.0f} vertices/s, "
+                f"{self.rows_per_sec:,.0f} rows/s)"
+            )
+        return line
+
+    def breakdown(self) -> str:
+        """Per-superstep table showing where the time goes."""
+        header = (
+            f"{'step':>4} {'path':>6} {'active':>8} {'rows in':>9} "
+            f"{'rows out':>9} {'msgs out':>9} {'v/sec':>11} {'seconds':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.supersteps:
+            lines.append(
+                f"{s.superstep:>4} {s.compute_path:>6} {s.active_vertices:>8} "
+                f"{s.rows_in:>9} {s.rows_out:>9} {s.messages_out:>9} "
+                f"{s.vertices_per_sec:>11,.0f} {s.seconds:>8.3f}"
+            )
+        return "\n".join(lines)

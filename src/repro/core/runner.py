@@ -40,9 +40,15 @@ class VertexicaResult:
 
     def top(self, k: int, reverse: bool = True) -> list[tuple[int, Any]]:
         """The ``k`` vertices with the largest (or smallest) values,
-        ties broken by vertex id for determinism."""
+        ties broken by ascending vertex id for determinism.
+
+        Works for any orderable value type (negating the value would
+        raise ``TypeError`` for e.g. label-propagation string labels), so
+        the value sort relies on stable two-pass sorting instead.
+        """
         items = [(vid, value) for vid, value in self.values.items() if value is not None]
-        items.sort(key=lambda pair: (-pair[1], pair[0]) if reverse else (pair[1], pair[0]))
+        items.sort(key=lambda pair: pair[0])
+        items.sort(key=lambda pair: pair[1], reverse=reverse)
         return items[:k]
 
 

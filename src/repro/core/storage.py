@@ -214,24 +214,26 @@ class GraphStorage:
             "f1 FLOAT, s1 VARCHAR, halted BOOLEAN)"
         )
         degrees = self.out_degrees(graph)
-        ids = [row[0] for row in db.execute(
-            f"SELECT id FROM {graph.node_table} ORDER BY id"
-        ).rows()]
+        id_batch = db.query_batch(f"SELECT id FROM {graph.node_table} ORDER BY id")
+        ids = np.asarray(id_batch.column("id").values, dtype=np.int64)
         codec = program.vertex_codec
         n = graph.num_vertices
+        # initial_value is a per-vertex program hook (runs once per load,
+        # not per superstep); staging skips per-item coercion via the
+        # Column.from_numpy fast path.
         values = [
             codec.encode_or_none(
                 program.initial_value(vertex_id, degrees.get(vertex_id, 0), n)
             )
-            for vertex_id in ids
+            for vertex_id in ids.tolist()
         ]
         schema = db.table(graph.vertex_table).schema
         batch = RecordBatch(
             schema,
             [
-                Column.from_values(INTEGER, ids),
+                Column.from_numpy(INTEGER, ids),
                 Column.from_values(codec.sql_type, values),
-                Column.from_values(BOOLEAN, [False] * len(ids)),
+                Column.from_numpy(BOOLEAN, np.zeros(len(ids), dtype=bool)),
             ],
         )
         db.insert_batch(graph.vertex_table, batch)
@@ -289,13 +291,10 @@ class GraphStorage:
         table.insert_batch(batch.with_schema(table.schema))
 
     def count_staged(self, graph: GraphHandle, kind: int) -> int:
-        """Rows of one kind currently staged."""
-        return int(
-            self.db.execute(
-                f"SELECT COUNT(*) FROM {graph.output_table} WHERE kind = ?",
-                params=(kind,),
-            ).scalar()
-        )
+        """Rows of one kind currently staged (direct column scan — this
+        runs twice per superstep, so it skips the SQL round trip)."""
+        data = self.db.table(graph.output_table).data()
+        return int(np.count_nonzero(data.column("kind").values == kind))
 
     def apply_messages(
         self, graph: GraphHandle, program: VertexProgram, use_combiner: bool, replace: bool
@@ -398,17 +397,19 @@ class GraphStorage:
         return self.db.table(graph.message_table).num_rows
 
     def active_vertices(self, graph: GraphHandle) -> int:
-        """Vertices that have not voted to halt."""
-        return int(
-            self.db.execute(
-                f"SELECT COUNT(*) FROM {graph.vertex_table} WHERE NOT halted"
-            ).scalar()
-        )
+        """Vertices that have not voted to halt (direct column scan, like
+        :meth:`pending_messages` — one per superstep of the hot loop)."""
+        data = self.db.table(graph.vertex_table).data()
+        halted = data.column("halted")
+        return int(np.count_nonzero(~halted.values))
 
     def read_values(self, graph: GraphHandle, program: VertexProgram) -> dict[int, Any]:
-        """Final vertex values, decoded through the program's codec."""
-        rows = self.db.execute(
+        """Final vertex values, decoded through the program's codec (one
+        vectorized column pass, not a per-row decode loop)."""
+        batch = self.db.query_batch(
             f"SELECT id, value FROM {graph.vertex_table} ORDER BY id"
-        ).rows()
-        codec = program.vertex_codec
-        return {vid: codec.decode_or_none(value) for vid, value in rows}
+        )
+        ids = batch.column("id").values.tolist()
+        value_col = batch.column("value")
+        decoded = program.vertex_codec.decode_list(value_col.values, value_col.valid)
+        return dict(zip(ids, decoded))

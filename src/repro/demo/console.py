@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.core.metrics import RunStats
 from repro.core.storage import GraphHandle
 from repro.engine.database import Database
 from repro.sql_graph.pagerank import pagerank_sql
@@ -96,6 +97,13 @@ class DemoConsole:
             right = left + width
             lines.append(f"> [{left:.5f}, {right:.5f}) | {count}")
         return "\n".join(lines)
+
+    def time_monitor(self, stats: RunStats) -> str:
+        """The demo's runtime monitor: one vertex-program run's summary
+        plus its per-superstep throughput breakdown (where time goes)."""
+        return "\n".join(
+            [f"{self.label} time monitor", f"> {stats.summary()}", stats.breakdown()]
+        )
 
     # ------------------------------------------------------------------
     def report(self, source: int | None = None, k: int = 3) -> str:

@@ -58,6 +58,9 @@ class Database:
         self._tx_snapshot: tuple[dict[str, Table], dict[str, tuple[Any, int]]] | None = None
         #: number of statements executed (observability for tests/benches)
         self.statements_executed = 0
+        #: parsed-statement memo — AST nodes are frozen dataclasses with
+        #: parameters bound as literals, so (sql, params) fully keys them.
+        self._parse_cache: dict[tuple[str, tuple[Any, ...] | None], Any] = {}
 
     # ------------------------------------------------------------------
     # SQL execution
@@ -72,9 +75,31 @@ class Database:
         Returns:
             A :class:`Result`: rows for queries, affected count for DML.
         """
-        statement = parse_statement(sql, params)
+        statement = self._parse_cached(sql, params)
         self.statements_executed += 1
         return self._executor.run(statement)
+
+    def _parse_cached(self, sql: str, params: Sequence[Any] | None):
+        """Parse via a bounded memo — the coordinator re-issues identical
+        statement texts every superstep, so re-tokenizing them dominates
+        small-graph runs otherwise.  Parameter *types* are part of the key:
+        ``1``, ``1.0``, and ``True`` compare equal but bind different
+        literals into the AST."""
+        try:
+            key = (
+                sql,
+                tuple((type(p), p) for p in params) if params is not None else None,
+            )
+            cached = self._parse_cache.get(key)
+        except TypeError:  # unhashable parameter: skip the cache
+            return parse_statement(sql, params)
+        if cached is not None:
+            return cached
+        statement = parse_statement(sql, params)
+        if len(self._parse_cache) >= 512:
+            self._parse_cache.clear()
+        self._parse_cache[key] = statement
+        return statement
 
     def execute_script(self, sql: str) -> list[Result]:
         """Run a ';'-separated script, returning one Result per statement."""

@@ -99,8 +99,12 @@ def _sort_key_ranks(column: Column, ascending: bool) -> np.ndarray:
     like the largest value.
     """
     n = len(column)
-    ranks = np.zeros(n, dtype=np.int64)
     mask = column.valid
+    if column.dtype is INTEGER and bool(mask.all()):
+        # Fast path: non-null integers are already a valid sort key —
+        # skip the np.unique rank compaction (an extra full sort).
+        return column.values if ascending else -column.values
+    ranks = np.zeros(n, dtype=np.int64)
     if mask.any():
         _, inverse = np.unique(column.values[mask], return_inverse=True)
         ranks[mask] = inverse
@@ -858,12 +862,7 @@ class TransformOp(Operator):
 
     def execute(self) -> RecordBatch:
         batch = self.child.execute()
-        buckets = self._partition(batch)
-        tasks = [
-            (self._sorted(bucket), index)
-            for index, bucket in enumerate(buckets)
-            if bucket.num_rows
-        ]
+        tasks = self._partitioned_tasks(batch)
         if self.executor is not None:
             outputs = self.executor(self.fn, tasks)
         else:
@@ -873,23 +872,57 @@ class TransformOp(Operator):
             return RecordBatch.empty(self.schema)
         return RecordBatch.concat([out.with_schema(self.schema) for out in outputs])
 
-    def _partition(self, batch: RecordBatch) -> list[RecordBatch]:
-        if self.n_partitions == 1 or not self.partition_exprs:
-            return [batch]
-        key_cols = [evaluate(e, batch, self.registry) for e in self.partition_exprs]
-        if len(key_cols) == 1 and key_cols[0].dtype is INTEGER:
-            hashes = key_cols[0].values % self.n_partitions
-        else:
-            codes, _ = factorize_columns(key_cols)
-            hashes = codes % self.n_partitions
-        return [batch.filter(hashes == p) for p in range(self.n_partitions)]
+    def _partitioned_tasks(self, batch: RecordBatch) -> list[tuple[RecordBatch, int]]:
+        """Hash-partitioned, sorted buckets in one vectorized pass.
 
-    def _sorted(self, batch: RecordBatch) -> RecordBatch:
-        if not self.sort_exprs or batch.num_rows <= 1:
-            return batch
-        rank_arrays = [
+        Instead of filtering the batch once per partition and argsorting
+        each bucket (``n_partitions`` full-column gathers), the rows are
+        ordered by a single stable lexsort keyed on (partition id,
+        sort keys...), after which every bucket is a zero-copy slice of
+        the reordered batch.  Row order within a bucket is identical to
+        the filter-then-sort formulation because both are stable.
+        """
+        if batch.num_rows == 0:
+            return []
+        hashes = self._partition_ids(batch)
+        sort_keys = [
             _sort_key_ranks(evaluate(e, batch, self.registry), True)
             for e in self.sort_exprs
         ]
-        order = np.lexsort(tuple(reversed(rank_arrays)))
-        return batch.take(order)
+        if hashes is None:
+            if sort_keys:
+                order = np.lexsort(tuple(reversed(sort_keys)))
+                batch = batch.take(order)
+            return [(batch, 0)]
+        order = np.lexsort(tuple(reversed(sort_keys)) + (hashes,))
+        ordered = batch.take(order)
+        sorted_hashes = hashes[order]
+        bounds = np.searchsorted(
+            sorted_hashes, np.arange(self.n_partitions + 1), side="left"
+        )
+        return [
+            (_slice_rows(ordered, int(bounds[p]), int(bounds[p + 1])), p)
+            for p in range(self.n_partitions)
+            if bounds[p + 1] > bounds[p]
+        ]
+
+    def _partition_ids(self, batch: RecordBatch) -> np.ndarray | None:
+        """Partition id per row, or ``None`` for a single bucket."""
+        if self.n_partitions == 1 or not self.partition_exprs:
+            return None
+        key_cols = [evaluate(e, batch, self.registry) for e in self.partition_exprs]
+        if len(key_cols) == 1 and key_cols[0].dtype is INTEGER:
+            return key_cols[0].values % self.n_partitions
+        codes, _ = factorize_columns(key_cols)
+        return codes % self.n_partitions
+
+
+def _slice_rows(batch: RecordBatch, start: int, stop: int) -> RecordBatch:
+    """A contiguous row range as zero-copy column views."""
+    return RecordBatch(
+        batch.schema,
+        [
+            Column(col.dtype, col.values[start:stop], col.valid[start:stop])
+            for col in batch.columns
+        ],
+    )

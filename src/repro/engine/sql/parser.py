@@ -8,6 +8,7 @@ planner never sees an unbound parameter.
 from __future__ import annotations
 
 import dataclasses
+from functools import lru_cache
 from typing import Any, Sequence
 
 from repro.engine.expressions import (
@@ -593,9 +594,17 @@ class Parser:
             )
 
 
+@lru_cache(maxsize=512)
+def _cached_tokens(sql: str) -> list[Token]:
+    """Memoized lexing — parameterized statements (e.g. the tuple-at-a-time
+    UPDATE path) re-parse the same text with different params, and the
+    Parser never mutates the token list, so sharing it is safe."""
+    return tokenize(sql)
+
+
 def parse_statement(sql: str, params: Sequence[Any] | None = None) -> Statement:
     """Parse exactly one statement; raises on trailing garbage."""
-    parser = Parser(tokenize(sql), params)
+    parser = Parser(_cached_tokens(sql), params)
     statement = parser.parse_one()
     while parser.accept_operator(";"):
         pass

@@ -14,12 +14,12 @@ import numpy as np
 
 from repro.core.api import Vertex
 from repro.core.codecs import INTEGER_CODEC
-from repro.core.program import VertexProgram
+from repro.core.program import BatchVertexProgram, VertexBatch
 
 __all__ = ["ConnectedComponents", "reference_components"]
 
 
-class ConnectedComponents(VertexProgram):
+class ConnectedComponents(BatchVertexProgram):
     """Minimum-label propagation; final value = component label."""
 
     vertex_codec = INTEGER_CODEC
@@ -38,6 +38,17 @@ class ConnectedComponents(VertexProgram):
                 vertex.modify_vertex_value(best)
                 vertex.send_message_to_all_neighbors(best)
         vertex.vote_to_halt()
+
+    def compute_batch(self, batch: VertexBatch) -> None:
+        if batch.superstep == 0:
+            batch.send_to_all_neighbors(batch.values)
+        else:
+            best = batch.min_messages()
+            improved = (batch.message_counts > 0) & (best < batch.values)
+            labels = np.where(improved, best, batch.values)
+            batch.set_values(labels)
+            batch.send_to_all_neighbors(labels, mask=improved)
+        batch.vote_to_halt()
 
 
 def reference_components(num_vertices: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:

@@ -16,14 +16,14 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.api import Vertex
-from repro.core.program import VertexProgram
+from repro.core.program import BatchVertexProgram, VertexBatch
 
 __all__ = ["ShortestPaths", "reference_sssp"]
 
 INFINITY = float("inf")
 
 
-class ShortestPaths(VertexProgram):
+class ShortestPaths(BatchVertexProgram):
     """Single-source shortest paths from ``source``.
 
     Final vertex values are path distances; unreachable vertices keep
@@ -52,6 +52,20 @@ class ShortestPaths(VertexProgram):
                 for edge in vertex.out_edges:
                     vertex.send_message(edge.target, best + edge.weight)
         vertex.vote_to_halt()
+
+    def compute_batch(self, batch: VertexBatch) -> None:
+        if batch.superstep == 0:
+            batch.send_along_edges(batch.edge_weights, mask=batch.ids == self.source)
+        else:
+            best = batch.min_messages()
+            improved = (batch.message_counts > 0) & (best < batch.values)
+            batch.set_values(np.where(improved, best, batch.values))
+            relaxed = (
+                np.repeat(np.where(improved, best, 0.0), batch.out_degrees)
+                + batch.edge_weights
+            )
+            batch.send_along_edges(relaxed, mask=improved)
+        batch.vote_to_halt()
 
 
 def reference_sssp(

@@ -1,0 +1,194 @@
+"""Scalar vs. vectorized data-plane parity.
+
+The batch compute path (``compute_batch`` + numpy staging) must be
+*bit-identical* to the per-vertex scalar path for every bundled program:
+same vertex values, same aggregator results, same superstep/halt
+behavior.  These tests run the same program under
+``compute_strategy="scalar"`` and ``"batch"`` on random graphs — with
+isolated vertices, vertices that never receive messages, and messages
+addressed to nonexistent ids — and compare everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Vertexica, VertexicaConfig
+from repro.core.api import Vertex
+from repro.core.program import BatchVertexProgram, VertexBatch, supports_batch
+from repro.errors import VertexicaError
+from repro.programs import (
+    AdaptivePageRank,
+    ConnectedComponents,
+    LabelPropagation,
+    PageRank,
+    ShortestPaths,
+)
+
+
+def random_graph(seed: int, n: int = 120, m: int = 700):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.uniform(0.5, 4.0, m)
+    return src, dst, weights
+
+
+def run_with(strategy: str, program_factory, seed: int, symmetrize: bool = False, **cfg):
+    n = 120
+    src, dst, weights = random_graph(seed)
+    cfg.setdefault("n_partitions", 4)
+    vx = Vertexica(config=VertexicaConfig(compute_strategy=strategy, **cfg))
+    # num_vertices > max id guarantees isolated vertices with no edges
+    # and no messages ever.
+    graph = vx.load_graph(
+        "g", src, dst, weights=weights, num_vertices=n + 8, symmetrize=symmetrize
+    )
+    return vx.run(graph, program_factory())
+
+
+def assert_runs_identical(scalar, batch):
+    """Values, aggregates, and halt behavior must match exactly."""
+    assert scalar.values == batch.values  # bit-identical, not approximate
+    s_steps, b_steps = scalar.stats.supersteps, batch.stats.supersteps
+    assert len(s_steps) == len(b_steps)
+    for s, b in zip(s_steps, b_steps):
+        assert s.active_vertices == b.active_vertices
+        assert s.messages_in == b.messages_in
+        assert s.messages_out == b.messages_out
+        assert s.vertex_updates == b.vertex_updates
+        assert s.aggregated == b.aggregated
+
+
+PROGRAMS = [
+    pytest.param(lambda: PageRank(iterations=6), False, id="pagerank"),
+    pytest.param(lambda: PageRank(iterations=4, damping=0.6), False, id="pagerank-damped"),
+    pytest.param(lambda: ShortestPaths(source=0), False, id="sssp"),
+    pytest.param(lambda: ShortestPaths(source=5), False, id="sssp-alt-source"),
+    pytest.param(lambda: ConnectedComponents(), True, id="components"),
+]
+
+
+class TestBatchScalarParity:
+    @pytest.mark.parametrize("program_factory,symmetrize", PROGRAMS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_bit_identical_results(self, program_factory, symmetrize, seed):
+        scalar = run_with("scalar", program_factory, seed, symmetrize)
+        batch = run_with("batch", program_factory, seed, symmetrize)
+        assert_runs_identical(scalar, batch)
+        assert all(s.compute_path == "scalar" for s in scalar.stats.supersteps)
+        assert all(s.compute_path == "batch" for s in batch.stats.supersteps)
+
+    @pytest.mark.parametrize("program_factory,symmetrize", PROGRAMS)
+    def test_join_input_format_parity(self, program_factory, symmetrize):
+        scalar = run_with(
+            "scalar", program_factory, 7, symmetrize, input_strategy="join"
+        )
+        batch = run_with(
+            "batch", program_factory, 7, symmetrize, input_strategy="join"
+        )
+        assert_runs_identical(scalar, batch)
+
+    def test_pagerank_without_combiner(self):
+        # Multiple raw messages per vertex: the batch path's bincount
+        # accumulation must match Python's sequential sum exactly.
+        scalar = run_with("scalar", lambda: PageRank(iterations=5), 13, use_combiner=False)
+        batch = run_with("batch", lambda: PageRank(iterations=5), 13, use_combiner=False)
+        assert_runs_identical(scalar, batch)
+
+    def test_single_partition_parity(self):
+        scalar = run_with("scalar", lambda: PageRank(iterations=4), 5, n_partitions=1)
+        batch = run_with("batch", lambda: PageRank(iterations=4), 5, n_partitions=1)
+        assert_runs_identical(scalar, batch)
+
+    def test_sssp_unreachable_vertices_stay_infinite(self):
+        batch = run_with("batch", lambda: ShortestPaths(source=0), 3)
+        assert any(v == float("inf") for v in batch.values.values())
+
+
+class TestScalarFallback:
+    def test_auto_falls_back_for_scalar_only_programs(self):
+        auto = run_with("auto", lambda: LabelPropagation(iterations=4), 9, True)
+        scalar = run_with("scalar", lambda: LabelPropagation(iterations=4), 9, True)
+        assert_runs_identical(scalar, auto)
+        assert all(s.compute_path == "scalar" for s in auto.stats.supersteps)
+
+    def test_auto_uses_batch_when_available(self):
+        auto = run_with("auto", lambda: PageRank(iterations=3), 9)
+        assert all(s.compute_path == "batch" for s in auto.stats.supersteps)
+
+    def test_forcing_batch_on_scalar_program_raises(self):
+        with pytest.raises(VertexicaError, match="compute_batch"):
+            run_with("batch", lambda: LabelPropagation(iterations=2), 9, True)
+
+    def test_aggregator_program_parity_via_scalar_path(self):
+        # AdaptivePageRank has no batch kernel; auto must match scalar
+        # including its per-superstep aggregator values.
+        auto = run_with("auto", lambda: AdaptivePageRank(), 21)
+        scalar = run_with("scalar", lambda: AdaptivePageRank(), 21)
+        assert_runs_identical(scalar, auto)
+
+    def test_supports_batch_detection(self):
+        assert supports_batch(PageRank(iterations=1))
+        assert supports_batch(ConnectedComponents())
+        assert not supports_batch(LabelPropagation())
+
+
+class GhostMessenger(BatchVertexProgram):
+    """Sends messages to a vertex id that does not exist — both paths
+    must drop them identically and still converge."""
+
+    combiner = None
+
+    def initial_value(self, vertex_id: int, out_degree: int, num_vertices: int) -> float:
+        return float(vertex_id)
+
+    def compute(self, vertex: Vertex) -> None:
+        if vertex.superstep == 0:
+            vertex.send_message(10_000, 1.0)  # nonexistent destination
+            vertex.send_message_to_all_neighbors(vertex.value)
+        else:
+            vertex.modify_vertex_value(sum(vertex.messages))
+        vertex.vote_to_halt()
+
+    def compute_batch(self, batch: VertexBatch) -> None:
+        if batch.superstep == 0:
+            batch.send(
+                batch.ids,
+                np.full(batch.size, 10_000, dtype=np.int64),
+                np.ones(batch.size, dtype=np.float64),
+            )
+            batch.send_to_all_neighbors(batch.values)
+        else:
+            batch.set_values(batch.sum_messages())
+        batch.vote_to_halt()
+
+
+class TestDroppedMessages:
+    def test_messages_to_nonexistent_ids_dropped_identically(self):
+        scalar = run_with("scalar", GhostMessenger, 17)
+        batch = run_with("batch", GhostMessenger, 17)
+        assert_runs_identical(scalar, batch)
+
+    def test_ghost_messages_do_not_create_vertices(self):
+        batch = run_with("batch", GhostMessenger, 17)
+        assert 10_000 not in batch.values
+
+
+class TestEdgeCases:
+    def test_empty_graph_single_vertex(self):
+        vx = Vertexica(config=VertexicaConfig(compute_strategy="batch"))
+        graph = vx.load_graph("g", [], [], num_vertices=3)
+        result = vx.run(graph, PageRank(iterations=2))
+        # Dangling vertices keep (1-d)/N mass with no incoming rank.
+        expected = (1.0 - 0.85) / 3
+        assert result.values == {0: expected, 1: expected, 2: expected}
+
+    def test_isolated_vertices_match(self):
+        # All 8 padding vertices (ids 120..127) are isolated.
+        scalar = run_with("scalar", lambda: ConnectedComponents(), 19, True)
+        batch = run_with("batch", lambda: ConnectedComponents(), 19, True)
+        for vid in range(120, 128):
+            assert scalar.values[vid] == vid
+            assert batch.values[vid] == vid

@@ -50,3 +50,49 @@ class TestRunStats:
 
     def test_aggregated_defaults_empty(self):
         assert make_step(0).aggregated == ()
+
+
+class TestThroughput:
+    def test_superstep_rates(self):
+        step = make_step(0, rows_in=1000, rows_out=400, seconds=0.5)
+        assert step.vertices_per_sec == 20.0
+        assert step.rows_per_sec == 2000.0
+
+    def test_zero_seconds_rates(self):
+        step = make_step(0, seconds=0.0)
+        assert step.vertices_per_sec == 0.0
+        assert step.rows_per_sec == 0.0
+
+    def test_run_totals_and_rates(self):
+        stats = RunStats(program="P", graph="g")
+        stats.supersteps = [
+            make_step(0, rows_in=100, rows_out=60, seconds=0.5),
+            make_step(1, rows_in=300, rows_out=40, seconds=0.5),
+        ]
+        assert stats.total_rows_in == 400
+        assert stats.total_rows_out == 100
+        assert stats.rows_per_sec == 400.0
+        assert stats.vertices_per_sec == 20.0
+
+    def test_summary_includes_throughput(self):
+        stats = RunStats(program="P", graph="g")
+        stats.supersteps = [make_step(0, rows_in=1000, seconds=0.5)]
+        assert "vertices/s" in stats.summary() and "rows/s" in stats.summary()
+
+    def test_summary_omits_throughput_without_rows(self):
+        stats = RunStats(program="P", graph="g")
+        stats.supersteps = [make_step(0)]
+        assert "vertices/s" not in stats.summary()
+
+    def test_breakdown_lists_each_superstep(self):
+        stats = RunStats(program="P", graph="g")
+        stats.supersteps = [
+            make_step(0, compute_path="batch"),
+            make_step(1, compute_path="batch"),
+        ]
+        text = stats.breakdown()
+        assert "batch" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 steps
+
+    def test_compute_path_default_scalar(self):
+        assert make_step(0).compute_path == "scalar"

@@ -51,6 +51,30 @@ class TestResult:
         bottom = result.top(1, reverse=False)
         assert bottom[0][1] == min(result.values.values())
 
+    def test_top_k_non_numeric_values(self):
+        from repro.core.metrics import RunStats
+        from repro.core.runner import VertexicaResult
+
+        result = VertexicaResult(
+            values={1: "blue", 2: "amber", 3: "cyan", 4: "amber", 5: None},
+            stats=RunStats(program="p", graph="g"),
+        )
+        # String labels cannot be negated; both directions must still work,
+        # with ties broken by ascending vertex id.
+        assert result.top(2) == [(3, "cyan"), (1, "blue")]
+        assert result.top(3, reverse=False) == [(2, "amber"), (4, "amber"), (1, "blue")]
+
+    def test_top_k_numeric_ties_broken_by_id(self):
+        from repro.core.metrics import RunStats
+        from repro.core.runner import VertexicaResult
+
+        result = VertexicaResult(
+            values={4: 1.0, 2: 1.0, 7: 0.5},
+            stats=RunStats(program="p", graph="g"),
+        )
+        assert result.top(3) == [(2, 1.0), (4, 1.0), (7, 0.5)]
+        assert result.top(3, reverse=False) == [(7, 0.5), (2, 1.0), (4, 1.0)]
+
 
 class TestConfigPlumbing:
     def test_constructor_config_used(self, tiny_edges):
