@@ -28,6 +28,8 @@ from repro.bench.figure2 import sssp_source
 from repro.bench.harness import bench_graphs, pagerank_iterations
 from repro.core import Vertexica, VertexicaConfig
 from repro.datasets.generators import Graph
+from repro.datasets.relational import load_graph_as_schema
+from repro.graphview import EdgeSpec, GraphView, NodeSpec
 from repro.programs import ConnectedComponents, PageRank, ShortestPaths
 
 MODES = ("batch", "scalar")
@@ -113,6 +115,105 @@ def run_cell(
     }
 
 
+def run_edge_cache_cell(
+    graph: Graph, algorithm: str, n_partitions: int, repeat: int = 1
+) -> dict[str, Any]:
+    """Edge-cache ablation: superstep seconds with the cross-superstep
+    edge sub-batch cache on vs off (union input format, batch compute)."""
+    cells = {}
+    for cached in (True, False):
+        vx = Vertexica(
+            config=VertexicaConfig(n_partitions=n_partitions, cache_edges=cached)
+        )
+        handle = vx.load_graph(
+            graph.name,
+            graph.src,
+            graph.dst,
+            num_vertices=graph.num_vertices,
+            symmetrize=algorithm == "cc",
+        )
+        best: dict[str, Any] | None = None
+        for _ in range(max(repeat, 1)):
+            result = vx.run(handle, _program_for(algorithm, graph))
+            step_secs = sum(s.seconds for s in result.stats.supersteps)
+            cell = {
+                "superstep_seconds": round(step_secs, 6),
+                "fingerprint": _fingerprint(result.values),
+                "rows_in_per_superstep": [s.rows_in for s in result.stats.supersteps],
+            }
+            if best is None or step_secs < best["superstep_seconds"]:
+                best = cell
+        cells["cached" if cached else "uncached"] = best
+    ratio = (
+        cells["uncached"]["superstep_seconds"] / cells["cached"]["superstep_seconds"]
+        if cells["cached"]["superstep_seconds"]
+        else float("inf")
+    )
+    return {
+        "graph": graph.name,
+        "algorithm": algorithm,
+        "speedup_uncached_over_cached": round(ratio, 2),
+        "fingerprints_match": abs(
+            cells["cached"]["fingerprint"] - cells["uncached"]["fingerprint"]
+        )
+        <= 1e-9 * max(1.0, abs(cells["uncached"]["fingerprint"])),
+        **{f"{k}_superstep_seconds": v["superstep_seconds"] for k, v in cells.items()},
+        "rows_in_cached": cells["cached"]["rows_in_per_superstep"][:3],
+        "rows_in_uncached": cells["uncached"]["rows_in_per_superstep"][:3],
+    }
+
+
+def run_extraction_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
+    """Graph-view extraction timing at benchmark scale.
+
+    The graph's edge list is re-normalized into ``{name}_users`` /
+    ``{name}_follows`` base tables, declared as a graph view, and the
+    view's extraction (``refresh()``) is timed against the direct
+    ``load_graph`` edge-list path on identical data.
+    """
+    vx = Vertexica()
+    load_graph_as_schema(vx.db, graph, prefix=graph.name)
+    view = GraphView(
+        vertices=NodeSpec(f"{graph.name}_users", key="id"),
+        edges=EdgeSpec(
+            f"{graph.name}_follows",
+            src="follower_id",
+            dst="followee_id",
+            weight="closeness",
+        ),
+    )
+    handle = vx.create_graph_view(f"{graph.name}_view", view, materialized=True)
+    best_extract = handle.last_extraction.seconds
+    for _ in range(max(repeat, 1) - 1):
+        handle.refresh()
+        best_extract = min(best_extract, handle.last_extraction.seconds)
+
+    best_direct = float("inf")
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        direct = vx.load_graph(
+            f"{graph.name}_direct",
+            graph.src,
+            graph.dst,
+            num_vertices=graph.num_vertices,
+        )
+        best_direct = min(best_direct, time.perf_counter() - started)
+
+    extracted = handle.resolve()
+    return {
+        "graph": graph.name,
+        "num_vertices": extracted.num_vertices,
+        "num_edges": extracted.num_edges,
+        "extraction_seconds": round(best_extract, 6),
+        "direct_load_seconds": round(best_direct, 6),
+        "extraction_overhead_x": round(best_extract / best_direct, 2)
+        if best_direct
+        else float("inf"),
+        "matches_direct_load": extracted.num_vertices == direct.num_vertices
+        and extracted.num_edges == direct.num_edges,
+    }
+
+
 def git_commit() -> str | None:
     try:
         return (
@@ -165,11 +266,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR1.json"
+        out_path = "BENCH_PR2.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR2.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR3.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -206,6 +307,39 @@ def main(argv: list[str] | None = None) -> int:
                 f"({ratio:.1f}x, {batch['vertices_per_sec']:,.0f} v/s)"
             )
 
+    # Edge-cache ablation (union format, batch compute) and graph-view
+    # extraction timings — the PR-2 trajectory additions.
+    edge_cache_cells = []
+    extraction_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        cache_cell = run_edge_cache_cell(
+            graph, "pagerank", args.partitions, args.repeat
+        )
+        edge_cache_cells.append(cache_cell)
+        if not cache_cell["fingerprints_match"]:
+            failures.append(
+                f"{graph_name}/pagerank: cached and uncached edge paths disagree"
+            )
+        print(
+            f"{graph_name:<12} edge-cache ablation: "
+            f"cached {cache_cell['cached_superstep_seconds']:.3f}s  "
+            f"uncached {cache_cell['uncached_superstep_seconds']:.3f}s  "
+            f"({cache_cell['speedup_uncached_over_cached']:.2f}x)"
+        )
+        extraction_cell = run_extraction_cell(graph, args.repeat)
+        extraction_cells.append(extraction_cell)
+        if not extraction_cell["matches_direct_load"]:
+            failures.append(
+                f"{graph_name}: graph-view extraction disagrees with direct load"
+            )
+        print(
+            f"{graph_name:<12} view extraction: "
+            f"{extraction_cell['extraction_seconds']:.3f}s for "
+            f"{extraction_cell['num_edges']} edges "
+            f"(direct load {extraction_cell['direct_load_seconds']:.3f}s)"
+        )
+
     report = {
         "bench": "figure2 data-plane trajectory",
         "commit": git_commit(),
@@ -214,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         "n_partitions": args.partitions,
         "repeat": args.repeat,
         "speedup_scalar_over_batch_superstep_seconds": speedups,
+        "edge_cache_ablation": edge_cache_cells,
+        "graph_view_extraction": extraction_cells,
         "results": results,
     }
     if out_path:

@@ -18,8 +18,9 @@ Quickstart::
 
 from repro.core import Vertexica, VertexicaConfig, VertexicaResult, VertexProgram
 from repro.engine import Database
+from repro.graphview import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Vertexica",
@@ -27,5 +28,9 @@ __all__ = [
     "VertexicaResult",
     "VertexProgram",
     "Database",
+    "GraphView",
+    "NodeSpec",
+    "EdgeSpec",
+    "CoEdgeSpec",
     "__version__",
 ]

@@ -37,6 +37,12 @@ class VertexicaConfig:
             table unless the updated-tuple count is below
             ``replace_threshold`` × table size; ``"update"`` / ``"replace"``
             force one path (for the ablation).
+        cache_edges: under the ``"union"`` input strategy, decode the
+            immutable edge relation once at superstep 0 and reuse the
+            per-partition CSR edge arrays for every later superstep
+            instead of re-projecting the edge table through SQL each
+            time.  ``False`` re-reads edges every superstep (the
+            pre-cache behavior, kept for the ablation).
         replace_threshold: fraction of the vertex table below which the
             in-place update path is used under ``"auto"``.
         use_combiner: honor the program's combiner declaration (pushed into
@@ -50,6 +56,7 @@ class VertexicaConfig:
     input_strategy: str = "union"
     compute_strategy: str = "auto"
     update_strategy: str = "auto"
+    cache_edges: bool = True
     replace_threshold: float = 0.05
     use_combiner: bool = True
     max_supersteps: int | None = None

@@ -16,7 +16,7 @@ from repro.core.config import VertexicaConfig
 from repro.core.metrics import RunStats, SuperstepStats
 from repro.core.program import VertexProgram, supports_batch
 from repro.core.storage import GraphHandle, GraphStorage
-from repro.core.worker import VertexWorker
+from repro.core.worker import EdgeCache, VertexWorker
 from repro.engine.database import Database
 from repro.engine.parallel import make_thread_executor, serial_executor
 from repro.engine.types import VARCHAR
@@ -64,6 +64,15 @@ class Coordinator:
         transform_name = f"{graph.name}_worker"
         aggregated: dict[str, float] = {}
         use_batch = self._resolve_compute_path(program)
+        # The edge relation never changes during a run: under the union
+        # strategy the workers decode it once (superstep 0) and every
+        # later superstep reads the cached CSR arrays instead of
+        # re-projecting the edge table through SQL.
+        edge_cache = (
+            EdgeCache()
+            if config.cache_edges and config.input_strategy == "union"
+            else None
+        )
 
         superstep = 0
         while True:
@@ -87,11 +96,14 @@ class Coordinator:
                 input_format=config.input_strategy,
                 aggregated=aggregated,
                 use_batch=use_batch,
+                edge_cache=edge_cache,
             )
             self.db.register_transform(transform_name, worker, worker.schema)
             if config.input_strategy == "union":
                 input_sql = storage.union_input_sql(
-                    graph, program.vertex_codec.sql_type is VARCHAR
+                    graph,
+                    program.vertex_codec.sql_type is VARCHAR,
+                    include_edges=edge_cache is None or not edge_cache.primed,
                 )
                 order_by = ("vid", "kind")
             else:
@@ -106,6 +118,10 @@ class Coordinator:
                 executor=executor,
             )
             storage.stage_worker_output(graph, output)
+            if edge_cache is not None:
+                # All non-empty partitions have now decoded their edges;
+                # later supersteps skip the edge relation entirely.
+                edge_cache.primed = True
 
             vertex_updates = storage.count_staged(graph, 0)
             replace, path = self._choose_path(vertex_updates, graph.num_vertices)

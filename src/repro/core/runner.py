@@ -27,6 +27,16 @@ from repro.core.metrics import RunStats
 from repro.core.program import VertexProgram
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.engine.database import Database, Result
+from repro.engine.sql.ast import (
+    ConnectClause,
+    CreateGraphViewStatement,
+    DropGraphViewStatement,
+    EdgeClause,
+)
+from repro.errors import GraphViewError
+from repro.graphview.compiler import render_expression
+from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
+from repro.graphview.view import GraphViewHandle
 
 __all__ = ["Vertexica", "VertexicaResult"]
 
@@ -59,7 +69,16 @@ class Vertexica:
         self.db = db if db is not None else Database()
         self.config = (config or VertexicaConfig()).validated()
         self.storage = GraphStorage(self.db)
+        self._graph_views: dict[str, GraphViewHandle] = {}
         register_coordinator(self.db)
+        # SQL surface for graph views: the engine parses CREATE/DROP GRAPH
+        # VIEW, this layer executes them.
+        self.db.register_statement_handler(
+            CreateGraphViewStatement, self._execute_create_graph_view
+        )
+        self.db.register_statement_handler(
+            DropGraphViewStatement, self._execute_drop_graph_view
+        )
 
     # ------------------------------------------------------------------
     # Graph loading
@@ -102,24 +121,159 @@ class Vertexica:
         return self.storage.handle(name)
 
     # ------------------------------------------------------------------
+    # Graph views (declarative extraction from relational tables)
+    # ------------------------------------------------------------------
+    def create_graph_view(
+        self,
+        name: str,
+        view: GraphView | None = None,
+        *,
+        vertices: NodeSpec | Sequence[NodeSpec] = (),
+        edges: EdgeSource | Sequence[EdgeSource] = (),
+        materialized: bool = True,
+        replace: bool = False,
+    ) -> GraphViewHandle:
+        """Declare (and, when materialized, extract) a graph view.
+
+        Pass either a pre-built :class:`~repro.graphview.GraphView` or the
+        ``vertices`` / ``edges`` specs directly::
+
+            vx.create_graph_view(
+                "social",
+                vertices=NodeSpec("users", key="id"),
+                edges=[EdgeSpec("follows", src="follower_id", dst="followee_id"),
+                       CoEdgeSpec("likes", member="user_id", via="post_id")],
+            )
+
+        Args:
+            name: view name; materialized tables are ``{name}_edge`` /
+                ``{name}_node`` (planner-visible, queryable via SQL).
+            view: a pre-built declaration (mutually exclusive with
+                ``vertices``/``edges``).
+            vertices, edges: specs used to build the declaration inline.
+            materialized: extract now and persist (call ``refresh()``
+                after base-table DML); ``False`` re-extracts at every run.
+            replace: allow redefining an existing view name.
+
+        Raises:
+            GraphViewError: invalid declaration, duplicate name, or a
+                failing extraction query.
+        """
+        if view is None:
+            view = GraphView(vertices=vertices, edges=edges, name=name)
+        elif vertices or edges:
+            raise GraphViewError("pass either a GraphView or vertices/edges, not both")
+        displaced = self._graph_views.get(name)
+        if displaced is not None:
+            if not replace:
+                raise GraphViewError(f"graph view {name!r} already exists")
+            # Drop the old extraction so a materialized -> virtual redefine
+            # cannot leave stale {name}_edge/{name}_node tables behind.
+            displaced.drop()
+        handle = GraphViewHandle(
+            self.db, self.storage, name, view, materialized=materialized
+        )
+        if materialized:
+            handle.refresh()
+        self._graph_views[name] = handle
+        return handle
+
+    def graph_view(self, name: str) -> GraphViewHandle:
+        """Look up a declared graph view by name.
+
+        Raises:
+            GraphViewError: unknown view name.
+        """
+        try:
+            return self._graph_views[name]
+        except KeyError:
+            raise GraphViewError(f"graph view {name!r} is not defined") from None
+
+    def drop_graph_view(self, name: str, if_exists: bool = False) -> None:
+        """Remove a graph view and its extracted tables.
+
+        Raises:
+            GraphViewError: unknown view name (unless ``if_exists``).
+        """
+        handle = self._graph_views.pop(name, None)
+        if handle is None:
+            if if_exists:
+                return
+            raise GraphViewError(f"graph view {name!r} is not defined")
+        handle.drop()
+
+    # -- SQL statement handlers ----------------------------------------
+    def _execute_create_graph_view(
+        self, db: Database, stmt: CreateGraphViewStatement
+    ) -> Result:
+        if stmt.if_not_exists and stmt.name in self._graph_views:
+            return Result(row_count=0)
+        view = GraphView(
+            vertices=[
+                NodeSpec(
+                    table=clause.table,
+                    key=clause.key,
+                    where=_maybe_sql(clause.where),
+                )
+                for clause in stmt.nodes
+            ],
+            edges=[_edge_spec_from_clause(clause) for clause in stmt.edges],
+            name=stmt.name,
+        )
+        handle = self.create_graph_view(
+            stmt.name, view, materialized=stmt.materialized
+        )
+        extracted = handle.last_extraction
+        return Result(row_count=extracted.num_edges if extracted else 0)
+
+    def _execute_drop_graph_view(
+        self, db: Database, stmt: DropGraphViewStatement
+    ) -> Result:
+        self.drop_graph_view(stmt.name, if_exists=stmt.if_exists)
+        return Result(row_count=0)
+
+    # ------------------------------------------------------------------
     # Running programs
     # ------------------------------------------------------------------
     def run(
         self,
-        graph: GraphHandle | str,
+        graph: GraphHandle | GraphViewHandle | GraphView | str,
         program: VertexProgram,
         **overrides: Any,
     ) -> VertexicaResult:
         """Run a vertex program via the coordinator stored procedure.
 
+        Accepts a loaded :class:`GraphHandle`, a graph or view name, a
+        :class:`~repro.graphview.GraphViewHandle` (virtual views re-extract
+        from their base tables right here), or a bare
+        :class:`~repro.graphview.GraphView` declaration (extracted
+        on the fly under its ``name``, default ``"adhoc_view"``).
+
         Keyword overrides are applied on top of this instance's config,
         e.g. ``vx.run(g, prog, n_partitions=16, input_strategy="join")``.
         """
-        handle = self.graph(graph) if isinstance(graph, str) else graph
+        handle = self._resolve_graph(graph)
         config = self.config.with_overrides(**overrides) if overrides else self.config
         stats: RunStats = self.db.call("vertexica_run", handle, program, config)
         values = self.storage.read_values(handle, program)
         return VertexicaResult(values=values, stats=stats)
+
+    def _resolve_graph(
+        self, graph: GraphHandle | GraphViewHandle | GraphView | str
+    ) -> GraphHandle:
+        """Turn any accepted graph reference into a loaded handle."""
+        if isinstance(graph, GraphViewHandle):
+            return graph.resolve()
+        if isinstance(graph, GraphView):
+            name = graph.name or "adhoc_view"
+            return GraphViewHandle(
+                self.db, self.storage, name, graph, materialized=False
+            ).resolve()
+        if isinstance(graph, str):
+            if graph in self._graph_views:
+                return self._graph_views[graph].resolve()
+            return self.graph(graph)
+        return graph
 
     # ------------------------------------------------------------------
     # Relational access (§3.4: pre-/post-processing in the same system)
@@ -127,6 +281,31 @@ class Vertexica:
     def sql(self, statement: str, params: Sequence[Any] | None = None) -> Result:
         """Run arbitrary SQL against the shared database."""
         return self.db.execute(statement, params)
+
+
+def _maybe_sql(expr: Any) -> str | None:
+    """Render an optional parsed expression back to SQL text."""
+    return None if expr is None else render_expression(expr)
+
+
+def _edge_spec_from_clause(clause: "EdgeClause | ConnectClause") -> EdgeSource:
+    """Convert one parsed EDGES clause into its DSL spec."""
+    if isinstance(clause, ConnectClause):
+        return CoEdgeSpec(
+            table=clause.table,
+            member=clause.member,
+            via=clause.via,
+            weight=_maybe_sql(clause.weight),
+            where=_maybe_sql(clause.where),
+        )
+    return EdgeSpec(
+        table=clause.table,
+        src=clause.src,
+        dst=clause.dst,
+        weight=_maybe_sql(clause.weight),
+        where=_maybe_sql(clause.where),
+        directed=clause.directed,
+    )
 
 
 def _symmetrized(

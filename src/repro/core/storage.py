@@ -115,12 +115,15 @@ class GraphStorage:
         dst: Sequence[int] | np.ndarray,
         weights: Sequence[float] | np.ndarray | None = None,
         num_vertices: int | None = None,
+        node_ids: Sequence[int] | np.ndarray | None = None,
     ) -> GraphHandle:
         """Bulk-load an edge list into ``{name}_edge`` / ``{name}_node``.
 
         Vertex ids must be integers; the node table is the union of
         endpoint ids with ``0..num_vertices-1`` when ``num_vertices`` is
-        given (isolated vertices are kept that way).
+        given (isolated vertices are kept that way) and with ``node_ids``
+        when given (explicit vertex sets, e.g. from a graph view's node
+        specs — members with no edges stay isolated vertices).
 
         Raises:
             GraphLoadError: empty name, ragged arrays, or negative ids.
@@ -163,6 +166,11 @@ class GraphStorage:
         ids = np.union1d(src_arr, dst_arr) if len(src_arr) else np.empty(0, np.int64)
         if num_vertices is not None:
             ids = np.union1d(ids, np.arange(num_vertices, dtype=np.int64))
+        if node_ids is not None:
+            explicit = np.asarray(node_ids, dtype=np.int64)
+            if len(explicit) and explicit.min() < 0:
+                raise GraphLoadError("vertex ids must be non-negative")
+            ids = np.union1d(ids, explicit)
         db.execute(f"CREATE TABLE {handle.node_table} (id INTEGER NOT NULL)")
         db.insert_batch(
             handle.node_table,
@@ -248,22 +256,35 @@ class GraphStorage:
     # ------------------------------------------------------------------
     # Worker input queries (the §2.3 Table Unions optimization + its foil)
     # ------------------------------------------------------------------
-    def union_input_sql(self, graph: GraphHandle, value_is_varchar: bool) -> str:
+    def union_input_sql(
+        self, graph: GraphHandle, value_is_varchar: bool, include_edges: bool = True
+    ) -> str:
         """UNION ALL of the three tables renamed to a common narrow schema
-        ``(vid, kind, i1, f1, s1)`` — kind 0/1/2 = vertex/edge/message."""
+        ``(vid, kind, i1, f1, s1)`` — kind 0/1/2 = vertex/edge/message.
+
+        ``include_edges=False`` omits the edge relation: once the worker
+        has cached the decoded per-partition edge arrays (superstep 0),
+        re-projecting the immutable edge table every superstep is pure
+        overhead.
+        """
         if value_is_varchar:
             v_f1, v_s1 = "NULL", "v.value"
             m_f1, m_s1 = "NULL", "m.value"
         else:
             v_f1, v_s1 = "v.value", "NULL"
             m_f1, m_s1 = "m.value", "NULL"
+        edge_part = (
+            f"UNION ALL "
+            f"SELECT e.src, 1, e.dst, e.weight, NULL FROM {graph.edge_table} e "
+            if include_edges
+            else ""
+        )
         return (
             f"SELECT v.id AS vid, 0 AS kind, "
             f"CASE WHEN v.halted THEN 1 ELSE 0 END AS i1, "
             f"CAST({v_f1} AS FLOAT) AS f1, CAST({v_s1} AS VARCHAR) AS s1 "
             f"FROM {graph.vertex_table} v "
-            f"UNION ALL "
-            f"SELECT e.src, 1, e.dst, e.weight, NULL FROM {graph.edge_table} e "
+            f"{edge_part}"
             f"UNION ALL "
             f"SELECT m.dst, 2, m.src, CAST({m_f1} AS FLOAT), CAST({m_s1} AS VARCHAR) "
             f"FROM {graph.message_table} m"

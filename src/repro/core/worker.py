@@ -57,7 +57,7 @@ from repro.engine.schema import ColumnDef, Schema
 from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
 from repro.errors import ProgramError
 
-__all__ = ["VertexWorker", "worker_output_schema"]
+__all__ = ["EdgeCache", "VertexWorker", "worker_output_schema"]
 
 
 def worker_output_schema() -> Schema:
@@ -104,6 +104,71 @@ class _DecodedPartition:
             return np.ones(self.num_vertices, dtype=bool)
         has_messages = np.diff(self.msg_indptr) > 0
         return has_messages | ~self.halted
+
+
+class EdgeCache:
+    """Per-partition decoded CSR edge arrays, shared across supersteps.
+
+    The edge relation is immutable for the duration of a run and the
+    partitioning function (vid hash) and vertex set are stable, so the
+    (vertex_ids, edge_indptr, edge_targets, edge_weights) tuple decoded at
+    superstep 0 is valid for every later superstep.  Once ``primed``, the
+    coordinator drops the edge relation from the union input SQL entirely
+    and the worker reads edges from here instead.
+    """
+
+    __slots__ = ("partitions", "primed", "_lock")
+
+    def __init__(self) -> None:
+        #: partition index -> (vertex_ids, edge_indptr, edge_targets, edge_weights)
+        self.partitions: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self.primed = False
+        self._lock = threading.Lock()
+
+    def store(
+        self,
+        partition_index: int,
+        vertex_ids: np.ndarray,
+        edge_indptr: np.ndarray,
+        edge_targets: np.ndarray,
+        edge_weights: np.ndarray,
+    ) -> None:
+        """Record one partition's decoded edges (superstep 0)."""
+        with self._lock:
+            self.partitions[partition_index] = (
+                vertex_ids, edge_indptr, edge_targets, edge_weights
+            )
+
+    def lookup(
+        self, partition_index: int, vertex_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """This partition's cached ``(indptr, targets, weights)``.
+
+        Raises:
+            ProgramError: when the partition was never cached or its
+                vertex set changed — both would mean the superstep-0
+                alignment no longer holds, which violates the run
+                invariants this cache relies on.
+        """
+        entry = self.partitions.get(partition_index)
+        if entry is None:
+            if len(vertex_ids) == 0:
+                # This bucket held no rows at all at superstep 0 (it has no
+                # vertex rows, so it only runs now because a message to a
+                # nonexistent id hashed here) — it has no edges either.
+                empty = np.empty(0, dtype=np.int64)
+                return np.zeros(1, dtype=np.int64), empty, np.empty(0, np.float64)
+            raise ProgramError(
+                f"edge cache has no entry for partition {partition_index}; "
+                "was superstep 0 run with a different partitioning?"
+            )
+        cached_ids, indptr, targets, weights = entry
+        if not np.array_equal(cached_ids, vertex_ids):
+            raise ProgramError(
+                f"edge cache vertex set changed for partition {partition_index}; "
+                "the vertex table must be immutable during a run"
+            )
+        return indptr, targets, weights
 
 
 def _csr_align(
@@ -348,6 +413,7 @@ class VertexWorker:
         input_format: str = "union",
         aggregated: dict[str, float] | None = None,
         use_batch: bool | None = None,
+        edge_cache: EdgeCache | None = None,
     ) -> None:
         if input_format not in ("union", "join"):
             raise ProgramError(f"unknown worker input format {input_format!r}")
@@ -363,6 +429,7 @@ class VertexWorker:
         self.num_vertices = num_vertices
         self.input_format = input_format
         self.use_batch = use_batch
+        self.edge_cache = edge_cache
         self.aggregated = aggregated or {}
         self.schema = worker_output_schema()
         self._lock = threading.Lock()
@@ -377,7 +444,7 @@ class VertexWorker:
     def __call__(self, partition: RecordBatch, partition_index: int) -> RecordBatch:
         """Process one sorted partition; returns staged output rows."""
         if self.input_format == "union":
-            part = self._decode_union(partition)
+            part = self._decode_union(partition, partition_index)
         else:
             part = self._decode_join(partition)
         out = _Outputs()
@@ -414,7 +481,7 @@ class VertexWorker:
     # ------------------------------------------------------------------
     # Union format decode
     # ------------------------------------------------------------------
-    def _decode_union(self, batch: RecordBatch) -> _DecodedPartition:
+    def _decode_union(self, batch: RecordBatch, partition_index: int) -> _DecodedPartition:
         vid = np.asarray(batch.column("vid").values, dtype=np.int64)
         kind = batch.column("kind").values
         i1 = batch.column("i1").values
@@ -429,15 +496,27 @@ class VertexWorker:
         raw_values = value_col.values[v_idx]
         value_valid = value_col.valid[v_idx]
 
-        e_idx = np.flatnonzero(kind == 1)
-        edge_indptr, (edge_targets, edge_weights), _ = _csr_align(
-            vid[e_idx],
-            vertex_ids,
-            (
-                i1[e_idx].astype(np.int64, copy=False),
-                np.asarray(f1.values[e_idx], dtype=np.float64),
-            ),
-        )
+        cache = self.edge_cache
+        if cache is not None and cache.primed:
+            # Edge rows were omitted from the input SQL; reuse the arrays
+            # decoded at superstep 0.
+            edge_indptr, edge_targets, edge_weights = cache.lookup(
+                partition_index, vertex_ids
+            )
+        else:
+            e_idx = np.flatnonzero(kind == 1)
+            edge_indptr, (edge_targets, edge_weights), _ = _csr_align(
+                vid[e_idx],
+                vertex_ids,
+                (
+                    i1[e_idx].astype(np.int64, copy=False),
+                    np.asarray(f1.values[e_idx], dtype=np.float64),
+                ),
+            )
+            if cache is not None:
+                cache.store(
+                    partition_index, vertex_ids, edge_indptr, edge_targets, edge_weights
+                )
 
         m_idx = np.flatnonzero(kind == 2)
         msg_indptr, (msg_raw, msg_valid), dropped = _csr_align(

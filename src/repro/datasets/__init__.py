@@ -6,6 +6,9 @@ the same shape characteristics at laptop scale; a SNAP-format reader is
 provided for anyone with the real files.  :mod:`repro.datasets.metadata`
 implements the §4 metadata specification (uniform/zipfian/float/string
 node attributes; weight/timestamp/type edge attributes).
+:mod:`repro.datasets.relational` generates normalized multi-table schemas
+(users/follows/likes) whose foreign keys hide a graph — the test bed for
+the graph-view extraction subsystem.
 """
 
 from repro.datasets.generators import (
@@ -18,6 +21,11 @@ from repro.datasets.generators import (
     twitter_like,
 )
 from repro.datasets.metadata import MetadataSpec, attach_metadata
+from repro.datasets.relational import (
+    SocialSchema,
+    load_graph_as_schema,
+    load_social_schema,
+)
 from repro.datasets.snap import read_snap_edge_list, write_snap_edge_list
 
 __all__ = [
@@ -30,6 +38,9 @@ __all__ = [
     "star_graph",
     "MetadataSpec",
     "attach_metadata",
+    "SocialSchema",
+    "load_social_schema",
+    "load_graph_as_schema",
     "read_snap_edge_list",
     "write_snap_edge_list",
 ]

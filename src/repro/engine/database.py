@@ -61,6 +61,10 @@ class Database:
         #: parsed-statement memo — AST nodes are frozen dataclasses with
         #: parameters bound as literals, so (sql, params) fully keys them.
         self._parse_cache: dict[tuple[str, tuple[Any, ...] | None], Any] = {}
+        #: statement types dispatched to an external layer (e.g. the
+        #: Vertexica layer handles CREATE GRAPH VIEW); see
+        #: :meth:`register_statement_handler`.
+        self._statement_handlers: dict[type, Callable[["Database", Any], Result]] = {}
 
     # ------------------------------------------------------------------
     # SQL execution
@@ -77,6 +81,9 @@ class Database:
         """
         statement = self._parse_cached(sql, params)
         self.statements_executed += 1
+        handler = self._statement_handlers.get(type(statement))
+        if handler is not None:
+            return handler(self, statement)
         return self._executor.run(statement)
 
     def _parse_cached(self, sql: str, params: Sequence[Any] | None):
@@ -106,7 +113,11 @@ class Database:
         results = []
         for statement in parse_statements(sql):
             self.statements_executed += 1
-            results.append(self._executor.run(statement))
+            handler = self._statement_handlers.get(type(statement))
+            if handler is not None:
+                results.append(handler(self, statement))
+            else:
+                results.append(self._executor.run(statement))
         return results
 
     def query_batch(self, sql: str, params: Sequence[Any] | None = None) -> RecordBatch:
@@ -210,6 +221,18 @@ class Database:
             executor=executor or serial_executor,
         )
         return op.execute()
+
+    def register_statement_handler(
+        self, statement_type: type, handler: Callable[["Database", Any], Result]
+    ) -> None:
+        """Route a parsed statement type to an external executor.
+
+        Lets higher layers own statements the relational engine cannot
+        execute by itself — the Vertexica layer registers handlers for
+        ``CREATE GRAPH VIEW`` / ``DROP GRAPH VIEW`` this way.  The handler
+        receives ``(db, statement)`` and must return a :class:`Result`.
+        """
+        self._statement_handlers[statement_type] = handler
 
     def register_procedure(self, name: str, fn: Callable[..., Any]) -> None:
         """Register a stored procedure: ``fn(db, *args)``."""

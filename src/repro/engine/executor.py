@@ -26,9 +26,11 @@ from repro.errors import (
     TypeMismatchError,
 )
 from repro.engine.sql.ast import (
+    CreateGraphViewStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
+    DropGraphViewStatement,
     DropTableStatement,
     InsertStatement,
     SelectStatement,
@@ -134,6 +136,12 @@ class StatementExecutor:
             removed = table.num_rows
             table.truncate()
             return Result(row_count=removed)
+        if isinstance(stmt, (CreateGraphViewStatement, DropGraphViewStatement)):
+            raise PlanError(
+                "graph view statements need the Vertexica layer; construct "
+                "a Vertexica over this database and run the statement "
+                "through it"
+            )
         raise PlanError(f"unsupported statement: {type(stmt).__name__}")
 
     # ------------------------------------------------------------------

@@ -30,6 +30,11 @@ __all__ = [
     "DropTableStatement",
     "TruncateStatement",
     "OrderItem",
+    "NodeClause",
+    "EdgeClause",
+    "ConnectClause",
+    "CreateGraphViewStatement",
+    "DropGraphViewStatement",
 ]
 
 
@@ -196,3 +201,63 @@ class TruncateStatement(Statement):
     """``TRUNCATE [TABLE] t`` — delete all rows, keep the schema."""
 
     name: str
+
+
+# ---------------------------------------------------------------------------
+# Graph views (CREATE GRAPH VIEW ... AS NODES(...) EDGES(...))
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeClause:
+    """One NODES entry: ``table KEY id_col [WHERE expr]``."""
+
+    table: str
+    key: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class EdgeClause:
+    """One EDGES entry over an edge-per-row table:
+    ``table SRC col DST col [WEIGHT expr] [WHERE expr] [UNDIRECTED]``."""
+
+    table: str
+    src: str
+    dst: str
+    weight: Expression | None = None
+    where: Expression | None = None
+    directed: bool = True
+
+
+@dataclass(frozen=True)
+class ConnectClause:
+    """One join-derived EDGES entry (co-occurrence through a shared key):
+    ``table CONNECT member_col VIA via_col [WEIGHT expr] [WHERE expr]``."""
+
+    table: str
+    member: str
+    via: str
+    weight: Expression | None = None
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class CreateGraphViewStatement(Statement):
+    """``CREATE [MATERIALIZED] GRAPH VIEW name AS NODES (...) EDGES (...)``.
+
+    Executed by the Vertexica layer (registered as a statement handler on
+    the database); the bare engine rejects it.
+    """
+
+    name: str
+    nodes: tuple[NodeClause, ...]
+    edges: tuple["EdgeClause | ConnectClause", ...]
+    materialized: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropGraphViewStatement(Statement):
+    """``DROP GRAPH VIEW [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False

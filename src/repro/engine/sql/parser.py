@@ -28,14 +28,19 @@ from repro.engine.expressions import (
 )
 from repro.engine.sql.ast import (
     ColumnSpec,
+    ConnectClause,
+    CreateGraphViewStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
     DerivedTable,
+    DropGraphViewStatement,
     DropTableStatement,
+    EdgeClause,
     InsertStatement,
     Join,
     NamedTable,
+    NodeClause,
     OrderItem,
     SelectItem,
     SelectLike,
@@ -113,6 +118,22 @@ class Parser:
         if self.current.kind is not TokenKind.IDENT:
             raise self.error("expected identifier")
         return self.advance().text
+
+    # Contextual words: identifiers with grammatical meaning only inside
+    # graph-view clauses (SRC, DST, WEIGHT, ... stay usable as ordinary
+    # column/table names everywhere else).
+    def check_word(self, *words: str) -> bool:
+        return self.current.kind is TokenKind.IDENT and self.current.text in words
+
+    def accept_word(self, *words: str) -> bool:
+        if self.check_word(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise self.error(f"expected {word.upper()}")
 
     # ------------------------------------------------------------------
     # Entry points
@@ -360,6 +381,10 @@ class Parser:
 
     def _parse_create(self) -> Statement:
         self.expect_keyword("CREATE")
+        # GRAPH/VIEW/MATERIALIZED are contextual: only the token right
+        # after CREATE/DROP decides, so they stay valid table names.
+        if self._starts_graph_view():
+            return self._parse_create_graph_view()
         self.expect_keyword("TABLE")
         if_not_exists = False
         if self.accept_keyword("IF"):
@@ -396,14 +421,110 @@ class Parser:
                 break
         return ColumnSpec(name=name, type_name=type_name, not_null=not_null, primary_key=primary_key)
 
-    def _parse_drop(self) -> DropTableStatement:
+    def _parse_drop(self) -> Statement:
         self.expect_keyword("DROP")
+        if self._starts_graph_view():
+            self.expect_word("graph")
+            self.expect_word("view")
+            if_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("EXISTS")
+                if_exists = True
+            return DropGraphViewStatement(name=self.expect_identifier(), if_exists=if_exists)
         self.expect_keyword("TABLE")
         if_exists = False
         if self.accept_keyword("IF"):
             self.expect_keyword("EXISTS")
             if_exists = True
         return DropTableStatement(name=self.expect_identifier(), if_exists=if_exists)
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def _starts_graph_view(self) -> bool:
+        """Two-token lookahead after CREATE/DROP: ``GRAPH VIEW`` (or
+        ``MATERIALIZED`` after CREATE, which only graph views accept)."""
+        if self.check_word("materialized"):
+            return True
+        return (
+            self.check_word("graph")
+            and self.tokens[self.index + 1].matches(TokenKind.IDENT, "view")
+        )
+
+    def _parse_create_graph_view(self) -> CreateGraphViewStatement:
+        """``CREATE [MATERIALIZED] GRAPH VIEW [IF NOT EXISTS] name AS
+        NODES (node_clause, ...) EDGES (edge_clause, ...)``.
+
+        Clause grammars (SRC/DST/WEIGHT/... are contextual words, so they
+        remain legal column names in ordinary statements):
+
+        * node clause: ``table KEY id_col [WHERE expr]``
+        * edge clause: ``table SRC col DST col [WEIGHT expr] [WHERE expr]
+          [UNDIRECTED]``
+        * connect clause (join-derived co-occurrence edges):
+          ``table CONNECT member_col VIA via_col [WEIGHT expr] [WHERE expr]``
+        """
+        materialized = self.accept_word("materialized")
+        self.expect_word("graph")
+        self.expect_word("view")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier()
+        self.expect_keyword("AS")
+        self.expect_word("nodes")
+        nodes = self._parse_clause_list(self._parse_node_clause)
+        self.expect_word("edges")
+        edges = self._parse_clause_list(self._parse_edge_clause)
+        return CreateGraphViewStatement(
+            name=name,
+            nodes=nodes,
+            edges=edges,
+            materialized=materialized,
+            if_not_exists=if_not_exists,
+        )
+
+    def _parse_clause_list(self, parse_clause) -> tuple:
+        self.expect_operator("(")
+        clauses = [parse_clause()]
+        while self.accept_operator(","):
+            clauses.append(parse_clause())
+        self.expect_operator(")")
+        return tuple(clauses)
+
+    def _parse_node_clause(self) -> NodeClause:
+        table = self.expect_identifier()
+        self.expect_keyword("KEY")
+        key = self.expect_identifier()
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return NodeClause(table=table, key=key, where=where)
+
+    def _parse_edge_clause(self) -> "EdgeClause | ConnectClause":
+        table = self.expect_identifier()
+        if self.accept_word("connect"):
+            member = self.expect_identifier()
+            self.expect_word("via")
+            via = self.expect_identifier()
+            weight, where = self._parse_weight_where()
+            return ConnectClause(
+                table=table, member=member, via=via, weight=weight, where=where
+            )
+        self.expect_word("src")
+        src = self.expect_identifier()
+        self.expect_word("dst")
+        dst = self.expect_identifier()
+        weight, where = self._parse_weight_where()
+        directed = not self.accept_word("undirected")
+        return EdgeClause(
+            table=table, src=src, dst=dst, weight=weight, where=where, directed=directed
+        )
+
+    def _parse_weight_where(self) -> tuple[Expression | None, Expression | None]:
+        weight = self.parse_expression() if self.accept_word("weight") else None
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return weight, where
 
     def _parse_truncate(self) -> TruncateStatement:
         self.expect_keyword("TRUNCATE")

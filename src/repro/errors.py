@@ -72,6 +72,11 @@ class GraphLoadError(VertexicaError):
     """Graph data could not be loaded into the vertex/edge tables."""
 
 
+class GraphViewError(VertexicaError):
+    """A graph view declaration was invalid or could not be extracted
+    from its base tables."""
+
+
 class BaselineError(ReproError):
     """Base class for errors raised by the Giraph / graph-DB baselines."""
 

@@ -1,0 +1,28 @@
+"""``repro.graphview`` — declarative graph extraction from relational tables.
+
+The "relational friend" half of the paper: graphs usually already exist
+inside normalized schemas, as foreign keys and junction tables.  This
+package lets users *declare* that graph (:class:`GraphView` over
+:class:`NodeSpec` / :class:`EdgeSpec` / :class:`CoEdgeSpec`), compiles the
+declaration to set-oriented SQL, and loads the result into Vertexica's
+vertex/edge tables — materialized with explicit ``refresh()``, or virtual
+(re-extracted at every run).
+
+Entry points: ``Vertexica.create_graph_view(...)`` for the Python DSL and
+the ``CREATE [MATERIALIZED] GRAPH VIEW ... AS NODES(...) EDGES(...)``
+SQL statement for the declarative surface.
+"""
+
+from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
+from repro.graphview.view import ExtractionStats, GraphViewHandle, extract_graph
+
+__all__ = [
+    "GraphView",
+    "NodeSpec",
+    "EdgeSpec",
+    "CoEdgeSpec",
+    "EdgeSource",
+    "GraphViewHandle",
+    "ExtractionStats",
+    "extract_graph",
+]

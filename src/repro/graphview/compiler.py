@@ -1,0 +1,178 @@
+"""Lowering graph-view specs to the engine's SQL.
+
+Every spec becomes one or two set-oriented SELECT statements producing
+the canonical extraction schemas::
+
+    node queries:  (id INTEGER)
+    edge queries:  (src INTEGER, dst INTEGER, weight FLOAT)
+
+The compiler only builds SQL text; :mod:`repro.graphview.view` executes
+it and hands the resulting columns to storage as numpy arrays.  A small
+expression renderer (:func:`render_expression`) turns parsed
+:mod:`repro.engine.expressions` trees back into SQL so the
+``CREATE GRAPH VIEW`` DDL path and the Python DSL share one lowering.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.errors import GraphViewError
+from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec
+
+__all__ = ["node_queries", "edge_queries", "render_expression"]
+
+
+# ---------------------------------------------------------------------------
+# Spec -> SQL
+# ---------------------------------------------------------------------------
+def _where_clause(where: str | None) -> str:
+    return f" WHERE {where}" if where else ""
+
+
+def node_queries(view: GraphView) -> list[str]:
+    """One ``SELECT ... AS id`` per node spec."""
+    return [
+        f"SELECT CAST({spec.key} AS INTEGER) AS id "
+        f"FROM {spec.table}{_where_clause(spec.where)}"
+        for spec in view.vertices
+    ]
+
+
+def edge_queries(view: GraphView) -> list[str]:
+    """One or two ``SELECT src, dst, weight`` statements per edge spec
+    (undirected :class:`EdgeSpec` contributes the reversed projection as a
+    second statement)."""
+    out: list[str] = []
+    for spec in view.edges:
+        if isinstance(spec, EdgeSpec):
+            out.append(_edge_sql(spec, reverse=False))
+            if not spec.directed:
+                out.append(_edge_sql(spec, reverse=True))
+        elif isinstance(spec, CoEdgeSpec):
+            out.append(_co_edge_sql(spec))
+        else:  # pragma: no cover - GraphView.validate rejects this
+            raise GraphViewError(f"unknown edge spec type {type(spec).__name__}")
+    return out
+
+
+def _edge_sql(spec: EdgeSpec, reverse: bool) -> str:
+    src, dst = (spec.dst, spec.src) if reverse else (spec.src, spec.dst)
+    weight = spec.weight if spec.weight is not None else "1.0"
+    return (
+        f"SELECT CAST({src} AS INTEGER) AS src, "
+        f"CAST({dst} AS INTEGER) AS dst, "
+        f"CAST({weight} AS FLOAT) AS weight "
+        f"FROM {spec.table}{_where_clause(spec.where)}"
+    )
+
+
+def _co_edge_sql(spec: CoEdgeSpec) -> str:
+    """The co-occurrence self-join: members sharing a ``via`` key connect.
+
+    Filters are pushed into the derived tables so user ``where``
+    expressions stay unqualified; the member cast happens there too, so
+    the outer GROUP BY keys are bare column references.
+    """
+    weight = spec.weight if spec.weight is not None else "COUNT(*)"
+    side = (
+        f"SELECT CAST({spec.member} AS INTEGER) AS member, {spec.via} AS via "
+        f"FROM {spec.table}{_where_clause(spec.where)}"
+    )
+    return (
+        f"SELECT a.member AS src, b.member AS dst, "
+        f"CAST({weight} AS FLOAT) AS weight "
+        f"FROM ({side}) a JOIN ({side}) b ON a.via = b.via "
+        f"WHERE a.member <> b.member "
+        f"GROUP BY a.member, b.member"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression -> SQL (for the CREATE GRAPH VIEW DDL path)
+# ---------------------------------------------------------------------------
+def render_expression(expr: Expression) -> str:
+    """Render a parsed expression tree back to SQL text.
+
+    Used by the DDL path: ``CREATE GRAPH VIEW`` clauses arrive as parsed
+    :class:`Expression` trees, while the view compiler works on SQL
+    strings (so Python-DSL and DDL views share one lowering).  Output is
+    fully parenthesized, so operator precedence never changes on the
+    round trip.
+    """
+    if isinstance(expr, Literal):
+        return _render_literal(expr.value)
+    if isinstance(expr, ColumnRef):
+        return expr.display
+    if isinstance(expr, Star):
+        return f"{expr.qualifier}.*" if expr.qualifier else "*"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, UnaryOp):
+        spacer = " " if expr.op.isalpha() else ""
+        return f"({expr.op}{spacer}{render_expression(expr.operand)})"
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(render_expression(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, CastExpr):
+        return f"CAST({render_expression(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, IsNull):
+        maybe_not = " NOT" if expr.negated else ""
+        return f"({render_expression(expr.operand)} IS{maybe_not} NULL)"
+    if isinstance(expr, InList):
+        maybe_not = " NOT" if expr.negated else ""
+        items = ", ".join(render_expression(i) for i in expr.items)
+        return f"({render_expression(expr.operand)}{maybe_not} IN ({items}))"
+    if isinstance(expr, Between):
+        maybe_not = " NOT" if expr.negated else ""
+        return (
+            f"({render_expression(expr.operand)}{maybe_not} BETWEEN "
+            f"{render_expression(expr.low)} AND {render_expression(expr.high)})"
+        )
+    if isinstance(expr, LikeExpr):
+        maybe_not = " NOT" if expr.negated else ""
+        return (
+            f"({render_expression(expr.operand)}{maybe_not} LIKE "
+            f"{render_expression(expr.pattern)})"
+        )
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(render_expression(expr.operand))
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {render_expression(cond)} THEN {render_expression(result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {render_expression(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise GraphViewError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)

@@ -1,0 +1,200 @@
+"""The graph-view DSL: declare the graph hidden inside relational tables.
+
+The paper's pitch is that graphs already live in ordinary normalized
+schemas (users/follows, orders/products, authors/papers); a
+:class:`GraphView` names exactly where.  Each view is a set of *node
+specs* (which table column provides vertex ids) and *edge specs* (either
+a table whose rows are edges, or a join-derived co-occurrence through a
+shared foreign key), all compiled down to set-oriented SQL by
+:mod:`repro.graphview.compiler`.
+
+Example — a follower graph plus a "liked the same post" graph over a
+normalized 3-table schema::
+
+    view = GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=[
+            EdgeSpec("follows", src="follower_id", dst="followee_id",
+                     weight="closeness"),
+            CoEdgeSpec("likes", member="user_id", via="post_id"),
+        ],
+    )
+
+``where`` and ``weight`` accept plain SQL expressions over the source
+table's columns; they are validated when the view is compiled/extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import GraphViewError
+
+__all__ = ["NodeSpec", "EdgeSpec", "CoEdgeSpec", "EdgeSource", "GraphView"]
+
+
+def _require_identifier(value: str, what: str) -> None:
+    if not isinstance(value, str) or not value.isidentifier():
+        raise GraphViewError(f"{what} must be a SQL identifier, got {value!r}")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One vertex source: ``key`` column of ``table`` provides integer ids.
+
+    Attributes:
+        table: base table holding one row per (candidate) vertex.
+        key: column with the integer vertex id.
+        where: optional SQL filter over the table's columns.
+    """
+
+    table: str
+    key: str
+    where: str | None = None
+
+    def validate(self) -> None:
+        """Check identifier fields.
+
+        Raises:
+            GraphViewError: on a malformed table or column name.
+        """
+        _require_identifier(self.table, "NodeSpec.table")
+        _require_identifier(self.key, "NodeSpec.key")
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One edge source: each row of ``table`` is an edge ``src -> dst``.
+
+    Attributes:
+        table: base table holding one row per edge.
+        src, dst: endpoint id columns.
+        weight: optional SQL expression for the edge weight (default 1.0).
+        where: optional SQL filter over the table's columns.
+        directed: ``False`` also emits every reverse edge, so undirected
+            algorithms (connected components, triangle counting) see both
+            directions.
+    """
+
+    table: str
+    src: str
+    dst: str
+    weight: str | None = None
+    where: str | None = None
+    directed: bool = True
+
+    def validate(self) -> None:
+        """Check identifier fields.
+
+        Raises:
+            GraphViewError: on a malformed table or column name.
+        """
+        _require_identifier(self.table, "EdgeSpec.table")
+        _require_identifier(self.src, "EdgeSpec.src")
+        _require_identifier(self.dst, "EdgeSpec.dst")
+
+
+@dataclass(frozen=True)
+class CoEdgeSpec:
+    """Join-derived co-occurrence edges through a shared foreign key.
+
+    Two rows of ``table`` with the same ``via`` value connect their
+    ``member`` values: users liking the same post, products in the same
+    order, authors on the same paper.  Compiles to a self-join grouped on
+    the member pair; both directions are always emitted (co-occurrence is
+    symmetric), so the extracted relation is ready for undirected and
+    directed algorithms alike.
+
+    Attributes:
+        table: the associative (junction) table.
+        member: column providing the vertex ids to connect.
+        via: the shared foreign-key column.
+        weight: optional SQL *aggregate* over the co-occurrence group
+            (default ``COUNT(*)`` — the number of shared ``via`` keys).
+        where: optional SQL filter applied to the table before the join.
+    """
+
+    table: str
+    member: str
+    via: str
+    weight: str | None = None
+    where: str | None = None
+
+    def validate(self) -> None:
+        """Check identifier fields.
+
+        Raises:
+            GraphViewError: on a malformed table or column name.
+        """
+        _require_identifier(self.table, "CoEdgeSpec.table")
+        _require_identifier(self.member, "CoEdgeSpec.member")
+        _require_identifier(self.via, "CoEdgeSpec.via")
+        if self.member == self.via:
+            raise GraphViewError(
+                "CoEdgeSpec.member and CoEdgeSpec.via must be different columns"
+            )
+
+
+EdgeSource = Union[EdgeSpec, CoEdgeSpec]
+
+
+def _as_tuple(specs, kinds, what: str) -> tuple:
+    if isinstance(specs, kinds):
+        return (specs,)
+    try:
+        out = tuple(specs)
+    except TypeError:
+        raise GraphViewError(f"{what} must be a spec or a sequence of specs")
+    for spec in out:
+        if not isinstance(spec, kinds):
+            raise GraphViewError(
+                f"{what} entries must be {' / '.join(k.__name__ for k in kinds)}, "
+                f"got {type(spec).__name__}"
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class GraphView:
+    """A declarative graph extracted from relational tables.
+
+    Attributes:
+        vertices: one or more :class:`NodeSpec`.  The extracted vertex set
+            is the union of all node specs *plus* every edge endpoint
+            (edges never dangle).
+        edges: one or more :class:`EdgeSpec` / :class:`CoEdgeSpec`; their
+            extracted edge lists are concatenated.
+        name: optional default name used when the view is materialized
+            anonymously.
+    """
+
+    vertices: tuple[NodeSpec, ...] = ()
+    edges: tuple[EdgeSource, ...] = ()
+    name: str | None = None
+
+    def __init__(
+        self,
+        vertices: NodeSpec | Sequence[NodeSpec] = (),
+        edges: EdgeSource | Sequence[EdgeSource] = (),
+        name: str | None = None,
+    ) -> None:
+        object.__setattr__(self, "vertices", _as_tuple(vertices, (NodeSpec,), "vertices"))
+        object.__setattr__(
+            self, "edges", _as_tuple(edges, (EdgeSpec, CoEdgeSpec), "edges")
+        )
+        object.__setattr__(self, "name", name)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the view is non-trivial and every spec is well-formed.
+
+        Raises:
+            GraphViewError: empty view or malformed spec.
+        """
+        if not self.vertices and not self.edges:
+            raise GraphViewError("a GraphView needs at least one node or edge spec")
+        if self.name is not None and not self.name.isidentifier():
+            raise GraphViewError(f"GraphView.name must be an identifier, got {self.name!r}")
+        for spec in (*self.vertices, *self.edges):
+            spec.validate()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -9,15 +10,28 @@ from repro.engine.database import Database
 
 __all__ = ["scratch_tables", "undirected_neighbors_sql", "canonical_edges_sql"]
 
+#: Process-wide counter making scratch names unique per ``scratch_tables``
+#: entry (``itertools.count`` increments atomically under the GIL).
+_scratch_counter = itertools.count()
+
 
 @contextmanager
-def scratch_tables(db: Database, *names: str) -> Iterator[None]:
-    """Drop the named tables on entry (fresh start) and again on exit
-    (cleanup), even when the algorithm raises."""
+def scratch_tables(db: Database, *bases: str) -> Iterator[tuple[str, ...]]:
+    """Create unique scratch-table names and drop them again on exit.
+
+    Yields one per-invocation unique name per requested base (base +
+    a process-wide counter suffix), so two algorithms sharing one
+    :class:`Database` — or the same algorithm running twice concurrently —
+    can never drop each other's scratch tables.  The tables are dropped on
+    entry (paranoia: a counter collision would need a restarted process
+    reusing a database) and on exit, even when the algorithm raises.
+    """
+    suffix = next(_scratch_counter)
+    names = tuple(f"{base}_s{suffix}" for base in bases)
     for name in names:
         db.execute(f"DROP TABLE IF EXISTS {name}")
     try:
-        yield
+        yield names
     finally:
         for name in names:
             db.execute(f"DROP TABLE IF EXISTS {name}")

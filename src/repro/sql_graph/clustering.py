@@ -17,8 +17,7 @@ __all__ = ["local_clustering_coefficients", "global_clustering_coefficient"]
 
 def _undirected_degrees(db: Database, graph: GraphHandle) -> dict[int, int]:
     g = graph.name
-    nbr = f"{g}_cl_nbr"
-    with scratch_tables(db, nbr):
+    with scratch_tables(db, f"{g}_cl_nbr") as (nbr,):
         db.execute(
             f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
         )

@@ -17,8 +17,9 @@ __all__ = ["connected_components_sql"]
 def connected_components_sql(db: Database, graph: GraphHandle) -> dict[int, int]:
     """Component label (smallest member id) per vertex."""
     g = graph.name
-    comp, cand, merged = f"{g}_cc_comp", f"{g}_cc_cand", f"{g}_cc_merged"
-    with scratch_tables(db, comp, cand, merged):
+    with scratch_tables(
+        db, f"{g}_cc_comp", f"{g}_cc_cand", f"{g}_cc_merged"
+    ) as (comp, cand, merged):
         db.execute(
             f"CREATE TABLE {comp} AS SELECT id, id AS comp FROM {graph.node_table}"
         )

@@ -36,14 +36,10 @@ def pagerank_sql(
     """
     n = max(graph.num_vertices, 1)
     g = graph.name
-    rank, contrib, outdeg, next_rank = (
-        f"{g}_pr_rank",
-        f"{g}_pr_contrib",
-        f"{g}_pr_outdeg",
-        f"{g}_pr_next",
-    )
     teleport = (1.0 - damping) / n
-    with scratch_tables(db, rank, contrib, outdeg, next_rank):
+    with scratch_tables(
+        db, f"{g}_pr_rank", f"{g}_pr_contrib", f"{g}_pr_outdeg", f"{g}_pr_next"
+    ) as (rank, contrib, outdeg, next_rank):
         db.execute(
             f"CREATE TABLE {outdeg} AS "
             f"SELECT src, COUNT(*) AS deg FROM {graph.edge_table} GROUP BY src"

@@ -19,8 +19,9 @@ __all__ = ["shortest_paths_sql"]
 def shortest_paths_sql(db: Database, graph: GraphHandle, source: int) -> dict[int, float]:
     """Shortest-path distances from ``source`` to every vertex."""
     g = graph.name
-    dist, cand, merged = f"{g}_sp_dist", f"{g}_sp_cand", f"{g}_sp_merged"
-    with scratch_tables(db, dist, cand, merged):
+    with scratch_tables(
+        db, f"{g}_sp_dist", f"{g}_sp_cand", f"{g}_sp_merged"
+    ) as (dist, cand, merged):
         db.execute(
             f"CREATE TABLE {dist} AS "
             f"SELECT id, CASE WHEN id = {source} THEN 0.0 ELSE NULL END AS d "

@@ -21,8 +21,7 @@ def strong_overlap_sql(
     """Pairs ``(a, b, common)`` with at least ``min_common`` shared
     neighbors, ``a < b``, ordered by overlap (descending) then ids."""
     g = graph.name
-    nbr = f"{g}_so_nbr"
-    with scratch_tables(db, nbr):
+    with scratch_tables(db, f"{g}_so_nbr") as (nbr,):
         db.execute(
             f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
         )

@@ -17,8 +17,7 @@ __all__ = ["triangle_count_sql", "per_node_triangle_counts_sql"]
 def triangle_count_sql(db: Database, graph: GraphHandle) -> int:
     """Total number of distinct triangles in the undirected graph."""
     g = graph.name
-    cedge = f"{g}_tc_cedge"
-    with scratch_tables(db, cedge):
+    with scratch_tables(db, f"{g}_tc_cedge") as (cedge,):
         db.execute(
             f"CREATE TABLE {cedge} AS {canonical_edges_sql(graph.edge_table)}"
         )
@@ -39,8 +38,7 @@ def per_node_triangle_counts_sql(db: Database, graph: GraphHandle) -> dict[int, 
     interactive scenario.
     """
     g = graph.name
-    cedge, tri = f"{g}_tc_cedge", f"{g}_tc_tri"
-    with scratch_tables(db, cedge, tri):
+    with scratch_tables(db, f"{g}_tc_cedge", f"{g}_tc_tri") as (cedge, tri):
         db.execute(
             f"CREATE TABLE {cedge} AS {canonical_edges_sql(graph.edge_table)}"
         )

@@ -24,8 +24,7 @@ def weak_ties_sql(
     bridges}`` for vertices with at least ``min_pairs``.
     """
     g = graph.name
-    nbr = f"{g}_wt_nbr"
-    with scratch_tables(db, nbr):
+    with scratch_tables(db, f"{g}_wt_nbr") as (nbr,):
         db.execute(
             f"CREATE TABLE {nbr} AS {undirected_neighbors_sql(graph.edge_table)}"
         )

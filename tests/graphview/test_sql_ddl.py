@@ -1,0 +1,156 @@
+"""The CREATE/DROP GRAPH VIEW SQL surface: parsing and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Vertexica
+from repro.engine import Database
+from repro.engine.sql.ast import (
+    ConnectClause,
+    CreateGraphViewStatement,
+    DropGraphViewStatement,
+    EdgeClause,
+)
+from repro.engine.sql.parser import parse_statement
+from repro.errors import GraphViewError, PlanError, SqlSyntaxError
+from repro.programs import PageRank
+
+
+class TestParsing:
+    def test_full_statement(self):
+        stmt = parse_statement(
+            "CREATE MATERIALIZED GRAPH VIEW social AS "
+            "NODES (users KEY id WHERE karma > 1.0) "
+            "EDGES (follows SRC follower_id DST followee_id WEIGHT closeness "
+            "       WHERE closeness > 0 UNDIRECTED, "
+            "       likes CONNECT user_id VIA post_id WEIGHT COUNT(*))"
+        )
+        assert isinstance(stmt, CreateGraphViewStatement)
+        assert stmt.name == "social"
+        assert stmt.materialized
+        assert len(stmt.nodes) == 1 and stmt.nodes[0].where is not None
+        edge, connect = stmt.edges
+        assert isinstance(edge, EdgeClause) and not edge.directed
+        assert edge.weight is not None and edge.where is not None
+        assert isinstance(connect, ConnectClause)
+        assert connect.member == "user_id" and connect.via == "post_id"
+
+    def test_minimal_statement_is_virtual(self):
+        stmt = parse_statement(
+            "CREATE GRAPH VIEW g AS NODES (t KEY id) EDGES (e SRC a DST b)"
+        )
+        assert not stmt.materialized
+        assert stmt.edges[0].directed
+
+    def test_if_not_exists(self):
+        stmt = parse_statement(
+            "CREATE GRAPH VIEW IF NOT EXISTS g AS "
+            "NODES (t KEY id) EDGES (e SRC a DST b)"
+        )
+        assert stmt.if_not_exists
+
+    def test_drop_variants(self):
+        stmt = parse_statement("DROP GRAPH VIEW g")
+        assert isinstance(stmt, DropGraphViewStatement) and not stmt.if_exists
+        assert parse_statement("DROP GRAPH VIEW IF EXISTS g").if_exists
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "CREATE GRAPH VIEW g AS EDGES (e SRC a DST b)",  # NODES required
+            "CREATE GRAPH VIEW g AS NODES (t KEY id)",  # EDGES required
+            "CREATE GRAPH VIEW g AS NODES (t) EDGES (e SRC a DST b)",  # no KEY
+            "CREATE GRAPH VIEW g AS NODES (t KEY id) EDGES (e SRC a)",  # no DST
+            "CREATE GRAPH VIEW g AS NODES (t KEY id) EDGES (e CONNECT a)",  # no VIA
+            "CREATE MATERIALIZED TABLE t (id INTEGER)",  # MATERIALIZED is view-only
+        ],
+    )
+    def test_malformed_statements_raise(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(bad)
+
+    def test_contextual_words_stay_valid_identifiers(self, db):
+        """SRC/DST/WEIGHT/NODES/EDGES are not reserved outside view DDL."""
+        db.execute("CREATE TABLE edges (src INTEGER, dst INTEGER, weight FLOAT)")
+        db.execute("INSERT INTO edges VALUES (1, 2, 0.5)")
+        assert db.execute(
+            "SELECT src, dst, weight FROM edges WHERE weight > 0"
+        ).rows() == [(1, 2, 0.5)]
+
+    def test_graph_and_view_stay_valid_identifiers(self, db):
+        """GRAPH/VIEW are contextual too — only the tokens right after
+        CREATE/DROP decide, so they remain legal table/column names."""
+        db.execute("CREATE TABLE view (graph INTEGER, materialized FLOAT)")
+        db.execute("INSERT INTO view VALUES (1, 2.0)")
+        assert db.execute("SELECT graph, materialized FROM view").rows() == [(1, 2.0)]
+        db.execute("DROP TABLE view")
+        db.execute("CREATE TABLE graph (id INTEGER)")
+        db.execute("DROP TABLE IF EXISTS graph")
+
+
+class TestExecution:
+    @pytest.fixture
+    def vx(self) -> Vertexica:
+        vx = Vertexica()
+        vx.sql("CREATE TABLE users (id INTEGER, karma FLOAT)")
+        vx.sql("INSERT INTO users VALUES (0, 5.0), (1, 1.0), (2, 3.0)")
+        vx.sql("CREATE TABLE follows (a INTEGER, b INTEGER)")
+        vx.sql("INSERT INTO follows VALUES (0, 1), (1, 2), (2, 0)")
+        return vx
+
+    def test_create_and_run(self, vx):
+        result = vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        assert result.row_count == 3  # extracted edges
+        assert vx.db.has_table("g_edge")
+        ranks = vx.run("g", PageRank(iterations=4))
+        assert len(ranks.values) == 3
+
+    def test_create_virtual_defers_extraction(self, vx):
+        vx.sql("CREATE GRAPH VIEW g AS NODES (users KEY id) EDGES (follows SRC a DST b)")
+        assert not vx.db.has_table("g_edge")  # nothing extracted yet
+        vx.run("g", PageRank(iterations=2))
+        assert vx.db.has_table("g_edge")
+
+    def test_if_not_exists_is_idempotent(self, vx):
+        create = (
+            "CREATE GRAPH VIEW IF NOT EXISTS g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        vx.sql(create)
+        vx.sql(create)  # no raise
+        with pytest.raises(GraphViewError, match="already exists"):
+            vx.sql(
+                "CREATE GRAPH VIEW g AS NODES (users KEY id) "
+                "EDGES (follows SRC a DST b)"
+            )
+
+    def test_drop_graph_view_sql(self, vx):
+        vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        vx.sql("DROP GRAPH VIEW g")
+        assert not vx.db.has_table("g_edge")
+        with pytest.raises(GraphViewError, match="not defined"):
+            vx.sql("DROP GRAPH VIEW g")
+        vx.sql("DROP GRAPH VIEW IF EXISTS g")  # no raise
+
+    def test_where_and_weight_expressions_round_trip(self, vx):
+        vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id WHERE karma >= 3.0) "
+            "EDGES (follows SRC a DST b WEIGHT a * 10 + b WHERE a < 2)"
+        )
+        rows = sorted(vx.sql("SELECT src, dst, weight FROM g_edge").rows())
+        assert rows == [(0, 1, 1.0), (1, 2, 12.0)]
+
+    def test_bare_engine_rejects_graph_view_statements(self):
+        db = Database()
+        with pytest.raises(PlanError, match="Vertexica layer"):
+            db.execute(
+                "CREATE GRAPH VIEW g AS NODES (t KEY id) EDGES (e SRC a DST b)"
+            )

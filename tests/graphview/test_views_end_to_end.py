@@ -1,0 +1,212 @@
+"""End-to-end graph views: extraction == explicit edge list, refresh, modes.
+
+The acceptance bar: a view declared over a normalized multi-table schema
+(including a join-derived co-occurrence edge) runs PageRank and
+ConnectedComponents with results identical to loading the equivalent
+explicit edge list, and materialized views survive ``refresh()`` after
+base-table inserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec, Vertexica
+from repro.datasets import load_social_schema
+from repro.errors import GraphViewError
+from repro.programs import ConnectedComponents, PageRank
+
+
+@pytest.fixture
+def social_vx() -> Vertexica:
+    """Vertexica over a seeded normalized social schema."""
+    vx = Vertexica()
+    load_social_schema(vx.db, num_users=80, num_follows=400, num_likes=240,
+                       num_posts=30, seed=11)
+    return vx
+
+
+def social_view(directed: bool = True) -> GraphView:
+    return GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=[
+            EdgeSpec("follows", src="follower_id", dst="followee_id",
+                     weight="closeness", directed=directed),
+            CoEdgeSpec("likes", member="user_id", via="post_id"),
+        ],
+    )
+
+
+def explicit_edges(vx: Vertexica, directed: bool = True):
+    """The view's expected edge multiset, derived independently in Python."""
+    follows = vx.sql(
+        "SELECT follower_id, followee_id, closeness FROM follows"
+    ).rows()
+    src = [r[0] for r in follows]
+    dst = [r[1] for r in follows]
+    weight = [r[2] for r in follows]
+    if not directed:
+        src, dst = src + dst, dst + src
+        weight = weight * 2
+    by_post: dict[int, list[int]] = {}
+    for user, post in vx.sql("SELECT user_id, post_id FROM likes").rows():
+        by_post.setdefault(post, []).append(user)
+    co: dict[tuple[int, int], int] = {}
+    for members in by_post.values():
+        for a in members:
+            for b in members:
+                if a != b:
+                    co[(a, b)] = co.get((a, b), 0) + 1
+    for (a, b), n in sorted(co.items()):
+        src.append(a)
+        dst.append(b)
+        weight.append(float(n))
+    return np.array(src), np.array(dst), np.array(weight, dtype=np.float64)
+
+
+class TestExtractionMatchesExplicitLoad:
+    def test_pagerank_identical(self, social_vx):
+        vx = social_vx
+        view_handle = vx.create_graph_view("sv", social_view())
+        src, dst, weight = explicit_edges(vx)
+        explicit = vx.load_graph("ex", src, dst, weights=weight, num_vertices=80)
+        from_view = vx.run(view_handle, PageRank(iterations=8))
+        from_explicit = vx.run(explicit, PageRank(iterations=8))
+        assert from_view.values == from_explicit.values  # bit-identical
+
+    def test_connected_components_identical(self, social_vx):
+        vx = social_vx
+        view_handle = vx.create_graph_view("sv", social_view(directed=False))
+        src, dst, weight = explicit_edges(vx, directed=False)
+        explicit = vx.load_graph("ex", src, dst, weights=weight, num_vertices=80)
+        from_view = vx.run(view_handle, ConnectedComponents())
+        from_explicit = vx.run(explicit, ConnectedComponents())
+        assert from_view.values == from_explicit.values
+
+    def test_extraction_counts(self, social_vx):
+        handle = social_vx.create_graph_view("sv", social_view())
+        stats = handle.last_extraction
+        src, _, _ = explicit_edges(social_vx)
+        assert stats.num_vertices == 80
+        assert stats.num_edges == len(src)
+        assert stats.num_queries == 3  # nodes + follows + co-likes
+        assert stats.seconds >= 0
+        assert "|E|" in stats.summary()
+
+
+class TestMaterializedViews:
+    def test_tables_are_planner_visible(self, social_vx):
+        social_vx.create_graph_view("sv", social_view())
+        edges = social_vx.sql("SELECT COUNT(*) FROM sv_edge").scalar()
+        nodes = social_vx.sql("SELECT COUNT(*) FROM sv_node").scalar()
+        assert edges > 0 and nodes == 80
+        # Joinable against base tables like any other relation.
+        joined = social_vx.sql(
+            "SELECT COUNT(*) FROM sv_edge e JOIN users u ON e.src = u.id"
+        ).scalar()
+        assert joined == edges
+
+    def test_refresh_after_insert(self, social_vx):
+        vx = social_vx
+        handle = vx.create_graph_view("sv", social_view())
+        before = handle.resolve().num_edges
+        vx.sql("INSERT INTO follows VALUES (0, 79, 2.5)")
+        # Materialized: stale until refreshed.
+        assert handle.resolve().num_edges == before
+        refreshed = handle.refresh()
+        assert refreshed.num_edges == before + 1
+        # And the refreshed graph runs correctly end to end.
+        src, dst, weight = explicit_edges(vx)
+        explicit = vx.load_graph("ex", src, dst, weights=weight, num_vertices=80)
+        assert (
+            vx.run(handle, PageRank(iterations=5)).values
+            == vx.run(explicit, PageRank(iterations=5)).values
+        )
+
+    def test_refresh_sees_new_vertices(self, social_vx):
+        vx = social_vx
+        handle = vx.create_graph_view("sv", social_view())
+        vx.sql("INSERT INTO users VALUES (200, 'us', 1.0)")
+        handle.refresh()
+        assert handle.resolve().num_vertices == 81
+        assert 200 in vx.run(handle, ConnectedComponents()).values
+
+
+class TestVirtualViews:
+    def test_every_run_sees_fresh_base_data(self, social_vx):
+        vx = social_vx
+        handle = vx.create_graph_view("sv", social_view(), materialized=False)
+        first = handle.resolve().num_edges
+        vx.sql("INSERT INTO follows VALUES (1, 78, 1.0)")
+        assert handle.resolve().num_edges == first + 1  # no refresh() needed
+
+    def test_run_accepts_bare_view_declaration(self, social_vx):
+        result = social_vx.run(social_view(), PageRank(iterations=3))
+        assert len(result.values) == 80
+
+    def test_run_accepts_view_name(self, social_vx):
+        social_vx.create_graph_view("sv", social_view())
+        result = social_vx.run("sv", PageRank(iterations=3))
+        assert len(result.values) == 80
+
+
+class TestFacadeLifecycle:
+    def test_duplicate_name_rejected(self, social_vx):
+        social_vx.create_graph_view("sv", social_view())
+        with pytest.raises(GraphViewError, match="already exists"):
+            social_vx.create_graph_view("sv", social_view())
+        social_vx.create_graph_view("sv", social_view(), replace=True)
+
+    def test_replace_drops_displaced_tables(self, social_vx):
+        social_vx.create_graph_view("sv", social_view())  # materialized
+        assert social_vx.db.has_table("sv_edge")
+        social_vx.create_graph_view(
+            "sv", social_view(), materialized=False, replace=True
+        )
+        # The old extraction must not linger as stale planner-visible data.
+        assert not social_vx.db.has_table("sv_edge")
+
+    def test_view_and_specs_mutually_exclusive(self, social_vx):
+        with pytest.raises(GraphViewError, match="not both"):
+            social_vx.create_graph_view(
+                "sv", social_view(), edges=EdgeSpec("follows", src="a", dst="b")
+            )
+
+    def test_drop_removes_tables_and_registry(self, social_vx):
+        social_vx.create_graph_view("sv", social_view())
+        social_vx.drop_graph_view("sv")
+        assert not social_vx.db.has_table("sv_edge")
+        with pytest.raises(GraphViewError, match="not defined"):
+            social_vx.graph_view("sv")
+        social_vx.drop_graph_view("sv", if_exists=True)  # no raise
+
+    def test_missing_base_table_reports_spec(self, social_vx):
+        with pytest.raises(GraphViewError, match="edge spec"):
+            social_vx.create_graph_view(
+                "sv", GraphView(edges=EdgeSpec("nope", src="a", dst="b"))
+            )
+
+    def test_filters_and_weights_apply(self, social_vx):
+        vx = social_vx
+        handle = vx.create_graph_view(
+            "sv",
+            GraphView(
+                vertices=NodeSpec("users", key="id", where="country = 'us'"),
+                edges=EdgeSpec("follows", src="follower_id", dst="followee_id",
+                               where="closeness > 2.0"),
+            ),
+        )
+        expected_edges = vx.sql(
+            "SELECT COUNT(*) FROM follows WHERE closeness > 2.0"
+        ).scalar()
+        assert handle.resolve().num_edges == expected_edges
+
+    def test_null_endpoints_dropped_null_weights_default(self, vx):
+        vx.sql("CREATE TABLE rel (a INTEGER, b INTEGER, w FLOAT)")
+        vx.sql("INSERT INTO rel VALUES (0, 1, NULL), (1, NULL, 2.0), (2, 0, 3.0)")
+        handle = vx.create_graph_view(
+            "g", GraphView(edges=EdgeSpec("rel", src="a", dst="b", weight="w"))
+        )
+        rows = sorted(vx.sql("SELECT src, dst, weight FROM g_edge").rows())
+        assert rows == [(0, 1, 1.0), (2, 0, 3.0)]

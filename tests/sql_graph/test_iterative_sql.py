@@ -107,3 +107,47 @@ class TestComponentsSql:
         g = vx.load_graph("g", [0], [1], num_vertices=4, symmetrize=True)
         got = connected_components_sql(vx.db, g)
         assert got[2] == 2 and got[3] == 3
+
+
+class TestScratchTableIsolation:
+    """scratch_tables must mint per-invocation unique names so algorithms
+    sharing one Database can never drop each other's scratch state."""
+
+    def test_unique_names_per_entry(self, vx):
+        from repro.sql_graph._util import scratch_tables
+
+        with scratch_tables(vx.db, "g_pr_rank", "g_pr_contrib") as first:
+            with scratch_tables(vx.db, "g_pr_rank", "g_pr_contrib") as second:
+                assert set(first).isdisjoint(second)
+                assert all(name.startswith("g_pr_") for name in first + second)
+
+    def test_interleaved_algorithms_do_not_collide(self, vx, tiny_edges):
+        from repro.sql_graph._util import scratch_tables
+
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        before = set(vx.db.table_names())
+        # Simulate a second concurrent pagerank holding scratch tables under
+        # the same base names while the real one runs to completion.
+        with scratch_tables(
+            vx.db, "g_pr_rank", "g_pr_contrib", "g_pr_outdeg", "g_pr_next"
+        ) as (rank, _, _, _):
+            vx.db.execute(f"CREATE TABLE {rank} (id INTEGER, rank FLOAT)")
+            vx.db.execute(f"INSERT INTO {rank} VALUES (0, 0.5)")
+            got = pagerank_sql(vx.db, g, iterations=3)
+            # The held scratch table survived the full inner run.
+            assert vx.db.execute(f"SELECT COUNT(*) FROM {rank}").scalar() == 1
+        oracle = reference_pagerank(5, np.array(src), np.array(dst), 3)
+        for v in range(5):
+            assert got[v] == pytest.approx(oracle[v])
+        assert set(vx.db.table_names()) == before
+
+    def test_cleanup_on_error(self, vx):
+        from repro.sql_graph._util import scratch_tables
+
+        before = set(vx.db.table_names())
+        with pytest.raises(RuntimeError):
+            with scratch_tables(vx.db, "boom_scratch") as (name,):
+                vx.db.execute(f"CREATE TABLE {name} (id INTEGER)")
+                raise RuntimeError("algorithm failed")
+        assert set(vx.db.table_names()) == before
