@@ -24,12 +24,14 @@ import sys
 import time
 from typing import Any
 
+import numpy as np
+
 from repro.bench.figure2 import sssp_source
 from repro.bench.harness import bench_graphs, pagerank_iterations
 from repro.core import Vertexica, VertexicaConfig
 from repro.datasets.generators import Graph
 from repro.datasets.relational import load_graph_as_schema
-from repro.graphview import EdgeSpec, GraphView, NodeSpec
+from repro.graphview import EdgeSpec, GraphView, GraphViewHandle, NodeSpec
 from repro.programs import ConnectedComponents, PageRank, ShortestPaths
 
 MODES = ("batch", "scalar")
@@ -185,7 +187,9 @@ def run_extraction_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
     handle = vx.create_graph_view(f"{graph.name}_view", view, materialized=True)
     best_extract = handle.last_extraction.seconds
     for _ in range(max(repeat, 1) - 1):
-        handle.refresh()
+        # Force the full path: with no DML pending, a default refresh()
+        # would be a no-op incremental patch and time nothing.
+        handle.refresh(incremental=False)
         best_extract = min(best_extract, handle.last_extraction.seconds)
 
     best_direct = float("inf")
@@ -211,6 +215,86 @@ def run_extraction_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
         else float("inf"),
         "matches_direct_load": extracted.num_vertices == direct.num_vertices
         and extracted.num_edges == direct.num_edges,
+    }
+
+
+def run_refresh_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
+    """Incremental vs full refresh after small DML (the PR-3 cell).
+
+    The graph is re-normalized into base tables and declared as a
+    materialized view.  Each trial applies a small batch of inserts
+    (~0.25% of the edges) and times ``refresh()`` on the delta path; the
+    full path is then timed on the same view via
+    ``refresh(incremental=False)``.  Parity is asserted against a shadow
+    full extraction of the same declaration.
+    """
+    vx = Vertexica()
+    load_graph_as_schema(vx.db, graph, prefix=graph.name)
+    view = GraphView(
+        vertices=NodeSpec(f"{graph.name}_users", key="id"),
+        edges=EdgeSpec(
+            f"{graph.name}_follows",
+            src="follower_id",
+            dst="followee_id",
+            weight="closeness",
+        ),
+    )
+    handle = vx.create_graph_view(f"{graph.name}_rview", view, materialized=True)
+    follows = f"{graph.name}_follows"
+    n_vertices = graph.num_vertices
+    batch = max(1, graph.num_edges // 400)
+
+    best_incremental = float("inf")
+    delta_rows = 0
+    for trial in range(max(repeat, 1)):
+        rows = ", ".join(
+            f"({n_vertices + trial}, {(i * 37) % n_vertices}, 1.0)"
+            for i in range(batch)
+        )
+        vx.sql(f"INSERT INTO {follows} VALUES {rows}")
+        started = time.perf_counter()
+        handle.refresh()
+        seconds = time.perf_counter() - started
+        assert handle.last_extraction.mode == "incremental", (
+            f"refresh fell back to full on {graph.name}"
+        )
+        delta_rows = handle.last_extraction.delta_rows
+        best_incremental = min(best_incremental, seconds)
+
+    # Parity: the *patched* tables must equal a from-scratch extraction.
+    # Checked before the full-refresh timing loop below, which would
+    # otherwise rebuild the live tables and mask any incremental bug.
+    shadow = GraphViewHandle(vx.db, vx.storage, f"{graph.name}_rshadow", view)
+    shadow.refresh(incremental=False)
+    live_edges = vx.db.query_batch(
+        f"SELECT src, dst, weight FROM {graph.name}_rview_edge"
+    )
+    shadow_edges = vx.db.query_batch(
+        f"SELECT src, dst, weight FROM {graph.name}_rshadow_edge"
+    )
+    live_nodes = vx.db.query_batch(f"SELECT id FROM {graph.name}_rview_node")
+    shadow_nodes = vx.db.query_batch(f"SELECT id FROM {graph.name}_rshadow_node")
+    parity = all(
+        np.array_equal(live_edges.column(c).values, shadow_edges.column(c).values)
+        for c in ("src", "dst", "weight")
+    ) and np.array_equal(live_nodes.column("id").values, shadow_nodes.column("id").values)
+    shadow.drop()
+
+    best_full = float("inf")
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        handle.refresh(incremental=False)
+        best_full = min(best_full, time.perf_counter() - started)
+    return {
+        "graph": graph.name,
+        "num_edges": handle.resolve().num_edges,
+        "delta_rows_per_refresh": delta_rows,
+        "incremental_seconds": round(best_incremental, 6),
+        "full_seconds": round(best_full, 6),
+        "speedup_full_over_incremental": round(best_full / best_incremental, 2)
+        if best_incremental
+        else float("inf"),
+        "parity_ok": parity,
     }
 
 
@@ -266,11 +350,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR2.json"
+        out_path = "BENCH_PR3.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR3.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR4.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -340,6 +424,24 @@ def main(argv: list[str] | None = None) -> int:
             f"(direct load {extraction_cell['direct_load_seconds']:.3f}s)"
         )
 
+    # Incremental vs full refresh after small DML — the PR-3 cell.
+    refresh_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        refresh_cell = run_refresh_cell(graph, args.repeat)
+        refresh_cells.append(refresh_cell)
+        if not refresh_cell["parity_ok"]:
+            failures.append(
+                f"{graph_name}: incremental refresh disagrees with full re-extraction"
+            )
+        print(
+            f"{graph_name:<12} view refresh: "
+            f"incremental {refresh_cell['incremental_seconds']*1000:.2f}ms  "
+            f"full {refresh_cell['full_seconds']*1000:.2f}ms  "
+            f"({refresh_cell['speedup_full_over_incremental']:.1f}x, "
+            f"{refresh_cell['delta_rows_per_refresh']} delta rows)"
+        )
+
     report = {
         "bench": "figure2 data-plane trajectory",
         "commit": git_commit(),
@@ -350,6 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         "speedup_scalar_over_batch_superstep_seconds": speedups,
         "edge_cache_ablation": edge_cache_cells,
         "graph_view_extraction": extraction_cells,
+        "incremental_refresh": refresh_cells,
         "results": results,
     }
     if out_path:
@@ -367,6 +470,17 @@ def main(argv: list[str] | None = None) -> int:
         for key, ratio in speedups.items():
             if ratio < 1.0 / 1.2:
                 print(f"FAIL: batch path slower than scalar on {key} ({ratio}x)", file=sys.stderr)
+                return 1
+        # Refresh tripwire: at smoke scale both paths are sub-millisecond
+        # and sit right at the incremental/full crossover, so only an
+        # egregious slowdown (2x) fails the run — parity is the hard gate.
+        for cell in refresh_cells:
+            if cell["speedup_full_over_incremental"] < 0.5:
+                print(
+                    f"FAIL: incremental refresh slower than full on "
+                    f"{cell['graph']} ({cell['speedup_full_over_incremental']}x)",
+                    file=sys.stderr,
+                )
                 return 1
         print("quick bench OK:", ", ".join(f"{k}={v}x" for k, v in speedups.items()))
     return 0

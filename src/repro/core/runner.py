@@ -27,16 +27,20 @@ from repro.core.metrics import RunStats
 from repro.core.program import VertexProgram
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.engine.database import Database, Result
+from repro.engine.persistence import read_checkpoint_metadata
 from repro.engine.sql.ast import (
     ConnectClause,
     CreateGraphViewStatement,
     DropGraphViewStatement,
     EdgeClause,
+    RefreshGraphViewStatement,
 )
 from repro.errors import GraphViewError
+from repro.graphview.catalog import MANIFEST_KEY, handle_manifest, view_from_dict
 from repro.graphview.compiler import render_expression
+from repro.graphview.maintenance import involved_tables
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
-from repro.graphview.view import GraphViewHandle
+from repro.graphview.view import DEFAULT_DELTA_THRESHOLD, GraphViewHandle
 
 __all__ = ["Vertexica", "VertexicaResult"]
 
@@ -78,6 +82,9 @@ class Vertexica:
         )
         self.db.register_statement_handler(
             DropGraphViewStatement, self._execute_drop_graph_view
+        )
+        self.db.register_statement_handler(
+            RefreshGraphViewStatement, self._execute_refresh_graph_view
         )
 
     # ------------------------------------------------------------------
@@ -132,6 +139,7 @@ class Vertexica:
         edges: EdgeSource | Sequence[EdgeSource] = (),
         materialized: bool = True,
         replace: bool = False,
+        delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
     ) -> GraphViewHandle:
         """Declare (and, when materialized, extract) a graph view.
 
@@ -154,6 +162,9 @@ class Vertexica:
             materialized: extract now and persist (call ``refresh()``
                 after base-table DML); ``False`` re-extracts at every run.
             replace: allow redefining an existing view name.
+            delta_threshold: largest base-table delta (as a fraction of
+                its rows) the incremental refresh path will patch before
+                falling back to a full re-extraction.
 
         Raises:
             GraphViewError: invalid declaration, duplicate name, or a
@@ -171,11 +182,20 @@ class Vertexica:
             # cannot leave stale {name}_edge/{name}_node tables behind.
             displaced.drop()
         handle = GraphViewHandle(
-            self.db, self.storage, name, view, materialized=materialized
+            self.db,
+            self.storage,
+            name,
+            view,
+            materialized=materialized,
+            delta_threshold=delta_threshold,
         )
         if materialized:
             handle.refresh()
         self._graph_views[name] = handle
+        if displaced is not None:
+            # The redefinition may read different base tables; stop
+            # capturing on any the displaced view alone was watching.
+            self._release_unused_capture(displaced.view)
         return handle
 
     def graph_view(self, name: str) -> GraphViewHandle:
@@ -201,6 +221,19 @@ class Vertexica:
                 return
             raise GraphViewError(f"graph view {name!r} is not defined")
         handle.drop()
+        self._release_unused_capture(handle.view)
+
+    def _release_unused_capture(self, dropped_view: GraphView) -> None:
+        """Disarm change capture on base tables no remaining materialized
+        view derives from — a dropped view must not leave its tables
+        paying capture copies (and retaining delta rows) forever."""
+        still_needed: set[str] = set()
+        for other in self._graph_views.values():
+            if other.materialized:
+                still_needed.update(involved_tables(other.view))
+        for table in involved_tables(dropped_view):
+            if table not in still_needed:
+                self.db.release_capture(table)
 
     # -- SQL statement handlers ----------------------------------------
     def _execute_create_graph_view(
@@ -231,6 +264,56 @@ class Vertexica:
     ) -> Result:
         self.drop_graph_view(stmt.name, if_exists=stmt.if_exists)
         return Result(row_count=0)
+
+    def _execute_refresh_graph_view(
+        self, db: Database, stmt: RefreshGraphViewStatement
+    ) -> Result:
+        handle = self.graph_view(stmt.name)
+        incremental = {None: None, "full": False, "incremental": True}[stmt.mode]
+        refreshed = handle.refresh(incremental=incremental)
+        return Result(row_count=refreshed.num_edges)
+
+    # ------------------------------------------------------------------
+    # Durability: the view catalog rides the engine checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str) -> None:
+        """Persist the database *and* the graph-view catalog.
+
+        Tables (including materialized ``{name}_edge`` / ``{name}_node``
+        extractions) go through the engine's checkpoint; view declarations,
+        freshness modes, and last-refreshed base-table versions ride in the
+        manifest metadata (see :mod:`repro.graphview.catalog`).
+        """
+        manifest = [handle_manifest(h) for _, h in sorted(self._graph_views.items())]
+        self.db.checkpoint(directory, metadata={MANIFEST_KEY: manifest})
+
+    @classmethod
+    def restore(
+        cls, directory: str, config: VertexicaConfig | None = None
+    ) -> "Vertexica":
+        """Rebuild a Vertexica — database plus graph-view registry — from
+        a :meth:`checkpoint` directory.
+
+        Materialized views re-attach to their persisted extraction tables
+        without re-extracting; virtual views come back as declarations.
+        ``refresh()`` works immediately; the first one takes the full path
+        (change capture does not survive a restart) and re-seeds the
+        incremental state.
+        """
+        vx = cls(db=Database.restore(directory), config=config)
+        for entry in read_checkpoint_metadata(directory).get(MANIFEST_KEY, []):
+            handle = GraphViewHandle(
+                vx.db,
+                vx.storage,
+                entry["name"],
+                view_from_dict(entry["view"]),
+                materialized=entry.get("materialized", True),
+                delta_threshold=entry.get("delta_threshold", DEFAULT_DELTA_THRESHOLD),
+            )
+            if handle.materialized:
+                handle.attach_existing(entry.get("base_table_versions"))
+            vx._graph_views[handle.name] = handle
+        return vx
 
     # ------------------------------------------------------------------
     # Running programs

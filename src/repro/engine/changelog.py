@@ -1,0 +1,200 @@
+"""Change capture for stored tables: row deltas keyed by table version.
+
+Materialized derivations (graph views, incremental aggregates) need to
+know *what changed* in a base table since they last looked, without
+re-scanning it.  Every :class:`~repro.engine.table.Table` owns a
+:class:`ChangeLog`; the row-level mutation paths (INSERT, DELETE, UPDATE)
+append one entry per version bump:
+
+* INSERT  -> ``inserted`` rows
+* DELETE  -> ``deleted`` rows
+* UPDATE  -> the old rows as ``deleted`` plus the new rows as ``inserted``
+
+so that any window of versions reduces to a pair of row multisets.
+Wholesale operations (``replace_data``, ``truncate``, transaction
+rollback, checkpoint ``restore``) do not diff — they :meth:`~ChangeLog.reset`
+the log, and readers observe "delta unavailable" and fall back to a full
+recomputation.  The log is bounded: when the retained delta rows exceed
+``capacity`` the oldest entries are evicted and the reconstructable window
+shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.engine.batch import RecordBatch
+from repro.engine.schema import Schema
+
+__all__ = ["TableDelta", "ChangeLog", "DEFAULT_CHANGELOG_CAPACITY"]
+
+#: Default bound on retained delta rows per table.  Inserted batches are
+#: shared references (no copy) but deleted batches are materialized, so
+#: the bound mostly caps memory held for deletions.
+DEFAULT_CHANGELOG_CAPACITY = 1_000_000
+
+#: Process-wide table identity counter — survives nothing, which is the
+#: point: a recorded uid from a dropped/recreated/restored table can never
+#: collide with the new object's uid, so stale version bookkeeping is
+#: detected instead of silently trusted.
+_uid_counter = itertools.count(1)
+
+
+def next_table_uid() -> int:
+    """A process-unique table identity (see module docstring)."""
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """The net row changes between two versions of one table.
+
+    ``inserted`` and ``deleted`` are row *multisets* in chronological
+    order; a row updated in place appears in both.  Equal rows cancel
+    arithmetically — consumers may apply all insertions then all
+    deletions, or net them first.
+    """
+
+    inserted: RecordBatch
+    deleted: RecordBatch
+    from_version: int
+    to_version: int
+
+    @property
+    def num_rows(self) -> int:
+        """Total delta rows (inserted + deleted)."""
+        return self.inserted.num_rows + self.deleted.num_rows
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing changed in the window."""
+        return self.num_rows == 0
+
+
+@dataclass
+class _Entry:
+    version: int  # table version after this mutation
+    inserted: RecordBatch | None
+    deleted: RecordBatch | None
+
+    @property
+    def num_rows(self) -> int:
+        rows = 0
+        if self.inserted is not None:
+            rows += self.inserted.num_rows
+        if self.deleted is not None:
+            rows += self.deleted.num_rows
+        return rows
+
+
+@dataclass
+class ChangeLog:
+    """Version-keyed row deltas for one table (see module docstring).
+
+    Capture is **armed lazily**: until some consumer takes a bookmark
+    (:meth:`enable`, via ``Database.table_state``), nothing is recorded
+    and :meth:`changes_since` answers ``None``.  Ordinary tables — the
+    per-superstep message/staging relations chief among them — therefore
+    pay zero copies and retain zero rows for a facility nothing reads.
+
+    Attributes:
+        enabled: True once a bookmark armed capture on this table.
+        start_version: the earliest version deltas can be reconstructed
+            *from*; ``changes_since(v)`` answers only for
+            ``start_version <= v <= current version``.
+        capacity: retained-row bound; exceeding it evicts oldest entries.
+    """
+
+    enabled: bool = False
+    start_version: int = 0
+    capacity: int = DEFAULT_CHANGELOG_CAPACITY
+    _entries: list[_Entry] = field(default_factory=list)
+    _retained_rows: int = 0
+
+    # ------------------------------------------------------------------
+    # Producers (called by Table mutation paths)
+    # ------------------------------------------------------------------
+    def enable(self, version: int) -> None:
+        """Arm capture from ``version`` on (idempotent — a later bookmark
+        must not shrink the window an earlier consumer relies on)."""
+        if not self.enabled:
+            self.enabled = True
+            self.reset(version)
+
+    def disable(self) -> None:
+        """Disarm capture and drop every retained row.
+
+        Called when the last consumer deriving from this table goes away
+        (e.g. its only materialized graph view is dropped); a later
+        :meth:`enable` re-arms from scratch.  Consumer accounting is the
+        caller's job — this log cannot know who else holds bookmarks.
+        """
+        self.enabled = False
+        self._entries.clear()
+        self._retained_rows = 0
+
+    def record(
+        self,
+        version: int,
+        inserted: RecordBatch | None = None,
+        deleted: RecordBatch | None = None,
+    ) -> None:
+        """Append the delta of the mutation that produced ``version``
+        (a no-op until :meth:`enable` arms capture)."""
+        if not self.enabled:
+            return
+        entry = _Entry(version, inserted, deleted)
+        self._entries.append(entry)
+        self._retained_rows += entry.num_rows
+        while self._retained_rows > self.capacity and self._entries:
+            evicted = self._entries.pop(0)
+            self._retained_rows -= evicted.num_rows
+            self.start_version = evicted.version
+
+    def reset(self, version: int) -> None:
+        """Forget everything; deltas are reconstructable only from
+        ``version`` on.  Called for wholesale table swaps (replace,
+        truncate, rollback, checkpoint restore)."""
+        self._entries.clear()
+        self._retained_rows = 0
+        self.start_version = version
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def changes_since(
+        self, since_version: int, current_version: int, schema: Schema
+    ) -> TableDelta | None:
+        """The delta from ``since_version`` to ``current_version``.
+
+        Returns ``None`` when the window is not reconstructable: capture
+        never armed, the caller's version is ahead of the table (rewound
+        table object), or behind the log's retained window (eviction or a
+        wholesale swap).
+        """
+        if not self.enabled:
+            return None
+        if since_version > current_version or since_version < self.start_version:
+            return None
+        inserted = [e.inserted for e in self._entries if e.version > since_version and e.inserted is not None]
+        deleted = [e.deleted for e in self._entries if e.version > since_version and e.deleted is not None]
+        return TableDelta(
+            inserted=_concat(inserted, schema),
+            deleted=_concat(deleted, schema),
+            from_version=since_version,
+            to_version=current_version,
+        )
+
+    @property
+    def retained_rows(self) -> int:
+        """Delta rows currently held (observability/tests)."""
+        return self._retained_rows
+
+
+def _concat(batches: list[RecordBatch], schema: Schema) -> RecordBatch:
+    if not batches:
+        return RecordBatch.empty(schema)
+    if len(batches) == 1:
+        return batches[0]
+    return RecordBatch.concat(batches)

@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.batch import RecordBatch
 from repro.engine.catalog import Catalog
+from repro.engine.changelog import TableDelta
 from repro.engine.executor import Result, StatementExecutor
 from repro.engine.expressions import ColumnRef
 from repro.engine.functions import FunctionRegistry, ScalarUdf
@@ -166,6 +167,42 @@ class Database:
         return self.catalog.get(table_name).insert_batch(batch)
 
     # ------------------------------------------------------------------
+    # Change capture (incremental view maintenance)
+    # ------------------------------------------------------------------
+    def table_state(self, name: str) -> tuple[int, int]:
+        """``(uid, version)`` of a table — the bookmark a derived view
+        records so a later :meth:`changes_since` can prove the deltas it
+        gets belong to the same table object it extracted from.
+
+        Taking a bookmark *arms* change capture on the table: until the
+        first one, mutations record nothing (tables nobody derives from
+        pay zero capture overhead)."""
+        table = self.catalog.get(name)
+        table.changelog.enable(table.version)
+        return table.uid, table.version
+
+    def release_capture(self, name: str) -> None:
+        """Disarm change capture on a table and free its retained deltas.
+
+        Call when the last derived consumer of the table is gone; the
+        caller is responsible for knowing that (the Vertexica layer does
+        this when the final materialized view over a table is dropped).
+        A later :meth:`table_state` re-arms capture."""
+        if name in self.catalog:
+            self.catalog.get(name).changelog.disable()
+
+    def changes_since(self, name: str, uid: int, version: int) -> TableDelta | None:
+        """Row deltas of ``name`` since a recorded ``(uid, version)``
+        bookmark, or ``None`` when unavailable: the table was dropped and
+        recreated (uid mismatch), wholesale-replaced, rolled back, or the
+        change log evicted the window — all of which mean the caller must
+        recompute from scratch."""
+        table = self.catalog.get(name)
+        if table.uid != uid:
+            return None
+        return table.changes_since(version)
+
+    # ------------------------------------------------------------------
     # Functions, transforms, procedures
     # ------------------------------------------------------------------
     def register_function(
@@ -299,10 +336,16 @@ class Database:
     # ------------------------------------------------------------------
     # Checkpoint / recovery
     # ------------------------------------------------------------------
-    def checkpoint(self, directory: str) -> None:
+    def checkpoint(self, directory: str, metadata: dict[str, Any] | None = None) -> None:
         """Persist every table to ``directory`` (see
-        :mod:`repro.engine.persistence` for the format)."""
-        checkpoint_catalog(self.catalog, directory)
+        :mod:`repro.engine.persistence` for the format).
+
+        ``metadata`` is an optional JSON-serializable dict stored inside
+        the manifest — higher layers persist their own catalogs through it
+        (e.g. the Vertexica graph-view registry) and read it back with
+        :func:`repro.engine.persistence.read_checkpoint_metadata`.
+        """
+        checkpoint_catalog(self.catalog, directory, metadata=metadata)
 
     @classmethod
     def restore(cls, directory: str) -> "Database":

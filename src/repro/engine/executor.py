@@ -33,6 +33,7 @@ from repro.engine.sql.ast import (
     DropGraphViewStatement,
     DropTableStatement,
     InsertStatement,
+    RefreshGraphViewStatement,
     SelectStatement,
     SetOperation,
     Statement,
@@ -136,7 +137,14 @@ class StatementExecutor:
             removed = table.num_rows
             table.truncate()
             return Result(row_count=removed)
-        if isinstance(stmt, (CreateGraphViewStatement, DropGraphViewStatement)):
+        if isinstance(
+            stmt,
+            (
+                CreateGraphViewStatement,
+                DropGraphViewStatement,
+                RefreshGraphViewStatement,
+            ),
+        ):
             raise PlanError(
                 "graph view statements need the Vertexica layer; construct "
                 "a Vertexica over this database and run the statement "

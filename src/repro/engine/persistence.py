@@ -26,17 +26,26 @@ from repro.engine.table import Table
 from repro.engine.types import VARCHAR, type_from_name
 from repro.errors import EngineError
 
-__all__ = ["checkpoint_catalog", "restore_catalog"]
+__all__ = ["checkpoint_catalog", "restore_catalog", "read_checkpoint_metadata"]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
 
 
-def checkpoint_catalog(catalog: Catalog, directory: str) -> None:
+def checkpoint_catalog(
+    catalog: Catalog, directory: str, metadata: dict[str, Any] | None = None
+) -> None:
     """Write every table in ``catalog`` to ``directory`` atomically enough
-    for tests: manifest last, so a torn checkpoint is detectable."""
+    for tests: manifest last, so a torn checkpoint is detectable.
+
+    ``metadata`` is persisted verbatim inside the manifest (so it shares
+    the manifest's torn-checkpoint guarantee): a higher layer's catalog —
+    the graph-view registry — rides along with the tables it describes.
+    """
     os.makedirs(directory, exist_ok=True)
     manifest: dict[str, Any] = {"format": _FORMAT_VERSION, "tables": {}}
+    if metadata is not None:
+        manifest["metadata"] = metadata
     for name in catalog.table_names():
         table = catalog.get(name)
         _write_table(table, os.path.join(directory, f"{name}.npz"))
@@ -68,6 +77,23 @@ def _write_table(table: Table, path: str) -> None:
             arrays[f"col{i}_values"] = column.values
         arrays[f"col{i}_valid"] = column.valid
     np.savez_compressed(path, **arrays)
+
+
+def read_checkpoint_metadata(directory: str) -> dict[str, Any]:
+    """The ``metadata`` dict a checkpoint was written with (``{}`` when
+    none was supplied).
+
+    Raises:
+        EngineError: missing or unsupported manifest.
+    """
+    manifest_path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise EngineError(f"no checkpoint manifest at {manifest_path!r}")
+    with open(manifest_path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != _FORMAT_VERSION:
+        raise EngineError(f"unsupported checkpoint format: {manifest.get('format')!r}")
+    return manifest.get("metadata", {})
 
 
 def restore_catalog(directory: str) -> Catalog:

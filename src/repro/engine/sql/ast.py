@@ -35,6 +35,7 @@ __all__ = [
     "ConnectClause",
     "CreateGraphViewStatement",
     "DropGraphViewStatement",
+    "RefreshGraphViewStatement",
 ]
 
 
@@ -261,3 +262,17 @@ class DropGraphViewStatement(Statement):
 
     name: str
     if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class RefreshGraphViewStatement(Statement):
+    """``REFRESH GRAPH VIEW name [FULL | INCREMENTAL]``.
+
+    ``mode`` is ``None`` (auto: incremental when deltas allow, else full),
+    ``"full"``, or ``"incremental"`` — mirroring
+    ``GraphViewHandle.refresh(incremental=...)``.  Executed by the
+    Vertexica layer like the other graph-view statements.
+    """
+
+    name: str
+    mode: str | None = None

@@ -42,6 +42,7 @@ from repro.engine.sql.ast import (
     NamedTable,
     NodeClause,
     OrderItem,
+    RefreshGraphViewStatement,
     SelectItem,
     SelectLike,
     SelectStatement,
@@ -164,6 +165,8 @@ class Parser:
             stmt = self._parse_drop()
         elif self.check_keyword("TRUNCATE"):
             stmt = self._parse_truncate()
+        elif self._starts_refresh_graph_view():
+            stmt = self._parse_refresh_graph_view()
         else:
             raise self.error("expected a statement")
         self.accept_operator(";")
@@ -485,6 +488,28 @@ class Parser:
             materialized=materialized,
             if_not_exists=if_not_exists,
         )
+
+    def _starts_refresh_graph_view(self) -> bool:
+        """Three-token lookahead: ``REFRESH GRAPH VIEW`` — all contextual
+        words, so REFRESH stays a legal identifier everywhere else."""
+        return (
+            self.check_word("refresh")
+            and self.tokens[self.index + 1].matches(TokenKind.IDENT, "graph")
+            and self.tokens[self.index + 2].matches(TokenKind.IDENT, "view")
+        )
+
+    def _parse_refresh_graph_view(self) -> RefreshGraphViewStatement:
+        """``REFRESH GRAPH VIEW name [FULL | INCREMENTAL]``."""
+        self.expect_word("refresh")
+        self.expect_word("graph")
+        self.expect_word("view")
+        name = self.expect_identifier()
+        mode: str | None = None
+        if self.accept_word("full"):
+            mode = "full"
+        elif self.accept_word("incremental"):
+            mode = "incremental"
+        return RefreshGraphViewStatement(name=name, mode=mode)
 
     def _parse_clause_list(self, parse_clause) -> tuple:
         self.expect_operator("(")

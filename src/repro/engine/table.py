@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.engine.batch import RecordBatch
+from repro.engine.changelog import ChangeLog, TableDelta, next_table_uid
 from repro.engine.column import Column, concat_columns
 from repro.engine.schema import Schema
 from repro.errors import ConstraintError, TypeMismatchError
@@ -34,9 +35,13 @@ class Table:
         schema: the declared schema (unqualified).
         primary_key: optional column name enforced unique + NOT NULL.
         version: bumped on every mutation; starts at 0.
+        uid: process-unique identity — survives nothing, so derived state
+            recorded against a dropped/recreated table never matches the
+            replacement object (see :mod:`repro.engine.changelog`).
+        changelog: row-delta capture for incremental view maintenance.
     """
 
-    __slots__ = ("name", "schema", "primary_key", "version", "_batch")
+    __slots__ = ("name", "schema", "primary_key", "version", "uid", "changelog", "_batch")
 
     def __init__(
         self,
@@ -49,6 +54,8 @@ class Table:
         self.schema = schema.unqualified()
         self.primary_key = primary_key
         self.version = 0
+        self.uid = next_table_uid()
+        self.changelog = ChangeLog()
         if batch is None:
             batch = RecordBatch.empty(self.schema)
         self._batch = batch.with_schema(self.schema)
@@ -111,10 +118,12 @@ class Table:
             raise TypeMismatchError(
                 f"insert into {self.name!r}: incompatible batch schema"
             )
-        merged = RecordBatch.concat([self._batch, batch.with_schema(self.schema)])
+        normalized = batch.with_schema(self.schema)
+        merged = RecordBatch.concat([self._batch, normalized])
         self._check_constraints(merged)
         self._batch = merged
         self.version += 1
+        self.changelog.record(self.version, inserted=normalized)
         return batch.num_rows
 
     def delete_rows(self, mask: np.ndarray) -> int:
@@ -123,8 +132,12 @@ class Table:
             raise TypeMismatchError("delete mask length mismatch")
         deleted = int(np.count_nonzero(mask))
         if deleted:
+            # Materializing the removed rows is only worth it when some
+            # consumer armed change capture on this table.
+            removed = self._batch.filter(mask) if self.changelog.enabled else None
             self._batch = self._batch.filter(~mask)
             self.version += 1
+            self.changelog.record(self.version, deleted=removed)
         return deleted
 
     def update_rows(
@@ -164,8 +177,17 @@ class Table:
             new_columns[index] = Column(old.dtype, values, valid)
         candidate = RecordBatch(self._batch.schema, new_columns)
         self._check_constraints(candidate)
+        before = self._batch
         self._batch = candidate
         self.version += 1
+        if self.changelog.enabled:
+            # An in-place update is delete-old-rows + insert-new-rows to
+            # any delta consumer.
+            self.changelog.record(
+                self.version,
+                inserted=candidate.filter(mask),
+                deleted=before.filter(mask),
+            )
         return touched
 
     def replace_data(self, batch: RecordBatch) -> None:
@@ -180,17 +202,42 @@ class Table:
         self._check_constraints(normalized)
         self._batch = normalized
         self.version += 1
+        # Wholesale swap: no row diff is computed, the delta window resets.
+        self.changelog.reset(self.version)
 
     def truncate(self) -> None:
         """Remove all rows."""
         self._batch = RecordBatch.empty(self.schema)
         self.version += 1
+        self.changelog.reset(self.version)
+
+    # ------------------------------------------------------------------
+    # Change capture
+    # ------------------------------------------------------------------
+    def changes_since(self, version: int) -> TableDelta | None:
+        """Row deltas between ``version`` and the current version, or
+        ``None`` when the window is no longer reconstructable (wholesale
+        swap, rollback, eviction, or a rewound/foreign version)."""
+        return self.changelog.changes_since(version, self.version, self.schema)
 
     # ------------------------------------------------------------------
     # Restore (used by transactions / checkpoint recovery)
     # ------------------------------------------------------------------
     def restore(self, batch: RecordBatch, version: int) -> None:
         """Reset contents and version — only transactions and recovery call
-        this; it bypasses the version bump on purpose."""
+        this; it bypasses the version bump on purpose (and resets change
+        capture: a rewind cannot be expressed as a forward delta).  Tables
+        that were not actually touched since the snapshot keep their delta
+        window — rollback of an unrelated transaction must not force full
+        recomputation of every derived view.
+
+        A genuine rewind also assigns a fresh :attr:`uid`: version numbers
+        repeat after a rollback (the rewound version will be re-bumped by
+        different mutations), so bookmarks taken against the old lineage
+        must stop matching instead of silently reading the wrong delta."""
+        if batch is self._batch and version == self.version:
+            return
         self._batch = batch
         self.version = version
+        self.uid = next_table_uid()
+        self.changelog.reset(version)

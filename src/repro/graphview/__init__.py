@@ -13,8 +13,14 @@ the ``CREATE [MATERIALIZED] GRAPH VIEW ... AS NODES(...) EDGES(...)``
 SQL statement for the declarative surface.
 """
 
+from repro.graphview.catalog import view_from_dict, view_to_dict
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
-from repro.graphview.view import ExtractionStats, GraphViewHandle, extract_graph
+from repro.graphview.view import (
+    DEFAULT_DELTA_THRESHOLD,
+    ExtractionStats,
+    GraphViewHandle,
+    extract_graph,
+)
 
 __all__ = [
     "GraphView",
@@ -25,4 +31,7 @@ __all__ = [
     "GraphViewHandle",
     "ExtractionStats",
     "extract_graph",
+    "DEFAULT_DELTA_THRESHOLD",
+    "view_to_dict",
+    "view_from_dict",
 ]

@@ -33,23 +33,50 @@ from repro.engine.expressions import (
 from repro.errors import GraphViewError
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec
 
-__all__ = ["node_queries", "edge_queries", "render_expression"]
+__all__ = [
+    "node_queries",
+    "edge_queries",
+    "node_query",
+    "edge_spec_queries",
+    "co_edge_query",
+    "co_edge_side_query",
+    "render_expression",
+]
 
 
 # ---------------------------------------------------------------------------
 # Spec -> SQL
+#
+# Every builder takes an optional ``table`` override naming a different
+# relation to read from.  Incremental maintenance uses this to run the
+# *same* lowering (same filters, casts, weight expressions — hence
+# bit-identical computed values) over scratch tables holding only a
+# delta's rows instead of the full base table.
 # ---------------------------------------------------------------------------
 def _where_clause(where: str | None) -> str:
     return f" WHERE {where}" if where else ""
 
 
+def node_query(spec: NodeSpec, table: str | None = None) -> str:
+    """The ``SELECT ... AS id`` for one node spec."""
+    return (
+        f"SELECT CAST({spec.key} AS INTEGER) AS id "
+        f"FROM {table or spec.table}{_where_clause(spec.where)}"
+    )
+
+
 def node_queries(view: GraphView) -> list[str]:
     """One ``SELECT ... AS id`` per node spec."""
-    return [
-        f"SELECT CAST({spec.key} AS INTEGER) AS id "
-        f"FROM {spec.table}{_where_clause(spec.where)}"
-        for spec in view.vertices
-    ]
+    return [node_query(spec) for spec in view.vertices]
+
+
+def edge_spec_queries(spec: EdgeSpec, table: str | None = None) -> list[str]:
+    """The one or two ``SELECT src, dst, weight`` statements of an
+    :class:`EdgeSpec` (undirected specs add the reversed projection)."""
+    out = [_edge_sql(spec, reverse=False, table=table)]
+    if not spec.directed:
+        out.append(_edge_sql(spec, reverse=True, table=table))
+    return out
 
 
 def edge_queries(view: GraphView) -> list[str]:
@@ -59,28 +86,36 @@ def edge_queries(view: GraphView) -> list[str]:
     out: list[str] = []
     for spec in view.edges:
         if isinstance(spec, EdgeSpec):
-            out.append(_edge_sql(spec, reverse=False))
-            if not spec.directed:
-                out.append(_edge_sql(spec, reverse=True))
+            out.extend(edge_spec_queries(spec))
         elif isinstance(spec, CoEdgeSpec):
-            out.append(_co_edge_sql(spec))
+            out.append(co_edge_query(spec))
         else:  # pragma: no cover - GraphView.validate rejects this
             raise GraphViewError(f"unknown edge spec type {type(spec).__name__}")
     return out
 
 
-def _edge_sql(spec: EdgeSpec, reverse: bool) -> str:
+def _edge_sql(spec: EdgeSpec, reverse: bool, table: str | None = None) -> str:
     src, dst = (spec.dst, spec.src) if reverse else (spec.src, spec.dst)
     weight = spec.weight if spec.weight is not None else "1.0"
     return (
         f"SELECT CAST({src} AS INTEGER) AS src, "
         f"CAST({dst} AS INTEGER) AS dst, "
         f"CAST({weight} AS FLOAT) AS weight "
-        f"FROM {spec.table}{_where_clause(spec.where)}"
+        f"FROM {table or spec.table}{_where_clause(spec.where)}"
     )
 
 
-def _co_edge_sql(spec: CoEdgeSpec) -> str:
+def co_edge_side_query(spec: CoEdgeSpec, table: str | None = None) -> str:
+    """The filtered ``(member, via)`` projection one side of the
+    co-occurrence self-join reads — also the relation incremental
+    maintenance tracks per :class:`CoEdgeSpec`."""
+    return (
+        f"SELECT CAST({spec.member} AS INTEGER) AS member, {spec.via} AS via "
+        f"FROM {table or spec.table}{_where_clause(spec.where)}"
+    )
+
+
+def co_edge_query(spec: CoEdgeSpec, table: str | None = None) -> str:
     """The co-occurrence self-join: members sharing a ``via`` key connect.
 
     Filters are pushed into the derived tables so user ``where``
@@ -88,10 +123,7 @@ def _co_edge_sql(spec: CoEdgeSpec) -> str:
     the outer GROUP BY keys are bare column references.
     """
     weight = spec.weight if spec.weight is not None else "COUNT(*)"
-    side = (
-        f"SELECT CAST({spec.member} AS INTEGER) AS member, {spec.via} AS via "
-        f"FROM {spec.table}{_where_clause(spec.where)}"
-    )
+    side = co_edge_side_query(spec, table)
     return (
         f"SELECT a.member AS src, b.member AS dst, "
         f"CAST({weight} AS FLOAT) AS weight "

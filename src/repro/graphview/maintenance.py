@@ -1,0 +1,633 @@
+"""Delta-based incremental maintenance of materialized graph views.
+
+A full :func:`~repro.graphview.view.extract_graph` re-runs every compiled
+query over the whole base tables and rebuilds the graph tables wholesale.
+After small DML that is almost entirely wasted work — the change-capture
+layer (:mod:`repro.engine.changelog`) already knows exactly which rows
+changed.  This module turns those row deltas into graph deltas and patches
+the materialized tables in place:
+
+* each spec's lowering is re-run over *scratch tables holding only the
+  delta rows* (same SQL text as full extraction via the compiler's table
+  override, so filters/casts/weight expressions produce bit-identical
+  values);
+* the view's edge relation is kept as a sorted multiset
+  (:data:`EDGE_DTYPE` structured array in canonical ``(src, dst, weight)``
+  order — the same order :func:`~repro.core.storage.canonical_edge_order`
+  gives a full load, so both refresh paths land on bit-identical tables);
+* the vertex set is kept as a support ledger: id -> number of derivations
+  (node-spec rows plus edge-endpoint occurrences), so a vertex disappears
+  exactly when its last derivation does;
+* a :class:`CoEdgeSpec` keeps its filtered ``(member, via)`` side relation
+  and per-pair co-occurrence counts, and recomputes only the groups whose
+  ``via`` key appears in the delta.
+
+Whenever a delta cannot be applied exactly — change log evicted or reset,
+base table dropped/recreated, a delta larger than the configured fraction
+of its table, a ``CoEdgeSpec`` with a custom aggregate weight or
+non-integer join key — the caller falls back to a full re-extraction
+(which also rebuilds this module's state).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.engine.changelog import TableDelta
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import EngineError, GraphViewError
+from repro.graphview.compiler import (
+    co_edge_side_query,
+    edge_spec_queries,
+    node_query,
+)
+from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView
+
+__all__ = [
+    "EDGE_DTYPE",
+    "MaintenanceState",
+    "build_state",
+    "incremental_refresh",
+    "involved_tables",
+]
+
+#: One extracted edge; field order *is* the canonical sort order.
+EDGE_DTYPE = np.dtype([("src", np.int64), ("dst", np.int64), ("weight", np.float64)])
+
+#: One filtered co-occurrence side row; sorted by (via, member) so a
+#: ``via`` group is one contiguous slice.
+SIDE_DTYPE = np.dtype([("via", np.int64), ("member", np.int64)])
+
+_scratch_counter = itertools.count()
+
+
+class _Fallback(Exception):
+    """Internal: this delta cannot be applied exactly; do a full refresh."""
+
+
+# ---------------------------------------------------------------------------
+# Batch -> array helpers (shared with the full-extraction path so both
+# apply identical NULL semantics: NULL endpoints drop the edge, NULL
+# weights default to 1.0, NULL ids drop the node row)
+# ---------------------------------------------------------------------------
+def node_ids_from_batch(batch) -> np.ndarray:
+    """The non-NULL ``id`` values of a node-query result (multiplicity
+    preserved — one entry per surviving row)."""
+    col = batch.column("id")
+    values = np.asarray(col.values, dtype=np.int64)
+    return values[np.asarray(col.valid, dtype=bool)]
+
+
+def edge_triples_from_batch(batch) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(src, dst, weight)`` arrays of an edge-query result with NULL
+    endpoints dropped and NULL weights defaulted to 1.0."""
+    src_col = batch.column("src")
+    dst_col = batch.column("dst")
+    weight_col = batch.column("weight")
+    src = np.asarray(src_col.values, dtype=np.int64)
+    dst = np.asarray(dst_col.values, dtype=np.int64)
+    weight = np.asarray(weight_col.values, dtype=np.float64).copy()
+    weight[~np.asarray(weight_col.valid, dtype=bool)] = 1.0
+    keep = np.asarray(src_col.valid, dtype=bool) & np.asarray(dst_col.valid, dtype=bool)
+    return src[keep], dst[keep], weight[keep]
+
+
+def _side_pairs_from_batch(batch) -> np.ndarray:
+    """``SIDE_DTYPE`` rows of a co-occurrence side-query result.
+
+    Rows with a NULL member or NULL via contribute nothing (a NULL never
+    equi-joins and never survives ``member <> member``), matching the
+    full self-join's semantics.  Raises :class:`_Fallback` when the via
+    key is not integer-typed — the sorted side ledger only supports ints.
+    """
+    member_col = batch.column("member")
+    via_col = batch.column("via")
+    via_values = np.asarray(via_col.values)
+    if via_values.dtype.kind not in "iu":
+        raise _Fallback("co-occurrence via key is not integer-typed")
+    keep = np.asarray(member_col.valid, dtype=bool) & np.asarray(via_col.valid, dtype=bool)
+    out = np.empty(int(np.count_nonzero(keep)), dtype=SIDE_DTYPE)
+    out["via"] = via_values[keep]
+    out["member"] = np.asarray(member_col.values, dtype=np.int64)[keep]
+    return out
+
+
+def as_edge_struct(src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Pack parallel arrays into an :data:`EDGE_DTYPE` structured array."""
+    out = np.empty(len(src), dtype=EDGE_DTYPE)
+    out["src"] = src
+    out["dst"] = dst
+    out["weight"] = weight
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scratch tables: run a spec's lowering over delta rows only
+# ---------------------------------------------------------------------------
+def _run_on_delta(db: Database, base_table: str, rows, sql_for_table) -> list:
+    """Register ``rows`` (a RecordBatch of ``base_table``'s schema) under a
+    scratch name, run ``sql_for_table(scratch_name)``, and return the
+    resulting batches.
+
+    The scratch table drops the base table's primary key: delta row
+    multisets may legitimately repeat a key (insert, delete, re-insert).
+    """
+    if rows.num_rows == 0:
+        return []
+    name = f"_gvdelta_{next(_scratch_counter)}"
+    db.catalog.register(Table(name, db.table(base_table).schema, rows))
+    try:
+        return [db.query_batch(sql) for sql in sql_for_table(name)]
+    except EngineError as exc:  # pragma: no cover - spec already validated
+        raise GraphViewError(f"graph-view delta query failed: {exc}") from exc
+    finally:
+        db.catalog.drop(name, if_exists=True)
+
+
+# ---------------------------------------------------------------------------
+# Sorted multiset primitives
+# ---------------------------------------------------------------------------
+def _intra_group_offsets(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` for run lengths ``counts``."""
+    starts = np.cumsum(counts) - counts
+    return np.arange(int(counts.sum())) - np.repeat(starts, counts)
+
+
+def sorted_multiset_insert(state: np.ndarray, additions: np.ndarray) -> np.ndarray:
+    """Merge ``additions`` (any order) into sorted ``state``; stays sorted."""
+    if len(additions) == 0:
+        return state
+    additions = np.sort(additions)
+    positions = np.searchsorted(state, additions, side="left")
+    return np.insert(state, positions, additions)
+
+
+def sorted_multiset_remove(state: np.ndarray, removals: np.ndarray) -> np.ndarray:
+    """Remove ``removals`` (any order, with multiplicity) from sorted
+    ``state``.
+
+    Raises:
+        _Fallback: an element to remove is not present often enough —
+            the incremental bookkeeping no longer matches the base data
+            (e.g. a non-deterministic weight expression), so the caller
+            must re-extract from scratch.
+    """
+    if len(removals) == 0:
+        return state
+    uniq, counts = np.unique(removals, return_counts=True)
+    lo = np.searchsorted(state, uniq, side="left")
+    hi = np.searchsorted(state, uniq, side="right")
+    if np.any(hi - lo < counts):
+        raise _Fallback("delta removes rows the maintained state does not hold")
+    doomed = np.repeat(lo, counts) + _intra_group_offsets(counts)
+    mask = np.ones(len(state), dtype=bool)
+    mask[doomed] = False
+    return state[mask]
+
+
+# ---------------------------------------------------------------------------
+# Vertex support ledger
+# ---------------------------------------------------------------------------
+@dataclass
+class _SupportLedger:
+    """id -> number of derivations (node-spec rows + edge endpoints)."""
+
+    ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_derivations(cls, derived_ids: np.ndarray) -> "_SupportLedger":
+        ids, counts = np.unique(derived_ids, return_counts=True)
+        return cls(ids=ids, counts=counts.astype(np.int64))
+
+    def apply(self, added_ids: np.ndarray, removed_ids: np.ndarray) -> None:
+        """Shift support by +1 per added derivation, -1 per removed."""
+        if len(added_ids) == 0 and len(removed_ids) == 0:
+            return
+        delta_ids = np.concatenate([added_ids, removed_ids])
+        signs = np.concatenate(
+            [
+                np.ones(len(added_ids), dtype=np.int64),
+                -np.ones(len(removed_ids), dtype=np.int64),
+            ]
+        )
+        uniq, inverse = np.unique(delta_ids, return_inverse=True)
+        net = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(net, inverse, signs)
+        touched = net != 0
+        uniq, net = uniq[touched], net[touched]
+        if len(uniq) == 0:
+            return
+        positions = np.searchsorted(self.ids, uniq)
+        in_range = positions < len(self.ids)
+        present = np.zeros(len(uniq), dtype=bool)
+        present[in_range] = self.ids[positions[in_range]] == uniq[in_range]
+
+        counts = self.counts.copy()
+        counts[positions[present]] += net[present]
+        if np.any(counts < 0) or np.any(net[~present] < 0):
+            raise _Fallback("vertex support underflow")
+        fresh = ~present & (net > 0)
+        ids = np.insert(self.ids, positions[fresh], uniq[fresh])
+        counts = np.insert(counts, positions[fresh], net[fresh])
+        keep = counts > 0
+        self.ids, self.counts = ids[keep], counts[keep]
+
+    @property
+    def live_ids(self) -> np.ndarray:
+        """Sorted ids with at least one derivation (== the node table)."""
+        return self.ids
+
+
+# ---------------------------------------------------------------------------
+# Co-occurrence spec state
+# ---------------------------------------------------------------------------
+@dataclass
+class _CoState:
+    """Side relation + per-pair counts for one :class:`CoEdgeSpec`."""
+
+    side: np.ndarray  # SIDE_DTYPE, sorted by (via, member)
+    pairs: np.ndarray  # EDGE_DTYPE with weight == float(count), sorted
+
+    def apply_delta(
+        self, inserted_side: np.ndarray, deleted_side: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply side-row deltas; return ``(added, removed)`` edge triples.
+
+        Only groups whose ``via`` key appears in the delta are recomputed;
+        a touched pair's old triple (its previous global count) is removed
+        and its new triple added, so the caller can treat co-occurrence
+        changes as ordinary edge-multiset arithmetic.
+        """
+        if len(inserted_side) == 0 and len(deleted_side) == 0:
+            empty = np.empty(0, dtype=EDGE_DTYPE)
+            return empty, empty
+        touched_vias = np.unique(
+            np.concatenate([inserted_side["via"], deleted_side["via"]])
+        )
+        old_contrib = _pair_contributions(self.side, touched_vias)
+        new_side = sorted_multiset_insert(self.side, inserted_side)
+        new_side = sorted_multiset_remove(new_side, deleted_side)
+        self.side = new_side
+        new_contrib = _pair_contributions(new_side, touched_vias)
+
+        # Net count change per (src, dst) pair across the touched groups.
+        changed_pairs, deltas = _diff_contributions(old_contrib, new_contrib)
+        if len(changed_pairs) == 0:
+            empty = np.empty(0, dtype=EDGE_DTYPE)
+            return empty, empty
+
+        # self.pairs is sorted by (src, dst, weight) and each pair appears
+        # at most once, so a packed (src, dst) projection is sorted too.
+        pair_keys = _pair_keys_of(self.pairs)
+        positions = np.searchsorted(pair_keys, changed_pairs)
+        in_range = positions < len(self.pairs)
+        present = np.zeros(len(changed_pairs), dtype=bool)
+        present[in_range] = pair_keys[positions[in_range]] == changed_pairs[in_range]
+        old_counts = np.zeros(len(changed_pairs), dtype=np.int64)
+        old_counts[present] = np.rint(
+            self.pairs["weight"][positions[present]]
+        ).astype(np.int64)
+        new_counts = old_counts + deltas
+        if np.any(new_counts < 0):
+            raise _Fallback("co-occurrence count underflow")
+
+        removed = _pair_triples(changed_pairs[old_counts > 0], old_counts[old_counts > 0])
+        added = _pair_triples(changed_pairs[new_counts > 0], new_counts[new_counts > 0])
+        self.pairs = sorted_multiset_remove(self.pairs, removed)
+        self.pairs = sorted_multiset_insert(self.pairs, added)
+        return added, removed
+
+
+def _pair_triples(pairs: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    out = np.empty(len(pairs), dtype=EDGE_DTYPE)
+    out["src"] = pairs["src"]
+    out["dst"] = pairs["dst"]
+    out["weight"] = counts.astype(np.float64)
+    return out
+
+
+_PAIR_DTYPE = np.dtype([("src", np.int64), ("dst", np.int64)])
+
+
+def _pair_keys_of(edges: np.ndarray) -> np.ndarray:
+    """Packed ``(src, dst)`` copy of an :data:`EDGE_DTYPE` array (a
+    multi-field *view* keeps the original itemsize and cannot be compared
+    against packed :data:`_PAIR_DTYPE` arrays)."""
+    out = np.empty(len(edges), dtype=_PAIR_DTYPE)
+    out["src"] = edges["src"]
+    out["dst"] = edges["dst"]
+    return out
+
+
+def _pair_contributions(
+    side: np.ndarray, vias: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Co-occurrence counts contributed by the given ``via`` groups.
+
+    Returns ``(pairs, counts)`` where each ordered pair ``(a, b)``,
+    ``a != b``, receives ``count_a * count_b`` from every group both
+    members appear in — exactly what the self-join's row pairing counts
+    when rows repeat.
+    """
+    subset = side[np.isin(side["via"], vias)]
+    if len(subset) == 0:
+        return np.empty(0, dtype=_PAIR_DTYPE), np.empty(0, dtype=np.int64)
+    pair_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+    group_vias, group_starts = np.unique(subset["via"], return_index=True)
+    boundaries = np.append(group_starts, len(subset))
+    for g in range(len(group_vias)):
+        members = subset["member"][boundaries[g]:boundaries[g + 1]]
+        uniq, counts = np.unique(members, return_counts=True)
+        if len(uniq) < 2:
+            continue
+        a_idx, b_idx = np.meshgrid(
+            np.arange(len(uniq)), np.arange(len(uniq)), indexing="ij"
+        )
+        off_diag = a_idx != b_idx
+        a_idx, b_idx = a_idx[off_diag], b_idx[off_diag]
+        pairs = np.empty(len(a_idx), dtype=_PAIR_DTYPE)
+        pairs["src"] = uniq[a_idx]
+        pairs["dst"] = uniq[b_idx]
+        pair_parts.append(pairs)
+        count_parts.append(counts[a_idx] * counts[b_idx])
+    if not pair_parts:
+        return np.empty(0, dtype=_PAIR_DTYPE), np.empty(0, dtype=np.int64)
+    all_pairs = np.concatenate(pair_parts)
+    all_counts = np.concatenate(count_parts)
+    uniq_pairs, inverse = np.unique(all_pairs, return_inverse=True)
+    summed = np.zeros(len(uniq_pairs), dtype=np.int64)
+    np.add.at(summed, inverse, all_counts)
+    return uniq_pairs, summed
+
+
+def _diff_contributions(
+    old: tuple[np.ndarray, np.ndarray], new: tuple[np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pairs whose contribution changed, with the signed count delta."""
+    old_pairs, old_counts = old
+    new_pairs, new_counts = new
+    all_pairs = np.concatenate([old_pairs, new_pairs])
+    signed = np.concatenate([-old_counts, new_counts])
+    if len(all_pairs) == 0:
+        return all_pairs, signed
+    uniq, inverse = np.unique(all_pairs, return_inverse=True)
+    net = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(net, inverse, signed)
+    changed = net != 0
+    return uniq[changed], net[changed]
+
+
+# ---------------------------------------------------------------------------
+# Whole-view state
+# ---------------------------------------------------------------------------
+@dataclass
+class MaintenanceState:
+    """Everything needed to patch a materialized view instead of
+    re-extracting it (see module docstring)."""
+
+    edges: np.ndarray  # EDGE_DTYPE, canonically sorted
+    support: _SupportLedger
+    co_states: dict[int, _CoState]  # edge-spec index -> state
+    bookmarks: dict[str, tuple[int, int]]  # table -> (uid, version)
+    capable: bool  # False: this view always takes the full path
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.support.live_ids)
+
+
+def involved_tables(view: GraphView) -> list[str]:
+    """The distinct base tables a view reads, in first-use order."""
+    seen: dict[str, None] = {}
+    for spec in (*view.vertices, *view.edges):
+        seen.setdefault(spec.table, None)
+    return list(seen)
+
+
+def incremental_capable(view: GraphView) -> bool:
+    """Whether every spec of the view has an incremental lowering.
+
+    A :class:`CoEdgeSpec` with a custom aggregate weight has no
+    delta form — ``AVG``/``MAX``-style aggregates are not decomposable
+    over group membership changes — so such views always re-extract.
+    """
+    return all(
+        not (isinstance(spec, CoEdgeSpec) and spec.weight is not None)
+        for spec in view.edges
+    )
+
+
+def build_state(
+    db: Database,
+    view: GraphView,
+    node_parts: list[np.ndarray],
+    edge_parts: list[tuple[object, list[tuple[np.ndarray, np.ndarray, np.ndarray]]]],
+    sorted_edges: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> MaintenanceState:
+    """Construct maintenance state from a just-completed full extraction.
+
+    ``node_parts``/``edge_parts`` are the per-spec arrays the extraction
+    produced and ``sorted_edges`` the already-canonically-ordered
+    concatenation the graph tables were loaded from (so nothing is
+    scanned — or sorted — twice); each :class:`CoEdgeSpec` runs one extra
+    side query to seed its ``(member, via)`` ledger.
+    """
+    capable = incremental_capable(view)
+    edges = as_edge_struct(*sorted_edges)
+    if len(edges) and np.isnan(edges["weight"]).any():
+        capable = False  # NaN breaks sorted-multiset matching
+
+    derivations = [part for part in node_parts]
+    derivations.append(edges["src"].astype(np.int64, copy=True))
+    derivations.append(edges["dst"].astype(np.int64, copy=True))
+    support = _SupportLedger.from_derivations(
+        np.concatenate(derivations) if derivations else np.empty(0, dtype=np.int64)
+    )
+
+    co_states: dict[int, _CoState] = {}
+    if capable:
+        try:
+            for index, spec in enumerate(view.edges):
+                if not isinstance(spec, CoEdgeSpec):
+                    continue
+                side = _side_pairs_from_batch(db.query_batch(co_edge_side_query(spec)))
+                spec_triples = edge_parts[index][1]
+                (src, dst, weight) = spec_triples[0]
+                if not np.all(weight == np.rint(weight)):
+                    raise _Fallback("co-occurrence counts are not integral")
+                co_states[index] = _CoState(
+                    side=np.sort(side),
+                    pairs=np.sort(as_edge_struct(src, dst, weight)),
+                )
+        except _Fallback:
+            capable = False
+            co_states = {}
+
+    bookmarks = {t: db.table_state(t) for t in involved_tables(view)}
+    return MaintenanceState(
+        edges=edges,
+        support=support,
+        co_states=co_states,
+        bookmarks=bookmarks,
+        capable=capable,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The incremental refresh itself
+# ---------------------------------------------------------------------------
+def gather_deltas(
+    db: Database, state: MaintenanceState
+) -> dict[str, TableDelta] | None:
+    """Per-table deltas since the state's bookmarks, or ``None`` when any
+    table's window is unreconstructable."""
+    deltas: dict[str, TableDelta] = {}
+    for table, (uid, version) in state.bookmarks.items():
+        if not db.has_table(table):
+            return None
+        delta = db.changes_since(table, uid, version)
+        if delta is None:
+            return None
+        deltas[table] = delta
+    return deltas
+
+
+def incremental_refresh(
+    db: Database,
+    storage: GraphStorage,
+    name: str,
+    view: GraphView,
+    state: MaintenanceState,
+    max_delta_fraction: float | None,
+) -> tuple[GraphHandle, int] | None:
+    """Patch ``{name}_edge`` / ``{name}_node`` from base-table deltas.
+
+    Returns ``(handle, delta_rows)`` on success, or ``None`` when the
+    caller must fall back to a full re-extraction: state not capable,
+    deltas unavailable, a per-table delta above ``max_delta_fraction`` of
+    its current table size (skipped when ``None`` — a forced incremental
+    refresh), or an exactness guard tripping mid-apply.
+
+    On ``None`` the state may be partially consumed and must be rebuilt —
+    :func:`build_state` runs as part of the full refresh anyway.
+    """
+    if not state.capable:
+        return None
+    deltas = gather_deltas(db, state)
+    if deltas is None:
+        return None
+    delta_rows = sum(d.num_rows for d in deltas.values())
+    if max_delta_fraction is not None:
+        for table, delta in deltas.items():
+            budget = max_delta_fraction * max(db.table(table).num_rows, 1)
+            if delta.num_rows > budget:
+                return None
+    if delta_rows == 0:
+        handle = GraphHandle(db, name, state.num_vertices, state.num_edges)
+        _refresh_bookmarks(db, state)
+        return handle, 0
+
+    try:
+        added, removed, node_added, node_removed = _spec_deltas(db, view, state, deltas)
+        if (len(added) and np.isnan(added["weight"]).any()) or (
+            len(removed) and np.isnan(removed["weight"]).any()
+        ):
+            raise _Fallback("NaN weight in delta")
+        edges = sorted_multiset_insert(state.edges, added)
+        edges = sorted_multiset_remove(edges, removed)
+        state.support.apply(
+            np.concatenate([node_added, added["src"], added["dst"]]),
+            np.concatenate([node_removed, removed["src"], removed["dst"]]),
+        )
+        state.edges = edges
+    except _Fallback:
+        state.capable = False  # force the rebuild the caller now performs
+        return None
+
+    handle = storage.replace_graph(
+        name,
+        state.edges["src"].astype(np.int64, copy=True),
+        state.edges["dst"].astype(np.int64, copy=True),
+        state.edges["weight"].astype(np.float64, copy=True),
+        state.support.live_ids.copy(),
+    )
+    _refresh_bookmarks(db, state)
+    return handle, delta_rows
+
+
+def _refresh_bookmarks(db: Database, state: MaintenanceState) -> None:
+    state.bookmarks = {t: db.table_state(t) for t in state.bookmarks}
+
+
+def _spec_deltas(
+    db: Database,
+    view: GraphView,
+    state: MaintenanceState,
+    deltas: dict[str, TableDelta],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lower table row deltas to graph deltas across every spec.
+
+    Returns ``(added_edges, removed_edges, added_node_ids,
+    removed_node_ids)``; edge arrays are :data:`EDGE_DTYPE`.
+    """
+    added_parts: list[np.ndarray] = []
+    removed_parts: list[np.ndarray] = []
+    node_added: list[np.ndarray] = []
+    node_removed: list[np.ndarray] = []
+    empty_ids = np.empty(0, dtype=np.int64)
+
+    for spec in view.vertices:
+        delta = deltas[spec.table]
+        for rows, sink in ((delta.inserted, node_added), (delta.deleted, node_removed)):
+            batches = _run_on_delta(
+                db, spec.table, rows, lambda t, s=spec: [node_query(s, table=t)]
+            )
+            sink.extend(node_ids_from_batch(b) for b in batches)
+
+    for index, spec in enumerate(view.edges):
+        delta = deltas[spec.table]
+        if isinstance(spec, EdgeSpec):
+            for rows, sink in (
+                (delta.inserted, added_parts),
+                (delta.deleted, removed_parts),
+            ):
+                batches = _run_on_delta(
+                    db, spec.table, rows, lambda t, s=spec: edge_spec_queries(s, table=t)
+                )
+                sink.extend(as_edge_struct(*edge_triples_from_batch(b)) for b in batches)
+        else:  # CoEdgeSpec — delta-capable views always carry its state
+            inserted_side = _side_rows(db, spec, delta.inserted)
+            deleted_side = _side_rows(db, spec, delta.deleted)
+            added, removed = state.co_states[index].apply_delta(
+                inserted_side, deleted_side
+            )
+            added_parts.append(added)
+            removed_parts.append(removed)
+
+    empty_edges = np.empty(0, dtype=EDGE_DTYPE)
+    return (
+        np.concatenate(added_parts) if added_parts else empty_edges,
+        np.concatenate(removed_parts) if removed_parts else empty_edges,
+        np.concatenate(node_added) if node_added else empty_ids,
+        np.concatenate(node_removed) if node_removed else empty_ids,
+    )
+
+
+def _side_rows(db: Database, spec: CoEdgeSpec, rows) -> np.ndarray:
+    batches = _run_on_delta(
+        db, spec.table, rows, lambda t, s=spec: [co_edge_side_query(s, table=t)]
+    )
+    if not batches:
+        return np.empty(0, dtype=SIDE_DTYPE)
+    return _side_pairs_from_batch(batches[0])

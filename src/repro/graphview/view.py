@@ -10,11 +10,19 @@ Two freshness modes:
 
 * **materialized** — extraction runs at creation time; the vertex/edge
   tables persist in the catalog (planner-visible, queryable with plain
-  SQL) and :meth:`GraphViewHandle.refresh` re-extracts after base-table
-  DML.
+  SQL) and :meth:`GraphViewHandle.refresh` brings them up to date after
+  base-table DML — *incrementally* when the engine's change capture can
+  hand over the row deltas (see :mod:`repro.graphview.maintenance`),
+  falling back to a full re-extraction otherwise or when the deltas
+  exceed ``delta_threshold`` of a base table.
 * **virtual** — nothing is extracted up front; every
   :meth:`GraphViewHandle.resolve` (which ``Vertexica.run`` calls) re-runs
   the extraction, so the analysis always sees the current base tables.
+
+Both refresh paths produce bit-identical graph tables: full loads store
+edges in canonical ``(src, dst, weight)`` order and the incremental path
+maintains the same order (the randomized DML parity suite in
+``tests/graphview/test_incremental_parity.py`` locks this down).
 """
 
 from __future__ import annotations
@@ -24,37 +32,89 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.storage import GraphHandle, GraphStorage
+from repro.core.storage import GraphHandle, GraphStorage, canonical_edge_order
 from repro.engine.database import Database
-from repro.errors import EngineError, GraphViewError
-from repro.graphview.compiler import edge_queries, node_queries
-from repro.graphview.spec import GraphView
+from repro.errors import EngineError, GraphLoadError, GraphViewError
+from repro.graphview import maintenance
+from repro.graphview.compiler import node_queries
+from repro.graphview.compiler import edge_queries as _compiled_edge_queries
+from repro.graphview.maintenance import (
+    MaintenanceState,
+    edge_triples_from_batch,
+    node_ids_from_batch,
+)
+from repro.graphview.spec import EdgeSpec, GraphView
 
 __all__ = ["ExtractionStats", "GraphViewHandle", "extract_graph"]
+
+#: Default ceiling on delta size as a fraction of a base table's rows —
+#: beyond it a refresh re-extracts instead of patching (the crossover
+#: where replaying per-row work stops beating one set-oriented pass).
+DEFAULT_DELTA_THRESHOLD = 0.25
 
 
 @dataclass(frozen=True)
 class ExtractionStats:
-    """Timings and sizes of one extraction pass."""
+    """Timings and sizes of one extraction (or incremental refresh) pass.
+
+    Attributes:
+        seconds: wall time of the pass.
+        num_vertices, num_edges: sizes of the resulting graph.
+        num_queries: SQL statements issued (0 for a no-op incremental
+            refresh).
+        mode: ``"full"`` (re-extraction) or ``"incremental"``
+            (delta-patched).
+        delta_rows: base-table delta rows consumed (incremental only).
+    """
 
     seconds: float
     num_vertices: int
     num_edges: int
     num_queries: int
+    mode: str = "full"
+    delta_rows: int = 0
 
     def summary(self) -> str:
         """One-line human-readable report."""
+        delta = f" delta_rows={self.delta_rows}" if self.mode == "incremental" else ""
         return (
-            f"extracted |V|={self.num_vertices} |E|={self.num_edges} "
-            f"from {self.num_queries} queries in {self.seconds:.3f}s"
+            f"{self.mode} refresh: |V|={self.num_vertices} |E|={self.num_edges} "
+            f"from {self.num_queries} queries in {self.seconds:.3f}s{delta}"
         )
 
 
-def _int_column(batch, name: str) -> tuple[np.ndarray, np.ndarray]:
-    """One column as ``(int64 values, validity mask)``."""
-    col = batch.column(name)
-    values = np.asarray(col.values, dtype=np.int64)
-    return values, np.asarray(col.valid, dtype=bool)
+def _run(db: Database, sql: str, what: str):
+    try:
+        return db.query_batch(sql)
+    except EngineError as exc:
+        raise GraphViewError(f"graph-view {what} failed: {exc}\n  SQL: {sql}") from exc
+
+
+def _run_extraction(db: Database, view: GraphView):
+    """Execute every compiled query; return per-spec arrays.
+
+    Returns ``(node_parts, edge_parts, num_queries)`` where ``node_parts``
+    has one id array per node spec and ``edge_parts`` one
+    ``(spec, [(src, dst, weight), ...])`` entry per edge spec (undirected
+    edge specs contribute two triples — forward and reversed).
+    """
+    queries = 0
+    node_parts: list[np.ndarray] = []
+    for sql in node_queries(view):
+        node_parts.append(node_ids_from_batch(_run(db, sql, "node spec")))
+        queries += 1
+
+    edge_parts: list[tuple[object, list[tuple[np.ndarray, np.ndarray, np.ndarray]]]] = []
+    compiled = iter(_compiled_edge_queries(view))
+    for spec in view.edges:
+        n_queries = 2 if isinstance(spec, EdgeSpec) and not spec.directed else 1
+        triples = []
+        for _ in range(n_queries):
+            batch = _run(db, next(compiled), "edge spec")
+            queries += 1
+            triples.append(edge_triples_from_batch(batch))
+        edge_parts.append((spec, triples))
+    return node_parts, edge_parts, queries
 
 
 def extract_graph(
@@ -70,35 +130,28 @@ def extract_graph(
             column, malformed filter/weight expression) — chained to the
             engine error naming the spec that caused it.
     """
+    handle, stats, _ = _extract_with_state(db, storage, name, view, want_state=False)
+    return handle, stats
+
+
+def _extract_with_state(
+    db: Database,
+    storage: GraphStorage,
+    name: str,
+    view: GraphView,
+    want_state: bool,
+) -> tuple[GraphHandle, ExtractionStats, MaintenanceState | None]:
+    """Full extraction, optionally also building maintenance state from
+    the same per-spec arrays (no base table is scanned twice)."""
     view.validate()
     started = time.perf_counter()
-    queries = 0
-
-    node_parts: list[np.ndarray] = []
-    for sql in node_queries(view):
-        batch = _run(db, sql, "node spec")
-        queries += 1
-        ids, valid = _int_column(batch, "id")
-        node_parts.append(ids[valid])
-
-    src_parts: list[np.ndarray] = []
-    dst_parts: list[np.ndarray] = []
-    weight_parts: list[np.ndarray] = []
-    for sql in edge_queries(view):
-        batch = _run(db, sql, "edge spec")
-        queries += 1
-        src, src_valid = _int_column(batch, "src")
-        dst, dst_valid = _int_column(batch, "dst")
-        weight_col = batch.column("weight")
-        weight = np.asarray(weight_col.values, dtype=np.float64).copy()
-        weight[~weight_col.valid] = 1.0
-        keep = src_valid & dst_valid
-        src_parts.append(src[keep])
-        dst_parts.append(dst[keep])
-        weight_parts.append(weight[keep])
+    node_parts, edge_parts, queries = _run_extraction(db, view)
 
     empty_i = np.empty(0, dtype=np.int64)
     empty_f = np.empty(0, dtype=np.float64)
+    src_parts = [src for _, triples in edge_parts for (src, _, _) in triples]
+    dst_parts = [dst for _, triples in edge_parts for (_, dst, _) in triples]
+    weight_parts = [w for _, triples in edge_parts for (_, _, w) in triples]
     src_arr = np.concatenate(src_parts) if src_parts else empty_i
     dst_arr = np.concatenate(dst_parts) if dst_parts else empty_i
     weight_arr = np.concatenate(weight_parts) if weight_parts else empty_f
@@ -106,23 +159,28 @@ def extract_graph(
         np.unique(np.concatenate(node_parts)) if node_parts else empty_i
     )
 
+    # Sort into canonical order once, here: load_graph stores the arrays
+    # as-is and the maintenance state reuses the same ordering.
+    order = canonical_edge_order(src_arr, dst_arr, weight_arr)
+    src_arr, dst_arr, weight_arr = src_arr[order], dst_arr[order], weight_arr[order]
     handle = storage.load_graph(
-        name, src_arr, dst_arr, weight_arr, node_ids=node_ids
+        name, src_arr, dst_arr, weight_arr, node_ids=node_ids, presorted=True
+    )
+    state = (
+        maintenance.build_state(
+            db, view, node_parts, edge_parts, (src_arr, dst_arr, weight_arr)
+        )
+        if want_state
+        else None
     )
     stats = ExtractionStats(
         seconds=time.perf_counter() - started,
         num_vertices=handle.num_vertices,
         num_edges=handle.num_edges,
         num_queries=queries,
+        mode="full",
     )
-    return handle, stats
-
-
-def _run(db: Database, sql: str, what: str):
-    try:
-        return db.query_batch(sql)
-    except EngineError as exc:
-        raise GraphViewError(f"graph-view {what} failed: {exc}\n  SQL: {sql}") from exc
+    return handle, stats, state
 
 
 class GraphViewHandle:
@@ -132,6 +190,10 @@ class GraphViewHandle:
     runs (call :meth:`refresh` after base-table DML); ``False`` makes the
     view *virtual* — every :meth:`resolve` re-extracts, so runs always
     see current base data.
+
+    ``delta_threshold`` caps how large a base table's delta may grow
+    (as a fraction of its current rows) before :meth:`refresh` abandons
+    the incremental path for a full re-extraction.
     """
 
     def __init__(
@@ -141,15 +203,23 @@ class GraphViewHandle:
         name: str,
         view: GraphView,
         materialized: bool = True,
+        delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
     ) -> None:
         if not name or not name.isidentifier():
             raise GraphViewError(f"graph view name must be an identifier, got {name!r}")
+        if not 0.0 <= delta_threshold <= 1.0:
+            raise GraphViewError("delta_threshold must be within [0, 1]")
         self.db = db
         self.storage = storage
         self.name = name
         self.view = view
         self.materialized = materialized
+        self.delta_threshold = delta_threshold
         self._handle: GraphHandle | None = None
+        self._state: MaintenanceState | None = None
+        #: base-table versions carried over from a checkpoint restore
+        #: (reported until the first in-process refresh reseeds state)
+        self._restored_versions: dict[str, int] = {}
         #: stats of the most recent extraction (``None`` before the first)
         self.last_extraction: ExtractionStats | None = None
 
@@ -164,26 +234,106 @@ class GraphViewHandle:
             return self._handle
         return self.refresh()
 
-    def refresh(self) -> GraphHandle:
-        """Re-extract from the base tables (after DML), set-oriented:
-        one SQL pass per spec, swap the graph tables wholesale."""
-        handle, stats = extract_graph(self.db, self.storage, self.name, self.view)
+    def refresh(self, incremental: bool | None = None) -> GraphHandle:
+        """Bring the extracted tables up to date with the base tables.
+
+        Args:
+            incremental: ``None`` (default) patches from captured row
+                deltas when possible and within :attr:`delta_threshold`,
+                falling back to a full re-extraction otherwise; ``True``
+                insists on the delta path regardless of delta size (still
+                falling back when no deltas are reconstructable);
+                ``False`` forces a full re-extraction.
+
+        The two paths produce bit-identical tables; ``last_extraction``
+        records which one ran, its delta size, and its wall time.
+        """
+        if incremental is not False and self.materialized:
+            handle = self._try_incremental(
+                max_delta_fraction=None if incremental else self.delta_threshold
+            )
+            if handle is not None:
+                return handle
+        handle, stats, state = _extract_with_state(
+            self.db, self.storage, self.name, self.view, want_state=self.materialized
+        )
         self._handle = handle
+        self._state = state
         self.last_extraction = stats
         return handle
 
+    def _try_incremental(self, max_delta_fraction: float | None) -> GraphHandle | None:
+        """One attempt at the delta path; ``None`` means take the full one."""
+        if self._state is None or self._handle is None:
+            return None
+        started = time.perf_counter()
+        statements_before = self.db.statements_executed
+        result = maintenance.incremental_refresh(
+            self.db,
+            self.storage,
+            self.name,
+            self.view,
+            self._state,
+            max_delta_fraction,
+        )
+        if result is None:
+            return None
+        handle, delta_rows = result
+        self._handle = handle
+        self.last_extraction = ExtractionStats(
+            seconds=time.perf_counter() - started,
+            num_vertices=handle.num_vertices,
+            num_edges=handle.num_edges,
+            num_queries=self.db.statements_executed - statements_before,
+            mode="incremental",
+            delta_rows=delta_rows,
+        )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (see repro.graphview.catalog)
+    # ------------------------------------------------------------------
+    def base_table_versions(self) -> dict[str, int]:
+        """Base-table versions as of the last refresh — from live
+        maintenance state, or carried over from a checkpoint (empty when
+        the view never refreshed)."""
+        if self._state is None:
+            return dict(self._restored_versions)
+        return {t: version for t, (_, version) in self._state.bookmarks.items()}
+
+    def attach_existing(self, base_table_versions: dict[str, int] | None = None) -> bool:
+        """Re-attach to already-materialized ``{name}_*`` tables (used
+        after checkpoint restore) without re-extracting.  Maintenance
+        state is *not* rebuilt — the first post-restore refresh takes the
+        full path and reseeds it.  Returns True when tables were found.
+        """
+        if base_table_versions:
+            self._restored_versions = dict(base_table_versions)
+        try:
+            self._handle = self.storage.handle(self.name)
+        except GraphLoadError:
+            return False
+        return True
+
     def drop(self) -> None:
-        """Drop the extracted tables (base tables are untouched)."""
-        if self._handle is not None:
-            for table in (
-                self._handle.edge_table,
-                self._handle.node_table,
-                self._handle.vertex_table,
-                self._handle.message_table,
-                self._handle.output_table,
-            ):
-                self.db.execute(f"DROP TABLE IF EXISTS {table}")
+        """Drop the extracted tables (base tables are untouched).
+
+        Table names are derived from the view name — not from a cached
+        handle — so materialized tables are removed even when this handle
+        never resolved them in this process (e.g. right after a
+        checkpoint restore).
+        """
+        ghost = GraphHandle(self.db, self.name, 0, 0)
+        for table in (
+            ghost.edge_table,
+            ghost.node_table,
+            ghost.vertex_table,
+            ghost.message_table,
+            ghost.output_table,
+        ):
+            self.db.execute(f"DROP TABLE IF EXISTS {table}")
         self._handle = None
+        self._state = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "materialized" if self.materialized else "virtual"

@@ -1,0 +1,180 @@
+"""Change capture: per-table row deltas keyed by version."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.changelog import ChangeLog
+from repro.engine.persistence import read_checkpoint_metadata
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def loaded(db: Database) -> Database:
+    db.execute("CREATE TABLE t (id INTEGER, v FLOAT)")
+    db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+    return db
+
+
+def bookmark(db: Database, name: str = "t"):
+    return db.table_state(name)
+
+
+class TestRowDeltas:
+    def test_insert_captured(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("INSERT INTO t VALUES (4, 4.0)")
+        delta = loaded.changes_since("t", uid, version)
+        assert delta.inserted.to_rows() == [(4, 4.0)]
+        assert delta.deleted.num_rows == 0
+        assert delta.num_rows == 1 and not delta.empty
+
+    def test_delete_captured(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("DELETE FROM t WHERE id >= 2")
+        delta = loaded.changes_since("t", uid, version)
+        assert delta.inserted.num_rows == 0
+        assert sorted(delta.deleted.to_rows()) == [(2, 2.0), (3, 3.0)]
+
+    def test_update_is_delete_plus_insert(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("UPDATE t SET v = 9.0 WHERE id = 2")
+        delta = loaded.changes_since("t", uid, version)
+        assert delta.deleted.to_rows() == [(2, 2.0)]
+        assert delta.inserted.to_rows() == [(2, 9.0)]
+
+    def test_window_accumulates_in_order(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("INSERT INTO t VALUES (4, 4.0)")
+        loaded.execute("DELETE FROM t WHERE id = 1")
+        loaded.execute("INSERT INTO t VALUES (5, 5.0)")
+        delta = loaded.changes_since("t", uid, version)
+        assert delta.inserted.to_rows() == [(4, 4.0), (5, 5.0)]
+        assert delta.deleted.to_rows() == [(1, 1.0)]
+
+    def test_capture_is_armed_lazily(self, loaded):
+        """Until a bookmark is taken, nothing is recorded and nothing is
+        answerable — tables nobody derives from pay zero overhead."""
+        table = loaded.table("t")
+        assert not table.changelog.enabled
+        loaded.execute("INSERT INTO t VALUES (6, 6.0)")
+        assert table.changelog.retained_rows == 0
+        assert table.changes_since(0) is None  # never armed
+        uid, version = bookmark(loaded)  # arms capture
+        assert table.changelog.enabled
+        loaded.execute("INSERT INTO t VALUES (7, 7.0)")
+        assert loaded.changes_since("t", uid, version).inserted.to_rows() == [(7, 7.0)]
+
+    def test_same_version_is_empty_delta(self, loaded):
+        uid, version = bookmark(loaded)
+        delta = loaded.changes_since("t", uid, version)
+        assert delta.empty
+
+    def test_noop_dml_records_nothing(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("DELETE FROM t WHERE id = 99")
+        loaded.execute("UPDATE t SET v = 0.0 WHERE id = 99")
+        assert loaded.table("t").version == version  # no bump
+        assert loaded.changes_since("t", uid, version).empty
+
+
+class TestWindowInvalidation:
+    def test_truncate_resets(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("TRUNCATE t")
+        assert loaded.changes_since("t", uid, version) is None
+        # A fresh bookmark after the reset works again.
+        uid, version = bookmark(loaded)
+        loaded.execute("INSERT INTO t VALUES (7, 7.0)")
+        assert loaded.changes_since("t", uid, version).inserted.num_rows == 1
+
+    def test_replace_data_resets(self, loaded):
+        uid, version = bookmark(loaded)
+        table = loaded.table("t")
+        table.replace_data(table.data())
+        assert loaded.changes_since("t", uid, version) is None
+
+    def test_drop_and_recreate_changes_uid(self, loaded):
+        uid, version = bookmark(loaded)
+        loaded.execute("DROP TABLE t")
+        loaded.execute("CREATE TABLE t (id INTEGER, v FLOAT)")
+        assert loaded.changes_since("t", uid, version) is None  # uid mismatch
+
+    def test_rollback_resets_touched_tables_only(self, loaded):
+        loaded.execute("CREATE TABLE other (x INTEGER)")
+        uid_t, v_t = bookmark(loaded)
+        uid_o, v_o = bookmark(loaded, "other")
+        loaded.begin()
+        loaded.execute("INSERT INTO t VALUES (8, 8.0)")
+        loaded.rollback()
+        # t was rewound: its forward window is gone.
+        assert loaded.changes_since("t", uid_t, v_t) is None
+        # other was untouched: rollback must not cost it its window.
+        loaded.execute("INSERT INTO other VALUES (1)")
+        delta = loaded.changes_since("other", uid_o, v_o)
+        assert delta is not None and delta.inserted.num_rows == 1
+
+    def test_future_version_unanswerable(self, loaded):
+        uid, version = bookmark(loaded)
+        assert loaded.changes_since("t", uid, version + 5) is None
+
+    def test_capacity_eviction_shrinks_window(self, loaded):
+        table = loaded.table("t")
+        table.changelog.capacity = 4
+        uid, version = bookmark(loaded)
+        for i in range(10, 18):
+            loaded.execute(f"INSERT INTO t VALUES ({i}, 0.5)")
+        assert loaded.changes_since("t", uid, version) is None  # evicted
+        uid, version = bookmark(loaded)
+        loaded.execute("INSERT INTO t VALUES (99, 9.9)")
+        assert loaded.changes_since("t", uid, version).inserted.num_rows == 1
+
+
+class TestChangeLogUnit:
+    def test_retained_rows_tracks_eviction(self):
+        from repro.engine.batch import RecordBatch
+        from repro.engine.schema import ColumnDef, Schema
+        from repro.engine.types import INTEGER
+
+        schema = Schema([ColumnDef("x", INTEGER)])
+        log = ChangeLog(enabled=True, capacity=3)
+        for version in (1, 2, 3):
+            log.record(version, inserted=RecordBatch.from_rows(schema, [(version,)]))
+        assert log.retained_rows == 3
+        log.record(4, inserted=RecordBatch.from_rows(schema, [(4,), (5,)]))
+        assert log.retained_rows <= 3
+        assert log.start_version >= 2
+
+
+class TestCheckpointMetadata:
+    def test_metadata_round_trip(self, db, tmp_path):
+        db.execute("CREATE TABLE t (id INTEGER)")
+        directory = str(tmp_path / "ckpt")
+        db.checkpoint(directory, metadata={"layer": {"answer": 42}})
+        assert read_checkpoint_metadata(directory) == {"layer": {"answer": 42}}
+
+    def test_metadata_defaults_empty(self, db, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        db.checkpoint(directory)
+        assert read_checkpoint_metadata(directory) == {}
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(EngineError, match="manifest"):
+            read_checkpoint_metadata(str(tmp_path / "nowhere"))
+
+    def test_restored_table_answers_from_restore_point(self, db, tmp_path):
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        directory = str(tmp_path / "ckpt")
+        db.checkpoint(directory)
+        restored = Database.restore(directory)
+        uid, version = restored.table_state("t")
+        assert restored.changes_since("t", uid, version).empty
+        restored.execute("INSERT INTO t VALUES (2)")
+        assert restored.changes_since("t", uid, version).inserted.to_rows() == [(2,)]
+        # The pre-restart window is gone by construction (fresh uid).
+        assert np.array_equal(
+            restored.table("t").data().column("id").values, np.array([1, 2])
+        )

@@ -1,0 +1,257 @@
+"""Randomized DML parity: incremental refresh == full re-extraction, bit-exact.
+
+The lockdown suite for delta-based view maintenance.  Seeded random
+sequences of INSERT / DELETE / UPDATE run against the normalized social
+schema (:func:`repro.datasets.load_social_schema`); after every few steps
+the materialized view refreshes incrementally and a shadow copy of the
+same declaration re-extracts from scratch.  Both must produce *identical*
+graph tables — same vertex ids, same edge triples, same weights, same row
+order (both paths store edges canonically, so equality here is bit-level,
+not just multiset-level).
+
+Run matrix: every spec kind (plain edges, undirected edges, join-derived
+co-occurrence edges, all combined with filtered nodes) × every seed in
+``INCREMENTAL_FUZZ_SEEDS`` (comma-separated; default one fixed seed for
+tier-1 — CI sweeps more in a separate non-blocking job).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec, Vertexica
+from repro.datasets import load_social_schema
+from repro.graphview.view import GraphViewHandle
+
+SEEDS = [int(s) for s in os.environ.get("INCREMENTAL_FUZZ_SEEDS", "7").split(",")]
+
+#: DML steps per (spec kind, seed) — the acceptance bar asks for >= 200.
+N_STEPS = int(os.environ.get("INCREMENTAL_FUZZ_STEPS", "200"))
+REFRESH_EVERY = 8
+
+NUM_USERS = 60
+NUM_POSTS = 18
+
+VIEWS = {
+    "edge_directed": GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=EdgeSpec(
+            "follows", src="follower_id", dst="followee_id", weight="closeness"
+        ),
+    ),
+    "edge_undirected": GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=EdgeSpec(
+            "follows",
+            src="follower_id",
+            dst="followee_id",
+            weight="closeness * 2.0",
+            directed=False,
+        ),
+    ),
+    "edge_filtered": GraphView(
+        vertices=NodeSpec("users", key="id", where="karma > 1.0"),
+        edges=EdgeSpec(
+            "follows", src="follower_id", dst="followee_id", where="closeness > 1.5"
+        ),
+    ),
+    "co_edge": GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=CoEdgeSpec("likes", member="user_id", via="post_id"),
+    ),
+    "combined": GraphView(
+        vertices=NodeSpec("users", key="id"),
+        edges=[
+            EdgeSpec(
+                "follows", src="follower_id", dst="followee_id", weight="closeness"
+            ),
+            CoEdgeSpec("likes", member="user_id", via="post_id"),
+        ],
+    ),
+}
+
+
+def fresh_vertexica(seed: int) -> Vertexica:
+    vx = Vertexica()
+    load_social_schema(
+        vx.db,
+        num_users=NUM_USERS,
+        num_follows=300,
+        num_likes=180,
+        num_posts=NUM_POSTS,
+        seed=seed,
+    )
+    return vx
+
+
+def random_dml(vx: Vertexica, rng: np.random.Generator) -> None:
+    """One random INSERT / DELETE / UPDATE against users/follows/likes."""
+    op = int(rng.integers(0, 9))
+    uid = int(rng.integers(0, NUM_USERS + 20))
+    other = int(rng.integers(0, NUM_USERS + 20))
+    post = int(rng.integers(0, NUM_POSTS))
+    w = round(float(rng.uniform(0.1, 5.0)), 3)
+    if op == 0:
+        vx.sql(f"INSERT INTO follows VALUES ({uid}, {other}, {w})")
+    elif op == 1:
+        vx.sql(
+            "INSERT INTO follows VALUES "
+            f"({uid}, {other}, {w}), ({other}, {uid}, {w})"
+        )
+    elif op == 2:
+        vx.sql(f"DELETE FROM follows WHERE follower_id = {uid}")
+    elif op == 3:
+        vx.sql(
+            f"UPDATE follows SET closeness = {w} WHERE followee_id = {other}"
+        )
+    elif op == 4:
+        vx.sql(f"UPDATE follows SET followee_id = {other} WHERE follower_id = {uid}")
+    elif op == 5:
+        vx.sql(f"INSERT INTO likes VALUES ({uid}, {post})")
+    elif op == 6:
+        vx.sql(f"DELETE FROM likes WHERE post_id = {post} AND user_id < {uid}")
+    elif op == 7:
+        vx.sql(f"INSERT INTO users VALUES ({uid + 1000}, 'xx', {w})")
+    else:
+        vx.sql(f"UPDATE users SET karma = {w} WHERE id = {uid}")
+
+
+def graph_tables(vx: Vertexica, name: str):
+    edges = vx.sql(f"SELECT src, dst, weight FROM {name}_edge").rows()
+    nodes = vx.sql(f"SELECT id FROM {name}_node").rows()
+    return edges, nodes
+
+
+def assert_view_parity(vx: Vertexica, handle: GraphViewHandle, tag: str) -> None:
+    """Full-extract a shadow of the same declaration and compare tables
+    positionally (canonical order makes row order part of the contract)."""
+    shadow = GraphViewHandle(vx.db, vx.storage, tag, handle.view)
+    shadow.refresh(incremental=False)
+    try:
+        assert graph_tables(vx, handle.name) == graph_tables(vx, tag)
+    finally:
+        shadow.drop()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", sorted(VIEWS))
+def test_incremental_matches_full_under_random_dml(kind: str, seed: int):
+    vx = fresh_vertexica(seed)
+    handle = vx.create_graph_view("live", VIEWS[kind])
+    rng = np.random.default_rng(seed * 7919 + 13)
+    incremental_refreshes = 0
+    for step in range(N_STEPS):
+        random_dml(vx, rng)
+        if (step + 1) % REFRESH_EVERY == 0 or step == N_STEPS - 1:
+            handle.refresh()
+            if handle.last_extraction.mode == "incremental":
+                incremental_refreshes += 1
+            assert_view_parity(vx, handle, f"shadow_{step}")
+    # The suite is vacuous if everything silently fell back to full.
+    assert incremental_refreshes >= (N_STEPS // REFRESH_EVERY) // 2
+
+
+class TestFallbacks:
+    """The paths that must *not* take the delta shortcut still agree."""
+
+    def test_large_delta_falls_back_to_full(self):
+        vx = fresh_vertexica(3)
+        handle = vx.create_graph_view(
+            "live", VIEWS["edge_directed"], delta_threshold=0.1
+        )
+        vx.sql("DELETE FROM follows WHERE closeness > 1.0")  # way over 10%
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"
+        assert_view_parity(vx, handle, "shadow_big")
+
+    def test_forced_incremental_ignores_threshold(self):
+        vx = fresh_vertexica(4)
+        handle = vx.create_graph_view(
+            "live", VIEWS["edge_directed"], delta_threshold=0.0
+        )
+        vx.sql("INSERT INTO follows VALUES (0, 1, 2.0)")
+        handle.refresh(incremental=True)
+        assert handle.last_extraction.mode == "incremental"
+        assert handle.last_extraction.delta_rows == 1
+        assert_view_parity(vx, handle, "shadow_forced")
+
+    def test_forced_full_never_patches(self):
+        vx = fresh_vertexica(5)
+        handle = vx.create_graph_view("live", VIEWS["combined"])
+        vx.sql("INSERT INTO follows VALUES (0, 1, 2.0)")
+        handle.refresh(incremental=False)
+        assert handle.last_extraction.mode == "full"
+
+    def test_truncate_breaks_window_full_refresh(self):
+        vx = fresh_vertexica(6)
+        handle = vx.create_graph_view("live", VIEWS["co_edge"])
+        vx.sql("TRUNCATE likes")
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"
+        assert handle.resolve().num_edges == 0
+        assert_view_parity(vx, handle, "shadow_trunc")
+
+    def test_dropped_base_table_detected(self):
+        vx = fresh_vertexica(8)
+        handle = vx.create_graph_view("live", VIEWS["edge_directed"])
+        follows = vx.sql("SELECT follower_id, followee_id, closeness FROM follows").rows()
+        vx.sql("DROP TABLE follows")
+        vx.sql(
+            "CREATE TABLE follows (follower_id INTEGER, followee_id INTEGER, "
+            "closeness FLOAT)"
+        )
+        for a, b, w in follows[:50]:
+            vx.sql(f"INSERT INTO follows VALUES ({a}, {b}, {w})")
+        handle.refresh()  # uid mismatch -> full, not a bogus delta
+        assert handle.last_extraction.mode == "full"
+        assert handle.resolve().num_edges == 50
+
+    def test_custom_co_edge_weight_always_full(self):
+        vx = fresh_vertexica(9)
+        view = GraphView(
+            vertices=NodeSpec("users", key="id"),
+            edges=CoEdgeSpec(
+                "likes", member="user_id", via="post_id", weight="COUNT(*) * 2"
+            ),
+        )
+        handle = vx.create_graph_view("live", view)
+        vx.sql("INSERT INTO likes VALUES (0, 1)")
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"  # AVG/MAX-style: no delta form
+        assert_view_parity(vx, handle, "shadow_custom")
+
+    def test_dropping_last_view_disarms_capture(self):
+        vx = fresh_vertexica(11)
+        vx.create_graph_view("live", VIEWS["edge_directed"])
+        follows = vx.db.table("follows")
+        assert follows.changelog.enabled
+        vx.drop_graph_view("live")
+        assert not follows.changelog.enabled
+        vx.sql("DELETE FROM follows WHERE follower_id = 0")
+        assert follows.changelog.retained_rows == 0  # nothing materialized
+
+    def test_shared_table_keeps_capture_while_another_view_remains(self):
+        vx = fresh_vertexica(12)
+        vx.create_graph_view("a", VIEWS["edge_directed"])
+        vx.create_graph_view("b", VIEWS["edge_undirected"])
+        vx.drop_graph_view("a")
+        assert vx.db.table("follows").changelog.enabled  # b still derives
+        vx.sql("INSERT INTO follows VALUES (0, 1, 1.0)")
+        handle = vx.graph_view("b")
+        handle.refresh()
+        assert handle.last_extraction.mode == "incremental"
+        vx.drop_graph_view("b")
+        assert not vx.db.table("follows").changelog.enabled
+
+    def test_no_op_refresh_is_incremental_and_free(self):
+        vx = fresh_vertexica(10)
+        handle = vx.create_graph_view("live", VIEWS["combined"])
+        before = graph_tables(vx, "live")
+        handle.refresh()
+        stats = handle.last_extraction
+        assert stats.mode == "incremental"
+        assert stats.delta_rows == 0 and stats.num_queries == 0
+        assert graph_tables(vx, "live") == before

@@ -11,6 +11,7 @@ from repro.engine.sql.ast import (
     CreateGraphViewStatement,
     DropGraphViewStatement,
     EdgeClause,
+    RefreshGraphViewStatement,
 )
 from repro.engine.sql.parser import parse_statement
 from repro.errors import GraphViewError, PlanError, SqlSyntaxError
@@ -54,6 +55,28 @@ class TestParsing:
         stmt = parse_statement("DROP GRAPH VIEW g")
         assert isinstance(stmt, DropGraphViewStatement) and not stmt.if_exists
         assert parse_statement("DROP GRAPH VIEW IF EXISTS g").if_exists
+
+    def test_refresh_variants(self):
+        stmt = parse_statement("REFRESH GRAPH VIEW g")
+        assert isinstance(stmt, RefreshGraphViewStatement)
+        assert stmt.name == "g" and stmt.mode is None
+        assert parse_statement("REFRESH GRAPH VIEW g FULL").mode == "full"
+        assert parse_statement("REFRESH GRAPH VIEW g INCREMENTAL").mode == "incremental"
+
+    def test_refresh_malformed_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("REFRESH GRAPH g")
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("REFRESH GRAPH VIEW")
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("REFRESH GRAPH VIEW g SIDEWAYS")
+
+    def test_refresh_stays_valid_identifier(self, db):
+        """REFRESH is contextual: only the REFRESH GRAPH VIEW prefix
+        starts the statement, so it remains a legal table/column name."""
+        db.execute("CREATE TABLE refresh (graph INTEGER)")
+        db.execute("INSERT INTO refresh VALUES (1)")
+        assert db.execute("SELECT graph FROM refresh").rows() == [(1,)]
 
     @pytest.mark.parametrize(
         "bad",
@@ -148,9 +171,55 @@ class TestExecution:
         rows = sorted(vx.sql("SELECT src, dst, weight FROM g_edge").rows())
         assert rows == [(0, 1, 1.0), (1, 2, 12.0)]
 
+    def test_refresh_graph_view_sql(self, vx):
+        vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        vx.sql("INSERT INTO follows VALUES (0, 2)")
+        result = vx.sql("REFRESH GRAPH VIEW g")
+        assert result.row_count == 4  # refreshed edge count
+        assert vx.sql("SELECT COUNT(*) FROM g_edge").scalar() == 4
+        handle = vx.graph_view("g")
+        assert handle.last_extraction.mode == "incremental"
+        vx.sql("INSERT INTO follows VALUES (1, 0)")
+        vx.sql("REFRESH GRAPH VIEW g FULL")
+        assert handle.last_extraction.mode == "full"
+        assert vx.sql("SELECT COUNT(*) FROM g_edge").scalar() == 5
+
+    def test_refresh_unknown_view_raises(self, vx):
+        with pytest.raises(GraphViewError, match="not defined"):
+            vx.sql("REFRESH GRAPH VIEW nope")
+
+    def test_drop_materialized_view_drops_all_backing_tables(self, vx):
+        """Regression: DROP GRAPH VIEW must remove the extraction tables
+        *and* the per-run vertex/message/output tables left by vx.run."""
+        vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        vx.run("g", PageRank(iterations=2))  # creates g_vertex/g_message/g_out
+        for suffix in ("edge", "node", "vertex", "message", "out"):
+            assert vx.db.has_table(f"g_{suffix}")
+        vx.sql("DROP GRAPH VIEW g")
+        for suffix in ("edge", "node", "vertex", "message", "out"):
+            assert not vx.db.has_table(f"g_{suffix}")
+
+    def test_drop_if_exists_is_quiet_either_way(self, vx):
+        vx.sql("DROP GRAPH VIEW IF EXISTS g")  # never existed
+        vx.sql(
+            "CREATE MATERIALIZED GRAPH VIEW g AS "
+            "NODES (users KEY id) EDGES (follows SRC a DST b)"
+        )
+        vx.sql("DROP GRAPH VIEW IF EXISTS g")
+        assert not vx.db.has_table("g_edge")
+        vx.sql("DROP GRAPH VIEW IF EXISTS g")  # idempotent
+
     def test_bare_engine_rejects_graph_view_statements(self):
         db = Database()
         with pytest.raises(PlanError, match="Vertexica layer"):
             db.execute(
                 "CREATE GRAPH VIEW g AS NODES (t KEY id) EDGES (e SRC a DST b)"
             )
+        with pytest.raises(PlanError, match="Vertexica layer"):
+            db.execute("REFRESH GRAPH VIEW g")
