@@ -9,9 +9,11 @@ PRs have a trajectory point to compare against::
     PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR1.json
     PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI smoke
 
-``--quick`` runs a tiny scale, asserts batch/scalar agreement, checks the
-batch path is not slower than scalar (a loud perf-regression tripwire),
-and does not write a file unless ``--out`` is given explicitly.
+``--quick`` runs a tiny scale, asserts batch/scalar agreement and
+sql/shard data-plane agreement, checks the batch path is not slower than
+scalar and the shard plane not slower than the SQL plane (loud
+perf-regression tripwires), and does not write a file unless ``--out``
+is given explicitly.
 """
 
 from __future__ import annotations
@@ -162,6 +164,80 @@ def run_edge_cache_cell(
         **{f"{k}_superstep_seconds": v["superstep_seconds"] for k, v in cells.items()},
         "rows_in_cached": cells["cached"]["rows_in_per_superstep"][:3],
         "rows_in_uncached": cells["uncached"]["rows_in_per_superstep"][:3],
+    }
+
+
+def run_workers_scaling_cell(
+    graph: Graph,
+    algorithm: str,
+    n_partitions: int,
+    repeat: int = 1,
+    workers: tuple[int, ...] = (1, 2, 4),
+) -> dict[str, Any]:
+    """Parallel-worker scaling on both data planes (the PR-4 cell).
+
+    Sweeps ``n_workers`` over the SQL-staged plane (whose global
+    partition lexsort serializes each superstep) and the shard-resident
+    plane under ``superstep_sync="halt"`` (shard tasks are barrier-free
+    and numpy kernels release the GIL).  Asserts every cell lands on the
+    same fingerprint.
+    """
+    # One partition count for every cell — varying it with the worker
+    # count would measure partitioning, not worker scaling.
+    n_partitions = max(n_partitions, 2 * max(workers))
+    cells: dict[str, dict[str, float]] = {}
+    fingerprints: list[float] = []
+    for plane in ("sql", "shards"):
+        per_worker: dict[str, float] = {}
+        for n_workers in workers:
+            vx = Vertexica(
+                config=VertexicaConfig(
+                    n_partitions=n_partitions,
+                    n_workers=n_workers,
+                    data_plane=plane,
+                    superstep_sync="halt",
+                )
+            )
+            handle = vx.load_graph(
+                f"{graph.name}_{plane}_w{n_workers}",
+                graph.src,
+                graph.dst,
+                num_vertices=graph.num_vertices,
+                symmetrize=algorithm == "cc",
+            )
+            best = float("inf")
+            for _ in range(max(repeat, 1)):
+                result = vx.run(handle, _program_for(algorithm, graph))
+                step_secs = sum(s.seconds for s in result.stats.supersteps)
+                if step_secs < best:
+                    best = step_secs
+                    fingerprint = _fingerprint(result.values)
+            per_worker[str(n_workers)] = round(best, 6)
+            fingerprints.append(fingerprint)
+        cells[plane] = per_worker
+    base = str(workers[0])
+    peak = str(workers[-1])
+    return {
+        "graph": graph.name,
+        "algorithm": algorithm,
+        "superstep_seconds": cells,
+        "speedup_shards_over_sql_1w": round(
+            cells["sql"][base] / cells["shards"][base], 2
+        )
+        if cells["shards"][base]
+        else float("inf"),
+        "sql_scaling_1w_over_4w": round(cells["sql"][base] / cells["sql"][peak], 2)
+        if cells["sql"][peak]
+        else float("inf"),
+        "shards_scaling_1w_over_4w": round(
+            cells["shards"][base] / cells["shards"][peak], 2
+        )
+        if cells["shards"][peak]
+        else float("inf"),
+        "fingerprints_match": all(
+            abs(fp - fingerprints[0]) <= 1e-9 * max(1.0, abs(fingerprints[0]))
+            for fp in fingerprints
+        ),
     }
 
 
@@ -350,11 +426,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR3.json"
+        out_path = "BENCH_PR4.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR4.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR5.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -424,6 +500,31 @@ def main(argv: list[str] | None = None) -> int:
             f"(direct load {extraction_cell['direct_load_seconds']:.3f}s)"
         )
 
+    # Worker scaling on both data planes — the PR-4 cell (and the quick
+    # mode's shard-plane parity gate).
+    workers_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        workers_cell = run_workers_scaling_cell(
+            graph, "pagerank", args.partitions, args.repeat
+        )
+        workers_cells.append(workers_cell)
+        if not workers_cell["fingerprints_match"]:
+            failures.append(
+                f"{graph_name}/pagerank: sql and shard data planes disagree"
+            )
+        shards_secs = workers_cell["superstep_seconds"]["shards"]
+        sql_secs = workers_cell["superstep_seconds"]["sql"]
+        base, peak = min(shards_secs, key=int), max(shards_secs, key=int)
+        print(
+            f"{graph_name:<12} workers scaling: "
+            f"sql {base}w {sql_secs[base]:.3f}s  "
+            f"shards {base}w {shards_secs[base]:.3f}s / "
+            f"{peak}w {shards_secs[peak]:.3f}s  "
+            f"(shards {workers_cell['speedup_shards_over_sql_1w']:.2f}x vs sql, "
+            f"{workers_cell['shards_scaling_1w_over_4w']:.2f}x at {peak} workers)"
+        )
+
     # Incremental vs full refresh after small DML — the PR-3 cell.
     refresh_cells = []
     for graph_name in graph_names:
@@ -453,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         "edge_cache_ablation": edge_cache_cells,
         "graph_view_extraction": extraction_cells,
         "incremental_refresh": refresh_cells,
+        "workers_scaling": workers_cells,
         "results": results,
     }
     if out_path:
@@ -470,6 +572,17 @@ def main(argv: list[str] | None = None) -> int:
         for key, ratio in speedups.items():
             if ratio < 1.0 / 1.2:
                 print(f"FAIL: batch path slower than scalar on {key} ({ratio}x)", file=sys.stderr)
+                return 1
+        # Shard-plane tripwire: skipping the per-superstep union SQL and
+        # staging round trip must not make supersteps slower than the
+        # SQL plane (generous slack for CI noise at smoke scale).
+        for cell in workers_cells:
+            if cell["speedup_shards_over_sql_1w"] < 1.0 / 1.5:
+                print(
+                    f"FAIL: shard plane slower than sql plane on "
+                    f"{cell['graph']} ({cell['speedup_shards_over_sql_1w']}x)",
+                    file=sys.stderr,
+                )
                 return 1
         # Refresh tripwire: at smoke scale both paths are sub-millisecond
         # and sit right at the incremental/full crossover, so only an

@@ -37,6 +37,28 @@ class VertexicaConfig:
             table unless the updated-tuple count is below
             ``replace_threshold`` × table size; ``"update"`` / ``"replace"``
             force one path (for the ablation).
+        data_plane: ``"sql"`` stages every superstep through the
+            relational engine (the paper's architecture: union input SQL,
+            transform UDF, staging table, SQL apply); ``"shards"`` keeps
+            vertex/edge/message state resident in hash-partitioned
+            columnar shards — partitioned once at run setup — and routes
+            messages between shards in-plane, touching the SQL tables
+            only per the ``superstep_sync`` policy.  Both planes are
+            bit-identical (the parity suite holds all shipped programs
+            to it); the sharded plane skips the per-superstep union
+            query, the global partition lexsort, and the message-table
+            round trip.  The SQL-plane ablation knobs —
+            ``input_strategy``, ``cache_edges``, ``update_strategy``,
+            and ``replace_threshold`` — describe stages the sharded
+            plane does not have and are ignored under ``"shards"``; run
+            those ablations on the ``"sql"`` plane.
+        superstep_sync: how eagerly the sharded plane mirrors its state
+            back to the relational tables.  ``"every"`` (default) writes
+            the vertex and message tables after each superstep — the
+            legacy plane's observable behavior, so hybrid SQL, the demo
+            console, and checkpoints see fresh state at any point;
+            ``"halt"`` materializes only once the run completes (the
+            fast path).  Ignored under ``data_plane="sql"``.
         cache_edges: under the ``"union"`` input strategy, decode the
             immutable edge relation once at superstep 0 and reuse the
             per-partition CSR edge arrays for every later superstep
@@ -56,6 +78,8 @@ class VertexicaConfig:
     input_strategy: str = "union"
     compute_strategy: str = "auto"
     update_strategy: str = "auto"
+    data_plane: str = "sql"
+    superstep_sync: str = "every"
     cache_edges: bool = True
     replace_threshold: float = 0.05
     use_combiner: bool = True
@@ -85,6 +109,15 @@ class VertexicaConfig:
             raise VertexicaError(
                 "update_strategy must be 'auto', 'update', or 'replace', "
                 f"got {self.update_strategy!r}"
+            )
+        if self.data_plane not in ("sql", "shards"):
+            raise VertexicaError(
+                f"data_plane must be 'sql' or 'shards', got {self.data_plane!r}"
+            )
+        if self.superstep_sync not in ("every", "halt"):
+            raise VertexicaError(
+                "superstep_sync must be 'every' or 'halt', "
+                f"got {self.superstep_sync!r}"
             )
         if not 0.0 <= self.replace_threshold <= 1.0:
             raise VertexicaError("replace_threshold must be within [0, 1]")

@@ -6,19 +6,40 @@ workers as a partitioned transform UDF, (c) applies the staged vertex
 updates and messages (choosing the update or replace path), and (d) loops
 "as long as there is any message for the next superstep" — extended, as in
 Pregel, to also stop only when every vertex has voted to halt.
+
+Two data planes implement that loop (``config.data_plane``):
+
+* ``"sql"`` — the paper's architecture verbatim: every superstep runs the
+  union/join input SQL, hash-partitions and sorts it inside
+  ``TransformOp``, stages worker output into a table, and applies it with
+  SQL (:meth:`Coordinator._run_sql`).
+* ``"shards"`` — the graph is partitioned **once** at run setup into
+  resident vid-hash shards; supersteps run shard-local compute and route
+  messages between shards in-plane, touching the SQL tables only per the
+  ``superstep_sync`` policy (:meth:`Coordinator._run_shards`, state in
+  :mod:`repro.core.shards`).  Bit-identical to the SQL plane.
+
+Either way, ``n_workers > 1`` executes partition/shard tasks on one
+thread pool held for the whole run.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.core.config import VertexicaConfig
 from repro.core.metrics import RunStats, SuperstepStats
 from repro.core.program import VertexProgram, supports_batch
+from repro.core.shards import ShardedDataPlane
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.core.worker import EdgeCache, VertexWorker
 from repro.engine.database import Database
-from repro.engine.parallel import make_thread_executor, serial_executor
+from repro.engine.parallel import (
+    PartitionExecutor,
+    make_thread_executor,
+    serial_executor,
+)
 from repro.engine.types import VARCHAR
 from repro.errors import VertexicaError
 
@@ -49,21 +70,49 @@ class Coordinator:
         """
         program.validate()
         config = self.config
-        storage = self.storage
         stats = RunStats(program=program.name, graph=graph.name)
         started = time.perf_counter()
 
-        storage.setup_run(graph, program)
+        self.storage.setup_run(graph, program)
         limit = config.max_supersteps or program.max_supersteps
         hard_cap = limit if limit is not None else SUPERSTEP_SAFETY_LIMIT
-        executor = (
-            serial_executor
+        use_batch = self._resolve_compute_path(program)
+        # One pool for the whole run (closed on exit); a fresh pool per
+        # superstep would put thread spawns on the hot loop.
+        executor_cm = (
+            nullcontext(serial_executor)
             if config.n_workers == 1
             else make_thread_executor(config.n_workers)
         )
+        with executor_cm as executor:
+            if config.data_plane == "shards":
+                self._run_shards(
+                    graph, program, stats, executor, limit, hard_cap, use_batch
+                )
+            else:
+                self._run_sql(
+                    graph, program, stats, executor, limit, hard_cap, use_batch
+                )
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    # ------------------------------------------------------------------
+    # The SQL-staged plane (the paper's architecture verbatim)
+    # ------------------------------------------------------------------
+    def _run_sql(
+        self,
+        graph: GraphHandle,
+        program: VertexProgram,
+        stats: RunStats,
+        executor: PartitionExecutor,
+        limit: int | None,
+        hard_cap: int,
+        use_batch: bool,
+    ) -> None:
+        config = self.config
+        storage = self.storage
         transform_name = f"{graph.name}_worker"
         aggregated: dict[str, float] = {}
-        use_batch = self._resolve_compute_path(program)
         # The edge relation never changes during a run: under the union
         # strategy the workers decode it once (superstep 0) and every
         # later superstep reads the cached CSR arrays instead of
@@ -82,11 +131,7 @@ class Coordinator:
                 break
             if limit is not None and superstep >= limit:
                 break
-            if superstep >= hard_cap:
-                raise VertexicaError(
-                    f"superstep safety limit ({hard_cap}) exceeded by "
-                    f"{program.name}; declare max_supersteps"
-                )
+            self._check_safety_cap(superstep, hard_cap, program)
             step_started = time.perf_counter()
 
             worker = VertexWorker(
@@ -149,8 +194,85 @@ class Coordinator:
                 )
             superstep += 1
 
-        stats.total_seconds = time.perf_counter() - started
-        return stats
+    # ------------------------------------------------------------------
+    # The shard-resident plane (partition once, route in-plane)
+    # ------------------------------------------------------------------
+    def _run_shards(
+        self,
+        graph: GraphHandle,
+        program: VertexProgram,
+        stats: RunStats,
+        executor: PartitionExecutor,
+        limit: int | None,
+        hard_cap: int,
+        use_batch: bool,
+    ) -> None:
+        config = self.config
+        plane = ShardedDataPlane(
+            self.storage,
+            graph,
+            program,
+            config.n_partitions,
+            config.use_combiner,
+        )
+        sync_every = config.superstep_sync == "every"
+        aggregated: dict[str, float] = {}
+
+        superstep = 0
+        while True:
+            messages_in = plane.pending_messages
+            active = plane.active_vertices
+            if superstep > 0 and messages_in == 0 and active == 0:
+                break
+            if limit is not None and superstep >= limit:
+                break
+            self._check_safety_cap(superstep, hard_cap, program)
+            step_started = time.perf_counter()
+
+            worker = VertexWorker(
+                program,
+                superstep,
+                graph.num_vertices,
+                aggregated=aggregated,
+                use_batch=use_batch,
+            )
+            step = plane.run_superstep(worker, executor)
+            aggregated = dict(plane.aggregated)
+            sync_seconds = plane.sync_tables() if sync_every else 0.0
+
+            if config.track_metrics:
+                stats.supersteps.append(
+                    SuperstepStats(
+                        superstep=superstep,
+                        active_vertices=step.vertices_ran,
+                        messages_in=messages_in,
+                        messages_out=step.messages_out,
+                        vertex_updates=step.vertex_updates,
+                        update_path="memory" if step.vertex_updates else "none",
+                        seconds=time.perf_counter() - step_started,
+                        aggregated=tuple(sorted(aggregated.items())),
+                        rows_in=step.rows_in,
+                        rows_out=step.rows_out,
+                        compute_path="batch" if use_batch else "scalar",
+                        shard_seconds=step.shard_seconds,
+                        sync_seconds=sync_seconds,
+                    )
+                )
+            superstep += 1
+
+        if not sync_every:
+            # The halt policy's single materialization: final vertex
+            # values (and any messages still pending under a superstep
+            # cap) become visible to SQL exactly once.
+            plane.sync_tables()
+
+    @staticmethod
+    def _check_safety_cap(superstep: int, hard_cap: int, program: VertexProgram) -> None:
+        if superstep >= hard_cap:
+            raise VertexicaError(
+                f"superstep safety limit ({hard_cap}) exceeded by "
+                f"{program.name}; declare max_supersteps"
+            )
 
     # ------------------------------------------------------------------
     def _resolve_compute_path(self, program: VertexProgram) -> bool:

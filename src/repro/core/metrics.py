@@ -32,13 +32,29 @@ class SuperstepStats:
     rows_in: int = 0
     #: staged output rows (vertex updates + messages + aggregator partials)
     rows_out: int = 0
-    #: which data plane ran the compute: "batch" | "scalar"
+    #: which compute path ran: "batch" | "scalar"
     compute_path: str = "scalar"
+    #: per-shard compute seconds (sharded data plane only; empty on the
+    #: SQL plane, whose partition work is not individually timed)
+    shard_seconds: tuple[float, ...] = ()
+    #: seconds spent mirroring shard state into the SQL tables (the
+    #: ``superstep_sync="every"`` tax; 0.0 on the SQL plane / under halt)
+    sync_seconds: float = 0.0
 
     @property
     def vertices_per_sec(self) -> float:
         """Active vertices processed per second of superstep wall time."""
         return self.active_vertices / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def shard_balance(self) -> float:
+        """Max-over-mean shard compute time (1.0 = perfectly balanced;
+        0.0 when shard timings were not recorded).  The closer to 1.0,
+        the better parallel shard workers can scale this superstep."""
+        busy = [s for s in self.shard_seconds if s > 0]
+        if not busy:
+            return 0.0
+        return max(busy) / (sum(busy) / len(busy))
 
     @property
     def rows_per_sec(self) -> float:

@@ -1,0 +1,463 @@
+"""The shard-resident superstep data plane (``data_plane="shards"``).
+
+The paper's workers "hash partition the table union on the vertex id"
+**every superstep** — the SQL plane faithfully pays that cost each
+iteration: re-run the union input query, lexsort the whole relation into
+partitions, stage worker output into a table, and apply it back with SQL.
+This module keeps the run state resident instead:
+
+1. **Partition once.**  At run setup the graph is hash-partitioned into
+   ``n_partitions`` vid-hash shards (``vid % n_shards`` — the same
+   bucketing :class:`~repro.engine.operators.TransformOp` uses, so both
+   planes compute over identical vertex groupings).  Each
+   :class:`VertexShard` owns its sorted vertex ids, halt flags,
+   storage-encoded values, and a CSR view of its out-edges (the PR 2
+   edge-cache layout, built once instead of decoded at superstep 0).
+2. **Compute shard-local.**  Every superstep builds a
+   :class:`~repro.core.worker._DecodedPartition` view straight over the
+   resident arrays — no SQL, no decode — and runs the *same* layer-2
+   compute as the SQL plane (:meth:`VertexWorker.compute_decoded`), so
+   batch and scalar programs work unchanged.  Shard tasks have no global
+   sort barrier and the kernels are numpy-heavy (GIL released), which is
+   what lets ``n_workers > 1`` actually scale.
+3. **Route messages in-plane.**  Emitted messages scatter to their
+   destination shards with one stable bucket sort per source shard
+   (:func:`~repro.engine.operators.hash_bucket_order`); each destination
+   concatenates its inbound buffers in source-shard order and segment-
+   sorts them by destination id.  That ordering — (destination, source
+   shard, emission order) — is exactly the delivery order the SQL plane
+   produces via the staging table and the per-superstep lexsort, which
+   is what keeps float reductions (``sum(messages)``) bit-identical
+   across planes.  Combiners are applied at the destination shard with
+   the same float64 ``reduceat`` arithmetic the SQL ``GROUP BY`` uses.
+
+Relational interop is preserved by an explicit sync policy
+(``superstep_sync``): ``"every"`` mirrors the vertex/message tables
+after each superstep (the legacy plane's observable behavior — hybrid
+SQL queries, the demo console, and checkpoints see fresh state),
+``"halt"`` materializes once at completion (the fast path).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.core.worker import (
+    StagedRows,
+    VertexWorker,
+    _csr_align,
+    _DecodedPartition,
+)
+from repro.engine.operators import hash_bucket_order
+from repro.engine.parallel import PartitionExecutor
+from repro.engine.types import VARCHAR
+
+__all__ = ["ShardedDataPlane", "VertexShard", "ShardStepStats"]
+
+
+@dataclass
+class VertexShard:
+    """One vid-hash shard's resident state.
+
+    Vertex arrays are aligned and sorted by vertex id; edges are CSR
+    against ``vertex_ids`` (built once — the edge relation is immutable
+    during a run).  Pending messages are kept stably sorted by
+    destination id, preserving arrival order within a destination.
+    Values are *storage-encoded* (the vertex/message table
+    representation), exactly like the SQL plane's columns.
+    """
+
+    index: int
+    vertex_ids: np.ndarray  # int64, sorted
+    halted: np.ndarray  # bool
+    raw_values: np.ndarray  # storage dtype (float64/int64/object)
+    value_valid: np.ndarray  # bool
+    edge_indptr: np.ndarray  # int64 [nv + 1]
+    edge_targets: np.ndarray  # int64
+    edge_weights: np.ndarray  # float64
+    msg_src: np.ndarray  # int64 senders (MIN(vid) once combined)
+    msg_dst: np.ndarray  # int64, stably sorted
+    msg_raw: np.ndarray  # storage dtype
+    msg_valid: np.ndarray  # bool
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_ids)
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self.msg_dst)
+
+    @property
+    def active_vertices(self) -> int:
+        return int(np.count_nonzero(~self.halted))
+
+    def decoded(self) -> _DecodedPartition:
+        """A layer-2 view over the resident arrays — the shard plane's
+        replacement for the SQL plane's decode layer.  Messages to ids
+        with no vertex row are dropped here (and counted), exactly like
+        the relational decode."""
+        msg_indptr, (msg_raw, msg_valid), dropped = _csr_align(
+            self.msg_dst, self.vertex_ids, (self.msg_raw, self.msg_valid)
+        )
+        return _DecodedPartition(
+            self.vertex_ids,
+            self.halted,
+            self.raw_values,
+            self.value_valid,
+            self.edge_indptr,
+            self.edge_targets,
+            self.edge_weights,
+            msg_indptr,
+            msg_raw,
+            msg_valid,
+            dropped,
+        )
+
+    def clear_messages(self, msg_dtype: np.dtype | type) -> None:
+        empty_i64 = np.empty(0, dtype=np.int64)
+        self.msg_src = empty_i64
+        self.msg_dst = empty_i64
+        self.msg_raw = np.empty(0, dtype=msg_dtype)
+        self.msg_valid = np.empty(0, dtype=bool)
+
+
+@dataclass(frozen=True)
+class ShardStepStats:
+    """What one sharded superstep did (feeds ``SuperstepStats``)."""
+
+    vertices_ran: int
+    vertex_updates: int
+    messages_out: int
+    rows_in: int
+    rows_out: int
+    shard_seconds: tuple[float, ...]
+
+
+class ShardedDataPlane:
+    """Resident shards for one run: built once, stepped per superstep,
+    synced back to the relational tables per the ``superstep_sync``
+    policy."""
+
+    def __init__(
+        self,
+        storage: GraphStorage,
+        graph: GraphHandle,
+        program: VertexProgram,
+        n_shards: int,
+        use_combiner: bool,
+    ) -> None:
+        self.storage = storage
+        self.graph = graph
+        self.program = program
+        self.n_shards = max(1, int(n_shards))
+        self.use_combiner = bool(use_combiner and program.combiner is not None)
+        self.aggregated: dict[str, float] = {}
+        v_sql = program.vertex_codec.sql_type
+        m_sql = program.message_codec.sql_type
+        self._value_storage_dtype = object if v_sql is VARCHAR else v_sql.numpy_dtype
+        self._msg_storage_dtype = object if m_sql is VARCHAR else m_sql.numpy_dtype
+        self._msg_is_varchar = m_sql is VARCHAR
+        self._value_is_varchar = v_sql is VARCHAR
+        self.shards = self._build_shards()
+
+    # ------------------------------------------------------------------
+    # Partition once (run setup)
+    # ------------------------------------------------------------------
+    def _build_shards(self) -> list[VertexShard]:
+        """Hash-partition the freshly set-up vertex/edge tables into
+        resident shards — the single partitioning pass of the run."""
+        db = self.storage.db
+        graph = self.graph
+        vdata = db.table(graph.vertex_table).data()
+        ids = np.asarray(vdata.column("id").values, dtype=np.int64)
+        value_col = vdata.column("value")
+        halted = np.asarray(vdata.column("halted").values, dtype=bool)
+        if len(ids) > 1 and np.any(ids[1:] < ids[:-1]):  # setup_run sorts; stay safe
+            order = np.argsort(ids, kind="stable")
+            ids, halted = ids[order], halted[order]
+            value_col = value_col.take(order)
+
+        edata = db.table(graph.edge_table).data()
+        esrc = np.asarray(edata.column("src").values, dtype=np.int64)
+        edst = np.asarray(edata.column("dst").values, dtype=np.int64)
+        eweight = np.asarray(edata.column("weight").values, dtype=np.float64)
+
+        n = self.n_shards
+        v_order, v_bounds = hash_bucket_order(ids % n, n)
+        # Edges sort by src *within* each bucket (`_csr_align` needs
+        # sorted owners): `load_graph` stores canonical (src, dst,
+        # weight) order, but SQL DML on the edge table between runs may
+        # have appended rows out of order.  The sort is stable, so rows
+        # with equal src keep table order — exactly what the SQL plane's
+        # stable per-superstep lexsort delivers.
+        e_order, e_bounds = hash_bucket_order(esrc % n, n, (esrc,))
+        shards: list[VertexShard] = []
+        for s in range(n):
+            v_sel = v_order[v_bounds[s] : v_bounds[s + 1]]
+            shard_ids = ids[v_sel]
+            e_sel = e_order[e_bounds[s] : e_bounds[s + 1]]
+            edge_indptr, (edge_targets, edge_weights), _ = _csr_align(
+                esrc[e_sel], shard_ids, (edst[e_sel], eweight[e_sel])
+            )
+            shard = VertexShard(
+                index=s,
+                vertex_ids=shard_ids,
+                halted=halted[v_sel],
+                raw_values=value_col.values[v_sel],
+                value_valid=value_col.valid[v_sel],
+                edge_indptr=edge_indptr,
+                edge_targets=edge_targets,
+                edge_weights=edge_weights,
+                msg_src=np.empty(0, dtype=np.int64),
+                msg_dst=np.empty(0, dtype=np.int64),
+                msg_raw=np.empty(0, dtype=self._msg_storage_dtype),
+                msg_valid=np.empty(0, dtype=bool),
+            )
+            shards.append(shard)
+        return shards
+
+    # ------------------------------------------------------------------
+    # Run-state queries (the coordinator's halt condition)
+    # ------------------------------------------------------------------
+    @property
+    def pending_messages(self) -> int:
+        return sum(shard.pending_messages for shard in self.shards)
+
+    @property
+    def active_vertices(self) -> int:
+        return sum(shard.active_vertices for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # One superstep
+    # ------------------------------------------------------------------
+    def run_superstep(
+        self, worker: VertexWorker, executor: PartitionExecutor
+    ) -> ShardStepStats:
+        """Compute every shard (optionally in parallel), then apply
+        vertex updates, route messages, and reduce aggregators — the
+        synchronous superstep barrier, minus all the SQL."""
+        messages_in = self.pending_messages
+        shard_seconds = [0.0] * self.n_shards
+
+        def run_shard(shard: VertexShard, index: int) -> StagedRows:
+            started = time.perf_counter()
+            out, _ = worker.compute_decoded(shard.decoded())
+            staged = out.to_staged()
+            shard_seconds[index] = time.perf_counter() - started
+            return staged
+
+        staged = executor(
+            run_shard, [(shard, shard.index) for shard in self.shards]
+        )
+        vertex_updates = self._apply_vertex_updates(staged)
+        messages_out = self._route_messages(staged)
+        self.aggregated = self._reduce_aggregators(staged)
+        rows_in = self.graph.num_vertices + messages_in
+        if worker.superstep == 0:
+            rows_in += self.graph.num_edges
+        return ShardStepStats(
+            vertices_ran=worker.vertices_ran,
+            vertex_updates=vertex_updates,
+            messages_out=messages_out,
+            rows_in=rows_in,
+            rows_out=sum(rows.num_rows for rows in staged),
+            shard_seconds=tuple(shard_seconds),
+        )
+
+    # ------------------------------------------------------------------
+    # Apply staged vertex updates in place
+    # ------------------------------------------------------------------
+    def _apply_vertex_updates(self, staged: list[StagedRows]) -> int:
+        """Kind-0 rows mutate the owning shard directly — the in-memory
+        equivalent of the paper's Update-vs-Replace choice (``"memory"``
+        in the metrics)."""
+        total = 0
+        for shard, rows in zip(self.shards, staged):
+            mask = rows.kind == 0
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            vids = rows.vid[mask]
+            pos = np.searchsorted(shard.vertex_ids, vids)
+            shard.halted[pos] = rows.halted[mask]
+            if self._value_is_varchar:
+                values, valid = rows.s1[mask], rows.s1_valid[mask]
+            else:
+                # Numeric payloads stage as float64; the SQL plane casts
+                # them back on the way into the vertex table
+                # (CAST(f1 AS INTEGER) for integral codecs) — mirror it.
+                values = rows.f1[mask].astype(self._value_storage_dtype)
+                valid = rows.f1_valid[mask]
+            shard.raw_values[pos] = values
+            shard.value_valid[pos] = valid
+            total += count
+        return total
+
+    # ------------------------------------------------------------------
+    # In-plane message routing
+    # ------------------------------------------------------------------
+    def _route_messages(self, staged: list[StagedRows]) -> int:
+        """Scatter each source shard's emitted messages to destination
+        shards and segment-sort per destination.
+
+        Ordering contract (what makes the planes bit-identical): the SQL
+        plane concatenates partition outputs in partition-index order
+        into the staging table, and its next-superstep lexsort is stable
+        — so vertex ``v`` receives messages ordered by (source
+        partition, emission order).  Here the source shards' messages
+        concatenate in shard-index order (the staging order) and one
+        stable lexsort keyed on ``(destination shard, destination id)``
+        both scatters and segment-sorts them: the same delivery order,
+        in a single sort, without the table round trip.
+        """
+        n = self.n_shards
+        chunks: list[tuple[np.ndarray, ...]] = []
+        for rows in staged:
+            mask = rows.kind == 1
+            if not mask.any():
+                continue
+            if self._msg_is_varchar:
+                values, valid = rows.s1[mask], rows.s1_valid[mask]
+            else:
+                # Mirror the SQL plane's apply_messages cast into the
+                # message table's column type.
+                values = rows.f1[mask].astype(self._msg_storage_dtype)
+                valid = rows.f1_valid[mask]
+            chunks.append((rows.vid[mask], rows.dst[mask], values, valid))
+        if not chunks:
+            for shard in self.shards:
+                shard.clear_messages(self._msg_storage_dtype)
+            return 0
+
+        senders = np.concatenate([c[0] for c in chunks])
+        dst = np.concatenate([c[1] for c in chunks])
+        values = np.concatenate([c[2] for c in chunks])
+        valid = np.concatenate([c[3] for c in chunks])
+        order, bounds = hash_bucket_order(dst % n, n, (dst,))
+        senders, dst = senders[order], dst[order]
+        values, valid = values[order], valid[order]
+
+        total = 0
+        for shard in self.shards:
+            lo, hi = int(bounds[shard.index]), int(bounds[shard.index + 1])
+            if hi <= lo:
+                shard.clear_messages(self._msg_storage_dtype)
+                continue
+            inbox = (senders[lo:hi], dst[lo:hi], values[lo:hi], valid[lo:hi])
+            if self.use_combiner:
+                inbox = self._combine(*inbox)
+            shard.msg_src, shard.msg_dst, shard.msg_raw, shard.msg_valid = inbox
+            total += len(inbox[1])
+        return total
+
+    def _combine(
+        self,
+        senders: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray,
+        valid: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Apply the program's combiner per destination.
+
+        Reproduces the SQL plane's ``SELECT MIN(vid), dst, OP(value) ...
+        GROUP BY dst`` arithmetic exactly: reductions run over float64
+        with ``reduceat`` in arrival order, NULLs replaced by the
+        reduction identity, and the result cast back to the message
+        column's storage type.
+        """
+        boundaries = np.flatnonzero(
+            np.r_[True, dst[1:] != dst[:-1]] if len(dst) else np.empty(0, bool)
+        )
+        out_dst = dst[boundaries]
+        out_src = np.minimum.reduceat(senders, boundaries)
+        valid_counts = np.add.reduceat(valid.astype(np.int64), boundaries)
+        out_valid = valid_counts > 0
+        floats = values.astype(np.float64)
+        op = self.program.combiner
+        if op == "SUM":
+            floats = np.where(valid, floats, 0.0)
+            agg = np.add.reduceat(floats, boundaries)
+        elif op == "MIN":
+            floats = np.where(valid, floats, np.inf)
+            agg = np.minimum.reduceat(floats, boundaries)
+        else:  # MAX (validate() admits nothing else)
+            floats = np.where(valid, floats, -np.inf)
+            agg = np.maximum.reduceat(floats, boundaries)
+        agg = np.where(out_valid, agg, 0.0)
+        return out_src, out_dst, agg.astype(self._msg_storage_dtype), out_valid
+
+    # ------------------------------------------------------------------
+    # Aggregators
+    # ------------------------------------------------------------------
+    def _reduce_aggregators(self, staged: list[StagedRows]) -> dict[str, float]:
+        """Reduce the per-shard kind-2 partials across shards.
+
+        The SQL plane runs ``OP(f1)`` over the partials in staging
+        (shard-index) order through ``ufunc.reduceat``; the same ufunc
+        reduction over the same float64 sequence keeps the result
+        bit-equal (numpy's pairwise float summation is deterministic for
+        a given length, but differs from a naive sequential loop).
+        """
+        names = self.program.aggregators
+        if not names:
+            return {}
+        partials: dict[str, list[float]] = {name: [] for name in names}
+        for rows in staged:
+            mask = rows.kind == 2
+            if not mask.any():
+                continue
+            for name, value in zip(rows.s1[mask], rows.f1[mask].tolist()):
+                partials[name].append(value)
+        start = np.zeros(1, dtype=np.int64)
+        ufuncs = {"SUM": np.add, "MIN": np.minimum, "MAX": np.maximum}
+        out: dict[str, float] = {}
+        for name, op in names.items():
+            values = partials[name]
+            if not values:
+                continue
+            array = np.asarray(values, dtype=np.float64)
+            out[name] = float(ufuncs[op].reduceat(array, start)[0])
+        return out
+
+    # ------------------------------------------------------------------
+    # Sync policy: mirror resident state into the relational tables
+    # ------------------------------------------------------------------
+    def sync_tables(self) -> float:
+        """Write the vertex and message tables from resident shard state
+        (returns seconds spent).  Under ``superstep_sync="every"`` this
+        runs per superstep; under ``"halt"`` once at completion."""
+        started = time.perf_counter()
+        shards = self.shards
+        ids = np.concatenate([s.vertex_ids for s in shards])
+        values = np.concatenate([s.raw_values for s in shards])
+        value_valid = np.concatenate([s.value_valid for s in shards])
+        halted = np.concatenate([s.halted for s in shards])
+        order = np.argsort(ids, kind="stable")
+        self.storage.sync_vertex_state(
+            self.graph,
+            self.program,
+            ids[order],
+            values[order],
+            value_valid[order],
+            halted[order],
+        )
+        src = np.concatenate([s.msg_src for s in shards])
+        dst = np.concatenate([s.msg_dst for s in shards])
+        raw = np.concatenate([s.msg_raw for s in shards])
+        valid = np.concatenate([s.msg_valid for s in shards])
+        morder = np.argsort(dst, kind="stable")
+        self.storage.sync_message_state(
+            self.graph,
+            self.program,
+            src[morder],
+            dst[morder],
+            raw[morder],
+            valid[morder],
+        )
+        return time.perf_counter() - started

@@ -477,6 +477,62 @@ class GraphStorage:
             )
         return updates
 
+    # ------------------------------------------------------------------
+    # Shard-plane sync (mirror resident shard state into the tables)
+    # ------------------------------------------------------------------
+    def sync_vertex_state(
+        self,
+        graph: GraphHandle,
+        program: VertexProgram,
+        ids: np.ndarray,
+        values: np.ndarray,
+        values_valid: np.ndarray,
+        halted: np.ndarray,
+    ) -> None:
+        """Replace the vertex table with shard-resident state.
+
+        ``values`` must already be in storage representation (the shard
+        plane keeps vertex values encoded, exactly like the table
+        column).  Rows are written in ascending id order — the same
+        order ``setup_run`` loads and ``read_values`` reads.
+        """
+        table = self.db.table(graph.vertex_table)
+        codec = program.vertex_codec
+        table.replace_data(
+            RecordBatch(
+                table.schema,
+                [
+                    Column.from_numpy(INTEGER, ids),
+                    Column.from_numpy(codec.sql_type, values, values_valid),
+                    Column.from_numpy(BOOLEAN, halted),
+                ],
+            )
+        )
+
+    def sync_message_state(
+        self,
+        graph: GraphHandle,
+        program: VertexProgram,
+        src: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray,
+        values_valid: np.ndarray,
+    ) -> None:
+        """Replace the message table with the shard plane's pending
+        messages (storage-encoded values, sorted by destination)."""
+        table = self.db.table(graph.message_table)
+        codec = program.message_codec
+        table.replace_data(
+            RecordBatch(
+                table.schema,
+                [
+                    Column.from_numpy(INTEGER, src),
+                    Column.from_numpy(INTEGER, dst),
+                    Column.from_numpy(codec.sql_type, values, values_valid),
+                ],
+            )
+        )
+
     def reduce_aggregators(
         self, graph: GraphHandle, program: VertexProgram
     ) -> dict[str, float]:

@@ -36,7 +36,11 @@ Two input formats are supported, matching the Table Unions ablation:
   must de-duplicate.
 
 Both formats decode into the same :class:`_DecodedPartition`, so the
-batch and scalar compute paths run on either.
+batch and scalar compute paths run on either.  The shard-resident data
+plane (:mod:`repro.core.shards`) skips layer 1 entirely: it builds
+:class:`_DecodedPartition` views over resident arrays and enters at
+:meth:`VertexWorker.compute_decoded`, consuming outputs as
+:class:`StagedRows` instead of a staging table.
 """
 
 from __future__ import annotations
@@ -57,7 +61,7 @@ from repro.engine.schema import ColumnDef, Schema
 from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
 from repro.errors import ProgramError
 
-__all__ = ["EdgeCache", "VertexWorker", "worker_output_schema"]
+__all__ = ["EdgeCache", "StagedRows", "VertexWorker", "worker_output_schema"]
 
 
 def worker_output_schema() -> Schema:
@@ -207,6 +211,43 @@ def _csr_select(
 # ---------------------------------------------------------------------------
 # Columnar output staging (layer 3: batch staging)
 # ---------------------------------------------------------------------------
+@dataclass
+class StagedRows:
+    """One partition's staged output as plain aligned arrays.
+
+    The in-memory twin of the ``{graph}_out`` staging table: rows keep
+    the exact order the compute paths emitted them in (kind-0 vertex
+    update, that vertex's kind-1 messages, ... under the scalar path;
+    whole-block order under the batch path), which is what makes the
+    shard plane's message routing reproduce the SQL plane's delivery
+    order bit-for-bit.
+    """
+
+    kind: np.ndarray  # int64: 0 vertex update, 1 message, 2 aggregate
+    vid: np.ndarray  # int64: owner (kind 0/2) or sender (kind 1)
+    dst: np.ndarray  # int64: message destination (kind 1 only)
+    f1: np.ndarray  # float64 payload (numeric codecs, aggregates)
+    f1_valid: np.ndarray
+    s1: np.ndarray  # object payload (VARCHAR codecs, aggregator names)
+    s1_valid: np.ndarray
+    halted: np.ndarray  # bool halt votes (kind 0 only)
+
+    @classmethod
+    def empty(cls) -> "StagedRows":
+        i64 = np.empty(0, dtype=np.int64)
+        flags = np.empty(0, dtype=bool)
+        return cls(
+            i64, i64, i64,
+            np.empty(0, dtype=np.float64), flags,
+            np.empty(0, dtype=object), flags,
+            flags,
+        )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.kind)
+
+
 class _Outputs:
     """Columnar accumulators for one worker invocation.
 
@@ -329,6 +370,40 @@ class _Outputs:
         self.kind, self.vid, self.dst = [], [], []
         self.f1, self.s1, self.halted = [], [], []
 
+    def to_staged(self) -> StagedRows:
+        """Assemble the accumulated rows as plain arrays (the shard
+        plane's path — no :class:`~repro.engine.column.Column` wrapping,
+        no SQL staging table)."""
+        self._flush_scalar_rows()
+        blocks = self._blocks
+        if not blocks:
+            return StagedRows.empty()
+
+        def plain(position: int) -> np.ndarray:
+            parts = [block[position] for block in blocks]
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+        def pair(position: int) -> tuple[np.ndarray, np.ndarray]:
+            values = [block[position][0] for block in blocks]
+            valid = [block[position][1] for block in blocks]
+            if len(values) == 1:
+                return values[0], valid[0]
+            return np.concatenate(values), np.concatenate(valid)
+
+        dst, _ = pair(2)
+        f1, f1_valid = pair(3)
+        s1, s1_valid = pair(4)
+        halted, _ = pair(5)
+        if s1.dtype != object:  # all-empty concat can collapse the dtype
+            s1 = s1.astype(object)
+        return StagedRows(
+            plain(0), plain(1),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(f1, dtype=np.float64), f1_valid,
+            s1, s1_valid,
+            np.asarray(halted, dtype=bool),
+        )
+
     def to_batch(self, schema: Schema) -> RecordBatch:
         self._flush_scalar_rows()
         blocks = self._blocks
@@ -447,6 +522,21 @@ class VertexWorker:
             part = self._decode_union(partition, partition_index)
         else:
             part = self._decode_join(partition)
+        out, _ = self.compute_decoded(part)
+        with self._lock:
+            self.rows_in += partition.num_rows
+        return out.to_batch(self.schema)
+
+    def compute_decoded(self, part: _DecodedPartition) -> tuple[_Outputs, int]:
+        """Layer 2 alone: run the program over an already-decoded
+        partition and return the staged outputs plus the number of
+        vertices that ran.
+
+        The SQL-staged path reaches here through :meth:`__call__` (layer
+        1 decodes the partition from relational rows); the shard plane
+        builds :class:`_DecodedPartition` views straight from resident
+        arrays and calls this directly.  Thread-safe across partitions.
+        """
         out = _Outputs()
         active = part.active_mask(self.superstep)
         if self.use_batch:
@@ -457,8 +547,7 @@ class VertexWorker:
         with self._lock:
             self.vertices_ran += ran
             self.messages_dropped += part.dropped
-            self.rows_in += partition.num_rows
-        return out.to_batch(self.schema)
+        return out, ran
 
     def _reduce_partition_aggregates(self, out: _Outputs) -> None:
         """Pre-reduce this partition's aggregator contributions to one

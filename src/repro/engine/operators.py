@@ -48,6 +48,7 @@ __all__ = [
     "DistinctOp",
     "TransformOp",
     "factorize_columns",
+    "hash_bucket_order",
     "explain_tree",
     "analyze_tree",
 ]
@@ -88,6 +89,31 @@ def factorize_columns(columns: Sequence[Column]) -> tuple[np.ndarray, int]:
         combined = combined.astype(np.int64)
     uniques, codes = np.unique(combined, return_inverse=True)
     return codes.astype(np.int64), len(uniques)
+
+
+def hash_bucket_order(
+    bucket_ids: np.ndarray,
+    n_buckets: int,
+    sort_keys: Sequence[np.ndarray] = (),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable row order grouping by bucket, plus per-bucket slice bounds.
+
+    One lexsort keyed on ``(bucket, *sort_keys)`` replaces filtering the
+    input once per bucket; because the sort is stable, rows within a
+    bucket keep their relative input order (after the optional per-bucket
+    sort keys).  This is the partitioning primitive shared by
+    :class:`TransformOp` and the shard-resident data plane's message
+    router.
+
+    Returns:
+        ``(order, bounds)`` — bucket ``b`` owns
+        ``order[bounds[b]:bounds[b + 1]]``.
+    """
+    order = np.lexsort(tuple(reversed(tuple(sort_keys))) + (bucket_ids,))
+    bounds = np.searchsorted(
+        bucket_ids[order], np.arange(n_buckets + 1), side="left"
+    )
+    return order, bounds
 
 
 def _sort_key_ranks(column: Column, ascending: bool) -> np.ndarray:
@@ -894,12 +920,8 @@ class TransformOp(Operator):
                 order = np.lexsort(tuple(reversed(sort_keys)))
                 batch = batch.take(order)
             return [(batch, 0)]
-        order = np.lexsort(tuple(reversed(sort_keys)) + (hashes,))
+        order, bounds = hash_bucket_order(hashes, self.n_partitions, sort_keys)
         ordered = batch.take(order)
-        sorted_hashes = hashes[order]
-        bounds = np.searchsorted(
-            sorted_hashes, np.arange(self.n_partitions + 1), side="left"
-        )
         return [
             (_slice_rows(ordered, int(bounds[p]), int(bounds[p + 1])), p)
             for p in range(self.n_partitions)

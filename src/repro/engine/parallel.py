@@ -1,58 +1,99 @@
-"""Worker-execution strategies for transform UDFs.
+"""Worker-execution strategies for transform UDFs and shard tasks.
 
 The paper runs "as many workers as the number of cores".  In CPython the
 GIL caps what threads buy us for pure-Python vertex programs, so the engine
 offers two strategies with identical semantics:
 
 * :func:`serial_executor` — deterministic, zero overhead; the default.
-* :func:`make_thread_executor` — a real thread pool; useful when vertex
-  programs release the GIL (numpy-heavy compute) and for exercising the
-  parallel code path in the workers ablation benchmark.
+* :class:`ThreadExecutor` (via :func:`make_thread_executor`) — a real
+  thread pool; useful when tasks release the GIL (numpy-heavy compute)
+  and for exercising the parallel code path in the workers ablation
+  benchmark.
 
-Both receive ``(fn, tasks)`` where tasks are ``(batch, partition_index)``
-pairs, and must return outputs in task order so results stay deterministic
-regardless of scheduling.
+Both receive ``(fn, tasks)`` where tasks are ``(item, index)`` pairs —
+record-batch partitions for transform UDFs, resident shards for the
+sharded data plane — and must return outputs in task order so results
+stay deterministic regardless of scheduling.
+
+:class:`ThreadExecutor` holds one pool for its whole lifetime: the
+coordinator creates it once per run and reuses it every superstep
+(constructing and tearing down a ``ThreadPoolExecutor`` per superstep
+costs thread spawns on the hot loop).  It is a context manager; exiting
+(or :meth:`~ThreadExecutor.close`) shuts the pool down.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.engine.batch import RecordBatch
-
-__all__ = ["serial_executor", "make_thread_executor", "PartitionExecutor"]
+__all__ = ["serial_executor", "make_thread_executor", "PartitionExecutor", "ThreadExecutor"]
 
 PartitionExecutor = Callable[
-    [Callable[[RecordBatch, int], RecordBatch], Sequence[tuple[RecordBatch, int]]],
-    list[RecordBatch],
+    [Callable[[Any, int], Any], Sequence[tuple[Any, int]]],
+    list[Any],
 ]
 
 
 def serial_executor(
-    fn: Callable[[RecordBatch, int], RecordBatch],
-    tasks: Sequence[tuple[RecordBatch, int]],
-) -> list[RecordBatch]:
-    """Run partitions one after another on the calling thread."""
-    return [fn(batch, index) for batch, index in tasks]
+    fn: Callable[[Any, int], Any],
+    tasks: Sequence[tuple[Any, int]],
+) -> list[Any]:
+    """Run tasks one after another on the calling thread."""
+    return [fn(item, index) for item, index in tasks]
 
 
-def make_thread_executor(n_threads: int) -> PartitionExecutor:
+class ThreadExecutor:
     """A pool-backed executor that preserves task order in its output.
+
+    The pool is created lazily on the first multi-task call and then
+    reused for every subsequent call until :meth:`close` — one thread
+    spawn per run, not per superstep.
 
     Args:
         n_threads: pool size; values below 1 are clamped to 1.
     """
-    n_threads = max(1, int(n_threads))
 
-    def execute(
-        fn: Callable[[RecordBatch, int], RecordBatch],
-        tasks: Sequence[tuple[RecordBatch, int]],
-    ) -> list[RecordBatch]:
-        if len(tasks) <= 1 or n_threads == 1:
+    __slots__ = ("n_threads", "_pool", "_lock")
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = max(1, int(n_threads))
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def __call__(
+        self,
+        fn: Callable[[Any, int], Any],
+        tasks: Sequence[tuple[Any, int]],
+    ) -> list[Any]:
+        if len(tasks) <= 1 or self.n_threads == 1:
             return serial_executor(fn, tasks)
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            futures = [pool.submit(fn, batch, index) for batch, index in tasks]
-            return [future.result() for future in futures]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item, index) for item, index in tasks]
+        return [future.result() for future in futures]
 
-    return execute
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); later calls fall back to a
+        fresh lazily-created pool, so a closed executor stays usable."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def make_thread_executor(n_threads: int) -> ThreadExecutor:
+    """A persistent pool-backed executor (see :class:`ThreadExecutor`)."""
+    return ThreadExecutor(n_threads)

@@ -7,21 +7,27 @@ number of rounds; communities are the final label groups.
 
 Unlike PageRank/SSSP this program has no SQL-pushable combiner — the
 update needs the full label multiset — so it also exercises Vertexica's
-uncombined message path.
+uncombined message path.  The batch kernel computes the per-vertex mode
+with one ``(segment, label)`` sort: runs of equal pairs are counted by
+run-length, and the winning run per segment is the first one reaching
+the segment's maximum count (runs are label-ascending within a segment,
+so "first" is exactly the smallest-label tie-break).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
+
 from repro.core.api import Vertex
 from repro.core.codecs import INTEGER_CODEC
-from repro.core.program import VertexProgram
+from repro.core.program import BatchVertexProgram, VertexBatch
 
 __all__ = ["LabelPropagation"]
 
 
-class LabelPropagation(VertexProgram):
+class LabelPropagation(BatchVertexProgram):
     """Synchronous label propagation over an undirected (symmetrized) graph.
 
     Args:
@@ -55,3 +61,34 @@ class LabelPropagation(VertexProgram):
             vertex.send_message_to_all_neighbors(vertex.value)
         else:
             vertex.vote_to_halt()
+
+    def compute_batch(self, batch: VertexBatch) -> None:
+        if batch.superstep > 0 and len(batch.message_values):
+            counts = batch.message_counts
+            segments = np.repeat(np.arange(batch.size), counts)
+            labels = batch.message_values.astype(np.int64, copy=False)
+            order = np.lexsort((labels, segments))
+            seg = segments[order]
+            lab = labels[order]
+            # Run-length encode the sorted (segment, label) pairs.
+            run_start = np.flatnonzero(
+                np.r_[True, (seg[1:] != seg[:-1]) | (lab[1:] != lab[:-1])]
+            )
+            run_seg = seg[run_start]
+            run_label = lab[run_start]
+            run_count = np.diff(np.append(run_start, len(seg)))
+            # Per segment: the first run reaching the max count wins —
+            # runs are label-ascending, so ties break to the smallest.
+            seg_start = np.flatnonzero(np.r_[True, run_seg[1:] != run_seg[:-1]])
+            runs_per_seg = np.diff(np.append(seg_start, len(run_seg)))
+            best_count = np.maximum.reduceat(run_count, seg_start)
+            is_best = run_count == np.repeat(best_count, runs_per_seg)
+            positions = np.where(is_best, np.arange(len(run_seg)), len(run_seg))
+            winner_run = np.minimum.reduceat(positions, seg_start)
+            new_values = batch.values.copy()
+            new_values[run_seg[seg_start]] = run_label[winner_run]
+            batch.set_values(new_values)
+        if batch.superstep < self.iterations:
+            batch.send_to_all_neighbors(batch.values)
+        else:
+            batch.vote_to_halt()

@@ -20,9 +20,13 @@ from repro.core.program import BatchVertexProgram, VertexBatch, supports_batch
 from repro.errors import VertexicaError
 from repro.programs import (
     AdaptivePageRank,
+    CollaborativeFiltering,
     ConnectedComponents,
+    InDegree,
     LabelPropagation,
+    OutDegree,
     PageRank,
+    RandomWalkWithRestart,
     ShortestPaths,
 )
 
@@ -67,6 +71,12 @@ PROGRAMS = [
     pytest.param(lambda: ShortestPaths(source=0), False, id="sssp"),
     pytest.param(lambda: ShortestPaths(source=5), False, id="sssp-alt-source"),
     pytest.param(lambda: ConnectedComponents(), True, id="components"),
+    pytest.param(lambda: LabelPropagation(iterations=4), True, id="label-prop"),
+    pytest.param(
+        lambda: LabelPropagation(iterations=3, seeds={0: 500, 3: 500, 7: 500}),
+        True,
+        id="label-prop-seeded",
+    ),
 ]
 
 
@@ -109,8 +119,8 @@ class TestBatchScalarParity:
 
 class TestScalarFallback:
     def test_auto_falls_back_for_scalar_only_programs(self):
-        auto = run_with("auto", lambda: LabelPropagation(iterations=4), 9, True)
-        scalar = run_with("scalar", lambda: LabelPropagation(iterations=4), 9, True)
+        auto = run_with("auto", lambda: RandomWalkWithRestart(source=2), 9, True)
+        scalar = run_with("scalar", lambda: RandomWalkWithRestart(source=2), 9, True)
         assert_runs_identical(scalar, auto)
         assert all(s.compute_path == "scalar" for s in auto.stats.supersteps)
 
@@ -120,7 +130,7 @@ class TestScalarFallback:
 
     def test_forcing_batch_on_scalar_program_raises(self):
         with pytest.raises(VertexicaError, match="compute_batch"):
-            run_with("batch", lambda: LabelPropagation(iterations=2), 9, True)
+            run_with("batch", lambda: RandomWalkWithRestart(source=2), 9, True)
 
     def test_aggregator_program_parity_via_scalar_path(self):
         # AdaptivePageRank has no batch kernel; auto must match scalar
@@ -132,7 +142,8 @@ class TestScalarFallback:
     def test_supports_batch_detection(self):
         assert supports_batch(PageRank(iterations=1))
         assert supports_batch(ConnectedComponents())
-        assert not supports_batch(LabelPropagation())
+        assert supports_batch(LabelPropagation())
+        assert not supports_batch(RandomWalkWithRestart(source=0))
 
 
 class GhostMessenger(BatchVertexProgram):
@@ -174,6 +185,131 @@ class TestDroppedMessages:
     def test_ghost_messages_do_not_create_vertices(self):
         batch = run_with("batch", GhostMessenger, 17)
         assert 10_000 not in batch.values
+
+
+# ---------------------------------------------------------------------------
+# SQL-staged vs shard-resident data plane parity (every shipped program)
+# ---------------------------------------------------------------------------
+def _plane_graph_data(matching: bool):
+    if matching:
+        # 30 disjoint user-item pairs with rating-like weights (the
+        # graph CollaborativeFiltering trains on).
+        src = np.arange(0, 60, 2, dtype=np.int64)
+        dst = src + 1
+        weights = 1.0 + (np.arange(30, dtype=np.float64) % 9) / 2.0
+        return src, dst, weights, 66
+    from repro.datasets.generators import power_law_graph
+
+    g = power_law_graph("g", 90, 450, seed=23, weighted=True)
+    return g.src, g.dst, g.weights, 96
+
+
+def run_on_plane(
+    data_plane: str, program_factory, symmetrize=False, matching=False, **cfg
+):
+    src, dst, weights, n = _plane_graph_data(matching)
+    cfg.setdefault("n_partitions", 4)
+    vx = Vertexica(config=VertexicaConfig(data_plane=data_plane, **cfg))
+    graph = vx.load_graph(
+        "g", src, dst, weights=weights, num_vertices=n, symmetrize=symmetrize
+    )
+    return vx.run(graph, program_factory())
+
+
+#: (program factory, needs_symmetrized_edges, matching_graph) — every
+#: program in ``repro.programs``; keep in sync with its ``__all__``.
+#: Unlike the union-vs-join suite, CollaborativeFiltering runs on the
+#: *general* graph here: the shard plane reproduces the SQL plane's
+#: message delivery order exactly (source-partition order, then emission
+#: order), so even order-sensitive SGD must stay bit-identical.
+ALL_PROGRAMS_BOTH_PLANES = [
+    pytest.param(lambda: PageRank(iterations=5), False, False, id="pagerank"),
+    pytest.param(
+        lambda: AdaptivePageRank(epsilon=1e-4), False, False, id="adaptive-pagerank"
+    ),
+    pytest.param(lambda: ShortestPaths(source=0), False, False, id="sssp"),
+    pytest.param(lambda: ConnectedComponents(), True, False, id="components"),
+    pytest.param(
+        lambda: CollaborativeFiltering(iterations=4, rank=4),
+        True,
+        False,
+        id="collab-filter",
+    ),
+    pytest.param(
+        lambda: RandomWalkWithRestart(source=2, iterations=5), False, False, id="rwr"
+    ),
+    pytest.param(lambda: InDegree(), False, False, id="in-degree"),
+    pytest.param(lambda: OutDegree(), False, False, id="out-degree"),
+    pytest.param(lambda: LabelPropagation(iterations=4), True, False, id="label-prop"),
+]
+
+
+class TestShardPlaneParity:
+    """``data_plane="shards"`` must be bit-identical to the SQL plane for
+    every shipped program: same values, same aggregates, same per-
+    superstep message/halt behavior."""
+
+    @pytest.mark.parametrize(
+        "program_factory,symmetrize,matching", ALL_PROGRAMS_BOTH_PLANES
+    )
+    def test_planes_bit_identical(self, program_factory, symmetrize, matching):
+        sql = run_on_plane("sql", program_factory, symmetrize, matching)
+        shards = run_on_plane("shards", program_factory, symmetrize, matching)
+        assert_runs_identical(sql, shards)
+        assert all(s.update_path in ("memory", "none") for s in shards.stats.supersteps)
+
+    @pytest.mark.parametrize(
+        "program_factory,symmetrize,matching", ALL_PROGRAMS_BOTH_PLANES
+    )
+    def test_shard_plane_parallel_workers(self, program_factory, symmetrize, matching):
+        """Shard tasks are embarrassingly parallel; a thread pool must
+        not change any result (deterministic routing + barriers)."""
+        serial = run_on_plane("shards", program_factory, symmetrize, matching)
+        threaded = run_on_plane(
+            "shards", program_factory, symmetrize, matching, n_workers=4
+        )
+        assert_runs_identical(serial, threaded)
+
+    def test_shard_plane_scalar_strategy_parity(self):
+        sql = run_on_plane("sql", lambda: PageRank(iterations=5), compute_strategy="scalar")
+        shards = run_on_plane(
+            "shards", lambda: PageRank(iterations=5), compute_strategy="scalar"
+        )
+        assert_runs_identical(sql, shards)
+        assert all(s.compute_path == "scalar" for s in shards.stats.supersteps)
+
+    def test_shard_plane_without_combiner(self):
+        sql = run_on_plane("sql", lambda: PageRank(iterations=5), use_combiner=False)
+        shards = run_on_plane(
+            "shards", lambda: PageRank(iterations=5), use_combiner=False
+        )
+        assert_runs_identical(sql, shards)
+
+    def test_sync_policy_does_not_change_results(self):
+        every = run_on_plane(
+            "shards", lambda: ShortestPaths(source=0), superstep_sync="every"
+        )
+        halt = run_on_plane(
+            "shards", lambda: ShortestPaths(source=0), superstep_sync="halt"
+        )
+        assert_runs_identical(every, halt)
+
+    def test_single_partition_shard_plane(self):
+        sql = run_on_plane("sql", lambda: ConnectedComponents(), True, n_partitions=1)
+        shards = run_on_plane(
+            "shards", lambda: ConnectedComponents(), True, n_partitions=1
+        )
+        assert_runs_identical(sql, shards)
+
+    def test_ghost_messages_dropped_identically(self):
+        src, dst, weights, n = _plane_graph_data(False)
+        results = {}
+        for plane in ("sql", "shards"):
+            vx = Vertexica(config=VertexicaConfig(data_plane=plane, n_partitions=4))
+            graph = vx.load_graph("g", src, dst, weights=weights, num_vertices=n)
+            results[plane] = vx.run(graph, GhostMessenger())
+        assert_runs_identical(results["sql"], results["shards"])
+        assert 10_000 not in results["shards"].values
 
 
 class TestEdgeCases:

@@ -1,0 +1,232 @@
+"""Shard-resident data plane: sync-policy observability and plumbing.
+
+Bit-identity of *results* across planes lives in
+``test_batch_parity.TestShardPlaneParity``; this module pins the
+relational-interop contract of ``superstep_sync``:
+
+* ``"every"`` — after every superstep the vertex/message tables hold
+  exactly what the legacy SQL plane would have left there (checked by
+  truncating runs at each superstep via ``max_supersteps``);
+* ``"halt"`` — the tables are written exactly once, at completion, and
+  the final relations plus the ``VertexicaResult`` are bit-identical to
+  the legacy plane's.
+
+Plus: the coordinator's persistent thread pool (one pool per run, not
+per superstep) and the shard partitioning invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Vertexica, VertexicaConfig
+from repro.core.shards import ShardedDataPlane
+from repro.core.storage import GraphStorage
+from repro.engine.parallel import ThreadExecutor, make_thread_executor, serial_executor
+from repro.programs import ConnectedComponents, LabelPropagation, PageRank, ShortestPaths
+
+
+def small_graph(seed: int = 11, n: int = 60, m: int = 300):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, m), rng.integers(0, n, m), rng.uniform(0.5, 3.0, m)
+
+
+def run_plane(data_plane: str, program, symmetrize: bool = False, **cfg):
+    src, dst, weights = small_graph()
+    cfg.setdefault("n_partitions", 4)
+    vx = Vertexica(config=VertexicaConfig(data_plane=data_plane, **cfg))
+    graph = vx.load_graph(
+        "g", src, dst, weights=weights, num_vertices=64, symmetrize=symmetrize
+    )
+    result = vx.run(graph, program)
+    return vx, graph, result
+
+
+def vertex_rows(vx: Vertexica):
+    return vx.sql("SELECT id, value, halted FROM g_vertex ORDER BY id").rows()
+
+
+def message_rows(vx: Vertexica):
+    return vx.sql(
+        "SELECT src, dst, value FROM g_message ORDER BY dst, src, value"
+    ).rows()
+
+
+class TestEverySyncObservability:
+    """Under ``superstep_sync="every"`` the SQL-visible tables match the
+    legacy plane after *each* superstep, not just at the end."""
+
+    @pytest.mark.parametrize("cap", [1, 2, 3, 5])
+    def test_tables_match_legacy_at_every_superstep(self, cap):
+        # Truncating the run at superstep `cap` exposes the mid-run table
+        # state both planes leave behind.
+        sql_vx, _, sql_result = run_plane(
+            "sql", PageRank(iterations=6), max_supersteps=cap
+        )
+        shard_vx, _, shard_result = run_plane(
+            "shards",
+            PageRank(iterations=6),
+            max_supersteps=cap,
+            superstep_sync="every",
+        )
+        assert sql_result.stats.n_supersteps == shard_result.stats.n_supersteps == cap
+        assert vertex_rows(shard_vx) == vertex_rows(sql_vx)
+        assert message_rows(shard_vx) == message_rows(sql_vx)
+
+    def test_uncombined_message_table_matches(self):
+        sql_vx, _, _ = run_plane(
+            "sql", LabelPropagation(iterations=4), True, max_supersteps=2
+        )
+        shard_vx, _, _ = run_plane(
+            "shards",
+            LabelPropagation(iterations=4),
+            True,
+            max_supersteps=2,
+            superstep_sync="every",
+        )
+        assert message_rows(shard_vx) == message_rows(sql_vx)
+        assert vertex_rows(shard_vx) == vertex_rows(sql_vx)
+
+    def test_table_written_every_superstep(self):
+        vx, graph, result = run_plane(
+            "shards", PageRank(iterations=4), superstep_sync="every"
+        )
+        # One replace_data per superstep (version starts at 0 on CREATE;
+        # setup inserts bump the vertex table once more).
+        assert vx.db.table(graph.message_table).version == result.stats.n_supersteps
+
+
+class TestHaltSyncObservability:
+    """Under ``superstep_sync="halt"`` the tables are written once, at
+    completion — and the final state is still bit-identical."""
+
+    def test_final_tables_and_result_bit_identical(self):
+        sql_vx, _, sql_result = run_plane("sql", ShortestPaths(source=0))
+        shard_vx, _, shard_result = run_plane(
+            "shards", ShortestPaths(source=0), superstep_sync="halt"
+        )
+        assert shard_result.values == sql_result.values  # bit-identical
+        assert vertex_rows(shard_vx) == vertex_rows(sql_vx)
+        assert message_rows(shard_vx) == message_rows(sql_vx) == []
+
+    def test_pending_messages_materialize_on_capped_runs(self):
+        # A superstep cap stops the run with messages still in flight;
+        # the halt sync must materialize them for relational consumers.
+        sql_vx, _, _ = run_plane("sql", PageRank(iterations=6), max_supersteps=3)
+        shard_vx, _, _ = run_plane(
+            "shards",
+            PageRank(iterations=6),
+            max_supersteps=3,
+            superstep_sync="halt",
+        )
+        rows = message_rows(shard_vx)
+        assert rows and rows == message_rows(sql_vx)
+
+    def test_tables_written_exactly_once(self):
+        vx, graph, result = run_plane(
+            "shards", PageRank(iterations=5), superstep_sync="halt"
+        )
+        assert result.stats.n_supersteps == 6
+        # CREATE leaves version 0; the single halt sync bumps it to 1.
+        assert vx.db.table(graph.message_table).version == 1
+        # setup_run's initial load is version 1; halt sync makes 2.
+        assert vx.db.table(graph.vertex_table).version == 2
+
+    def test_values_via_result_match_halt_tables(self):
+        vx, _, result = run_plane(
+            "shards", ConnectedComponents(), True, superstep_sync="halt"
+        )
+        from_table = {vid: value for vid, value, _ in vertex_rows(vx)}
+        assert from_table == result.values
+
+
+class TestShardPartitioning:
+    def test_vid_hash_layout(self):
+        vx = Vertexica()
+        src, dst, weights = small_graph()
+        graph = vx.load_graph("g", src, dst, weights=weights, num_vertices=64)
+        storage = GraphStorage(vx.db)
+        storage.setup_run(graph, PageRank(iterations=1))
+        plane = ShardedDataPlane(storage, graph, PageRank(iterations=1), 4, True)
+        assert len(plane.shards) == 4
+        seen = 0
+        for shard in plane.shards:
+            ids = shard.vertex_ids
+            assert np.all(ids % 4 == shard.index)
+            assert np.all(np.diff(ids) > 0)  # sorted, unique
+            # CSR edges aligned to the shard's vertices
+            assert len(shard.edge_indptr) == len(ids) + 1
+            assert shard.edge_indptr[-1] == len(shard.edge_targets)
+            seen += len(ids)
+        assert seen == graph.num_vertices
+
+    def test_edge_table_mutated_by_sql_dml(self):
+        """SQL DML can append edge rows out of canonical (src-sorted)
+        order between load_graph and run; the shard CSR build must sort
+        within buckets or it silently mis-assigns edges (the SQL plane
+        re-sorts every superstep, so it is naturally immune)."""
+        src, dst, weights = small_graph()
+        results = {}
+        for plane in ("sql", "shards"):
+            vx = Vertexica(config=VertexicaConfig(data_plane=plane, n_partitions=4))
+            vx.load_graph("g", src, dst, weights=weights, num_vertices=64)
+            # Appends rows whose src is far below the tail of the table.
+            vx.sql("INSERT INTO g_edge VALUES (0, 5, 1.0), (4, 1, 2.0), (0, 9, 1.0)")
+            graph = vx.graph("g")
+            results[plane] = vx.run(graph, PageRank(iterations=5))
+        assert results["shards"].values == results["sql"].values
+
+    def test_shard_metrics_recorded(self):
+        _, _, result = run_plane("shards", PageRank(iterations=3))
+        for step in result.stats.supersteps:
+            assert len(step.shard_seconds) == 4
+            assert step.update_path in ("memory", "none")
+            assert step.shard_balance >= 1.0
+        # default sync policy is "every": sync time is tracked
+        assert all(s.sync_seconds >= 0.0 for s in result.stats.supersteps)
+
+    def test_halt_skips_sync_cost(self):
+        _, _, result = run_plane(
+            "shards", PageRank(iterations=3), superstep_sync="halt"
+        )
+        assert all(s.sync_seconds == 0.0 for s in result.stats.supersteps)
+
+
+class TestPersistentThreadPool:
+    def test_pool_reused_across_calls(self):
+        executor = make_thread_executor(2)
+        tasks = [(i, i) for i in range(4)]
+        assert executor(lambda item, index: item * 2, tasks) == [0, 2, 4, 6]
+        pool = executor._pool
+        assert pool is not None
+        executor(lambda item, index: item, tasks)
+        assert executor._pool is pool  # same pool, not a fresh one per call
+        executor.close()
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_reusable(self):
+        executor = make_thread_executor(3)
+        executor.close()
+        executor.close()
+        tasks = [(i, i) for i in range(3)]
+        assert executor(lambda item, index: item + 1, tasks) == [1, 2, 3]
+        executor.close()
+
+    def test_context_manager(self):
+        with make_thread_executor(2) as executor:
+            assert isinstance(executor, ThreadExecutor)
+            out = executor(lambda item, index: index, [(None, 0), (None, 1)])
+        assert out == [0, 1]
+        assert executor._pool is None
+
+    def test_single_task_stays_serial(self):
+        executor = make_thread_executor(4)
+        assert executor(lambda item, index: item, [(7, 0)]) == [7]
+        assert executor._pool is None  # no pool spawned for serial work
+
+    def test_serial_executor_unchanged(self):
+        assert serial_executor(lambda item, index: (item, index), [(5, 0), (6, 1)]) == [
+            (5, 0),
+            (6, 1),
+        ]

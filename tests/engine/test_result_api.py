@@ -70,7 +70,8 @@ class TestParallelExecutors:
             return RecordBatch.from_rows(schema, [(index,)])
 
         tasks = [(RecordBatch.empty(schema), i) for i in range(16)]
-        out = make_thread_executor(4)(fn, tasks)
+        with make_thread_executor(4) as executor:
+            out = executor(fn, tasks)
         assert [b.to_rows()[0][0] for b in out] == list(range(16))
 
     def test_thread_count_clamped(self):

@@ -93,11 +93,12 @@ class TestTransforms:
             "summer", "SELECT k, v FROM data",
             partition_by=("k",), n_partitions=3, executor=serial_executor,
         )
-        threaded = loaded.run_transform(
-            "summer", "SELECT k, v FROM data",
-            partition_by=("k",), n_partitions=3,
-            executor=make_thread_executor(4),
-        )
+        with make_thread_executor(4) as executor:
+            threaded = loaded.run_transform(
+                "summer", "SELECT k, v FROM data",
+                partition_by=("k",), n_partitions=3,
+                executor=executor,
+            )
         as_set = lambda b: set(zip(b.column("key").to_list(), b.column("total").to_list()))
         assert as_set(serial) == as_set(threaded)
 
@@ -109,11 +110,12 @@ class TestTransforms:
             return RecordBatch.empty(OUT_SCHEMA)
 
         loaded.register_transform("spy", spy, OUT_SCHEMA)
-        loaded.run_transform(
-            "spy", "SELECT k, v FROM data",
-            partition_by=("k",), n_partitions=3,
-            executor=make_thread_executor(3),
-        )
+        with make_thread_executor(3) as executor:
+            loaded.run_transform(
+                "spy", "SELECT k, v FROM data",
+                partition_by=("k",), n_partitions=3,
+                executor=executor,
+            )
         assert any("ThreadPool" in name for name in thread_names)
 
 
