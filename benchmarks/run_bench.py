@@ -34,7 +34,12 @@ from repro.core import Vertexica, VertexicaConfig
 from repro.datasets.generators import Graph
 from repro.datasets.relational import load_graph_as_schema
 from repro.graphview import EdgeSpec, GraphView, GraphViewHandle, NodeSpec
-from repro.programs import ConnectedComponents, PageRank, ShortestPaths
+from repro.programs import (
+    CollaborativeFiltering,
+    ConnectedComponents,
+    PageRank,
+    ShortestPaths,
+)
 
 MODES = ("batch", "scalar")
 
@@ -241,6 +246,91 @@ def run_workers_scaling_cell(
     }
 
 
+def run_cf_codec_cell(
+    graph: Graph,
+    n_partitions: int,
+    repeat: int = 1,
+    rank: int = 8,
+    iterations: int = 3,
+) -> dict[str, Any]:
+    """Collaborative-filtering superstep timing: JSON-in-VARCHAR codec vs
+    the dense vector codec (rank typed FLOAT columns), on both data
+    planes (the PR-5 cell).
+
+    The graph's edges get rating-like weights and are symmetrized (CF
+    needs both directions).  All four cells must land on bit-identical
+    factor matrices — the fingerprint sums every vector component.  The
+    learning rate is kept small: power-law hubs receive hundreds of
+    sequential SGD steps per superstep and the default rate diverges to
+    NaN on livejournal, which would poison the fingerprint comparison.
+    """
+    learning_rate = 0.002
+    weights = 1.0 + (np.arange(graph.num_edges, dtype=np.float64) % 9) / 2.0
+    cells: dict[str, float] = {}
+    fingerprints: list[float] = []
+    for codec in ("json", "vector"):
+        for plane in ("sql", "shards"):
+            vx = Vertexica(
+                config=VertexicaConfig(
+                    n_partitions=n_partitions,
+                    data_plane=plane,
+                    superstep_sync="halt",
+                )
+            )
+            handle = vx.load_graph(
+                f"{graph.name}_cf",
+                graph.src,
+                graph.dst,
+                weights=weights,
+                num_vertices=graph.num_vertices,
+                symmetrize=True,
+            )
+            best = float("inf")
+            fingerprint = 0.0
+            for _ in range(max(repeat, 1)):
+                result = vx.run(
+                    handle,
+                    CollaborativeFiltering(
+                        iterations=iterations,
+                        rank=rank,
+                        learning_rate=learning_rate,
+                        codec=codec,
+                    ),
+                )
+                step_secs = sum(s.seconds for s in result.stats.supersteps)
+                if step_secs < best:
+                    best = step_secs
+                    fingerprint = float(
+                        sum(
+                            sum(vector)
+                            for vector in result.values.values()
+                            if vector is not None
+                        )
+                    )
+            cells[f"{codec}_{plane}"] = round(best, 6)
+            fingerprints.append(fingerprint)
+    return {
+        "graph": graph.name,
+        "rank": rank,
+        "iterations": iterations,
+        "superstep_seconds": cells,
+        "speedup_vector_over_json_sql": round(
+            cells["json_sql"] / cells["vector_sql"], 2
+        )
+        if cells["vector_sql"]
+        else float("inf"),
+        "speedup_vector_over_json_shards": round(
+            cells["json_shards"] / cells["vector_shards"], 2
+        )
+        if cells["vector_shards"]
+        else float("inf"),
+        "fingerprints_match": all(
+            abs(fp - fingerprints[0]) <= 1e-9 * max(1.0, abs(fingerprints[0]))
+            for fp in fingerprints
+        ),
+    }
+
+
 def run_extraction_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
     """Graph-view extraction timing at benchmark scale.
 
@@ -426,11 +516,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR4.json"
+        out_path = "BENCH_PR5.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR5.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR6.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -525,6 +615,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{workers_cell['shards_scaling_1w_over_4w']:.2f}x at {peak} workers)"
         )
 
+    # Collaborative filtering: JSON codec vs dense vector codec on both
+    # data planes — the PR-5 cell (and the quick mode's typed-value-plane
+    # parity gate).
+    cf_codec_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        cf_cell = run_cf_codec_cell(graph, args.partitions, args.repeat)
+        cf_codec_cells.append(cf_cell)
+        if not cf_cell["fingerprints_match"]:
+            failures.append(
+                f"{graph_name}/cf: json and vector codec paths disagree"
+            )
+        secs = cf_cell["superstep_seconds"]
+        print(
+            f"{graph_name:<12} cf codecs: "
+            f"json sql {secs['json_sql']:.3f}s  "
+            f"vector sql {secs['vector_sql']:.3f}s  "
+            f"({cf_cell['speedup_vector_over_json_sql']:.2f}x)  "
+            f"shards {secs['json_shards']:.3f}s -> {secs['vector_shards']:.3f}s "
+            f"({cf_cell['speedup_vector_over_json_shards']:.2f}x)"
+        )
+
     # Incremental vs full refresh after small DML — the PR-3 cell.
     refresh_cells = []
     for graph_name in graph_names:
@@ -555,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         "graph_view_extraction": extraction_cells,
         "incremental_refresh": refresh_cells,
         "workers_scaling": workers_cells,
+        "cf_codec": cf_codec_cells,
         "results": results,
     }
     if out_path:
@@ -584,6 +697,19 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+        # Typed-value-plane tripwire: dropping the JSON serialization must
+        # not make CF supersteps slower than the VARCHAR path (generous
+        # slack for CI noise; parity is already a hard gate above).
+        for cell in cf_codec_cells:
+            for plane in ("sql", "shards"):
+                ratio = cell[f"speedup_vector_over_json_{plane}"]
+                if ratio < 1.0 / 1.2:
+                    print(
+                        f"FAIL: vector codec slower than json on "
+                        f"{cell['graph']}/{plane} ({ratio}x)",
+                        file=sys.stderr,
+                    )
+                    return 1
         # Refresh tripwire: at smoke scale both paths are sub-millisecond
         # and sit right at the incremental/full crossover, so only an
         # egregious slowdown (2x) fails the run — parity is the hard gate.

@@ -164,7 +164,9 @@ class GiraphEngine:
             program.initial_value(v, int(degrees[v]), n) for v in range(n)
         ]
         halted = np.zeros(n, dtype=bool)
-        inboxes: list[list[Any]] = [[] for _ in range(n)]
+        #: per-vertex inbox of (sender, value) pairs — the sender travels
+        #: beside the payload, like Vertexica's message-table src column.
+        inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
         worker_vertices = [
             [v for v in range(n) if self._worker_of(v) == w] for w in range(n_workers)
         ]
@@ -187,8 +189,9 @@ class GiraphEngine:
             step_started = time.perf_counter()
             messages_in = sum(len(inboxes[v]) for v in range(n))
 
-            # Outgoing buffers: [sender_worker][receiver_worker] -> [(dst, value)]
-            buffers: list[list[list[tuple[int, Any]]]] = [
+            # Outgoing buffers: [sender_worker][receiver_worker] ->
+            # [(dst, sender, value)]
+            buffers: list[list[list[tuple[int, int, Any]]]] = [
                 [[] for _ in range(n_workers)] for _ in range(n_workers)
             ]
             ran = 0
@@ -200,16 +203,18 @@ class GiraphEngine:
                     if superstep > 0 and not messages and halted[v]:
                         continue
                     vertex = Vertex(
-                        v, values[v], self.out_edges(v), messages,
+                        v, values[v], self.out_edges(v),
+                        [value for _, value in messages],
                         superstep, n, bool(halted[v]),
                         aggregated=aggregated,
+                        senders=[sender for sender, _ in messages],
                     )
                     program.compute(vertex)
                     ran += 1
                     _, values[v] = vertex.collect_value_update()
                     halted[v] = vertex.collect_halt_vote()
                     for dst, value in vertex.collect_outbox():
-                        out_buffers[self._worker_of(dst)].append((dst, value))
+                        out_buffers[self._worker_of(dst)].append((dst, v, value))
                     for name, value in vertex.collect_aggregates():
                         if name not in program.aggregators:
                             raise BaselineError(
@@ -236,8 +241,8 @@ class GiraphEngine:
                         bytes_shuffled += len(payload)
                         buffer = pickle.loads(payload)
                     messages_out += len(buffer)
-                    for dst, value in buffer:
-                        inboxes[dst].append(value)
+                    for dst, sender, value in buffer:
+                        inboxes[dst].append((sender, value))
 
             if config.barrier_latency_s:
                 time.sleep(config.barrier_latency_s)
@@ -266,13 +271,21 @@ class GiraphEngine:
 
 
 def _combine_buffer(
-    program: VertexProgram, buffer: list[tuple[int, Any]]
-) -> list[tuple[int, Any]]:
-    """Apply the program's combiner per destination (sender-side)."""
-    grouped: dict[int, list[Any]] = {}
-    for dst, value in buffer:
-        grouped.setdefault(dst, []).append(value)
+    program: VertexProgram, buffer: list[tuple[int, int, Any]]
+) -> list[tuple[int, int, Any]]:
+    """Apply the program's combiner per destination (sender-side); the
+    combined message carries the smallest contributing sender id,
+    mirroring Vertexica's ``MIN(vid)`` in the combining GROUP BY."""
+    grouped: dict[int, list[tuple[int, Any]]] = {}
+    for dst, sender, value in buffer:
+        grouped.setdefault(dst, []).append((sender, value))
     return [
-        (dst, items[0] if len(items) == 1 else program.combine(items))
+        (
+            dst,
+            min(sender for sender, _ in items),
+            items[0][1]
+            if len(items) == 1
+            else program.combine([value for _, value in items]),
+        )
         for dst, items in grouped.items()
     ]

@@ -7,7 +7,13 @@ tables.  See DESIGN.md §1 for the architecture map.
 """
 
 from repro.core.api import OutEdge, Vertex
-from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC, ValueCodec
+from repro.core.codecs import (
+    FLOAT_CODEC,
+    INTEGER_CODEC,
+    JSON_CODEC,
+    ValueCodec,
+    vector_codec,
+)
 from repro.core.config import VertexicaConfig
 from repro.core.coordinator import Coordinator, register_coordinator
 from repro.core.metrics import RunStats, SuperstepStats
@@ -31,6 +37,7 @@ __all__ = [
     "FLOAT_CODEC",
     "INTEGER_CODEC",
     "JSON_CODEC",
+    "vector_codec",
     "VertexicaConfig",
     "Coordinator",
     "register_coordinator",

@@ -41,6 +41,7 @@ class Vertex:
         "_value",
         "_out_edges",
         "_messages",
+        "_senders",
         "_halted",
         "_value_changed",
         "_outbox",
@@ -59,6 +60,7 @@ class Vertex:
         num_vertices: int,
         halted: bool,
         aggregated: dict[str, float] | None = None,
+        senders: Sequence[int] | None = None,
     ) -> None:
         self.id = vertex_id
         self.superstep = superstep
@@ -66,6 +68,11 @@ class Vertex:
         self._value = value
         self._out_edges = tuple(out_edges)
         self._messages = tuple(messages)
+        self._senders = (
+            tuple(senders)
+            if senders is not None
+            else tuple(None for _ in self._messages)
+        )
         self._halted = halted
         self._value_changed = False
         self._outbox: list[tuple[int, Any]] = []
@@ -93,6 +100,19 @@ class Vertex:
     def get_messages(self) -> tuple[Any, ...]:
         """Paper API: this superstep's incoming messages."""
         return self._messages
+
+    @property
+    def message_senders(self) -> tuple[Any, ...]:
+        """Sender vertex id per incoming message, aligned with
+        :attr:`messages` — the message table's ``src`` column, so
+        programs need not embed the sender in the payload.
+
+        Every engine in this repository supplies real senders; a Vertex
+        constructed directly without the ``senders`` argument (e.g. a
+        hand-rolled unit-test harness) yields ``None`` placeholders, so
+        sender-keyed lookups would miss — pass senders when the program
+        under test reads them."""
+        return self._senders
 
     @property
     def out_edges(self) -> tuple[OutEdge, ...]:

@@ -2,21 +2,31 @@
 
 The paper stores "the vertex value" in a relational column.  Scalar-valued
 programs (PageRank, SSSP, connected components) use FLOAT or INTEGER
-columns directly; programs with structured state (collaborative filtering
-keeps a latent-factor vector per vertex) serialize through a VARCHAR
-column as JSON.  A codec declares the SQL type and the encode/decode pair,
-so the Vertexica storage layer can create correctly-typed vertex/message
-tables for any program.
+columns directly; programs with structured state historically serialized
+through a VARCHAR column as JSON.  A codec declares the SQL storage layout
+and the encode/decode pair, so the Vertexica storage layer can create
+correctly-typed vertex/message tables for any program.
+
+Two storage shapes exist:
+
+* **scalar** codecs (``width == 0``) own one column named ``value`` of
+  ``sql_type`` — the paper's layout, unchanged;
+* **vector** codecs (``width == k > 0``, built with :func:`vector_codec`)
+  own ``k`` typed FLOAT columns ``v0..v{k-1}``.  Decoded form is a dense
+  float64 row per vertex/message — ``(n, k)`` arrays on the batch data
+  plane, ``list[float]`` on the scalar path — with no serialization on
+  either side.  NULL is whole-vector NULL (all k columns at once).
 
 For the vectorized data plane, a codec may also carry *array* hooks
 (``decode_array_fn`` / ``encode_array_fn``) that map whole numpy arrays at
-once; the builtin FLOAT/INTEGER codecs use dtype casts (effectively free),
-while codecs without hooks fall back to a per-item loop over the scalar
-pair — correct for any custom codec, just not vectorized.
+once; the builtin FLOAT/INTEGER/vector codecs use dtype casts (effectively
+free), while codecs without hooks fall back to a per-item loop over the
+scalar pair — correct for any custom codec, just not vectorized.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -24,8 +34,15 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.engine.types import FLOAT, INTEGER, VARCHAR, DataType
+from repro.errors import ProgramError
 
-__all__ = ["ValueCodec", "FLOAT_CODEC", "INTEGER_CODEC", "JSON_CODEC"]
+__all__ = [
+    "ValueCodec",
+    "FLOAT_CODEC",
+    "INTEGER_CODEC",
+    "JSON_CODEC",
+    "vector_codec",
+]
 
 #: Signature of the optional vectorized hooks: (values, valid) -> values.
 ArrayFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -37,13 +54,17 @@ class ValueCodec:
 
     Attributes:
         name: codec identifier (used in error messages and metrics).
-        sql_type: the column type holding encoded values.
+        sql_type: the column type holding encoded values (the per-column
+            type, for vector codecs).
         encode: Python value -> storable value (None passes through as NULL).
         decode: storable value -> Python value (None passes through).
         decode_array_fn: optional vectorized decode over a storage array
             (positions where ``valid`` is False hold filler and must be
             passed through untouched).
         encode_array_fn: optional vectorized encode to a storage array.
+        width: 0 for scalar codecs (one ``value`` column); ``k > 0`` for
+            vector codecs (``k`` columns ``v0..v{k-1}``, storage arrays
+            are 2-D ``(n, k)``).
     """
 
     name: str
@@ -52,6 +73,18 @@ class ValueCodec:
     decode: Callable[[Any], Any]
     decode_array_fn: ArrayFn | None = None
     encode_array_fn: ArrayFn | None = None
+    width: int = 0
+
+    @property
+    def is_vector(self) -> bool:
+        """True when values span multiple typed storage columns."""
+        return self.width > 0
+
+    def column_names(self) -> tuple[str, ...]:
+        """The storage column names this codec owns in a value table."""
+        if self.width > 0:
+            return tuple(f"v{j}" for j in range(self.width))
+        return ("value",)
 
     def encode_or_none(self, value: Any) -> Any:
         """Encode, mapping ``None`` to SQL NULL."""
@@ -127,3 +160,51 @@ INTEGER_CODEC = ValueCodec(
     encode_array_fn=_cast_array(np.int64),
 )
 JSON_CODEC = ValueCodec("json", VARCHAR, json.dumps, json.loads)
+
+
+# ---------------------------------------------------------------------------
+# Vector codecs: fixed-width float64 state as k typed FLOAT columns
+# ---------------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def vector_codec(width: int) -> ValueCodec:
+    """The width-``k`` float64 vector codec (cached per width).
+
+    Storage form is ``k`` FLOAT columns ``v0..v{k-1}`` — no serialization.
+    Encoded/storage representation is a float64 array of shape ``(k,)``
+    per value (``(n, k)`` for a whole partition); decoded scalar-path form
+    is a plain ``list[float]``, so programs written against the JSON codec
+    (lists in, lists out) convert by swapping the codec declaration alone.
+
+    Raises:
+        ProgramError: ``width < 1``.
+    """
+    if width < 1:
+        raise ProgramError(f"vector codec width must be >= 1, got {width}")
+
+    def encode(value: Any) -> np.ndarray:
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.shape != (width,):
+            raise ProgramError(
+                f"vector{width} codec got a value of shape {arr.shape}; "
+                f"expected {width} floats"
+            )
+        return arr
+
+    def decode(stored: Any) -> list[float]:
+        return np.asarray(stored, dtype=np.float64).tolist()
+
+    def cast2d(values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 1:  # empty or degenerate inputs normalize to (n, k)
+            arr = arr.reshape(len(arr) // width if width else 0, width)
+        return arr
+
+    return ValueCodec(
+        f"vector{width}",
+        FLOAT,
+        encode,
+        decode,
+        decode_array_fn=cast2d,
+        encode_array_fn=cast2d,
+        width=width,
+    )

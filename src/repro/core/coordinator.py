@@ -40,7 +40,6 @@ from repro.engine.parallel import (
     make_thread_executor,
     serial_executor,
 )
-from repro.engine.types import VARCHAR
 from repro.errors import VertexicaError
 
 __all__ = ["Coordinator", "register_coordinator", "SUPERSTEP_SAFETY_LIMIT"]
@@ -147,7 +146,7 @@ class Coordinator:
             if config.input_strategy == "union":
                 input_sql = storage.union_input_sql(
                     graph,
-                    program.vertex_codec.sql_type is VARCHAR,
+                    program,
                     include_edges=edge_cache is None or not edge_cache.primed,
                 )
                 order_by = ("vid", "kind")

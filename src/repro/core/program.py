@@ -108,6 +108,11 @@ class VertexProgram:
                 raise ProgramError(
                     f"unknown combiner {self.combiner!r}; expected one of {COMBINERS}"
                 )
+            if self.message_codec.is_vector:
+                raise ProgramError(
+                    "combiners cannot reduce vector message codecs "
+                    f"(got {self.message_codec.name}); set combiner = None"
+                )
             if not self.message_codec.sql_type.is_numeric:
                 raise ProgramError(
                     "combiners require a numeric message codec "
@@ -143,7 +148,13 @@ class VertexBatch:
     All input arrays are aligned: position ``i`` everywhere refers to the
     same vertex.  Out-edges and incoming messages are CSR-style — vertex
     ``i`` owns ``edge_targets[edge_indptr[i]:edge_indptr[i+1]]`` and
-    ``message_values[msg_indptr[i]:msg_indptr[i+1]]``.
+    ``message_values[msg_indptr[i]:msg_indptr[i+1]]`` (with
+    ``message_senders`` aligned to the same extents — the message table's
+    ``src`` column).  Vector codecs make ``values`` / ``message_values``
+    dense 2-D ``(n, k)`` float64 arrays; the built-in segment reductions
+    (:meth:`sum_messages` & co) are scalar-only, so vector batch kernels
+    reduce over ``msg_indptr`` themselves (e.g. ``np.add.reduceat(...,
+    axis=0)``).
 
     Mutations are buffered exactly like on :class:`~repro.core.api.Vertex`:
     the worker collects them after :meth:`BatchVertexProgram.compute_batch`
@@ -167,6 +178,7 @@ class VertexBatch:
         "msg_indptr",
         "message_values",
         "message_valid",
+        "message_senders",
         "values_valid",
         "_values",
         "_aggregated",
@@ -192,6 +204,7 @@ class VertexBatch:
         superstep: int,
         num_vertices: int,
         aggregated: dict[str, float] | None = None,
+        message_senders: np.ndarray | None = None,
     ) -> None:
         self.ids = ids
         self._values = values
@@ -203,6 +216,11 @@ class VertexBatch:
         self.msg_indptr = msg_indptr
         self.message_values = message_values
         self.message_valid = message_valid
+        self.message_senders = (
+            message_senders
+            if message_senders is not None
+            else np.empty(0, dtype=np.int64)
+        )
         self.superstep = superstep
         self.num_vertices = num_vertices
         self._aggregated = aggregated or {}
@@ -322,12 +340,12 @@ class VertexBatch:
         degrees = self.out_degrees
         values = np.asarray(per_vertex)
         if mask is None:
-            payload = np.repeat(values, degrees)
+            payload = np.repeat(values, degrees, axis=0)
             targets = self.edge_targets
             senders = np.repeat(self.ids, degrees)
         else:
             counts = np.where(mask, degrees, 0)
-            payload = np.repeat(values, counts)
+            payload = np.repeat(values, counts, axis=0)
             edge_mask = np.repeat(mask, degrees)
             targets = self.edge_targets[edge_mask]
             senders = np.repeat(self.ids, counts)

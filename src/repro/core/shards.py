@@ -75,14 +75,14 @@ class VertexShard:
     index: int
     vertex_ids: np.ndarray  # int64, sorted
     halted: np.ndarray  # bool
-    raw_values: np.ndarray  # storage dtype (float64/int64/object)
+    raw_values: np.ndarray  # storage dtype (float64/int64/object; (nv, k) for vectors)
     value_valid: np.ndarray  # bool
     edge_indptr: np.ndarray  # int64 [nv + 1]
     edge_targets: np.ndarray  # int64
     edge_weights: np.ndarray  # float64
     msg_src: np.ndarray  # int64 senders (MIN(vid) once combined)
     msg_dst: np.ndarray  # int64, stably sorted
-    msg_raw: np.ndarray  # storage dtype
+    msg_raw: np.ndarray  # storage dtype ((nm, k) for vector codecs)
     msg_valid: np.ndarray  # bool
 
     @property
@@ -102,8 +102,8 @@ class VertexShard:
         replacement for the SQL plane's decode layer.  Messages to ids
         with no vertex row are dropped here (and counted), exactly like
         the relational decode."""
-        msg_indptr, (msg_raw, msg_valid), dropped = _csr_align(
-            self.msg_dst, self.vertex_ids, (self.msg_raw, self.msg_valid)
+        msg_indptr, (msg_src, msg_raw, msg_valid), dropped = _csr_align(
+            self.msg_dst, self.vertex_ids, (self.msg_src, self.msg_raw, self.msg_valid)
         )
         return _DecodedPartition(
             self.vertex_ids,
@@ -114,16 +114,17 @@ class VertexShard:
             self.edge_targets,
             self.edge_weights,
             msg_indptr,
+            msg_src,
             msg_raw,
             msg_valid,
             dropped,
         )
 
-    def clear_messages(self, msg_dtype: np.dtype | type) -> None:
+    def clear_messages(self, empty_raw: np.ndarray) -> None:
         empty_i64 = np.empty(0, dtype=np.int64)
         self.msg_src = empty_i64
         self.msg_dst = empty_i64
-        self.msg_raw = np.empty(0, dtype=msg_dtype)
+        self.msg_raw = empty_raw
         self.msg_valid = np.empty(0, dtype=bool)
 
 
@@ -158,13 +159,25 @@ class ShardedDataPlane:
         self.n_shards = max(1, int(n_shards))
         self.use_combiner = bool(use_combiner and program.combiner is not None)
         self.aggregated: dict[str, float] = {}
-        v_sql = program.vertex_codec.sql_type
-        m_sql = program.message_codec.sql_type
+        v_codec = program.vertex_codec
+        m_codec = program.message_codec
+        v_sql = v_codec.sql_type
+        m_sql = m_codec.sql_type
         self._value_storage_dtype = object if v_sql is VARCHAR else v_sql.numpy_dtype
         self._msg_storage_dtype = object if m_sql is VARCHAR else m_sql.numpy_dtype
         self._msg_is_varchar = m_sql is VARCHAR
         self._value_is_varchar = v_sql is VARCHAR
+        #: vector codec widths (0 = scalar): resident value/message
+        #: arrays are 2-D ``(n, k)`` when > 0.
+        self._value_width = v_codec.width
+        self._msg_width = m_codec.width
         self.shards = self._build_shards()
+
+    def _empty_msg_raw(self) -> np.ndarray:
+        """A zero-length message storage array of the run's shape."""
+        if self._msg_width:
+            return np.empty((0, self._msg_width), dtype=np.float64)
+        return np.empty(0, dtype=self._msg_storage_dtype)
 
     # ------------------------------------------------------------------
     # Partition once (run setup)
@@ -176,12 +189,21 @@ class ShardedDataPlane:
         graph = self.graph
         vdata = db.table(graph.vertex_table).data()
         ids = np.asarray(vdata.column("id").values, dtype=np.int64)
-        value_col = vdata.column("value")
         halted = np.asarray(vdata.column("halted").values, dtype=bool)
+        if self._value_width:
+            names = self.program.vertex_codec.column_names()
+            raw_values = np.column_stack(
+                [np.asarray(vdata.column(c).values, np.float64) for c in names]
+            ) if len(ids) else np.empty((0, self._value_width), dtype=np.float64)
+            value_valid = np.asarray(vdata.column(names[0]).valid, dtype=bool)
+        else:
+            value_col = vdata.column("value")
+            raw_values = value_col.values
+            value_valid = value_col.valid
         if len(ids) > 1 and np.any(ids[1:] < ids[:-1]):  # setup_run sorts; stay safe
             order = np.argsort(ids, kind="stable")
             ids, halted = ids[order], halted[order]
-            value_col = value_col.take(order)
+            raw_values, value_valid = raw_values[order], value_valid[order]
 
         edata = db.table(graph.edge_table).data()
         esrc = np.asarray(edata.column("src").values, dtype=np.int64)
@@ -209,14 +231,14 @@ class ShardedDataPlane:
                 index=s,
                 vertex_ids=shard_ids,
                 halted=halted[v_sel],
-                raw_values=value_col.values[v_sel],
-                value_valid=value_col.valid[v_sel],
+                raw_values=raw_values[v_sel],
+                value_valid=value_valid[v_sel],
                 edge_indptr=edge_indptr,
                 edge_targets=edge_targets,
                 edge_weights=edge_weights,
                 msg_src=np.empty(0, dtype=np.int64),
                 msg_dst=np.empty(0, dtype=np.int64),
-                msg_raw=np.empty(0, dtype=self._msg_storage_dtype),
+                msg_raw=self._empty_msg_raw(),
                 msg_valid=np.empty(0, dtype=bool),
             )
             shards.append(shard)
@@ -241,22 +263,33 @@ class ShardedDataPlane:
     ) -> ShardStepStats:
         """Compute every shard (optionally in parallel), then apply
         vertex updates, route messages, and reduce aggregators — the
-        synchronous superstep barrier, minus all the SQL."""
+        synchronous superstep barrier, minus all the SQL.
+
+        Each shard task also *pre-buckets* its own emitted messages by
+        destination shard (one stable sort per source shard, inside the
+        parallel section), so the barrier-side router only concatenates
+        per-destination inboxes and segment-sorts them.
+        """
         messages_in = self.pending_messages
         shard_seconds = [0.0] * self.n_shards
 
-        def run_shard(shard: VertexShard, index: int) -> StagedRows:
+        def run_shard(
+            shard: VertexShard, index: int
+        ) -> tuple[StagedRows, tuple]:
             started = time.perf_counter()
             out, _ = worker.compute_decoded(shard.decoded())
             staged = out.to_staged()
+            routed = self._bucket_messages(staged)
             shard_seconds[index] = time.perf_counter() - started
-            return staged
+            return staged, routed
 
-        staged = executor(
+        results = executor(
             run_shard, [(shard, shard.index) for shard in self.shards]
         )
+        staged = [result[0] for result in results]
+        routed = [result[1] for result in results]
         vertex_updates = self._apply_vertex_updates(staged)
-        messages_out = self._route_messages(staged)
+        messages_out = self._route_messages(routed)
         self.aggregated = self._reduce_aggregators(staged)
         rows_in = self.graph.num_vertices + messages_in
         if worker.superstep == 0:
@@ -286,7 +319,10 @@ class ShardedDataPlane:
             vids = rows.vid[mask]
             pos = np.searchsorted(shard.vertex_ids, vids)
             shard.halted[pos] = rows.halted[mask]
-            if self._value_is_varchar:
+            if self._value_width:
+                values = rows.pay[mask][:, : self._value_width]
+                valid = rows.pay_valid[mask]
+            elif self._value_is_varchar:
                 values, valid = rows.s1[mask], rows.s1_valid[mask]
             else:
                 # Numeric payloads stage as float64; the SQL plane casts
@@ -302,54 +338,77 @@ class ShardedDataPlane:
     # ------------------------------------------------------------------
     # In-plane message routing
     # ------------------------------------------------------------------
-    def _route_messages(self, staged: list[StagedRows]) -> int:
-        """Scatter each source shard's emitted messages to destination
-        shards and segment-sort per destination.
+    def _bucket_messages(
+        self, staged: StagedRows
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """One source shard's emitted messages, bucket-sorted by
+        ``(destination shard, destination id)`` — runs *inside* the shard
+        task, so the per-source routing sort lands in the parallel
+        section.  Returns ``(senders, dst, values, valid, bounds)`` with
+        destination shard ``d`` owning ``[bounds[d]:bounds[d+1]]``, or
+        ``None`` when the shard emitted nothing."""
+        rows = staged
+        mask = rows.kind == 1
+        if not mask.any():
+            return None
+        if self._msg_width:
+            values = rows.pay[mask][:, : self._msg_width]
+            valid = rows.pay_valid[mask]
+        elif self._msg_is_varchar:
+            values, valid = rows.s1[mask], rows.s1_valid[mask]
+        else:
+            # Mirror the SQL plane's apply_messages cast into the
+            # message table's column type.
+            values = rows.f1[mask].astype(self._msg_storage_dtype)
+            valid = rows.f1_valid[mask]
+        senders, dst = rows.vid[mask], rows.dst[mask]
+        order, bounds = hash_bucket_order(dst % self.n_shards, self.n_shards, (dst,))
+        return senders[order], dst[order], values[order], valid[order], bounds
+
+    def _route_messages(self, routed: list[tuple | None]) -> int:
+        """Deliver the pre-bucketed messages to their destination shards.
 
         Ordering contract (what makes the planes bit-identical): the SQL
         plane concatenates partition outputs in partition-index order
         into the staging table, and its next-superstep lexsort is stable
         — so vertex ``v`` receives messages ordered by (source
-        partition, emission order).  Here the source shards' messages
-        concatenate in shard-index order (the staging order) and one
-        stable lexsort keyed on ``(destination shard, destination id)``
-        both scatters and segment-sorts them: the same delivery order,
-        in a single sort, without the table round trip.
+        partition, emission order).  Here each source shard has already
+        stable-sorted its own messages by ``(destination shard,
+        destination id)`` (:meth:`_bucket_messages`); a destination
+        concatenates its per-source buckets in shard-index order (the
+        staging order) and one stable segment-sort by destination id
+        restores exactly that delivery order — the ties within a
+        destination id keep (source shard, emission order).
         """
-        n = self.n_shards
-        chunks: list[tuple[np.ndarray, ...]] = []
-        for rows in staged:
-            mask = rows.kind == 1
-            if not mask.any():
-                continue
-            if self._msg_is_varchar:
-                values, valid = rows.s1[mask], rows.s1_valid[mask]
-            else:
-                # Mirror the SQL plane's apply_messages cast into the
-                # message table's column type.
-                values = rows.f1[mask].astype(self._msg_storage_dtype)
-                valid = rows.f1_valid[mask]
-            chunks.append((rows.vid[mask], rows.dst[mask], values, valid))
+        chunks = [c for c in routed if c is not None]
         if not chunks:
             for shard in self.shards:
-                shard.clear_messages(self._msg_storage_dtype)
+                shard.clear_messages(self._empty_msg_raw())
             return 0
-
-        senders = np.concatenate([c[0] for c in chunks])
-        dst = np.concatenate([c[1] for c in chunks])
-        values = np.concatenate([c[2] for c in chunks])
-        valid = np.concatenate([c[3] for c in chunks])
-        order, bounds = hash_bucket_order(dst % n, n, (dst,))
-        senders, dst = senders[order], dst[order]
-        values, valid = values[order], valid[order]
 
         total = 0
         for shard in self.shards:
-            lo, hi = int(bounds[shard.index]), int(bounds[shard.index + 1])
-            if hi <= lo:
-                shard.clear_messages(self._msg_storage_dtype)
+            d = shard.index
+            parts = [
+                (c[0][c[4][d]:c[4][d + 1]], c[1][c[4][d]:c[4][d + 1]],
+                 c[2][c[4][d]:c[4][d + 1]], c[3][c[4][d]:c[4][d + 1]])
+                for c in chunks
+            ]
+            parts = [p for p in parts if len(p[1])]
+            if not parts:
+                shard.clear_messages(self._empty_msg_raw())
                 continue
-            inbox = (senders[lo:hi], dst[lo:hi], values[lo:hi], valid[lo:hi])
+            if len(parts) == 1:
+                # A single contributing source's bucket is already sorted
+                # by destination id — no merge sort needed.
+                inbox = parts[0]
+            else:
+                senders = np.concatenate([p[0] for p in parts])
+                dst = np.concatenate([p[1] for p in parts])
+                values = np.concatenate([p[2] for p in parts])
+                valid = np.concatenate([p[3] for p in parts])
+                order = np.argsort(dst, kind="stable")
+                inbox = (senders[order], dst[order], values[order], valid[order])
             if self.use_combiner:
                 inbox = self._combine(*inbox)
             shard.msg_src, shard.msg_dst, shard.msg_raw, shard.msg_valid = inbox

@@ -9,13 +9,19 @@ Tables for a graph named ``g``:
 
 ==============  =====================================================
 ``g_edge``      src INTEGER, dst INTEGER, weight FLOAT   (loaded once)
-``g_vertex``    id INTEGER, value <codec type>, halted BOOLEAN
-``g_message``   src INTEGER, dst INTEGER, value <codec type>
-``g_out``       worker output staging (kind, vid, dst, f1, s1, halted)
+``g_vertex``    id INTEGER, <value columns>, halted BOOLEAN
+``g_message``   src INTEGER, dst INTEGER, <value columns>
+``g_out``       worker output staging (kind, vid, dst, f1, s1, halted
+                [, p0..p{K-1} for vector payloads])
 ==============  =====================================================
 
 The vertex/message/output tables are (re)created per run because their
-value column types depend on the program's codecs.
+value column layout depends on the program's codecs: a scalar codec owns
+one ``value`` column of its SQL type (the paper's layout); a vector codec
+(:func:`~repro.core.codecs.vector_codec`) owns ``k`` typed FLOAT columns
+``v0..v{k-1}`` — dense multi-column state instead of JSON-in-VARCHAR.
+Vector payloads travel through the staging table in ``K = max(widths)``
+extra FLOAT columns ``p0..p{K-1}``.
 """
 
 from __future__ import annotations
@@ -38,6 +44,8 @@ __all__ = [
     "GraphStorage",
     "WORKER_OUTPUT_COLUMNS",
     "canonical_edge_order",
+    "payload_width",
+    "worker_output_columns",
 ]
 
 
@@ -72,11 +80,29 @@ WORKER_OUTPUT_COLUMNS = (
 )
 
 
-def _staged_value_expr(codec: ValueCodec, alias: str | None) -> str:
-    """SQL expression extracting a codec's value from the staging columns.
+def payload_width(program: VertexProgram) -> int:
+    """Width of the staging table's vector payload block for a run: the
+    widest vector codec the program declares (0 when both are scalar —
+    the staging schema is then exactly the paper's)."""
+    return max(program.vertex_codec.width, program.message_codec.width)
 
-    The staging table keeps all non-string payloads in the FLOAT ``f1``
-    column, so INTEGER codecs need a cast on the way out.
+
+def worker_output_columns(width: int = 0) -> tuple[tuple[str, Any, bool], ...]:
+    """The staging columns for a run whose vector payload block is
+    ``width`` columns wide (``p0..p{width-1}``, appended after the scalar
+    payload pair)."""
+    extra = tuple((f"p{j}", FLOAT, True) for j in range(width))
+    return WORKER_OUTPUT_COLUMNS + extra
+
+
+def _staged_value_expr(codec: ValueCodec, alias: str | None) -> str:
+    """SQL expression extracting a scalar codec's value from the staging
+    columns.
+
+    The staging table keeps all non-string scalar payloads in the FLOAT
+    ``f1`` column, so INTEGER codecs need a cast on the way out.  Vector
+    codecs have no single extraction expression — use
+    :func:`_staged_value_exprs`.
     """
     prefix = f"{alias}." if alias else ""
     if codec.sql_type is VARCHAR:
@@ -84,6 +110,39 @@ def _staged_value_expr(codec: ValueCodec, alias: str | None) -> str:
     if codec.sql_type is INTEGER:
         return f"CAST({prefix}f1 AS INTEGER)"
     return f"{prefix}f1"
+
+
+def _staged_value_exprs(codec: ValueCodec, alias: str | None) -> list[str]:
+    """SQL expressions extracting a codec's value column(s) from staging:
+    one per storage column (``p{j}`` for vector codecs, the scalar
+    ``f1``/``s1`` expression otherwise)."""
+    prefix = f"{alias}." if alias else ""
+    if codec.is_vector:
+        return [f"{prefix}p{j}" for j in range(codec.width)]
+    return [_staged_value_expr(codec, alias)]
+
+
+def _value_column_ddl(codec: ValueCodec) -> str:
+    """The value-column clause of a vertex/message CREATE TABLE."""
+    if codec.is_vector:
+        return ", ".join(f"{name} FLOAT" for name in codec.column_names())
+    return f"value {codec.sql_type.name}"
+
+
+def _value_columns_from_storage(
+    codec: ValueCodec, values: np.ndarray, valid: np.ndarray
+) -> list[Column]:
+    """Table columns from a storage-encoded value array: one column per
+    storage column (a 2-D ``(n, k)`` array splits into its ``k`` FLOAT
+    columns, every one sharing the whole-vector validity mask)."""
+    if codec.is_vector:
+        return [
+            Column.from_numpy(
+                FLOAT, np.ascontiguousarray(values[:, j]), valid.copy()
+            )
+            for j in range(codec.width)
+        ]
+    return [Column.from_numpy(codec.sql_type, values, valid)]
 
 
 class GraphHandle:
@@ -289,23 +348,26 @@ class GraphStorage:
         and populate initial vertex values via
         :meth:`VertexProgram.initial_value`."""
         db = self.db
-        vt = program.vertex_codec.sql_type.name
-        mt = program.message_codec.sql_type.name
         db.execute(f"DROP TABLE IF EXISTS {graph.vertex_table}")
         db.execute(f"DROP TABLE IF EXISTS {graph.message_table}")
         db.execute(f"DROP TABLE IF EXISTS {graph.output_table}")
         db.execute(
             f"CREATE TABLE {graph.vertex_table} "
-            f"(id INTEGER NOT NULL, value {vt}, halted BOOLEAN NOT NULL)"
+            f"(id INTEGER NOT NULL, {_value_column_ddl(program.vertex_codec)}, "
+            "halted BOOLEAN NOT NULL)"
         )
         db.execute(
             f"CREATE TABLE {graph.message_table} "
-            f"(src INTEGER, dst INTEGER NOT NULL, value {mt})"
+            f"(src INTEGER, dst INTEGER NOT NULL, "
+            f"{_value_column_ddl(program.message_codec)})"
+        )
+        staging_payload = "".join(
+            f", p{j} FLOAT" for j in range(payload_width(program))
         )
         db.execute(
             f"CREATE TABLE {graph.output_table} ("
             "kind INTEGER NOT NULL, vid INTEGER NOT NULL, dst INTEGER, "
-            "f1 FLOAT, s1 VARCHAR, halted BOOLEAN)"
+            f"f1 FLOAT, s1 VARCHAR, halted BOOLEAN{staging_payload})"
         )
         degrees = self.out_degrees(graph)
         id_batch = db.query_batch(f"SELECT id FROM {graph.node_table} ORDER BY id")
@@ -321,12 +383,22 @@ class GraphStorage:
             )
             for vertex_id in ids.tolist()
         ]
+        if codec.is_vector:
+            dense = np.zeros((len(ids), codec.width), dtype=np.float64)
+            valid = np.zeros(len(ids), dtype=bool)
+            for i, item in enumerate(values):
+                if item is not None:
+                    dense[i] = item
+                    valid[i] = True
+            value_columns = _value_columns_from_storage(codec, dense, valid)
+        else:
+            value_columns = [Column.from_values(codec.sql_type, values)]
         schema = db.table(graph.vertex_table).schema
         batch = RecordBatch(
             schema,
             [
                 Column.from_numpy(INTEGER, ids),
-                Column.from_values(codec.sql_type, values),
+                *value_columns,
                 Column.from_numpy(BOOLEAN, np.zeros(len(ids), dtype=bool)),
             ],
         )
@@ -343,36 +415,69 @@ class GraphStorage:
     # Worker input queries (the §2.3 Table Unions optimization + its foil)
     # ------------------------------------------------------------------
     def union_input_sql(
-        self, graph: GraphHandle, value_is_varchar: bool, include_edges: bool = True
+        self, graph: GraphHandle, program: VertexProgram, include_edges: bool = True
     ) -> str:
         """UNION ALL of the three tables renamed to a common narrow schema
-        ``(vid, kind, i1, f1, s1)`` — kind 0/1/2 = vertex/edge/message.
+        ``(vid, kind, i1, f1, s1[, p0..p{K-1}])`` — kind 0/1/2 =
+        vertex/edge/message.
+
+        Scalar codecs project exactly the paper's five columns.  A vector
+        codec appends its storage columns as FLOAT payload columns
+        ``p0..p{K-1}`` (``K`` = the widest vector codec): vertex rows fill
+        the vertex codec's width, message rows the message codec's, and
+        every other position is NULL.
 
         ``include_edges=False`` omits the edge relation: once the worker
         has cached the decoded per-partition edge arrays (superstep 0),
         re-projecting the immutable edge table every superstep is pure
         overhead.
         """
-        if value_is_varchar:
+        v_codec = program.vertex_codec
+        m_codec = program.message_codec
+        if v_codec.is_vector:
+            v_f1, v_s1 = "NULL", "NULL"
+        elif v_codec.sql_type is VARCHAR:
             v_f1, v_s1 = "NULL", "v.value"
-            m_f1, m_s1 = "NULL", "m.value"
         else:
             v_f1, v_s1 = "v.value", "NULL"
+        if m_codec.is_vector:
+            m_f1, m_s1 = "NULL", "NULL"
+        elif m_codec.sql_type is VARCHAR:
+            m_f1, m_s1 = "NULL", "m.value"
+        else:
             m_f1, m_s1 = "m.value", "NULL"
+
+        width = payload_width(program)
+
+        def payload(codec: ValueCodec, alias: str, first: bool) -> str:
+            parts = []
+            for j in range(width):
+                expr = (
+                    f"CAST({alias}.v{j} AS FLOAT)"
+                    if codec.is_vector and j < codec.width
+                    else "CAST(NULL AS FLOAT)"  # bare NULL would type as VARCHAR
+                )
+                parts.append(f", {expr} AS p{j}" if first else f", {expr}")
+            return "".join(parts)
+
+        edge_nulls = "".join(", CAST(NULL AS FLOAT)" for _ in range(width))
         edge_part = (
             f"UNION ALL "
-            f"SELECT e.src, 1, e.dst, e.weight, NULL FROM {graph.edge_table} e "
+            f"SELECT e.src, 1, e.dst, e.weight, NULL{edge_nulls} "
+            f"FROM {graph.edge_table} e "
             if include_edges
             else ""
         )
         return (
             f"SELECT v.id AS vid, 0 AS kind, "
             f"CASE WHEN v.halted THEN 1 ELSE 0 END AS i1, "
-            f"CAST({v_f1} AS FLOAT) AS f1, CAST({v_s1} AS VARCHAR) AS s1 "
+            f"CAST({v_f1} AS FLOAT) AS f1, CAST({v_s1} AS VARCHAR) AS s1"
+            f"{payload(v_codec, 'v', first=True)} "
             f"FROM {graph.vertex_table} v "
             f"{edge_part}"
             f"UNION ALL "
-            f"SELECT m.dst, 2, m.src, CAST({m_f1} AS FLOAT), CAST({m_s1} AS VARCHAR) "
+            f"SELECT m.dst, 2, m.src, CAST({m_f1} AS FLOAT), CAST({m_s1} AS VARCHAR)"
+            f"{payload(m_codec, 'm', first=False)} "
             f"FROM {graph.message_table} m"
         )
 
@@ -412,15 +517,24 @@ class GraphStorage:
         Returns the number of messages now pending.
         """
         db = self.db
-        value_expr = _staged_value_expr(program.message_codec, alias=None)
+        codec = program.message_codec
         if use_combiner and program.combiner is not None:
+            # validate() rejects combiners on vector codecs, so the
+            # single-column expression always exists here.
+            value_expr = _staged_value_expr(codec, alias=None)
             select = (
                 f"SELECT MIN(vid) AS src, dst, {program.combiner}({value_expr}) AS value "
                 f"FROM {graph.output_table} WHERE kind = 1 GROUP BY dst"
             )
         else:
+            value_list = ", ".join(
+                f"{expr} AS {name}"
+                for expr, name in zip(
+                    _staged_value_exprs(codec, alias=None), codec.column_names()
+                )
+            )
             select = (
-                f"SELECT vid AS src, dst, {value_expr} AS value "
+                f"SELECT vid AS src, dst, {value_list} "
                 f"FROM {graph.output_table} WHERE kind = 1"
             )
         fresh = db.query_batch(select)
@@ -447,33 +561,45 @@ class GraphStorage:
         """
         db = self.db
         codec = program.vertex_codec
-        value_col = "s1" if codec.sql_type is VARCHAR else "f1"
+        if codec.is_vector:
+            staged_cols = [f"p{j}" for j in range(codec.width)]
+        else:
+            staged_cols = ["s1" if codec.sql_type is VARCHAR else "f1"]
+        value_names = codec.column_names()
         updates = self.count_staged(graph, 0)
         if updates == 0:
             return 0
         if replace:
-            value_expr = _staged_value_expr(codec, alias="w")
+            value_cases = ", ".join(
+                f"CASE WHEN w.vid IS NULL THEN v.{name} ELSE {expr} END AS {name}"
+                for name, expr in zip(
+                    value_names, _staged_value_exprs(codec, alias="w")
+                )
+            )
             fresh = db.query_batch(
-                f"SELECT v.id AS id, "
-                f"CASE WHEN w.vid IS NULL THEN v.value ELSE {value_expr} END AS value, "
+                f"SELECT v.id AS id, {value_cases}, "
                 f"CASE WHEN w.vid IS NULL THEN v.halted ELSE w.halted END AS halted "
                 f"FROM {graph.vertex_table} v "
-                f"LEFT JOIN (SELECT vid, {value_col}, halted "
+                f"LEFT JOIN (SELECT vid, {', '.join(staged_cols)}, halted "
                 f"           FROM {graph.output_table} WHERE kind = 0) w "
                 f"ON v.id = w.vid"
             )
             db.table(graph.vertex_table).replace_data(fresh)
             return updates
         staged = db.execute(
-            f"SELECT vid, {value_col}, halted FROM {graph.output_table} WHERE kind = 0"
+            f"SELECT vid, {', '.join(staged_cols)}, halted "
+            f"FROM {graph.output_table} WHERE kind = 0"
         ).rows()
-        integral = codec.sql_type is INTEGER
-        for vid, value, halted in staged:
-            if integral and value is not None:
-                value = int(value)
+        integral = codec.sql_type is INTEGER and not codec.is_vector
+        set_clause = ", ".join(f"{name} = ?" for name in value_names)
+        for row in staged:
+            vid, values, halted = row[0], list(row[1:-1]), row[-1]
+            if integral and values[0] is not None:
+                values[0] = int(values[0])
             db.execute(
-                f"UPDATE {graph.vertex_table} SET value = ?, halted = ? WHERE id = ?",
-                params=(value, halted, vid),
+                f"UPDATE {graph.vertex_table} SET {set_clause}, halted = ? "
+                "WHERE id = ?",
+                params=(*values, halted, vid),
             )
         return updates
 
@@ -493,8 +619,9 @@ class GraphStorage:
 
         ``values`` must already be in storage representation (the shard
         plane keeps vertex values encoded, exactly like the table
-        column).  Rows are written in ascending id order — the same
-        order ``setup_run`` loads and ``read_values`` reads.
+        columns — a 2-D ``(n, k)`` array for vector codecs).  Rows are
+        written in ascending id order — the same order ``setup_run``
+        loads and ``read_values`` reads.
         """
         table = self.db.table(graph.vertex_table)
         codec = program.vertex_codec
@@ -503,7 +630,7 @@ class GraphStorage:
                 table.schema,
                 [
                     Column.from_numpy(INTEGER, ids),
-                    Column.from_numpy(codec.sql_type, values, values_valid),
+                    *_value_columns_from_storage(codec, values, values_valid),
                     Column.from_numpy(BOOLEAN, halted),
                 ],
             )
@@ -528,7 +655,7 @@ class GraphStorage:
                 [
                     Column.from_numpy(INTEGER, src),
                     Column.from_numpy(INTEGER, dst),
-                    Column.from_numpy(codec.sql_type, values, values_valid),
+                    *_value_columns_from_storage(codec, values, values_valid),
                 ],
             )
         )
@@ -569,10 +696,22 @@ class GraphStorage:
     def read_values(self, graph: GraphHandle, program: VertexProgram) -> dict[int, Any]:
         """Final vertex values, decoded through the program's codec (one
         vectorized column pass, not a per-row decode loop)."""
+        codec = program.vertex_codec
+        cols = ", ".join(codec.column_names())
         batch = self.db.query_batch(
-            f"SELECT id, value FROM {graph.vertex_table} ORDER BY id"
+            f"SELECT id, {cols} FROM {graph.vertex_table} ORDER BY id"
         )
         ids = batch.column("id").values.tolist()
-        value_col = batch.column("value")
-        decoded = program.vertex_codec.decode_list(value_col.values, value_col.valid)
+        if codec.is_vector:
+            columns = [batch.column(name) for name in codec.column_names()]
+            values = (
+                np.column_stack([np.asarray(c.values, np.float64) for c in columns])
+                if ids
+                else np.empty((0, codec.width), dtype=np.float64)
+            )
+            valid = columns[0].valid
+        else:
+            value_col = batch.column("value")
+            values, valid = value_col.values, value_col.valid
+        decoded = codec.decode_list(values, valid)
         return dict(zip(ids, decoded))

@@ -54,7 +54,7 @@ import numpy as np
 from repro.core.api import OutEdge, Vertex
 from repro.core.codecs import ValueCodec
 from repro.core.program import VertexBatch, VertexProgram, supports_batch
-from repro.core.storage import WORKER_OUTPUT_COLUMNS
+from repro.core.storage import payload_width, worker_output_columns
 from repro.engine.batch import RecordBatch
 from repro.engine.column import Column
 from repro.engine.schema import ColumnDef, Schema
@@ -64,11 +64,12 @@ from repro.errors import ProgramError
 __all__ = ["EdgeCache", "StagedRows", "VertexWorker", "worker_output_schema"]
 
 
-def worker_output_schema() -> Schema:
-    """The staging schema worker calls must produce."""
+def worker_output_schema(width: int = 0) -> Schema:
+    """The staging schema worker calls must produce (``width`` extra
+    FLOAT payload columns when a codec is vector-valued)."""
     return Schema(
         ColumnDef(name, dtype, nullable=nullable)
-        for name, dtype, nullable in WORKER_OUTPUT_COLUMNS
+        for name, dtype, nullable in worker_output_columns(width)
     )
 
 
@@ -87,13 +88,14 @@ class _DecodedPartition:
 
     vertex_ids: np.ndarray  # int64 [nv]
     halted: np.ndarray  # bool  [nv]
-    raw_values: np.ndarray  # storage values aligned to vertex_ids
+    raw_values: np.ndarray  # storage values aligned to vertex_ids ((nv, k) for vector codecs)
     value_valid: np.ndarray  # bool  [nv]
     edge_indptr: np.ndarray  # int64 [nv + 1]
     edge_targets: np.ndarray  # int64 [ne]
     edge_weights: np.ndarray  # float64 [ne]
     msg_indptr: np.ndarray  # int64 [nv + 1]
-    msg_raw: np.ndarray  # storage values [nm]
+    msg_src: np.ndarray  # int64 senders [nm] (the message table's src column)
+    msg_raw: np.ndarray  # storage values [nm] ((nm, k) for vector codecs)
     msg_valid: np.ndarray  # bool [nm]
     dropped: int  # messages addressed to ids with no vertex row
 
@@ -226,14 +228,16 @@ class StagedRows:
     kind: np.ndarray  # int64: 0 vertex update, 1 message, 2 aggregate
     vid: np.ndarray  # int64: owner (kind 0/2) or sender (kind 1)
     dst: np.ndarray  # int64: message destination (kind 1 only)
-    f1: np.ndarray  # float64 payload (numeric codecs, aggregates)
+    f1: np.ndarray  # float64 payload (numeric scalar codecs, aggregates)
     f1_valid: np.ndarray
     s1: np.ndarray  # object payload (VARCHAR codecs, aggregator names)
     s1_valid: np.ndarray
     halted: np.ndarray  # bool halt votes (kind 0 only)
+    pay: np.ndarray | None = None  # float64 (n, K) vector payload block
+    pay_valid: np.ndarray | None = None  # bool (n,) whole-vector validity
 
     @classmethod
-    def empty(cls) -> "StagedRows":
+    def empty(cls, pay_width: int = 0) -> "StagedRows":
         i64 = np.empty(0, dtype=np.int64)
         flags = np.empty(0, dtype=bool)
         return cls(
@@ -241,6 +245,8 @@ class StagedRows:
             np.empty(0, dtype=np.float64), flags,
             np.empty(0, dtype=object), flags,
             flags,
+            np.empty((0, pay_width), dtype=np.float64) if pay_width else None,
+            flags if pay_width else None,
         )
 
     @property
@@ -254,11 +260,22 @@ class _Outputs:
     Rows arrive either as whole numpy blocks (the batch compute path) or
     as per-row appends (the scalar path); :meth:`to_batch` assembles the
     final columns from array chunks without per-item type coercion.
+
+    ``pay_width`` > 0 adds a dense float64 vector payload block ``(n,
+    pay_width)`` per row chunk (the staging table's ``p0..p{K-1}``
+    columns): kind-0 rows carry ``vertex_width`` leading columns, kind-1
+    rows ``message_width``, and everything beyond a row's width is NULL
+    filler nothing reads.
     """
 
-    __slots__ = ("_blocks", "kind", "vid", "dst", "f1", "s1", "halted", "agg_partials")
+    __slots__ = (
+        "_blocks", "kind", "vid", "dst", "f1", "s1", "halted", "pay",
+        "agg_partials", "pay_width", "vertex_width", "message_width",
+    )
 
-    def __init__(self) -> None:
+    def __init__(
+        self, pay_width: int = 0, vertex_width: int = 0, message_width: int = 0
+    ) -> None:
         #: finished array chunks: (kind, vid, (dst, dst_valid), ...)
         self._blocks: list[tuple] = []
         self.kind: list[int] = []
@@ -267,24 +284,46 @@ class _Outputs:
         self.f1: list[float | None] = []
         self.s1: list[str | None] = []
         self.halted: list[bool | None] = []
+        self.pay: list[np.ndarray | None] = []
         self.agg_partials: list[tuple[str, float]] = []
+        self.pay_width = pay_width
+        self.vertex_width = vertex_width
+        self.message_width = message_width
 
     # Scalar-path appends ----------------------------------------------
-    def add_vertex_update(self, vid: int, f1: float | None, s1: str | None, halted: bool) -> None:
+    def add_vertex_update(
+        self,
+        vid: int,
+        f1: float | None,
+        s1: str | None,
+        halted: bool,
+        pay: np.ndarray | None = None,
+    ) -> None:
         self.kind.append(0)
         self.vid.append(vid)
         self.dst.append(None)
         self.f1.append(f1)
         self.s1.append(s1)
         self.halted.append(halted)
+        if self.pay_width:
+            self.pay.append(pay)
 
-    def add_message(self, sender: int, dst: int, f1: float | None, s1: str | None) -> None:
+    def add_message(
+        self,
+        sender: int,
+        dst: int,
+        f1: float | None,
+        s1: str | None,
+        pay: np.ndarray | None = None,
+    ) -> None:
         self.kind.append(1)
         self.vid.append(sender)
         self.dst.append(dst)
         self.f1.append(f1)
         self.s1.append(s1)
         self.halted.append(None)
+        if self.pay_width:
+            self.pay.append(pay)
 
     def add_aggregate(self, name: str, value: float) -> None:
         """One pre-reduced aggregator partial for this partition (kind 2)."""
@@ -294,6 +333,8 @@ class _Outputs:
         self.f1.append(value)
         self.s1.append(name)
         self.halted.append(None)
+        if self.pay_width:
+            self.pay.append(None)
 
     # Batch-path blocks ------------------------------------------------
     def add_vertex_block(
@@ -304,6 +345,8 @@ class _Outputs:
         s1: np.ndarray | None,
         s1_valid: np.ndarray | None,
         halted: np.ndarray,
+        pay: np.ndarray | None = None,
+        pay_valid: np.ndarray | None = None,
     ) -> None:
         """A block of kind-0 rows from arrays (no per-item work)."""
         n = len(vids)
@@ -318,6 +361,7 @@ class _Outputs:
                 _payload_pair(n, f1, f1_valid, np.float64, 0.0),
                 _payload_pair(n, s1, s1_valid, object, None),
                 (np.asarray(halted, dtype=bool), np.ones(n, dtype=bool)),
+                *self._pay_chunk(n, pay, pay_valid, self.vertex_width),
             )
         )
 
@@ -329,6 +373,8 @@ class _Outputs:
         f1_valid: np.ndarray | None,
         s1: np.ndarray | None,
         s1_valid: np.ndarray | None,
+        pay: np.ndarray | None = None,
+        pay_valid: np.ndarray | None = None,
     ) -> None:
         """A block of kind-1 rows from arrays (no per-item work)."""
         n = len(senders)
@@ -343,8 +389,32 @@ class _Outputs:
                 _payload_pair(n, f1, f1_valid, np.float64, 0.0),
                 _payload_pair(n, s1, s1_valid, object, None),
                 (np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)),
+                *self._pay_chunk(n, pay, pay_valid, self.message_width),
             )
         )
+
+    def _pay_chunk(
+        self,
+        n: int,
+        pay: np.ndarray | None,
+        pay_valid: np.ndarray | None,
+        width: int,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+        """The vector payload element of one block: an ``(n, pay_width)``
+        float64 chunk (zero-filled past ``width``) plus its per-row
+        validity.  Empty tuple when the run has no vector payloads."""
+        if not self.pay_width:
+            return ()
+        out = np.zeros((n, self.pay_width), dtype=np.float64)
+        if pay is None or width == 0:
+            return ((out, np.zeros(n, dtype=bool)),)
+        out[:, :width] = np.asarray(pay, dtype=np.float64).reshape(n, width)
+        valid = (
+            np.ones(n, dtype=bool)
+            if pay_valid is None
+            else np.asarray(pay_valid, dtype=bool)
+        )
+        return ((out, valid),)
 
     # Assembly ---------------------------------------------------------
     def _flush_scalar_rows(self) -> None:
@@ -357,16 +427,24 @@ class _Outputs:
         n = len(self.kind)
         if n == 0:
             return
-        self._blocks.append(
-            (
-                np.fromiter(self.kind, dtype=np.int64, count=n),
-                np.fromiter(self.vid, dtype=np.int64, count=n),
-                _nullable_array(self.dst, np.int64, 0),
-                _nullable_array(self.f1, np.float64, 0.0),
-                _nullable_array(self.s1, object, None),
-                _nullable_array(self.halted, bool, False),
-            )
-        )
+        block = [
+            np.fromiter(self.kind, dtype=np.int64, count=n),
+            np.fromiter(self.vid, dtype=np.int64, count=n),
+            _nullable_array(self.dst, np.int64, 0),
+            _nullable_array(self.f1, np.float64, 0.0),
+            _nullable_array(self.s1, object, None),
+            _nullable_array(self.halted, bool, False),
+        ]
+        if self.pay_width:
+            pay = np.zeros((n, self.pay_width), dtype=np.float64)
+            valid = np.zeros(n, dtype=bool)
+            for i, item in enumerate(self.pay):
+                if item is not None:
+                    pay[i, : len(item)] = item
+                    valid[i] = True
+            block.append((pay, valid))
+            self.pay = []
+        self._blocks.append(tuple(block))
         self.kind, self.vid, self.dst = [], [], []
         self.f1, self.s1, self.halted = [], [], []
 
@@ -377,7 +455,7 @@ class _Outputs:
         self._flush_scalar_rows()
         blocks = self._blocks
         if not blocks:
-            return StagedRows.empty()
+            return StagedRows.empty(self.pay_width)
 
         def plain(position: int) -> np.ndarray:
             parts = [block[position] for block in blocks]
@@ -394,6 +472,7 @@ class _Outputs:
         f1, f1_valid = pair(3)
         s1, s1_valid = pair(4)
         halted, _ = pair(5)
+        pay, pay_valid = pair(6) if self.pay_width else (None, None)
         if s1.dtype != object:  # all-empty concat can collapse the dtype
             s1 = s1.astype(object)
         return StagedRows(
@@ -402,6 +481,7 @@ class _Outputs:
             np.asarray(f1, dtype=np.float64), f1_valid,
             s1, s1_valid,
             np.asarray(halted, dtype=bool),
+            pay, pay_valid,
         )
 
     def to_batch(self, schema: Schema) -> RecordBatch:
@@ -410,10 +490,36 @@ class _Outputs:
         if not blocks:
             return RecordBatch.empty(schema)
         columns = []
+        kind = None
+        pay = pay_valid = None
         for position, coldef in enumerate(schema):
+            if position >= 6:  # p0..p{K-1}: split the 2-D payload chunk
+                if pay is None:
+                    pay_parts = [block[6] for block in blocks]
+                    pay = np.concatenate([p[0] for p in pay_parts])
+                    pay_valid = np.concatenate([p[1] for p in pay_parts])
+                    # A column is NULL past its row's codec width (kind-0
+                    # rows carry vertex_width columns, kind-1 message_width,
+                    # aggregates none).
+                    row_width = np.where(
+                        kind == 0,
+                        self.vertex_width,
+                        np.where(kind == 1, self.message_width, 0),
+                    )
+                j = position - 6
+                columns.append(
+                    Column.from_numpy(
+                        coldef.dtype,
+                        np.ascontiguousarray(pay[:, j]),
+                        pay_valid & (j < row_width),
+                    )
+                )
+                continue
             parts = [block[position] for block in blocks]
             if position < 2:  # kind / vid: never NULL
                 values = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                if position == 0:
+                    kind = values
                 columns.append(Column.from_numpy(coldef.dtype, values))
                 continue
             if len(parts) == 1:
@@ -506,7 +612,13 @@ class VertexWorker:
         self.use_batch = use_batch
         self.edge_cache = edge_cache
         self.aggregated = aggregated or {}
-        self.schema = worker_output_schema()
+        self.payload_width = payload_width(program)
+        if self.payload_width and input_format == "join":
+            raise ProgramError(
+                "the join input format cannot carry vector codec payloads; "
+                "use input_strategy='union' (or data_plane='shards')"
+            )
+        self.schema = worker_output_schema(self.payload_width)
         self._lock = threading.Lock()
         #: vertices whose compute function ran this superstep
         self.vertices_ran = 0
@@ -537,7 +649,11 @@ class VertexWorker:
         builds :class:`_DecodedPartition` views straight from resident
         arrays and calls this directly.  Thread-safe across partitions.
         """
-        out = _Outputs()
+        out = _Outputs(
+            self.payload_width,
+            self.program.vertex_codec.width,
+            self.program.message_codec.width,
+        )
         active = part.active_mask(self.superstep)
         if self.use_batch:
             ran = self._run_batch(out, part, active)
@@ -576,14 +692,31 @@ class VertexWorker:
         i1 = batch.column("i1").values
         f1 = batch.column("f1")
         s1 = batch.column("s1")
-        value_col = s1 if self.program.vertex_codec.sql_type is VARCHAR else f1
-        message_col = s1 if self.program.message_codec.sql_type is VARCHAR else f1
+        v_codec = self.program.vertex_codec
+        m_codec = self.program.message_codec
+        pay_cols = (
+            [batch.column(f"p{j}") for j in range(self.payload_width)]
+            if self.payload_width
+            else []
+        )
+
+        def gather_payload(width: int, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Stack ``width`` staging payload columns into an ``(n, k)``
+            storage block (whole-vector validity from the first column)."""
+            values = np.column_stack(
+                [np.asarray(c.values[rows], dtype=np.float64) for c in pay_cols[:width]]
+            ) if len(rows) else np.empty((0, width), dtype=np.float64)
+            return values, pay_cols[0].valid[rows]
 
         v_idx = np.flatnonzero(kind == 0)
         vertex_ids = vid[v_idx]
         halted = i1[v_idx] == 1
-        raw_values = value_col.values[v_idx]
-        value_valid = value_col.valid[v_idx]
+        if v_codec.is_vector:
+            raw_values, value_valid = gather_payload(v_codec.width, v_idx)
+        else:
+            value_col = s1 if v_codec.sql_type is VARCHAR else f1
+            raw_values = value_col.values[v_idx]
+            value_valid = value_col.valid[v_idx]
 
         cache = self.edge_cache
         if cache is not None and cache.primed:
@@ -608,15 +741,25 @@ class VertexWorker:
                 )
 
         m_idx = np.flatnonzero(kind == 2)
-        msg_indptr, (msg_raw, msg_valid), dropped = _csr_align(
+        if m_codec.is_vector:
+            msg_values, msg_value_valid = gather_payload(m_codec.width, m_idx)
+        else:
+            message_col = s1 if m_codec.sql_type is VARCHAR else f1
+            msg_values = message_col.values[m_idx]
+            msg_value_valid = message_col.valid[m_idx]
+        msg_indptr, (msg_src, msg_raw, msg_valid), dropped = _csr_align(
             vid[m_idx],
             vertex_ids,
-            (message_col.values[m_idx], message_col.valid[m_idx]),
+            (
+                i1[m_idx].astype(np.int64, copy=False),  # the message src column
+                msg_values,
+                msg_value_valid,
+            ),
         )
         return _DecodedPartition(
             vertex_ids, halted, raw_values, value_valid,
             edge_indptr, edge_targets, edge_weights,
-            msg_indptr, msg_raw, msg_valid, dropped,
+            msg_indptr, msg_src, msg_raw, msg_valid, dropped,
         )
 
     # ------------------------------------------------------------------
@@ -666,14 +809,20 @@ class VertexWorker:
         m_rows = np.flatnonzero(
             msrc.valid & (~edst_valid | (edst_vals == first_edst_per_row))
         )
-        msg_indptr, (msg_raw, msg_valid), _ = _csr_align(
-            vid[m_rows], vertex_ids, (mvalue.values[m_rows], mvalue.valid[m_rows])
+        msg_indptr, (msg_src, msg_raw, msg_valid), _ = _csr_align(
+            vid[m_rows],
+            vertex_ids,
+            (
+                msrc.values[m_rows].astype(np.int64, copy=False),
+                mvalue.values[m_rows],
+                mvalue.valid[m_rows],
+            ),
         )
         # Every join row carries a vertex, so nothing is ever dropped.
         return _DecodedPartition(
             vertex_ids, halted, raw_values, value_valid,
             edge_indptr, edge_targets, edge_weights,
-            msg_indptr, msg_raw, msg_valid, 0,
+            msg_indptr, msg_src, msg_raw, msg_valid, 0,
         )
 
     # ------------------------------------------------------------------
@@ -688,8 +837,8 @@ class VertexWorker:
         edge_indptr, (edge_targets, edge_weights) = _csr_select(
             part.edge_indptr, active, (part.edge_targets, part.edge_weights)
         )
-        msg_indptr, (msg_raw, msg_valid) = _csr_select(
-            part.msg_indptr, active, (part.msg_raw, part.msg_valid)
+        msg_indptr, (msg_src, msg_raw, msg_valid) = _csr_select(
+            part.msg_indptr, active, (part.msg_src, part.msg_raw, part.msg_valid)
         )
         ctx = VertexBatch(
             ids=part.vertex_ids[act],
@@ -705,16 +854,19 @@ class VertexWorker:
             superstep=self.superstep,
             num_vertices=self.num_vertices,
             aggregated=self.aggregated,
+            message_senders=msg_src,
         )
         self.program.compute_batch(ctx)  # type: ignore[attr-defined]
 
         values, valid = ctx.collect_values()
-        f1, f1v, s1, s1v = _encoded_payload(v_codec, values, valid)
-        out.add_vertex_block(ctx.ids, f1, f1v, s1, s1v, ctx.collect_halt_votes())
+        f1, f1v, s1, s1v, pay, payv = _encoded_payload(v_codec, values, valid)
+        out.add_vertex_block(
+            ctx.ids, f1, f1v, s1, s1v, ctx.collect_halt_votes(), pay, payv
+        )
         for senders, targets, payload in ctx.collect_message_blocks():
             pv = np.ones(len(payload), dtype=bool)
-            f1, f1v, s1, s1v = _encoded_payload(m_codec, payload, pv)
-            out.add_message_block(senders, targets, f1, f1v, s1, s1v)
+            f1, f1v, s1, s1v, pay, payv = _encoded_payload(m_codec, payload, pv)
+            out.add_message_block(senders, targets, f1, f1v, s1, s1v, pay, payv)
         for name, contributions in ctx.collect_aggregates():
             out.agg_partials.extend(
                 (name, value) for value in contributions.tolist()
@@ -731,6 +883,7 @@ class VertexWorker:
         halted = part.halted.tolist()
         values = v_codec.decode_list(part.raw_values, part.value_valid)
         messages = m_codec.decode_list(part.msg_raw, part.msg_valid)
+        senders = part.msg_src.tolist()
         targets = part.edge_targets.tolist()
         weights = part.edge_weights.tolist()
         e_ptr = part.edge_indptr.tolist()
@@ -752,6 +905,7 @@ class VertexWorker:
                 self.num_vertices,
                 halted[i],
                 aggregated=self.aggregated,
+                senders=senders[m_ptr[i]:m_ptr[i + 1]],
             )
             self.program.compute(vertex)
             _, new_value = vertex.collect_value_update()
@@ -760,31 +914,47 @@ class VertexWorker:
             # state; value is carried through unchanged when compute did
             # not touch it.
             encoded = v_codec.encode_or_none(new_value)
-            f1, s1 = self._payload(encoded, v_codec)
-            out.add_vertex_update(ids[i], f1, s1, vote)
+            f1, s1, pay = self._payload(encoded, v_codec)
+            out.add_vertex_update(ids[i], f1, s1, vote, pay)
             for target, message in vertex.collect_outbox():
-                mf1, ms1 = self._payload(m_codec.encode_or_none(message), m_codec)
-                out.add_message(ids[i], target, mf1, ms1)
+                mf1, ms1, mpay = self._payload(
+                    m_codec.encode_or_none(message), m_codec
+                )
+                out.add_message(ids[i], target, mf1, ms1, mpay)
             out.agg_partials.extend(vertex.collect_aggregates())
             ran += 1
         return ran
 
     @staticmethod
-    def _payload(encoded: Any, codec: Any) -> tuple[float | None, str | None]:
+    def _payload(
+        encoded: Any, codec: Any
+    ) -> tuple[float | None, str | None, np.ndarray | None]:
         if encoded is None:
-            return None, None
+            return None, None, None
+        if codec.is_vector:
+            return None, None, encoded
         if codec.sql_type is VARCHAR:
-            return None, encoded
-        return float(encoded), None
+            return None, encoded, None
+        return float(encoded), None, None
 
 
 def _encoded_payload(
     codec: ValueCodec, values: np.ndarray, valid: np.ndarray
-) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
-    """Encode a decoded array into staging payload columns
-    ``(f1, f1_valid, s1, s1_valid)`` — numeric codecs land in ``f1``,
-    VARCHAR codecs in ``s1``."""
+) -> tuple[
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+]:
+    """Encode a decoded array into staging payload columns ``(f1,
+    f1_valid, s1, s1_valid, pay, pay_valid)`` — numeric scalar codecs
+    land in ``f1``, VARCHAR codecs in ``s1``, vector codecs in the 2-D
+    ``pay`` block."""
     encoded = codec.encode_array(values, valid)
+    if codec.is_vector:
+        return None, None, None, None, np.asarray(encoded, dtype=np.float64), valid
     if codec.sql_type is VARCHAR:
-        return None, None, encoded, valid
-    return np.asarray(encoded, dtype=np.float64), valid, None, None
+        return None, None, encoded, valid, None, None
+    return np.asarray(encoded, dtype=np.float64), valid, None, None, None, None

@@ -27,11 +27,22 @@ base table dropped/recreated, a delta larger than the configured fraction
 of its table, a ``CoEdgeSpec`` with a custom aggregate weight or
 non-integer join key — the caller falls back to a full re-extraction
 (which also rebuilds this module's state).
+
+Recomputing a touched co-occurrence group is O(|group|²) — the group's
+pairs are materialized twice (old and new) and diffed.  That is the right
+trade for ordinary groups, but a very dense ``via`` group (a celebrity
+post with 10⁵ likers) would stall every refresh that grazes it, so
+touched groups larger than :data:`MAX_INCREMENTAL_CO_GROUP` unique
+members trip the same full-recompute fallback: the refresh re-extracts
+from scratch (bounded, well-understood cost — the dense group dominates
+the view's edge set anyway) and the incremental ledger work stays capped
+at O(cap²) per touched group.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,11 +61,17 @@ from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView
 
 __all__ = [
     "EDGE_DTYPE",
+    "MAX_INCREMENTAL_CO_GROUP",
     "MaintenanceState",
     "build_state",
     "incremental_refresh",
     "involved_tables",
 ]
+
+#: Largest ``via`` group (unique members) the pair ledger recomputes
+#: incrementally; denser touched groups force a full re-extraction.
+#: Overridable via the ``REPRO_CO_GROUP_CAP`` environment variable.
+MAX_INCREMENTAL_CO_GROUP = int(os.environ.get("REPRO_CO_GROUP_CAP", "1024"))
 
 #: One extracted edge; field order *is* the canonical sort order.
 EDGE_DTYPE = np.dtype([("src", np.int64), ("dst", np.int64), ("weight", np.float64)])
@@ -334,6 +351,11 @@ def _pair_contributions(
     ``a != b``, receives ``count_a * count_b`` from every group both
     members appear in — exactly what the self-join's row pairing counts
     when rows repeat.
+
+    Raises:
+        _Fallback: a group exceeds :data:`MAX_INCREMENTAL_CO_GROUP`
+            unique members — its O(|group|²) recompute is capped out and
+            the caller must take the full-refresh path instead.
     """
     subset = side[np.isin(side["via"], vias)]
     if len(subset) == 0:
@@ -345,6 +367,12 @@ def _pair_contributions(
     for g in range(len(group_vias)):
         members = subset["member"][boundaries[g]:boundaries[g + 1]]
         uniq, counts = np.unique(members, return_counts=True)
+        if len(uniq) > MAX_INCREMENTAL_CO_GROUP:
+            raise _Fallback(
+                f"co-occurrence via group {int(group_vias[g])} has "
+                f"{len(uniq)} members (cap {MAX_INCREMENTAL_CO_GROUP}); "
+                "falling back to full recompute"
+            )
         if len(uniq) < 2:
             continue
         a_idx, b_idx = np.meshgrid(

@@ -4,9 +4,24 @@ The paper lists collaborative filtering as a vertex-centric workload: "a
 recommendation technique to predict the edge weights in a bipartite
 graph".  The standard Pregel formulation models users and items as
 vertices of a bipartite graph whose edge weights are ratings; each vertex
-holds a latent-factor vector (stored through the JSON codec — structured
-state in a VARCHAR column), and each superstep performs one gradient step
-against the vectors received from its neighbors.
+holds a latent-factor vector, and each superstep performs one gradient
+step against the vectors received from its neighbors.
+
+The factor vector is *structured* vertex state.  Two storage codecs are
+supported (the ``codec`` argument):
+
+* ``"vector"`` (default) — the dense typed path: rank-``k`` factor
+  vectors live in ``k`` FLOAT columns via
+  :func:`~repro.core.codecs.vector_codec`, and each message payload is
+  the bare factor vector (the sender arrives through the message table's
+  ``src`` column, surfaced as ``vertex.message_senders``).  No
+  serialization anywhere on the superstep hot path.
+* ``"json"`` — the legacy ablation: vectors serialized through the JSON
+  codec into a VARCHAR column, paying ``json.dumps``/``loads`` per row
+  per superstep.
+
+Both paths run the same ``compute`` and produce bit-identical factors
+(the parity suite holds them to it); only the storage layout differs.
 
 The rating a vertex needs for neighbor ``s`` is the weight of its own
 out-edge to ``s``, so the graph must contain both edge directions with the
@@ -18,7 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import Vertex
-from repro.core.codecs import JSON_CODEC
+from repro.core.codecs import JSON_CODEC, vector_codec
 from repro.core.program import VertexProgram
 
 __all__ = ["CollaborativeFiltering"]
@@ -34,11 +49,11 @@ class CollaborativeFiltering(VertexProgram):
         learning_rate: SGD step size.
         regularization: L2 penalty.
         seed: seeds the deterministic per-vertex initial vectors.
+        codec: ``"vector"`` (dense typed columns, default) or ``"json"``
+            (the VARCHAR serialization ablation).
     """
 
-    vertex_codec = JSON_CODEC
-    message_codec = JSON_CODEC
-    combiner = None  # messages are (sender, vector) pairs; not reducible
+    combiner = None  # SGD consumes each neighbor vector; not reducible
 
     def __init__(
         self,
@@ -47,16 +62,26 @@ class CollaborativeFiltering(VertexProgram):
         learning_rate: float = 0.05,
         regularization: float = 0.02,
         seed: int = 7,
+        codec: str = "vector",
     ) -> None:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if rank < 1:
             raise ValueError("rank must be >= 1")
+        if codec not in ("vector", "json"):
+            raise ValueError(f"codec must be 'vector' or 'json', got {codec!r}")
         self.iterations = iterations
         self.rank = rank
         self.learning_rate = learning_rate
         self.regularization = regularization
         self.seed = seed
+        self.codec = codec
+        if codec == "vector":
+            self.vertex_codec = vector_codec(rank)
+            self.message_codec = vector_codec(rank)
+        else:
+            self.vertex_codec = JSON_CODEC
+            self.message_codec = JSON_CODEC
         self.max_supersteps = iterations + 1
 
     # ------------------------------------------------------------------
@@ -70,7 +95,9 @@ class CollaborativeFiltering(VertexProgram):
             factors = np.asarray(vertex.value, dtype=np.float64)
             lr = self.learning_rate
             reg = self.regularization
-            for sender, their_factors in vertex.messages:
+            # The sender is the message relation's src column — not part
+            # of the payload, which is the bare factor vector.
+            for sender, their_factors in zip(vertex.message_senders, vertex.messages):
                 rating = ratings.get(sender)
                 if rating is None:  # message from a non-neighbor; ignore
                     continue
@@ -79,7 +106,7 @@ class CollaborativeFiltering(VertexProgram):
                 factors = factors + lr * (error * theirs - reg * factors)
             vertex.modify_vertex_value(factors.tolist())
         if vertex.superstep < self.iterations:
-            vertex.send_message_to_all_neighbors([vertex.id, vertex.value])
+            vertex.send_message_to_all_neighbors(vertex.value)
         else:
             vertex.vote_to_halt()
 

@@ -16,8 +16,14 @@ import pytest
 
 from repro.core import Vertexica, VertexicaConfig
 from repro.core.api import Vertex
-from repro.core.program import BatchVertexProgram, VertexBatch, supports_batch
-from repro.errors import VertexicaError
+from repro.core.codecs import vector_codec
+from repro.core.program import (
+    BatchVertexProgram,
+    VertexBatch,
+    VertexProgram,
+    supports_batch,
+)
+from repro.errors import ProgramError, VertexicaError
 from repro.programs import (
     AdaptivePageRank,
     CollaborativeFiltering,
@@ -236,6 +242,12 @@ ALL_PROGRAMS_BOTH_PLANES = [
         id="collab-filter",
     ),
     pytest.param(
+        lambda: CollaborativeFiltering(iterations=4, rank=4, codec="json"),
+        True,
+        False,
+        id="collab-filter-json",
+    ),
+    pytest.param(
         lambda: RandomWalkWithRestart(source=2, iterations=5), False, False, id="rwr"
     ),
     pytest.param(lambda: InDegree(), False, False, id="in-degree"),
@@ -310,6 +322,185 @@ class TestShardPlaneParity:
             results[plane] = vx.run(graph, GhostMessenger())
         assert_runs_identical(results["sql"], results["shards"])
         assert 10_000 not in results["shards"].values
+
+
+# ---------------------------------------------------------------------------
+# Typed vector value plane: dense multi-column state vs the JSON codec
+# ---------------------------------------------------------------------------
+class TestVectorValuePlane:
+    """The vector codec path (k typed FLOAT columns) must be bit-identical
+    to the JSON-in-VARCHAR path it replaces — same factors, same
+    superstep behavior — on both data planes and at several ranks."""
+
+    @pytest.mark.parametrize("rank", [1, 3, 8])
+    @pytest.mark.parametrize("plane", ["sql", "shards"])
+    def test_cf_vector_vs_json_bit_identical(self, rank, plane):
+        json_run = run_on_plane(
+            plane,
+            lambda: CollaborativeFiltering(iterations=4, rank=rank, codec="json"),
+            symmetrize=True,
+        )
+        vector_run = run_on_plane(
+            plane,
+            lambda: CollaborativeFiltering(iterations=4, rank=rank, codec="vector"),
+            symmetrize=True,
+        )
+        assert_runs_identical(json_run, vector_run)
+
+    @pytest.mark.parametrize("rank", [2, 5])
+    def test_cf_vector_cross_plane(self, rank):
+        sql = run_on_plane(
+            "sql", lambda: CollaborativeFiltering(iterations=4, rank=rank), True
+        )
+        shards = run_on_plane(
+            "shards", lambda: CollaborativeFiltering(iterations=4, rank=rank), True
+        )
+        assert_runs_identical(sql, shards)
+
+    def test_cf_vector_matches_giraph_baseline(self):
+        # The scalar compute is the semantic reference on every engine:
+        # the Giraph baseline (no codecs at all) must land on the same
+        # factors as the vector-codec relational path.
+        from repro.baselines.giraph import GiraphConfig, GiraphEngine
+
+        src, dst, weights, n = _plane_graph_data(False)
+        program = CollaborativeFiltering(iterations=4, rank=4)
+        vx = Vertexica()
+        graph = vx.load_graph(
+            "g", src, dst, weights=weights, num_vertices=n, symmetrize=True
+        )
+        vertexica_run = vx.run(graph, program)
+
+        from repro.core.runner import _symmetrized
+
+        gsrc, gdst, gw = _symmetrized(
+            np.asarray(src), np.asarray(dst), np.asarray(weights, dtype=np.float64)
+        )
+        engine = GiraphEngine(
+            n, gsrc, gdst, gw,
+            config=GiraphConfig(barrier_latency_s=0.0, serialize_messages=True),
+        )
+        giraph_run = engine.run(CollaborativeFiltering(iterations=4, rank=4))
+        assert vertexica_run.values == giraph_run.values
+
+    def test_message_senders_come_from_src_column(self):
+        class SenderEcho(BatchVertexProgram):
+            """Vertex value = sum of sender ids (vector payload unused)."""
+
+            vertex_codec = vector_codec(2)
+            message_codec = vector_codec(2)
+            combiner = None
+
+            def initial_value(self, vertex_id, out_degree, num_vertices):
+                return [float(vertex_id), 0.0]
+
+            def compute(self, vertex):
+                if vertex.superstep == 0:
+                    vertex.send_message_to_all_neighbors(vertex.value)
+                else:
+                    total = float(sum(vertex.message_senders))
+                    vertex.modify_vertex_value([total, float(len(vertex.messages))])
+                vertex.vote_to_halt()
+
+            def compute_batch(self, batch):
+                if batch.superstep == 0:
+                    batch.send_to_all_neighbors(batch.values)
+                else:
+                    counts = batch.message_counts
+                    segments = np.repeat(np.arange(batch.size), counts)
+                    sums = np.bincount(
+                        segments,
+                        weights=batch.message_senders.astype(np.float64),
+                        minlength=batch.size,
+                    )
+                    batch.set_values(
+                        np.column_stack([sums, counts.astype(np.float64)])
+                    )
+                batch.vote_to_halt()
+
+        scalar = run_with("scalar", SenderEcho, 13)
+        batch = run_with("batch", SenderEcho, 13)
+        assert_runs_identical(scalar, batch)
+        shards = run_on_plane("shards", SenderEcho)
+        sql = run_on_plane("sql", SenderEcho)
+        assert_runs_identical(sql, shards)
+
+    def test_vector_batch_kernel_parity(self):
+        class ComponentMax(BatchVertexProgram):
+            """Per-component max propagation over width-3 state: an
+            order-insensitive vector kernel, so batch reduceat and the
+            scalar loop must agree bitwise."""
+
+            vertex_codec = vector_codec(3)
+            message_codec = vector_codec(3)
+            combiner = None
+            max_supersteps = 4
+
+            def initial_value(self, vertex_id, out_degree, num_vertices):
+                rng = np.random.default_rng(vertex_id + 41)
+                return rng.standard_normal(3).tolist()
+
+            def compute(self, vertex):
+                value = np.asarray(vertex.value, dtype=np.float64)
+                if vertex.superstep > 0:
+                    if not vertex.messages:
+                        vertex.vote_to_halt()
+                        return
+                    incoming = np.asarray(vertex.messages, dtype=np.float64)
+                    value = np.maximum(value, incoming.max(axis=0))
+                    vertex.modify_vertex_value(value.tolist())
+                vertex.send_message_to_all_neighbors(value.tolist())
+
+            def compute_batch(self, batch):
+                values = np.asarray(batch.values, dtype=np.float64)
+                if batch.superstep > 0:
+                    counts = batch.message_counts
+                    has = counts > 0
+                    if not bool(has.any()):
+                        batch.vote_to_halt()
+                        return
+                    nonempty = np.flatnonzero(counts)
+                    maxima = np.full_like(values, -np.inf)
+                    maxima[nonempty] = np.maximum.reduceat(
+                        batch.message_values, batch.msg_indptr[:-1][nonempty], axis=0
+                    )
+                    updated = np.maximum(values, maxima)
+                    values = np.where(has[:, None], updated, values)
+                    batch.set_values(values, mask=has)
+                    batch.vote_to_halt(~has)
+                    batch.send_to_all_neighbors(values, mask=has)
+                    # halted-without-messages vertices sent nothing in the
+                    # scalar path either (they returned before sending)
+                else:
+                    batch.send_to_all_neighbors(values)
+
+        scalar = run_with("scalar", ComponentMax, 7, True)
+        batch = run_with("batch", ComponentMax, 7, True)
+        assert_runs_identical(scalar, batch)
+        sql = run_on_plane("sql", ComponentMax, symmetrize=True)
+        shards = run_on_plane("shards", ComponentMax, symmetrize=True)
+        assert_runs_identical(sql, shards)
+
+    def test_vector_codec_rejects_join_input_format(self):
+        with pytest.raises(VertexicaError, match="join input format"):
+            run_on_plane(
+                "sql",
+                lambda: CollaborativeFiltering(iterations=2, rank=2),
+                symmetrize=True,
+                input_strategy="join",
+            )
+
+    def test_vector_codec_rejects_combiner(self):
+        class BadCombiner(VertexProgram):
+            vertex_codec = vector_codec(2)
+            message_codec = vector_codec(2)
+            combiner = "SUM"
+
+            def compute(self, vertex):  # pragma: no cover - never runs
+                pass
+
+        with pytest.raises(ProgramError, match="vector"):
+            BadCombiner().validate()
 
 
 class TestEdgeCases:

@@ -1,11 +1,12 @@
 """Tests for value codecs and the Vertexica configuration."""
 
+import numpy as np
 import pytest
 
-from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC
+from repro.core.codecs import FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC, vector_codec
 from repro.core.config import VertexicaConfig
 from repro.engine.types import FLOAT, INTEGER, VARCHAR
-from repro.errors import VertexicaError
+from repro.errors import ProgramError, VertexicaError
 
 
 class TestCodecs:
@@ -26,9 +27,81 @@ class TestCodecs:
         assert JSON_CODEC.decode_or_none(encoded) == payload
 
     def test_none_maps_to_null_both_ways(self):
-        for codec in (FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC):
+        for codec in (FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC, vector_codec(3)):
             assert codec.encode_or_none(None) is None
             assert codec.decode_or_none(None) is None
+
+    def test_scalar_codecs_are_not_vectors(self):
+        for codec in (FLOAT_CODEC, INTEGER_CODEC, JSON_CODEC):
+            assert not codec.is_vector
+            assert codec.width == 0
+            assert codec.column_names() == ("value",)
+
+
+class TestVectorCodec:
+    def test_declaration(self):
+        codec = vector_codec(4)
+        assert codec.is_vector and codec.width == 4
+        assert codec.sql_type is FLOAT
+        assert codec.column_names() == ("v0", "v1", "v2", "v3")
+        assert vector_codec(4) is codec  # cached per width
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ProgramError):
+            vector_codec(0)
+        with pytest.raises(ProgramError):
+            vector_codec(-3)
+
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_scalar_roundtrip_is_bit_exact(self, width):
+        codec = vector_codec(width)
+        rng = np.random.default_rng(width)
+        value = rng.standard_normal(width).tolist()
+        encoded = codec.encode_or_none(value)
+        assert isinstance(encoded, np.ndarray) and encoded.shape == (width,)
+        assert codec.decode_or_none(encoded) == value  # exact, no serialization
+
+    def test_width_mismatch_rejected(self):
+        codec = vector_codec(3)
+        with pytest.raises(ProgramError):
+            codec.encode([1.0, 2.0])
+        with pytest.raises(ProgramError):
+            codec.encode([1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ProgramError):
+            codec.encode(2.5)
+
+    @pytest.mark.parametrize("width", [1, 2, 5])
+    def test_array_roundtrip_property(self, width):
+        # decode_array(encode_array(x)) == x for random partitions.
+        codec = vector_codec(width)
+        rng = np.random.default_rng(17 * width)
+        values = rng.standard_normal((23, width))
+        valid = rng.random(23) > 0.3
+        encoded = codec.encode_array(values, valid)
+        decoded = codec.decode_array(encoded, valid)
+        assert decoded.shape == (23, width)
+        assert np.array_equal(decoded[valid], values[valid])
+
+    def test_decode_list_maps_nulls_to_none(self):
+        codec = vector_codec(2)
+        values = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, 4.0]])
+        valid = np.array([True, False, True])
+        assert codec.decode_list(values, valid) == [[1.0, 2.0], None, [3.0, 4.0]]
+
+    def test_empty_partition(self):
+        codec = vector_codec(6)
+        empty = np.empty((0, 6), dtype=np.float64)
+        no_rows = np.empty(0, dtype=bool)
+        assert codec.decode_array(empty, no_rows).shape == (0, 6)
+        assert codec.encode_array(empty, no_rows).shape == (0, 6)
+        assert codec.decode_list(empty, no_rows) == []
+
+    def test_flat_empty_input_normalizes_shape(self):
+        # Concatenations of zero chunks can degrade to 1-D empties; the
+        # codec reshapes them back to (0, k).
+        codec = vector_codec(4)
+        flat = np.empty(0, dtype=np.float64)
+        assert codec.decode_array(flat, np.empty(0, dtype=bool)).shape == (0, 4)
 
 
 class TestConfig:

@@ -85,9 +85,10 @@ class TestSetupRun:
 class TestInputSql:
     def test_union_input_has_all_three_kinds(self, storage, db):
         handle = storage.load_graph("g", [0, 1], [1, 0])
-        storage.setup_run(handle, PageRank(iterations=1))
+        program = PageRank(iterations=1)
+        storage.setup_run(handle, program)
         db.execute("INSERT INTO g_message VALUES (0, 1, 0.5)")
-        batch = db.query_batch(storage.union_input_sql(handle, value_is_varchar=False))
+        batch = db.query_batch(storage.union_input_sql(handle, program))
         kinds = sorted(set(batch.column("kind").to_list()))
         assert kinds == [0, 1, 2]
         assert batch.num_rows == 2 + 2 + 1

@@ -40,7 +40,7 @@ class TestUnionFormat:
         worker = VertexWorker(program, superstep=1, num_vertices=3)
         db.register_transform("w", worker, worker.schema)
         out = db.run_transform(
-            "w", storage.union_input_sql(handle, False),
+            "w", storage.union_input_sql(handle, program),
             partition_by=("vid",), order_by=("vid", "kind"),
         )
         assert program.seen[0] == [7.5]
@@ -53,7 +53,7 @@ class TestUnionFormat:
         db.execute("TRUNCATE TABLE g_message")
         worker = VertexWorker(program, superstep=0, num_vertices=3)
         db.register_transform("w", worker, worker.schema)
-        db.run_transform("w", storage.union_input_sql(handle, False),
+        db.run_transform("w", storage.union_input_sql(handle, program),
                          partition_by=("vid",), order_by=("vid", "kind"))
         assert worker.vertices_ran == 3
         assert program.seen == {0: [], 1: [], 2: []}
@@ -63,7 +63,7 @@ class TestUnionFormat:
         db.execute("UPDATE g_vertex SET halted = TRUE")
         worker = VertexWorker(program, superstep=2, num_vertices=3)
         db.register_transform("w", worker, worker.schema)
-        db.run_transform("w", storage.union_input_sql(handle, False),
+        db.run_transform("w", storage.union_input_sql(handle, program),
                          partition_by=("vid",), order_by=("vid", "kind"))
         # only vertex 0 has a message; others halted with empty inbox
         assert worker.vertices_ran == 1
@@ -73,7 +73,7 @@ class TestUnionFormat:
         db.execute("INSERT INTO g_message VALUES (0, 99, 1.0)")
         worker = VertexWorker(program, superstep=1, num_vertices=3)
         db.register_transform("w", worker, worker.schema)
-        db.run_transform("w", storage.union_input_sql(handle, False),
+        db.run_transform("w", storage.union_input_sql(handle, program),
                          partition_by=("vid",), order_by=("vid", "kind"))
         assert worker.messages_dropped == 1
 
@@ -84,7 +84,7 @@ class TestUnionFormat:
             worker = VertexWorker(program, superstep=1, num_vertices=3)
             db.register_transform("w", worker, worker.schema)
             out = db.run_transform(
-                "w", storage.union_input_sql(handle, False),
+                "w", storage.union_input_sql(handle, program),
                 partition_by=("vid",), order_by=("vid", "kind"),
                 n_partitions=n_partitions,
             )
@@ -98,7 +98,7 @@ class TestJoinFormat:
         union_worker = VertexWorker(program, superstep=1, num_vertices=3, input_format="union")
         db.register_transform("wu", union_worker, union_worker.schema)
         union_out = db.run_transform(
-            "wu", storage.union_input_sql(handle, False),
+            "wu", storage.union_input_sql(handle, program),
             partition_by=("vid",), order_by=("vid", "kind"),
         )
         join_worker = VertexWorker(program, superstep=1, num_vertices=3, input_format="join")

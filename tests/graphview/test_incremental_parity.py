@@ -209,6 +209,28 @@ class TestFallbacks:
         assert handle.last_extraction.mode == "full"
         assert handle.resolve().num_edges == 50
 
+    def test_dense_co_group_over_cap_falls_back(self, monkeypatch):
+        # A touched via group denser than the cap has no incremental
+        # form: the O(group²) per-group recompute is capped out and the
+        # refresh takes the full path (bit-identical tables either way).
+        from repro.graphview import maintenance
+
+        vx = fresh_vertexica(13)
+        handle = vx.create_graph_view("live", VIEWS["co_edge"])
+        monkeypatch.setattr(maintenance, "MAX_INCREMENTAL_CO_GROUP", 4)
+        rows = ", ".join(f"({uid}, 0)" for uid in range(40, 48))
+        vx.sql(f"INSERT INTO likes VALUES {rows}")  # post 0 now > 4 likers
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"
+        assert_view_parity(vx, handle, "shadow_cap")
+        # The cap is per touched group: after the full rebuild, DML on a
+        # *small* group still patches incrementally even though the dense
+        # group exists untouched.
+        vx.sql("INSERT INTO likes VALUES (50, 17)")
+        handle.refresh()
+        assert handle.last_extraction.mode == "incremental"
+        assert_view_parity(vx, handle, "shadow_cap_small")
+
     def test_custom_co_edge_weight_always_full(self):
         vx = fresh_vertexica(9)
         view = GraphView(
