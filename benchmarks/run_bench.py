@@ -331,6 +331,70 @@ def run_cf_codec_cell(
     }
 
 
+def run_checkpoint_overhead_cell(
+    graph: Graph, n_partitions: int, repeat: int = 1
+) -> dict[str, Any]:
+    """Fault-tolerance cost: PageRank with checkpointing off / every 4
+    supersteps / every superstep, on both data planes (the PR-6 cell).
+
+    ``overhead`` is checkpoint seconds over superstep compute seconds for
+    the same run (checkpoint time is accounted separately and excluded
+    from per-superstep compute time, so the ratio is exact, not a
+    noisy difference of wall clocks).  All six cells must land on
+    bit-identical PageRank values — checkpointing must never perturb the
+    trajectory.
+    """
+    import tempfile
+
+    cells: dict[str, dict[str, float]] = {}
+    fingerprints: list[float] = []
+    for plane in ("sql", "shards"):
+        per_policy: dict[str, dict[str, float]] = {}
+        for label, every in (("off", None), ("every4", 4), ("every1", 1)):
+            vx = Vertexica(
+                config=VertexicaConfig(n_partitions=n_partitions, data_plane=plane)
+            )
+            handle = vx.load_graph(
+                f"{graph.name}_ckpt",
+                graph.src,
+                graph.dst,
+                num_vertices=graph.num_vertices,
+            )
+            best: tuple[float, float, float] | None = None
+            with tempfile.TemporaryDirectory() as ckpt_dir:
+                for _ in range(max(repeat, 1)):
+                    result = vx.run(
+                        handle,
+                        PageRank(iterations=pagerank_iterations()),
+                        checkpoint_every=every,
+                        checkpoint_dir=ckpt_dir if every else None,
+                    )
+                    step_secs = sum(s.seconds for s in result.stats.supersteps)
+                    ckpt_secs = result.stats.checkpoint_seconds
+                    if best is None or step_secs < best[0]:
+                        best = (step_secs, ckpt_secs, _fingerprint(result.values))
+            step_secs, ckpt_secs, fingerprint = best
+            fingerprints.append(fingerprint)
+            per_policy[label] = {
+                "superstep_seconds": round(step_secs, 6),
+                "checkpoint_seconds": round(ckpt_secs, 6),
+                "overhead": round(ckpt_secs / step_secs, 4) if step_secs else 0.0,
+            }
+        cells[plane] = per_policy
+    return {
+        "graph": graph.name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "cells": cells,
+        "overhead_every4_sql": cells["sql"]["every4"]["overhead"],
+        "overhead_every4_shards": cells["shards"]["every4"]["overhead"],
+        "fingerprints_match": all(
+            abs(fp - fingerprints[0]) <= 1e-9 * max(1.0, abs(fingerprints[0]))
+            for fp in fingerprints
+        ),
+    }
+
+
 def run_extraction_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
     """Graph-view extraction timing at benchmark scale.
 
@@ -516,11 +580,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR5.json"
+        out_path = "BENCH_PR6.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR6.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR7.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -637,6 +701,26 @@ def main(argv: list[str] | None = None) -> int:
             f"({cf_cell['speedup_vector_over_json_shards']:.2f}x)"
         )
 
+    # Checkpoint overhead: fault-tolerance cost per checkpoint policy on
+    # both data planes — the PR-6 cell (and the quick mode's
+    # checkpointing-perturbs-nothing parity gate).
+    checkpoint_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        ckpt_cell = run_checkpoint_overhead_cell(graph, args.partitions, args.repeat)
+        checkpoint_cells.append(ckpt_cell)
+        if not ckpt_cell["fingerprints_match"]:
+            failures.append(
+                f"{graph_name}/pagerank: checkpointing changed the result"
+            )
+        print(
+            f"{graph_name:<12} checkpoint overhead: "
+            f"sql every4 {ckpt_cell['overhead_every4_sql']*100:.1f}%  "
+            f"every1 {ckpt_cell['cells']['sql']['every1']['overhead']*100:.1f}%  "
+            f"shards every4 {ckpt_cell['overhead_every4_shards']*100:.1f}%  "
+            f"every1 {ckpt_cell['cells']['shards']['every1']['overhead']*100:.1f}%"
+        )
+
     # Incremental vs full refresh after small DML — the PR-3 cell.
     refresh_cells = []
     for graph_name in graph_names:
@@ -668,6 +752,7 @@ def main(argv: list[str] | None = None) -> int:
         "incremental_refresh": refresh_cells,
         "workers_scaling": workers_cells,
         "cf_codec": cf_codec_cells,
+        "checkpoint_overhead": checkpoint_cells,
         "results": results,
     }
     if out_path:
@@ -707,6 +792,21 @@ def main(argv: list[str] | None = None) -> int:
                     print(
                         f"FAIL: vector codec slower than json on "
                         f"{cell['graph']}/{plane} ({ratio}x)",
+                        file=sys.stderr,
+                    )
+                    return 1
+        # Checkpoint tripwire: snapshotting every 4 supersteps must stay
+        # a small fraction of compute time.  The acceptance bar is 15% at
+        # benchmark scale; smoke scale has tiny supersteps against the
+        # checkpoint's fixed file-system cost, so the quick gate only
+        # catches egregious regressions (100%).
+        for cell in checkpoint_cells:
+            for plane in ("sql", "shards"):
+                overhead = cell[f"overhead_every4_{plane}"]
+                if overhead > 1.0:
+                    print(
+                        f"FAIL: checkpoint_every=4 overhead {overhead*100:.0f}% "
+                        f"on {cell['graph']}/{plane}",
                         file=sys.stderr,
                     )
                     return 1

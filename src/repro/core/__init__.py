@@ -6,6 +6,7 @@ partitioned transform UDFs, and graph state lives in vertex/edge/message
 tables.  See DESIGN.md §1 for the architecture map.
 """
 
+from repro.core import faults
 from repro.core.api import OutEdge, Vertex
 from repro.core.codecs import (
     FLOAT_CODEC,
@@ -16,7 +17,9 @@ from repro.core.codecs import (
 )
 from repro.core.config import VertexicaConfig
 from repro.core.coordinator import Coordinator, register_coordinator
+from repro.core.faults import FaultPlan, FaultSpec, InjectedFault, InjectedKill
 from repro.core.metrics import RunStats, SuperstepStats
+from repro.core.recovery import CheckpointPolicy, RunRecovery, program_fingerprint
 from repro.core.program import (
     BatchVertexProgram,
     VertexBatch,
@@ -47,4 +50,12 @@ __all__ = [
     "GraphStorage",
     "RunStats",
     "SuperstepStats",
+    "faults",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedKill",
+    "CheckpointPolicy",
+    "RunRecovery",
+    "program_fingerprint",
 ]

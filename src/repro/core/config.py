@@ -71,6 +71,27 @@ class VertexicaConfig:
             SQL aggregation between supersteps).
         max_supersteps: overrides the program's cap when not ``None``.
         track_metrics: collect per-superstep statistics.
+        checkpoint_every: Giraph-style fault tolerance — durably snapshot
+            vertex/message/aggregator/program state into
+            ``checkpoint_dir`` after every N completed supersteps (plus a
+            baseline before superstep 0).  With a checkpoint on disk,
+            transient mid-superstep faults roll the run back and replay
+            instead of crashing it, and a killed run can be resumed.
+            ``None`` (default) disables checkpointing.  Under
+            ``superstep_sync="halt"`` the shard plane syncs its resident
+            arrays at checkpoint boundaries only.
+        checkpoint_dir: where run checkpoints live; required by
+            ``checkpoint_every`` and ``resume``.
+        resume: continue from the last durable checkpoint in
+            ``checkpoint_dir`` (torn partial checkpoints are detected and
+            discarded) — bit-identical to an uninterrupted run.  With no
+            checkpoint present the run simply starts fresh.
+        task_retries: bounded retry budget for transient faults: per
+            shard task / extraction attempt, and for superstep-level
+            rollback-and-replay when checkpointing is on.  0 disables
+            retries.
+        retry_backoff: base seconds of the capped deterministic
+            exponential backoff between retries.
     """
 
     n_partitions: int = 4
@@ -85,6 +106,11 @@ class VertexicaConfig:
     use_combiner: bool = True
     max_supersteps: int | None = None
     track_metrics: bool = True
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    task_retries: int = 2
+    retry_backoff: float = 0.01
 
     def validated(self) -> "VertexicaConfig":
         """Return self after checking invariants.
@@ -123,6 +149,16 @@ class VertexicaConfig:
             raise VertexicaError("replace_threshold must be within [0, 1]")
         if self.max_supersteps is not None and self.max_supersteps < 1:
             raise VertexicaError("max_supersteps must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise VertexicaError("checkpoint_every must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_dir is None:
+            raise VertexicaError("checkpoint_every requires checkpoint_dir")
+        if self.resume and self.checkpoint_dir is None:
+            raise VertexicaError("resume=True requires checkpoint_dir")
+        if self.task_retries < 0:
+            raise VertexicaError("task_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise VertexicaError("retry_backoff must be >= 0")
         return self
 
     def with_overrides(self, **kwargs: object) -> "VertexicaConfig":

@@ -21,6 +21,15 @@ Two data planes implement that loop (``config.data_plane``):
 
 Either way, ``n_workers > 1`` executes partition/shard tasks on one
 thread pool held for the whole run.
+
+Fault tolerance (PR 6) wraps the superstep loops of both planes in the
+Giraph contract: with ``checkpoint_every=N`` the run snapshots its
+durable state every N completed supersteps (:mod:`repro.core.recovery`),
+transient faults roll the tables back to the last checkpoint and replay
+(bounded by ``task_retries``), deterministic faults fail fast *after*
+the rollback leaves the tables consistent, and ``resume=True`` continues
+a killed run from its last checkpoint — bit-identical to an
+uninterrupted run on either plane.
 """
 
 from __future__ import annotations
@@ -28,9 +37,11 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 
+from repro.core import faults
 from repro.core.config import VertexicaConfig
 from repro.core.metrics import RunStats, SuperstepStats
 from repro.core.program import VertexProgram, supports_batch
+from repro.core.recovery import CheckpointPolicy, RunRecovery
 from repro.core.shards import ShardedDataPlane
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.core.worker import EdgeCache, VertexWorker
@@ -72,7 +83,32 @@ class Coordinator:
         stats = RunStats(program=program.name, graph=graph.name)
         started = time.perf_counter()
 
+        recovery = None
+        if config.checkpoint_dir is not None:
+            recovery = RunRecovery(
+                self.storage,
+                graph,
+                program,
+                config.checkpoint_dir,
+                CheckpointPolicy(every=config.checkpoint_every),
+            )
+        # Resume decides *before* setup_run wipes the working tables:
+        # load() only touches the checkpoint directory.
+        restored = recovery.load() if (recovery is not None and config.resume) else None
+
         self.storage.setup_run(graph, program)
+        start_superstep = 0
+        aggregated: dict[str, float] = {}
+        if restored is not None:
+            recovery.restore(restored)
+            aggregated = dict(restored.aggregated)
+            start_superstep = restored.completed
+            stats.recovered_supersteps += restored.completed
+        elif recovery is not None and recovery.policy.enabled:
+            # Baseline snapshot (0 completed supersteps): rollback and
+            # resume have a floor even if the run dies in superstep 0.
+            stats.checkpoint_seconds += recovery.write(0, aggregated)
+
         limit = config.max_supersteps or program.max_supersteps
         hard_cap = limit if limit is not None else SUPERSTEP_SAFETY_LIMIT
         use_batch = self._resolve_compute_path(program)
@@ -86,11 +122,13 @@ class Coordinator:
         with executor_cm as executor:
             if config.data_plane == "shards":
                 self._run_shards(
-                    graph, program, stats, executor, limit, hard_cap, use_batch
+                    graph, program, stats, executor, limit, hard_cap, use_batch,
+                    recovery, start_superstep, aggregated,
                 )
             else:
                 self._run_sql(
-                    graph, program, stats, executor, limit, hard_cap, use_batch
+                    graph, program, stats, executor, limit, hard_cap, use_batch,
+                    recovery, start_superstep, aggregated,
                 )
         stats.total_seconds = time.perf_counter() - started
         return stats
@@ -107,22 +145,26 @@ class Coordinator:
         limit: int | None,
         hard_cap: int,
         use_batch: bool,
+        recovery: RunRecovery | None,
+        start_superstep: int,
+        aggregated: dict[str, float],
     ) -> None:
         config = self.config
         storage = self.storage
         transform_name = f"{graph.name}_worker"
-        aggregated: dict[str, float] = {}
         # The edge relation never changes during a run: under the union
         # strategy the workers decode it once (superstep 0) and every
         # later superstep reads the cached CSR arrays instead of
-        # re-projecting the edge table through SQL.
+        # re-projecting the edge table through SQL.  It survives rollback
+        # too — edges are immutable and the vertex set is stable.
         edge_cache = (
             EdgeCache()
             if config.cache_edges and config.input_strategy == "union"
             else None
         )
 
-        superstep = 0
+        superstep = start_superstep
+        rollbacks_left = config.task_retries
         while True:
             messages_in = storage.pending_messages(graph)
             active = storage.active_vertices(graph)
@@ -133,48 +175,59 @@ class Coordinator:
             self._check_safety_cap(superstep, hard_cap, program)
             step_started = time.perf_counter()
 
-            worker = VertexWorker(
-                program,
-                superstep,
-                graph.num_vertices,
-                input_format=config.input_strategy,
-                aggregated=aggregated,
-                use_batch=use_batch,
-                edge_cache=edge_cache,
-            )
-            self.db.register_transform(transform_name, worker, worker.schema)
-            if config.input_strategy == "union":
-                input_sql = storage.union_input_sql(
-                    graph,
+            try:
+                worker = VertexWorker(
                     program,
-                    include_edges=edge_cache is None or not edge_cache.primed,
+                    superstep,
+                    graph.num_vertices,
+                    input_format=config.input_strategy,
+                    aggregated=aggregated,
+                    use_batch=use_batch,
+                    edge_cache=edge_cache,
                 )
-                order_by = ("vid", "kind")
-            else:
-                input_sql = storage.join_input_sql(graph)
-                order_by = ("vid", "edst", "msrc")
-            output = self.db.run_transform(
-                transform_name,
-                input_sql,
-                partition_by=("vid",),
-                order_by=order_by,
-                n_partitions=config.n_partitions,
-                executor=executor,
-            )
-            storage.stage_worker_output(graph, output)
-            if edge_cache is not None:
-                # All non-empty partitions have now decoded their edges;
-                # later supersteps skip the edge relation entirely.
-                edge_cache.primed = True
+                self.db.register_transform(transform_name, worker, worker.schema)
+                if config.input_strategy == "union":
+                    input_sql = storage.union_input_sql(
+                        graph,
+                        program,
+                        include_edges=edge_cache is None or not edge_cache.primed,
+                    )
+                    order_by = ("vid", "kind")
+                else:
+                    input_sql = storage.join_input_sql(graph)
+                    order_by = ("vid", "edst", "msrc")
+                output = self.db.run_transform(
+                    transform_name,
+                    input_sql,
+                    partition_by=("vid",),
+                    order_by=order_by,
+                    n_partitions=config.n_partitions,
+                    executor=executor,
+                )
+                storage.stage_worker_output(graph, output)
+                if edge_cache is not None:
+                    # All non-empty partitions have now decoded their
+                    # edges; later supersteps skip the edge relation.
+                    edge_cache.primed = True
 
-            vertex_updates = storage.count_staged(graph, 0)
-            replace, path = self._choose_path(vertex_updates, graph.num_vertices)
-            storage.apply_vertex_updates(graph, program, replace)
-            messages_out = storage.apply_messages(
-                graph, program, config.use_combiner, replace=replace
-            )
-            aggregated = storage.reduce_aggregators(graph, program)
+                vertex_updates = storage.count_staged(graph, 0)
+                replace, path = self._choose_path(vertex_updates, graph.num_vertices)
+                storage.apply_vertex_updates(graph, program, replace, superstep=superstep)
+                messages_out = storage.apply_messages(
+                    graph, program, config.use_combiner, replace=replace
+                )
+                aggregated = storage.reduce_aggregators(graph, program)
+            except Exception as exc:
+                superstep, aggregated = self._rollback_or_raise(
+                    exc, recovery, program, stats, rollbacks_left
+                )
+                rollbacks_left -= 1
+                continue
 
+            seconds = time.perf_counter() - step_started
+            checkpoint_seconds = self._maybe_checkpoint(
+                recovery, superstep + 1, aggregated, stats
+            )
             if config.track_metrics:
                 stats.supersteps.append(
                     SuperstepStats(
@@ -184,11 +237,12 @@ class Coordinator:
                         messages_out=messages_out,
                         vertex_updates=vertex_updates,
                         update_path=path if vertex_updates else "none",
-                        seconds=time.perf_counter() - step_started,
+                        seconds=seconds,
                         aggregated=tuple(sorted(aggregated.items())),
                         rows_in=worker.rows_in,
                         rows_out=output.num_rows,
                         compute_path="batch" if use_batch else "scalar",
+                        checkpoint_seconds=checkpoint_seconds,
                     )
                 )
             superstep += 1
@@ -205,19 +259,31 @@ class Coordinator:
         limit: int | None,
         hard_cap: int,
         use_batch: bool,
+        recovery: RunRecovery | None,
+        start_superstep: int,
+        aggregated: dict[str, float],
     ) -> None:
         config = self.config
-        plane = ShardedDataPlane(
-            self.storage,
-            graph,
-            program,
-            config.n_partitions,
-            config.use_combiner,
-        )
-        sync_every = config.superstep_sync == "every"
-        aggregated: dict[str, float] = {}
 
-        superstep = 0
+        def build_plane() -> ShardedDataPlane:
+            # Adopts pending messages from the message table, so a plane
+            # built over restored checkpoint state resumes mid-run with
+            # the exact inboxes (and delivery order) of the original.
+            return ShardedDataPlane(
+                self.storage,
+                graph,
+                program,
+                config.n_partitions,
+                config.use_combiner,
+                task_retries=config.task_retries,
+                retry_backoff=config.retry_backoff,
+            )
+
+        plane = build_plane()
+        sync_every = config.superstep_sync == "every"
+
+        superstep = start_superstep
+        rollbacks_left = config.task_retries
         while True:
             messages_in = plane.pending_messages
             active = plane.active_vertices
@@ -228,16 +294,39 @@ class Coordinator:
             self._check_safety_cap(superstep, hard_cap, program)
             step_started = time.perf_counter()
 
-            worker = VertexWorker(
-                program,
-                superstep,
-                graph.num_vertices,
-                aggregated=aggregated,
-                use_batch=use_batch,
-            )
-            step = plane.run_superstep(worker, executor)
-            aggregated = dict(plane.aggregated)
-            sync_seconds = plane.sync_tables() if sync_every else 0.0
+            try:
+                worker = VertexWorker(
+                    program,
+                    superstep,
+                    graph.num_vertices,
+                    aggregated=aggregated,
+                    use_batch=use_batch,
+                )
+                step = plane.run_superstep(worker, executor)
+                aggregated = dict(plane.aggregated)
+                sync_seconds = plane.sync_tables(superstep) if sync_every else 0.0
+            except Exception as exc:
+                # A fault that escaped the in-task retry loop may have
+                # left resident shard state half-stepped; the rollback
+                # restores the tables, then the plane is rebuilt from
+                # them (resident state is pure cache).
+                superstep, aggregated = self._rollback_or_raise(
+                    exc, recovery, program, stats, rollbacks_left
+                )
+                rollbacks_left -= 1
+                plane = build_plane()
+                continue
+            stats.retries += step.retries
+
+            seconds = time.perf_counter() - step_started
+            checkpoint_seconds = 0.0
+            if recovery is not None and recovery.policy.due(superstep + 1):
+                if not sync_every:
+                    # The halt policy's promise to the checkpoint layer:
+                    # resident arrays hit the tables at boundaries only.
+                    checkpoint_seconds += plane.sync_tables(superstep)
+                checkpoint_seconds += recovery.write(superstep + 1, aggregated)
+                stats.checkpoint_seconds += checkpoint_seconds
 
             if config.track_metrics:
                 stats.supersteps.append(
@@ -248,13 +337,14 @@ class Coordinator:
                         messages_out=step.messages_out,
                         vertex_updates=step.vertex_updates,
                         update_path="memory" if step.vertex_updates else "none",
-                        seconds=time.perf_counter() - step_started,
+                        seconds=seconds,
                         aggregated=tuple(sorted(aggregated.items())),
                         rows_in=step.rows_in,
                         rows_out=step.rows_out,
                         compute_path="batch" if use_batch else "scalar",
                         shard_seconds=step.shard_seconds,
                         sync_seconds=sync_seconds,
+                        checkpoint_seconds=checkpoint_seconds,
                     )
                 )
             superstep += 1
@@ -263,7 +353,58 @@ class Coordinator:
             # The halt policy's single materialization: final vertex
             # values (and any messages still pending under a superstep
             # cap) become visible to SQL exactly once.
-            plane.sync_tables()
+            plane.sync_tables(superstep)
+
+    # ------------------------------------------------------------------
+    # Fault handling (shared by both planes)
+    # ------------------------------------------------------------------
+    def _rollback_or_raise(
+        self,
+        exc: Exception,
+        recovery: RunRecovery | None,
+        program: VertexProgram,
+        stats: RunStats,
+        rollbacks_left: int,
+    ) -> tuple[int, dict[str, float]]:
+        """Handle a fault that escaped a superstep.
+
+        Without checkpointing there is nothing to roll back to: re-raise
+        (the PR-1 crash-consistency contract — tables stay analyzable).
+        With it, restore the last checkpoint either way; then transient
+        faults with budget left replay from there, while deterministic
+        faults (and exhausted budgets) fail fast — after the rollback, so
+        the tables are left in the checkpoint's consistent state.
+        """
+        if recovery is None or not recovery.policy.enabled:
+            raise exc
+        restored = recovery.load()
+        if restored is None:
+            raise exc
+        recovery.restore(restored)
+        # Replayed supersteps get re-recorded; drop their first take.
+        stats.supersteps[:] = [
+            s for s in stats.supersteps if s.superstep < restored.completed
+        ]
+        if rollbacks_left <= 0 or not faults.is_transient(exc):
+            raise exc
+        stats.retries += 1
+        stats.recovered_supersteps += restored.completed
+        return restored.completed, dict(restored.aggregated)
+
+    def _maybe_checkpoint(
+        self,
+        recovery: RunRecovery | None,
+        completed: int,
+        aggregated: dict[str, float],
+        stats: RunStats,
+    ) -> float:
+        """Write a checkpoint if one is due at ``completed``; returns the
+        seconds spent (also accumulated into ``stats``)."""
+        if recovery is None or not recovery.policy.due(completed):
+            return 0.0
+        seconds = recovery.write(completed, aggregated)
+        stats.checkpoint_seconds += seconds
+        return seconds
 
     @staticmethod
     def _check_safety_cap(superstep: int, hard_cap: int, program: VertexProgram) -> None:

@@ -40,6 +40,10 @@ class SuperstepStats:
     #: seconds spent mirroring shard state into the SQL tables (the
     #: ``superstep_sync="every"`` tax; 0.0 on the SQL plane / under halt)
     sync_seconds: float = 0.0
+    #: seconds writing the run checkpoint that closed this superstep
+    #: (includes the halt-policy boundary sync; 0.0 off boundaries and
+    #: with checkpointing disabled).  Excluded from ``seconds``.
+    checkpoint_seconds: float = 0.0
 
     @property
     def vertices_per_sec(self) -> float:
@@ -70,6 +74,14 @@ class RunStats:
     graph: str
     supersteps: list[SuperstepStats] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: transient faults retried (shard-task retries + superstep rollbacks)
+    retries: int = 0
+    #: completed-superstep counts restored from checkpoints instead of
+    #: executed, summed over recovery events (``resume=True`` and in-run
+    #: rollbacks); 0 for an undisturbed run
+    recovered_supersteps: int = 0
+    #: total seconds writing run checkpoints (0.0 when disabled)
+    checkpoint_seconds: float = 0.0
 
     @property
     def n_supersteps(self) -> int:
@@ -123,6 +135,10 @@ class RunStats:
                 f" ({self.vertices_per_sec:,.0f} vertices/s, "
                 f"{self.rows_per_sec:,.0f} rows/s)"
             )
+        if self.recovered_supersteps:
+            line += f" [recovered {self.recovered_supersteps} supersteps]"
+        if self.retries:
+            line += f" [{self.retries} transient retries]"
         return line
 
     def breakdown(self) -> str:

@@ -81,6 +81,23 @@ class VertexProgram:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """JSON-serializable run state beyond the vertex/message tables,
+        persisted in the run-checkpoint manifest (see
+        :mod:`repro.core.recovery`).
+
+        Constructor parameters are already covered by the checkpoint's
+        program fingerprint; override this only for state that *mutates
+        during a run* — e.g. an RNG consumed across supersteps — and
+        rewind it in :meth:`restore_state`.  Default: nothing.
+        """
+        return {}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rewind :meth:`checkpoint_state` output when a run resumes or
+        rolls back to a checkpoint.  Default: nothing."""
+
+    # ------------------------------------------------------------------
     def combine(self, values: Sequence[Any]) -> Any:
         """Reduce messages headed to one destination per ``combiner``.
 

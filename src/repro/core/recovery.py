@@ -1,0 +1,279 @@
+"""Run-level checkpoint/resume — Pregel's fault-tolerance contract.
+
+Giraph (the paper's baseline) checkpoints every N supersteps and recovers
+a failed run from the last checkpoint; Vertexica inherits the contract
+"for free" from the RDBMS.  This module is that subsystem for our
+runtime: a :class:`CheckpointPolicy` decides *when* to snapshot, and
+:class:`RunRecovery` durably captures everything a superstep depends on —
+
+* the vertex table (values + halt votes) and the message table (the next
+  superstep's inbox, combiner already applied) via the engine's
+  checkpoint table format (:mod:`repro.engine.persistence`);
+* the aggregator values visible to the next superstep;
+* opaque program state (:meth:`VertexProgram.checkpoint_state` — e.g.
+  RNG state for programs that draw during supersteps);
+* a manifest validating the lot: completed-superstep count, graph facts,
+  and a :func:`program_fingerprint` over the program's class, codecs,
+  combiner, aggregators, and scalar parameters (resuming PageRank(d=0.9)
+  from a PageRank(d=0.85) checkpoint must fail loudly, not drift).
+
+Both data planes produce *identical* checkpoints (cross-plane parity is a
+repo invariant), so a run checkpointed on one plane may resume on the
+other.
+
+Torn-write discipline: a checkpoint directory ``ckpt-<completed>`` is
+fully written (tables, then manifest) **before** the ``LATEST`` pointer
+file is flipped to it with an atomic rename; superseded directories are
+pruned only after the flip.  A crash mid-write therefore leaves either
+the old pointer (the fresh directory is unreferenced garbage, removed on
+the next load) or the new one — never a half checkpoint that loads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import faults
+from repro.core.program import VertexProgram
+from repro.core.storage import GraphHandle, GraphStorage
+from repro.engine.batch import RecordBatch
+from repro.engine.persistence import read_table_file, write_table_file
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import type_from_name
+from repro.errors import EngineError, RecoveryError
+
+__all__ = ["CheckpointPolicy", "RunRecovery", "RestoredRun", "program_fingerprint"]
+
+_MANIFEST = "manifest.json"
+_LATEST = "LATEST"
+_FORMAT_VERSION = 1
+#: checkpointed run tables: label -> GraphHandle attribute
+_TABLES = (("vertex", "vertex_table"), ("message", "message_table"))
+
+
+def program_fingerprint(program: VertexProgram) -> str:
+    """A stable digest of everything about a program that shapes its
+    superstep trajectory: class, codecs, combiner, aggregators, cap, and
+    every scalar constructor-ish attribute (``iterations``, ``damping``,
+    ``seed``, ...).  Mutable non-scalar state belongs in
+    :meth:`VertexProgram.checkpoint_state` instead."""
+    params = {
+        key: value
+        for key, value in sorted(vars(program).items())
+        if isinstance(value, (bool, int, float, str, type(None)))
+    }
+    payload = {
+        "class": type(program).__name__,
+        "vertex_codec": program.vertex_codec.name,
+        "message_codec": program.message_codec.name,
+        "combiner": program.combiner,
+        "aggregators": dict(sorted(program.aggregators.items())),
+        "max_supersteps": program.max_supersteps,
+        "params": params,
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to snapshot: after every ``every`` completed supersteps
+    (``None`` disables writes; loads still work for ``resume=True``)."""
+
+    every: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.every is not None
+
+    def due(self, completed: int) -> bool:
+        """True when a checkpoint should be written with ``completed``
+        supersteps done.  The baseline checkpoint (``completed=0``) is
+        always written when the policy is enabled, so rollback has a
+        floor even before the first boundary."""
+        if self.every is None:
+            return False
+        return completed == 0 or completed % self.every == 0
+
+
+@dataclass(frozen=True)
+class RestoredRun:
+    """A loaded checkpoint, ready to be applied to the run tables."""
+
+    completed: int
+    aggregated: dict[str, float]
+    program_state: dict[str, Any]
+    tables: dict[str, RecordBatch]  # label -> data
+
+
+class RunRecovery:
+    """Checkpoint writer/loader for one ``(graph, program)`` run."""
+
+    def __init__(
+        self,
+        storage: GraphStorage,
+        graph: GraphHandle,
+        program: VertexProgram,
+        directory: str,
+        policy: CheckpointPolicy,
+    ) -> None:
+        self.storage = storage
+        self.graph = graph
+        self.program = program
+        self.directory = directory
+        self.policy = policy
+        self.fingerprint = program_fingerprint(program)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, completed: int, aggregated: dict[str, float]) -> float:
+        """Snapshot the run with ``completed`` supersteps done; returns
+        seconds spent.  Tables must already reflect that state (the shard
+        plane syncs resident arrays first)."""
+        started = time.perf_counter()
+        os.makedirs(self.directory, exist_ok=True)
+        name = f"ckpt-{completed:06d}"
+        ckpt_dir = os.path.join(self.directory, name)
+        if os.path.isdir(ckpt_dir):  # stale leftover from a prior run
+            shutil.rmtree(ckpt_dir)
+        os.makedirs(ckpt_dir)
+        db = self.storage.db
+        tables: dict[str, Any] = {}
+        for label, attr in _TABLES:
+            table = db.table(getattr(self.graph, attr))
+            write_table_file(table, os.path.join(ckpt_dir, f"{label}.npz"), compress=False)
+            tables[label] = {
+                "columns": [
+                    {"name": c.name, "type": c.dtype.name, "nullable": c.nullable}
+                    for c in table.schema
+                ],
+                "rows": table.num_rows,
+            }
+        faults.trip("checkpoint.write", superstep=completed)
+        manifest = {
+            "format": _FORMAT_VERSION,
+            "completed": completed,
+            "graph": {
+                "name": self.graph.name,
+                "num_vertices": self.graph.num_vertices,
+                "num_edges": self.graph.num_edges,
+            },
+            "program": {"name": self.program.name, "fingerprint": self.fingerprint},
+            "aggregated": dict(aggregated),
+            "program_state": self.program.checkpoint_state(),
+            "tables": tables,
+        }
+        with open(os.path.join(ckpt_dir, _MANIFEST), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        # Atomic pointer flip: the checkpoint "exists" only once LATEST
+        # names it.  Pruning runs after the flip, so a crash anywhere in
+        # here leaves a loadable state behind.
+        pointer_tmp = os.path.join(self.directory, f"{_LATEST}.tmp")
+        with open(pointer_tmp, "w", encoding="utf-8") as fh:
+            fh.write(name)
+        os.replace(pointer_tmp, os.path.join(self.directory, _LATEST))
+        self._prune(keep=name)
+        return time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+    def load(self) -> RestoredRun | None:
+        """The latest durable checkpoint, or ``None`` when there is none
+        (fresh directory, or only torn unreferenced writes — which are
+        cleaned up here).
+
+        Raises:
+            RecoveryError: the pointed-to checkpoint is unreadable or was
+                written by a different graph/program.
+        """
+        pointer = os.path.join(self.directory, _LATEST)
+        if not os.path.exists(pointer):
+            self._prune(keep=None)
+            return None
+        with open(pointer, encoding="utf-8") as fh:
+            name = fh.read().strip()
+        ckpt_dir = os.path.join(self.directory, name)
+        manifest_path = os.path.join(ckpt_dir, _MANIFEST)
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"checkpoint {name!r} is unreadable ({exc}); "
+                "delete the checkpoint directory to start fresh"
+            ) from exc
+        self._validate(manifest, name)
+        tables: dict[str, RecordBatch] = {}
+        for label, _ in _TABLES:
+            meta = manifest["tables"][label]
+            schema = Schema(
+                ColumnDef(c["name"], type_from_name(c["type"]), nullable=c["nullable"])
+                for c in meta["columns"]
+            )
+            try:
+                tables[label] = read_table_file(
+                    os.path.join(ckpt_dir, f"{label}.npz"), schema, meta["rows"]
+                )
+            except EngineError as exc:
+                raise RecoveryError(f"checkpoint {name!r} is torn: {exc}") from exc
+        self._prune(keep=name)
+        return RestoredRun(
+            completed=int(manifest["completed"]),
+            aggregated={k: float(v) for k, v in manifest["aggregated"].items()},
+            program_state=dict(manifest["program_state"]),
+            tables=tables,
+        )
+
+    def _validate(self, manifest: dict[str, Any], name: str) -> None:
+        if manifest.get("format") != _FORMAT_VERSION:
+            raise RecoveryError(
+                f"checkpoint {name!r} has unsupported format {manifest.get('format')!r}"
+            )
+        graph = manifest.get("graph", {})
+        if (
+            graph.get("name") != self.graph.name
+            or graph.get("num_vertices") != self.graph.num_vertices
+            or graph.get("num_edges") != self.graph.num_edges
+        ):
+            raise RecoveryError(
+                f"checkpoint {name!r} was written for graph "
+                f"{graph.get('name')!r} ({graph.get('num_vertices')} vertices, "
+                f"{graph.get('num_edges')} edges); cannot resume "
+                f"{self.graph.name!r} ({self.graph.num_vertices} vertices, "
+                f"{self.graph.num_edges} edges) from it"
+            )
+        recorded = manifest.get("program", {})
+        if recorded.get("fingerprint") != self.fingerprint:
+            raise RecoveryError(
+                f"checkpoint {name!r} was written by program "
+                f"{recorded.get('name')!r} (fingerprint "
+                f"{recorded.get('fingerprint')!r}); resuming with "
+                f"{self.program.name!r} (fingerprint {self.fingerprint!r}) "
+                "would not be bit-identical"
+            )
+
+    # ------------------------------------------------------------------
+    def restore(self, restored: RestoredRun) -> None:
+        """Roll the run tables back to ``restored`` (atomic per table via
+        the engine's replace path) and rewind program state."""
+        db = self.storage.db
+        for label, attr in _TABLES:
+            db.table(getattr(self.graph, attr)).replace_data(restored.tables[label])
+        self.program.restore_state(dict(restored.program_state))
+
+    def _prune(self, keep: str | None) -> None:
+        """Drop every checkpoint directory except ``keep`` — superseded
+        snapshots and torn unreferenced writes alike."""
+        if not os.path.isdir(self.directory):
+            return
+        for entry in os.listdir(self.directory):
+            if entry.startswith("ckpt-") and entry != keep:
+                shutil.rmtree(os.path.join(self.directory, entry), ignore_errors=True)

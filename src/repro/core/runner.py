@@ -21,6 +21,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.config import VertexicaConfig
 from repro.core.coordinator import register_coordinator
 from repro.core.metrics import RunStats
@@ -334,27 +335,48 @@ class Vertexica:
 
         Keyword overrides are applied on top of this instance's config,
         e.g. ``vx.run(g, prog, n_partitions=16, input_strategy="join")``.
+        Fault tolerance rides the same kwargs: ``vx.run(g, prog,
+        checkpoint_every=4, checkpoint_dir=d)`` snapshots durable run
+        state every 4 supersteps, and ``vx.run(g, prog, resume=True,
+        checkpoint_dir=d)`` continues a killed run from its last
+        checkpoint, bit-identical to an uninterrupted run (see
+        :class:`~repro.core.config.VertexicaConfig`).
         """
-        handle = self._resolve_graph(graph)
         config = self.config.with_overrides(**overrides) if overrides else self.config
+        handle = self._resolve_graph(graph, config)
         stats: RunStats = self.db.call("vertexica_run", handle, program, config)
         values = self.storage.read_values(handle, program)
         return VertexicaResult(values=values, stats=stats)
 
     def _resolve_graph(
-        self, graph: GraphHandle | GraphViewHandle | GraphView | str
+        self,
+        graph: GraphHandle | GraphViewHandle | GraphView | str,
+        config: VertexicaConfig | None = None,
     ) -> GraphHandle:
-        """Turn any accepted graph reference into a loaded handle."""
+        """Turn any accepted graph reference into a loaded handle.
+
+        View extraction is a real query over base tables — the run's
+        other I/O seam besides shard tasks — so transient faults there
+        are retried with the same bounded-backoff policy."""
+        config = config or self.config
+
+        def resolving(handle: GraphViewHandle) -> GraphHandle:
+            return faults.retry_call(
+                handle.resolve,
+                retries=config.task_retries,
+                backoff=config.retry_backoff,
+            )
+
         if isinstance(graph, GraphViewHandle):
-            return graph.resolve()
+            return resolving(graph)
         if isinstance(graph, GraphView):
             name = graph.name or "adhoc_view"
-            return GraphViewHandle(
-                self.db, self.storage, name, graph, materialized=False
-            ).resolve()
+            return resolving(
+                GraphViewHandle(self.db, self.storage, name, graph, materialized=False)
+            )
         if isinstance(graph, str):
             if graph in self._graph_views:
-                return self._graph_views[graph].resolve()
+                return resolving(self._graph_views[graph])
             return self.graph(graph)
         return graph
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.program import VertexProgram
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.core.worker import (
@@ -138,6 +139,8 @@ class ShardStepStats:
     rows_in: int
     rows_out: int
     shard_seconds: tuple[float, ...]
+    #: transient shard-task faults retried in place this superstep
+    retries: int = 0
 
 
 class ShardedDataPlane:
@@ -152,12 +155,17 @@ class ShardedDataPlane:
         program: VertexProgram,
         n_shards: int,
         use_combiner: bool,
+        task_retries: int = 0,
+        retry_backoff: float = 0.01,
     ) -> None:
         self.storage = storage
         self.graph = graph
         self.program = program
         self.n_shards = max(1, int(n_shards))
         self.use_combiner = bool(use_combiner and program.combiner is not None)
+        #: bounded in-place retry budget for transient shard-task faults
+        self.task_retries = max(0, int(task_retries))
+        self.retry_backoff = retry_backoff
         self.aggregated: dict[str, float] = {}
         v_codec = program.vertex_codec
         m_codec = program.message_codec
@@ -242,7 +250,45 @@ class ShardedDataPlane:
                 msg_valid=np.empty(0, dtype=bool),
             )
             shards.append(shard)
+        self._load_messages(shards)
         return shards
+
+    def _load_messages(self, shards: list[VertexShard]) -> None:
+        """Adopt the message table's pending rows into the shard inboxes.
+
+        Empty on a fresh run (``setup_run`` recreates the table); non-empty
+        when the plane is (re)built from restored checkpoint state or a
+        prior sync.  ``sync_tables`` wrote the rows globally stable-sorted
+        by destination id — and every destination id lives in exactly one
+        shard — so the stable re-bucketing below reproduces each shard's
+        inbox bit-for-bit, including the (source shard, emission order)
+        tie order that keeps float reductions deterministic.
+        """
+        mdata = self.storage.db.table(self.graph.message_table).data()
+        if mdata.num_rows == 0:
+            return
+        src = np.asarray(mdata.column("src").values, dtype=np.int64)
+        dst = np.asarray(mdata.column("dst").values, dtype=np.int64)
+        if self._msg_width:
+            names = self.program.message_codec.column_names()
+            raw = np.column_stack(
+                [np.asarray(mdata.column(c).values, np.float64) for c in names]
+            )
+            valid = np.asarray(mdata.column(names[0]).valid, dtype=bool)
+        else:
+            value_col = mdata.column("value")
+            raw = value_col.values
+            valid = value_col.valid
+        n = self.n_shards
+        order, bounds = hash_bucket_order(dst % n, n, (dst,))
+        for shard in shards:
+            sel = order[bounds[shard.index] : bounds[shard.index + 1]]
+            if not len(sel):
+                continue
+            shard.msg_src = src[sel]
+            shard.msg_dst = dst[sel]
+            shard.msg_raw = raw[sel]
+            shard.msg_valid = np.asarray(valid[sel], dtype=bool)
 
     # ------------------------------------------------------------------
     # Run-state queries (the coordinator's halt condition)
@@ -275,20 +321,51 @@ class ShardedDataPlane:
 
         def run_shard(
             shard: VertexShard, index: int
-        ) -> tuple[StagedRows, tuple]:
+        ) -> tuple[StagedRows, tuple | None, int]:
             started = time.perf_counter()
-            out, _ = worker.compute_decoded(shard.decoded())
-            staged = out.to_staged()
-            routed = self._bucket_messages(staged)
+            retried = [0]
+
+            # A shard task is a pure function of resident state (kernels
+            # never mutate their input views; fancy-indexed copies back
+            # them), so a transient fault — injected or real — can be
+            # retried in place without touching the checkpoint layer.
+            # Run counters are recorded exactly once, after the retry
+            # loop commits.
+            def attempt() -> tuple[StagedRows, tuple | None, int, int]:
+                faults.trip("shard.compute", superstep=worker.superstep, shard=index)
+                part = shard.decoded()
+                out, ran = worker.compute_decoded(part, record=False)
+                staged = out.to_staged()
+                return staged, self._bucket_messages(staged), ran, part.dropped
+
+            def on_retry(exc: BaseException, attempt_no: int, delay: float) -> None:
+                retried[0] = attempt_no
+
+            try:
+                staged, routed, ran, dropped = faults.retry_call(
+                    attempt,
+                    retries=self.task_retries,
+                    backoff=self.retry_backoff,
+                    on_retry=on_retry,
+                )
+            except Exception as exc:
+                exc.add_note(
+                    f"shard {index} failed at superstep {worker.superstep} "
+                    f"after {retried[0]} retries"
+                )
+                raise
+            worker.record_partition_counts(ran, dropped)
             shard_seconds[index] = time.perf_counter() - started
-            return staged, routed
+            return staged, routed, retried[0]
 
         results = executor(
             run_shard, [(shard, shard.index) for shard in self.shards]
         )
         staged = [result[0] for result in results]
         routed = [result[1] for result in results]
+        retries = sum(result[2] for result in results)
         vertex_updates = self._apply_vertex_updates(staged)
+        faults.trip("shard.route", superstep=worker.superstep)
         messages_out = self._route_messages(routed)
         self.aggregated = self._reduce_aggregators(staged)
         rows_in = self.graph.num_vertices + messages_in
@@ -301,6 +378,7 @@ class ShardedDataPlane:
             rows_in=rows_in,
             rows_out=sum(rows.num_rows for rows in staged),
             shard_seconds=tuple(shard_seconds),
+            retries=retries,
         )
 
     # ------------------------------------------------------------------
@@ -487,11 +565,13 @@ class ShardedDataPlane:
     # ------------------------------------------------------------------
     # Sync policy: mirror resident state into the relational tables
     # ------------------------------------------------------------------
-    def sync_tables(self) -> float:
+    def sync_tables(self, superstep: int | None = None) -> float:
         """Write the vertex and message tables from resident shard state
         (returns seconds spent).  Under ``superstep_sync="every"`` this
-        runs per superstep; under ``"halt"`` once at completion."""
+        runs per superstep; under ``"halt"`` at checkpoint boundaries
+        (when checkpointing) and once at completion."""
         started = time.perf_counter()
+        faults.trip("storage.sync", superstep=superstep)
         shards = self.shards
         ids = np.concatenate([s.vertex_ids for s in shards])
         values = np.concatenate([s.raw_values for s in shards])

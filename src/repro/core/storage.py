@@ -30,6 +30,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.codecs import ValueCodec
 from repro.core.program import VertexProgram
 from repro.engine.batch import RecordBatch
@@ -548,7 +549,11 @@ class GraphStorage:
         return message_table.num_rows
 
     def apply_vertex_updates(
-        self, graph: GraphHandle, program: VertexProgram, replace: bool
+        self,
+        graph: GraphHandle,
+        program: VertexProgram,
+        replace: bool,
+        superstep: int | None = None,
     ) -> int:
         """Apply staged kind-0 rows to the vertex table.
 
@@ -557,8 +562,10 @@ class GraphStorage:
         one UPDATE statement per staged tuple — genuine tuple-at-a-time
         DML, which is exactly what the optimization avoids.
 
-        Returns the number of vertex rows updated.
+        Returns the number of vertex rows updated.  ``superstep`` only
+        feeds the ``storage.apply`` fault-injection site.
         """
+        faults.trip("storage.apply", superstep=superstep)
         db = self.db
         codec = program.vertex_codec
         if codec.is_vector:

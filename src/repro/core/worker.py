@@ -639,7 +639,9 @@ class VertexWorker:
             self.rows_in += partition.num_rows
         return out.to_batch(self.schema)
 
-    def compute_decoded(self, part: _DecodedPartition) -> tuple[_Outputs, int]:
+    def compute_decoded(
+        self, part: _DecodedPartition, record: bool = True
+    ) -> tuple[_Outputs, int]:
         """Layer 2 alone: run the program over an already-decoded
         partition and return the staged outputs plus the number of
         vertices that ran.
@@ -648,6 +650,11 @@ class VertexWorker:
         1 decodes the partition from relational rows); the shard plane
         builds :class:`_DecodedPartition` views straight from resident
         arrays and calls this directly.  Thread-safe across partitions.
+
+        ``record=False`` skips the shared run counters so a caller that
+        may *retry* the partition (the shard plane's transient-fault
+        retry loop) can account exactly once via
+        :meth:`record_partition_counts` after it commits to a result.
         """
         out = _Outputs(
             self.payload_width,
@@ -660,10 +667,15 @@ class VertexWorker:
         else:
             ran = self._run_scalar(out, part, active)
         self._reduce_partition_aggregates(out)
+        if record:
+            self.record_partition_counts(ran, part.dropped)
+        return out, ran
+
+    def record_partition_counts(self, ran: int, dropped: int) -> None:
+        """Fold one partition's outcome into the shared run counters."""
         with self._lock:
             self.vertices_ran += ran
-            self.messages_dropped += part.dropped
-        return out, ran
+            self.messages_dropped += dropped
 
     def _reduce_partition_aggregates(self, out: _Outputs) -> None:
         """Pre-reduce this partition's aggregator contributions to one

@@ -9,13 +9,68 @@ they are available, and on generated graphs otherwise.
 from __future__ import annotations
 
 import os
+import time
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.faults import retry_call
 from repro.datasets.generators import Graph
 from repro.errors import DatasetError
 
-__all__ = ["read_snap_edge_list", "write_snap_edge_list"]
+__all__ = ["read_snap_edge_list", "write_snap_edge_list", "download_snap_edge_list"]
+
+
+def download_snap_edge_list(
+    url: str,
+    path: str,
+    *,
+    timeout: float = 30.0,
+    retries: int = 3,
+    backoff: float = 0.5,
+    opener: Callable[..., Any] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> str:
+    """Download a SNAP edge-list file to ``path``; returns ``path``.
+
+    Transient network failures — connection resets, timeouts, DNS
+    hiccups, retriable HTTP statuses (429/5xx) — are retried up to
+    ``retries`` times with the runtime's shared capped deterministic
+    backoff (:func:`repro.core.faults.retry_call` and its classifier);
+    deterministic failures (404s, bad URLs) fail immediately.  The file
+    lands atomically (written to ``path + ".part"``, then renamed), so a
+    crashed download never leaves a half file that parses.
+
+    Args:
+        url: source URL (an http(s) SNAP ``.txt`` edge list).
+        path: destination file path.
+        timeout: per-attempt socket timeout in seconds.
+        retries: transient-retry budget.
+        backoff: base backoff seconds between attempts.
+        opener: ``urllib.request.urlopen``-compatible callable (tests
+            inject fakes; the default imports urllib lazily).
+        sleep: backoff sleeper (tests inject a recorder).
+
+    Raises:
+        DatasetError: the download failed after exhausting retries (the
+            original network error is chained).
+    """
+    if opener is None:
+        from urllib.request import urlopen as opener  # pragma: no cover
+
+    def attempt() -> None:
+        with opener(url, timeout=timeout) as response:
+            payload = response.read()
+        partial = f"{path}.part"
+        with open(partial, "wb") as fh:
+            fh.write(payload)
+        os.replace(partial, path)
+
+    try:
+        retry_call(attempt, retries=retries, backoff=backoff, sleep=sleep)
+    except Exception as exc:
+        raise DatasetError(f"failed to download {url!r}: {exc}") from exc
+    return path
 
 
 def read_snap_edge_list(path: str, name: str | None = None, relabel: bool = True) -> Graph:

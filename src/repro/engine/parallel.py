@@ -25,7 +25,7 @@ costs thread spawns on the hot loop).  It is a context manager; exiting
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
 __all__ = ["serial_executor", "make_thread_executor", "PartitionExecutor", "ThreadExecutor"]
@@ -71,7 +71,30 @@ class ThreadExecutor:
             return serial_executor(fn, tasks)
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item, index) for item, index in tasks]
-        return [future.result() for future in futures]
+        # Short-circuit on the first failure instead of draining every
+        # result: cancel still-queued siblings (running ones finish — a
+        # thread cannot be preempted), settle the rest, and propagate the
+        # earliest failed task's exception with its task context attached.
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (
+                (future, index)
+                for (_, index), future in zip(tasks, futures)
+                if future in done
+                and not future.cancelled()
+                and future.exception() is not None
+            ),
+            None,
+        )
+        if failed is None:
+            return [future.result() for future in futures]
+        for future in futures:
+            future.cancel()
+        wait(futures)
+        future, index = failed
+        exc = future.exception()
+        exc.add_note(f"raised by parallel task {index} (siblings cancelled)")
+        raise exc
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -80,12 +103,15 @@ class ThreadExecutor:
             return self._pool
 
     def close(self) -> None:
-        """Shut the pool down (idempotent); later calls fall back to a
-        fresh lazily-created pool, so a closed executor stays usable."""
+        """Shut the pool down (idempotent and exception-safe: the pool
+        reference is detached under the lock first, so a concurrent or
+        repeated close sees ``None`` and returns; queued work is
+        cancelled rather than drained).  Later calls fall back to a fresh
+        lazily-created pool, so a closed executor stays usable."""
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ThreadExecutor":
         return self

@@ -26,7 +26,13 @@ from repro.engine.table import Table
 from repro.engine.types import VARCHAR, type_from_name
 from repro.errors import EngineError
 
-__all__ = ["checkpoint_catalog", "restore_catalog", "read_checkpoint_metadata"]
+__all__ = [
+    "checkpoint_catalog",
+    "restore_catalog",
+    "read_checkpoint_metadata",
+    "write_table_file",
+    "read_table_file",
+]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
@@ -48,7 +54,7 @@ def checkpoint_catalog(
         manifest["metadata"] = metadata
     for name in catalog.table_names():
         table = catalog.get(name)
-        _write_table(table, os.path.join(directory, f"{name}.npz"))
+        write_table_file(table, os.path.join(directory, f"{name}.npz"))
         manifest["tables"][name] = {
             "columns": [
                 {
@@ -66,17 +72,45 @@ def checkpoint_catalog(
         json.dump(manifest, fh, indent=2)
 
 
-def _write_table(table: Table, path: str) -> None:
-    arrays: dict[str, np.ndarray] = {}
-    batch = table.data()
-    for i, (coldef, column) in enumerate(zip(table.schema, batch.columns)):
+def _table_arrays(table: Table) -> list[np.ndarray]:
+    """A table's checkpoint payload: ``[values, valid]`` per schema column
+    in schema order (VARCHAR values as JSON bytes — never pickled)."""
+    arrays: list[np.ndarray] = []
+    for coldef, column in zip(table.schema, table.data().columns):
         if coldef.dtype is VARCHAR:
             payload = json.dumps(column.to_list())
-            arrays[f"col{i}_values"] = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+            arrays.append(np.frombuffer(payload.encode("utf-8"), dtype=np.uint8))
         else:
-            arrays[f"col{i}_values"] = column.values
-        arrays[f"col{i}_valid"] = column.valid
-    np.savez_compressed(path, **arrays)
+            arrays.append(column.values)
+        arrays.append(column.valid)
+    return arrays
+
+
+def write_table_file(table: Table, path: str, compress: bool = True) -> None:
+    """Write one table's data to a checkpoint table file: a values +
+    validity array per column, VARCHAR as JSON bytes.
+
+    ``compress=True`` (engine catalog checkpoints) writes a
+    ``np.savez_compressed`` archive.  ``compress=False`` trades disk for
+    speed — used by the run-recovery layer, whose per-superstep
+    checkpoints sit on the hot loop: the same arrays are streamed as a
+    raw ``.npy`` stack into one file, skipping the zipfile layer
+    entirely.  :func:`read_table_file` dispatches on the file magic, so
+    both variants read back transparently.
+    """
+    if compress:
+        arrays = _table_arrays(table)
+        named = {
+            f"col{i // 2}_{'values' if i % 2 == 0 else 'valid'}": array
+            for i, array in enumerate(arrays)
+        }
+        np.savez_compressed(path, **named)
+        return
+    with open(path, "wb") as fh:
+        for array in _table_arrays(table):
+            np.lib.format.write_array(
+                fh, np.ascontiguousarray(array), allow_pickle=False
+            )
 
 
 def read_checkpoint_metadata(directory: str) -> dict[str, Any]:
@@ -115,28 +149,53 @@ def restore_catalog(directory: str) -> Catalog:
             ColumnDef(c["name"], type_from_name(c["type"]), nullable=c["nullable"])
             for c in meta["columns"]
         )
-        batch = _read_table(os.path.join(directory, f"{name}.npz"), schema, meta["rows"])
+        batch = read_table_file(os.path.join(directory, f"{name}.npz"), schema, meta["rows"])
         table = Table(name, schema, batch, primary_key=meta["primary_key"])
         table.restore(table.data(), meta["version"])
         catalog.register(table)
     return catalog
 
 
-def _read_table(path: str, schema: Schema, expected_rows: int) -> RecordBatch:
+def _decode_column(coldef: ColumnDef, raw: np.ndarray, valid: np.ndarray) -> Column:
+    if coldef.dtype is VARCHAR:
+        items = json.loads(raw.tobytes().decode("utf-8"))
+        values = np.empty(len(items), dtype=object)
+        values[:] = ["" if item is None else item for item in items]
+        return Column(VARCHAR, values, valid)
+    return Column(coldef.dtype, raw.astype(coldef.dtype.numpy_dtype), valid)
+
+
+def read_table_file(path: str, schema: Schema, expected_rows: int) -> RecordBatch:
+    """Read a :func:`write_table_file` file back into a batch — either
+    variant (zip archive or raw ``.npy`` stack), told apart by magic.
+
+    Raises:
+        EngineError: missing or truncated file, or row-count mismatch vs
+            the manifest.
+    """
     if not os.path.exists(path):
         raise EngineError(f"checkpoint table file missing: {path!r}")
-    with np.load(path, allow_pickle=False) as archive:
-        columns: list[Column] = []
-        for i, coldef in enumerate(schema):
-            valid = archive[f"col{i}_valid"]
-            raw = archive[f"col{i}_values"]
-            if coldef.dtype is VARCHAR:
-                items = json.loads(raw.tobytes().decode("utf-8"))
-                values = np.empty(len(items), dtype=object)
-                values[:] = ["" if item is None else item for item in items]
-                columns.append(Column(VARCHAR, values, valid))
-            else:
-                columns.append(Column(coldef.dtype, raw.astype(coldef.dtype.numpy_dtype), valid))
+    with open(path, "rb") as probe:
+        magic = probe.read(4)
+    columns: list[Column] = []
+    if magic.startswith(b"PK"):  # zip archive (compressed variant)
+        with np.load(path, allow_pickle=False) as archive:
+            for i, coldef in enumerate(schema):
+                columns.append(
+                    _decode_column(
+                        coldef, archive[f"col{i}_values"], archive[f"col{i}_valid"]
+                    )
+                )
+            batch = RecordBatch(schema, columns)
+    else:  # raw .npy stack (uncompressed variant)
+        try:
+            with open(path, "rb") as fh:
+                for coldef in schema:
+                    raw = np.lib.format.read_array(fh, allow_pickle=False)
+                    valid = np.lib.format.read_array(fh, allow_pickle=False)
+                    columns.append(_decode_column(coldef, raw, valid))
+        except ValueError as exc:
+            raise EngineError(f"checkpoint table file truncated: {path!r} ({exc})") from exc
         batch = RecordBatch(schema, columns)
     if batch.num_rows != expected_rows:
         raise EngineError(

@@ -77,6 +77,11 @@ class GraphViewError(VertexicaError):
     from its base tables."""
 
 
+class RecoveryError(VertexicaError):
+    """A run checkpoint could not be loaded or does not match the run
+    being resumed (different graph, program, or torn beyond repair)."""
+
+
 class BaselineError(ReproError):
     """Base class for errors raised by the Giraph / graph-DB baselines."""
 

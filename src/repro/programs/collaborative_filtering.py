@@ -89,6 +89,15 @@ class CollaborativeFiltering(VertexProgram):
         rng = np.random.default_rng(self.seed * 1_000_003 + vertex_id)
         return (rng.random(self.rank) * 0.1).tolist()
 
+    def checkpoint_state(self) -> dict:
+        # SGD here is order-sensitive but RNG-free per superstep: the only
+        # randomness is the seed-derived per-vertex initial vectors, so
+        # resuming bit-identically needs exactly the seed back.
+        return {"rng_seed": self.seed}
+
+    def restore_state(self, state: dict) -> None:
+        self.seed = int(state.get("rng_seed", self.seed))
+
     def compute(self, vertex: Vertex) -> None:
         if vertex.superstep > 0:
             ratings = {edge.target: edge.weight for edge in vertex.out_edges}

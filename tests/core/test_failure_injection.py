@@ -1,13 +1,26 @@
 """Failure injection for the Vertexica runtime: a crashing vertex program
-must not corrupt the graph's relational state."""
+must not corrupt the graph's relational state — on either data plane."""
 
 import pytest
 
 from repro.core import Vertexica
 from repro.core.api import Vertex
 from repro.core.program import VertexProgram
-from repro.errors import UdfError
 from repro.programs import PageRank
+
+# Every crash-consistency guarantee must hold on the staged SQL plane and
+# on the shard-resident plane under both sync policies.
+PLANES = [
+    pytest.param({}, id="sql"),
+    pytest.param(
+        {"data_plane": "shards", "n_partitions": 3, "superstep_sync": "every"},
+        id="shards-every",
+    ),
+    pytest.param(
+        {"data_plane": "shards", "n_partitions": 3, "superstep_sync": "halt"},
+        id="shards-halt",
+    ),
+]
 
 
 class ExplodesAtSuperstep(VertexProgram):
@@ -28,33 +41,48 @@ class ExplodesAtSuperstep(VertexProgram):
         vertex.send_message_to_all_neighbors(1.0)
 
 
+@pytest.mark.parametrize("plane", PLANES)
 class TestCrashConsistency:
-    def test_exception_propagates(self, vx, tiny_edges):
+    def test_exception_propagates(self, vx, tiny_edges, plane):
         src, dst = tiny_edges
         g = vx.load_graph("g", src, dst, num_vertices=5)
         with pytest.raises(RuntimeError, match="exploded"):
-            vx.run(g, ExplodesAtSuperstep(fail_at=1))
+            vx.run(g, ExplodesAtSuperstep(fail_at=1), **plane)
 
-    def test_tables_remain_consistent_after_crash(self, vx, tiny_edges):
-        """The worker crashes before any of its output is staged, so the
-        vertex table holds the last completed superstep's state and the
-        graph remains fully analyzable."""
+    def test_tables_remain_consistent_after_crash(self, vx, tiny_edges, plane):
+        """The worker crashes before any of its output is staged (SQL
+        plane) or applied (shard plane), so the vertex table holds the
+        last completed superstep's state and the graph remains fully
+        analyzable."""
         src, dst = tiny_edges
         g = vx.load_graph("g", src, dst, num_vertices=5)
         with pytest.raises(RuntimeError):
-            vx.run(g, ExplodesAtSuperstep(fail_at=2))
+            vx.run(g, ExplodesAtSuperstep(fail_at=2), **plane)
         # vertex table: one consistent row per vertex
         rows = vx.sql("SELECT id, halted FROM g_vertex ORDER BY id").rows()
         assert [r[0] for r in rows] == [0, 1, 2, 3, 4]
         # and a fresh run on the same graph succeeds end-to-end
-        result = vx.run(g, PageRank(iterations=3))
+        result = vx.run(g, PageRank(iterations=3), **plane)
         assert len(result.values) == 5
 
-    def test_crash_does_not_leak_worker_registrations(self, vx, tiny_edges):
+    def test_crash_does_not_leak_worker_registrations(self, vx, tiny_edges, plane):
         src, dst = tiny_edges
         g = vx.load_graph("g", src, dst, num_vertices=5)
         with pytest.raises(RuntimeError):
-            vx.run(g, ExplodesAtSuperstep(fail_at=0))
+            vx.run(g, ExplodesAtSuperstep(fail_at=0), **plane)
         # the transform slot is simply overwritten by the next run
-        result = vx.run(g, PageRank(iterations=2))
+        result = vx.run(g, PageRank(iterations=2), **plane)
         assert result.stats.n_supersteps == 3
+
+    def test_crash_then_other_plane_still_agrees(self, vx, tiny_edges, plane):
+        """After a crash on one plane, a rerun on the *other* plane
+        produces the same result — the crash left no plane-specific
+        residue in the tables."""
+        src, dst = tiny_edges
+        g = vx.load_graph("g", src, dst, num_vertices=5)
+        with pytest.raises(RuntimeError):
+            vx.run(g, ExplodesAtSuperstep(fail_at=1), **plane)
+        other = {} if plane else {"data_plane": "shards", "n_partitions": 3}
+        here = vx.run(g, PageRank(iterations=3), **plane)
+        there = vx.run(g, PageRank(iterations=3), **other)
+        assert here.values == there.values

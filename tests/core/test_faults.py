@@ -1,0 +1,226 @@
+"""Unit tests for the deterministic fault-injection harness and the
+shared retry classifier/executor (`repro.core.faults`)."""
+
+from __future__ import annotations
+
+import errno
+import json
+from urllib.error import HTTPError, URLError
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedKill,
+    is_transient,
+    retry_call,
+)
+from repro.errors import VertexicaError
+
+
+class TestFaultSpec:
+    def test_defaults_and_matching(self):
+        spec = FaultSpec(site="shard.compute")
+        assert spec.kind == "transient" and spec.times == 1
+        assert spec.matches("shard.compute", superstep=3, shard=1)
+        assert not spec.matches("shard.route", superstep=3, shard=1)
+
+    def test_wildcards_vs_pinned(self):
+        spec = FaultSpec(site="storage.apply", superstep=2, shard=0)
+        assert spec.matches("storage.apply", superstep=2, shard=0)
+        assert not spec.matches("storage.apply", superstep=1, shard=0)
+        assert not spec.matches("storage.apply", superstep=2, shard=1)
+        # a site that reports no shard never matches a shard-pinned spec
+        assert not spec.matches("storage.apply", superstep=2, shard=None)
+
+    def test_validation(self):
+        with pytest.raises(VertexicaError):
+            FaultSpec(site="not.a.site")
+        with pytest.raises(VertexicaError):
+            FaultSpec(site="shard.compute", kind="explosive")
+        with pytest.raises(VertexicaError):
+            FaultSpec(site="shard.compute", times=0)
+
+
+class TestFaultPlan:
+    def test_budget_exhausts(self):
+        plan = FaultPlan([FaultSpec(site="shard.compute", times=2)])
+        with faults.injected(plan):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faults.trip("shard.compute", superstep=0, shard=0)
+            # budget spent: the site is now clean
+            faults.trip("shard.compute", superstep=0, shard=0)
+        assert plan.exhausted
+        assert len(plan.fired) == 2
+
+    def test_kind_selects_exception(self):
+        for kind, exc_type, transient in (
+            ("transient", InjectedFault, True),
+            ("deterministic", InjectedFault, False),
+            ("kill", InjectedKill, None),
+        ):
+            plan = FaultPlan([FaultSpec(site="storage.sync", kind=kind)])
+            with faults.injected(plan):
+                with pytest.raises(exc_type) as excinfo:
+                    faults.trip("storage.sync")
+            if transient is not None:
+                assert excinfo.value.transient is transient
+
+    def test_no_active_plan_is_noop(self):
+        faults.trip("shard.compute", superstep=99)  # must not raise
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="shard.compute", kind="kill", superstep=3, shard=1),
+                FaultSpec(site="checkpoint.write", times=2),
+            ]
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs == plan.specs
+
+    def test_from_json_seed_form(self):
+        a = FaultPlan.from_json(json.dumps({"seed": 7}))
+        b = FaultPlan.from_json(json.dumps({"seed": 7}))
+        c = FaultPlan.from_json(json.dumps({"seed": 8}))
+        assert a.specs == b.specs
+        assert a.specs != c.specs
+
+    def test_from_seed_deterministic(self):
+        a = FaultPlan.from_seed(42, n_faults=3, kinds=("kill", "transient"))
+        b = FaultPlan.from_seed(42, n_faults=3, kinds=("kill", "transient"))
+        assert a.specs == b.specs
+        assert len(a.specs) == 3
+        for spec in a.specs:
+            assert spec.site in faults.SITES
+            assert spec.kind in ("kill", "transient")
+
+
+class TestIsTransient:
+    def test_injected_attr_wins(self):
+        assert is_transient(InjectedFault("shard.compute", 0, None, transient=True))
+        assert not is_transient(
+            InjectedFault("shard.compute", 0, None, transient=False)
+        )
+
+    def test_http_statuses(self):
+        def http_error(code):
+            return HTTPError("http://x", code, "boom", hdrs=None, fp=None)
+
+        assert is_transient(http_error(503))
+        assert is_transient(http_error(429))
+        assert not is_transient(http_error(404))
+
+    def test_network_and_os_errors(self):
+        assert is_transient(URLError("dns wobble"))
+        assert is_transient(ConnectionResetError())
+        assert is_transient(TimeoutError())
+        assert is_transient(OSError(errno.ECONNRESET, "reset"))
+        assert not is_transient(OSError(errno.ENOENT, "missing"))
+        assert not is_transient(ValueError("deterministic"))
+
+    def test_kill_is_never_transient(self):
+        assert not is_transient(InjectedKill("shard.compute", 0, None))
+
+
+class TestRetryCall:
+    def test_retries_transient_then_succeeds(self):
+        sleeps: list[float] = []
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] < 3:
+                raise ConnectionResetError("flake")
+            return "ok"
+
+        assert retry_call(flaky, retries=3, backoff=0.5, sleep=sleeps.append) == "ok"
+        assert calls[0] == 3
+        # capped deterministic exponential backoff, no jitter
+        assert sleeps == [0.5, 1.0]
+
+    def test_backoff_cap(self):
+        sleeps: list[float] = []
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] < 5:
+                raise TimeoutError()
+            return calls[0]
+
+        retry_call(flaky, retries=4, backoff=1.0, backoff_cap=2.0, sleep=sleeps.append)
+        assert sleeps == [1.0, 2.0, 2.0, 2.0]
+
+    def test_deterministic_fails_immediately(self):
+        calls = [0]
+
+        def broken():
+            calls[0] += 1
+            raise ValueError("always")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, retries=5, backoff=0.0, sleep=lambda s: None)
+        assert calls[0] == 1
+
+    def test_budget_exhaustion_reraises_last(self):
+        calls = [0]
+
+        def always_flaky():
+            calls[0] += 1
+            raise ConnectionResetError(f"attempt {calls[0]}")
+
+        with pytest.raises(ConnectionResetError, match="attempt 3"):
+            retry_call(always_flaky, retries=2, backoff=0.0, sleep=lambda s: None)
+        assert calls[0] == 3
+
+    def test_on_retry_hook(self):
+        seen: list[tuple[BaseException, int, float]] = []
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] == 1:
+                raise TimeoutError()
+            return "done"
+
+        retry_call(
+            flaky,
+            retries=2,
+            backoff=0.25,
+            sleep=lambda s: None,
+            on_retry=lambda exc, attempt, delay: seen.append((exc, attempt, delay)),
+        )
+        assert len(seen) == 1
+        exc, attempt, delay = seen[0]
+        assert isinstance(exc, TimeoutError) and attempt == 1 and delay == 0.25
+
+    def test_kill_escapes_retry(self):
+        """InjectedKill is a BaseException: it must blow straight through
+        the retry loop like a real SIGKILL would."""
+        calls = [0]
+
+        def killed():
+            calls[0] += 1
+            raise InjectedKill("shard.compute", 0, None)
+
+        with pytest.raises(InjectedKill):
+            retry_call(killed, retries=5, backoff=0.0, sleep=lambda s: None)
+        assert calls[0] == 1
+
+
+class TestEnvActivation:
+    def test_env_plan_activates(self, monkeypatch):
+        plan_json = FaultPlan([FaultSpec(site="shard.route", kind="kill")]).to_json()
+        monkeypatch.setenv(faults.ENV_VAR, plan_json)
+        faults.deactivate()  # force re-read of the env
+        try:
+            with pytest.raises(InjectedKill):
+                faults.trip("shard.route", superstep=0)
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR)
+            faults.deactivate()

@@ -1,0 +1,101 @@
+"""Bounded retry-with-backoff for SNAP dataset downloads, sharing the
+runtime's transient/deterministic classifier."""
+
+from __future__ import annotations
+
+import io
+from urllib.error import HTTPError, URLError
+
+import pytest
+
+from repro.datasets.snap import download_snap_edge_list, read_snap_edge_list
+from repro.errors import DatasetError
+
+PAYLOAD = b"# tiny\n0 1\n1 2\n2 0\n"
+
+
+class FakeResponse(io.BytesIO):
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def flaky_opener(failures):
+    """An opener that raises the queued exceptions, then succeeds."""
+    queue = list(failures)
+    calls = []
+
+    def opener(url, timeout):
+        calls.append((url, timeout))
+        if queue:
+            raise queue.pop(0)
+        return FakeResponse(PAYLOAD)
+
+    opener.calls = calls
+    return opener
+
+
+class TestDownloadSnapEdgeList:
+    def test_happy_path_writes_atomically(self, tmp_path):
+        dest = tmp_path / "tiny.txt"
+        opener = flaky_opener([])
+        out = download_snap_edge_list(
+            "http://snap.example/tiny.txt", str(dest), opener=opener
+        )
+        assert out == str(dest)
+        assert dest.read_bytes() == PAYLOAD
+        assert not (tmp_path / "tiny.txt.part").exists()
+        graph = read_snap_edge_list(str(dest))
+        assert graph.num_edges == 3
+
+    def test_transient_errors_are_retried(self, tmp_path):
+        sleeps: list[float] = []
+        opener = flaky_opener(
+            [
+                URLError("connection reset"),
+                HTTPError("http://x", 503, "unavailable", hdrs=None, fp=None),
+            ]
+        )
+        dest = tmp_path / "tiny.txt"
+        download_snap_edge_list(
+            "http://snap.example/tiny.txt",
+            str(dest),
+            retries=3,
+            backoff=0.5,
+            opener=opener,
+            sleep=sleeps.append,
+        )
+        assert dest.read_bytes() == PAYLOAD
+        assert len(opener.calls) == 3
+        assert sleeps == [0.5, 1.0]  # capped deterministic backoff
+
+    def test_deterministic_http_error_fails_immediately(self, tmp_path):
+        opener = flaky_opener(
+            [HTTPError("http://x", 404, "not found", hdrs=None, fp=None)] * 5
+        )
+        with pytest.raises(DatasetError, match="404"):
+            download_snap_edge_list(
+                "http://snap.example/missing.txt",
+                str(tmp_path / "missing.txt"),
+                retries=3,
+                opener=opener,
+                sleep=lambda s: None,
+            )
+        assert len(opener.calls) == 1  # no retry budget burned
+
+    def test_exhausted_retries_raise_dataset_error(self, tmp_path):
+        opener = flaky_opener([URLError("down")] * 10)
+        with pytest.raises(DatasetError, match="failed to download") as excinfo:
+            download_snap_edge_list(
+                "http://snap.example/tiny.txt",
+                str(tmp_path / "tiny.txt"),
+                retries=2,
+                backoff=0.0,
+                opener=opener,
+                sleep=lambda s: None,
+            )
+        assert isinstance(excinfo.value.__cause__, URLError)
+        assert len(opener.calls) == 3  # initial try + 2 retries
+        assert not (tmp_path / "tiny.txt").exists()  # nothing half-written

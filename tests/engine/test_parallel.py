@@ -1,0 +1,106 @@
+"""Executor error handling: first-failure propagation with task context,
+sibling cancellation, and idempotent/exception-safe close."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.parallel import ThreadExecutor, serial_executor
+
+
+class TestSerialExecutor:
+    def test_order_preserved(self):
+        out = serial_executor(lambda item, index: item * 10 + index, [(1, 0), (2, 1)])
+        assert out == [10, 21]
+
+    def test_exception_propagates(self):
+        def boom(item, index):
+            raise ValueError(f"task {index}")
+
+        with pytest.raises(ValueError, match="task 0"):
+            serial_executor(boom, [(None, 0), (None, 1)])
+
+
+class TestThreadExecutor:
+    def test_order_preserved_across_threads(self):
+        ex = ThreadExecutor(4)
+        try:
+            tasks = [(i, i) for i in range(16)]
+
+            def jittered(item, index):
+                time.sleep(0.001 * ((7 - index) % 8))
+                return item * 2
+
+            assert ex(jittered, tasks) == [i * 2 for i in range(16)]
+        finally:
+            ex.close()
+
+    def test_first_failed_task_wins_with_context(self):
+        """The earliest (task-order) failure is what propagates, with a
+        note naming the failed task."""
+        ex = ThreadExecutor(4)
+        try:
+            def boom(item, index):
+                if index == 1:
+                    raise RuntimeError("shard exploded")
+                return item
+
+            with pytest.raises(RuntimeError, match="shard exploded") as excinfo:
+                ex(boom, [(i, i) for i in range(8)])
+            notes = getattr(excinfo.value, "__notes__", [])
+            assert any("parallel task 1" in note for note in notes)
+        finally:
+            ex.close()
+
+    def test_failure_cancels_queued_siblings(self):
+        """With a single worker thread, a failure in the first task must
+        prevent queued siblings from ever starting."""
+        ex = ThreadExecutor(1)
+        ran: list[int] = []
+        try:
+            def boom_first(item, index):
+                ran.append(index)
+                if index == 0:
+                    raise RuntimeError("first task fails")
+                return item
+
+            with pytest.raises(RuntimeError):
+                ex(boom_first, [(i, i) for i in range(6)])
+            # task 0 ran and failed; at most one sibling squeezed in
+            # before the cancellation took effect
+            assert 0 in ran
+            assert len(ran) <= 2
+        finally:
+            ex.close()
+
+    def test_close_is_idempotent(self):
+        ex = ThreadExecutor(2)
+        ex([].__class__, [])  # no-op call, no pool yet
+        ex.close()
+        ex.close()  # second close: no error
+
+    def test_usable_after_close(self):
+        ex = ThreadExecutor(2)
+        try:
+            assert ex(lambda item, index: item + index, [(1, 0), (2, 1)]) == [1, 3]
+            ex.close()
+            assert ex(lambda item, index: item + index, [(1, 0), (2, 1)]) == [1, 3]
+        finally:
+            ex.close()
+
+    def test_concurrent_close_is_safe(self):
+        ex = ThreadExecutor(2)
+        ex(lambda item, index: item, [(1, 0), (2, 1)])  # force pool creation
+        threads = [threading.Thread(target=ex.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_context_manager_closes(self):
+        with ThreadExecutor(2) as ex:
+            assert ex(lambda item, index: item, [(1, 0), (2, 1)]) == [1, 2]
+        ex.close()  # already closed by __exit__; still safe
