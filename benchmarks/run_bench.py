@@ -528,6 +528,97 @@ def run_refresh_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
     }
 
 
+def run_serving_cache_cell(
+    graph: Graph, n_partitions: int, repeat: int = 1, n_readers: int = 4
+) -> dict[str, Any]:
+    """Serving-tier cost model (the PR-7 cell): a repeated ``run`` through
+    :class:`VertexicaService` cold (snapshot pin + shadow execution per
+    request) vs warm (version-keyed cache hit), plus concurrent-reader
+    throughput over a mixed run/one-hop/SQL workload.
+
+    Cold and warm requests must produce bit-identical values — a cache
+    hit is only legal because equal ``(uid, version)`` implies equal
+    contents, and this cell asserts it end to end.
+    """
+    import asyncio
+
+    vx = Vertexica(config=VertexicaConfig(n_partitions=n_partitions))
+    name = f"{graph.name}_srv"
+    handle = vx.load_graph(
+        name, graph.src, graph.dst, num_vertices=graph.num_vertices
+    )
+    program = PageRank(iterations=pagerank_iterations())
+    cell: dict[str, Any] = {
+        "graph": graph.name,
+        "num_vertices": handle.num_vertices,
+        "num_edges": handle.num_edges,
+        "n_readers": n_readers,
+    }
+
+    async def measure() -> None:
+        async with vx.serve(
+            max_concurrency=n_readers, max_queue=4096
+        ) as service:
+            async with service.session(max_inflight=1) as s:
+                best_cold = float("inf")
+                for _ in range(max(repeat, 1)):
+                    started = time.perf_counter()
+                    cold = await s.run(name, program, cached=False)
+                    best_cold = min(best_cold, time.perf_counter() - started)
+                await s.run(name, program)  # prime the cache (miss)
+                best_warm = float("inf")
+                for _ in range(max(repeat, 1)):
+                    started = time.perf_counter()
+                    warm = await s.run(name, program)
+                    best_warm = min(best_warm, time.perf_counter() - started)
+                assert warm.stats.served_from_cache
+                cell["cold_seconds"] = round(best_cold, 6)
+                cell["warm_seconds"] = round(best_warm, 6)
+                cell["speedup_warm_over_cold"] = (
+                    round(best_cold / best_warm, 2) if best_warm else float("inf")
+                )
+                cold_fp, warm_fp = _fingerprint(cold.values), _fingerprint(warm.values)
+                cell["fingerprints_match"] = abs(cold_fp - warm_fp) <= 1e-9 * max(
+                    1.0, abs(cold_fp)
+                )
+
+            # Concurrent readers over a mixed cached workload.
+            async def read_loop(requests: int) -> None:
+                async with service.session(max_inflight=2) as session:
+                    for i in range(requests):
+                        kind = i % 3
+                        if kind == 0:
+                            await session.run(name, program)
+                        elif kind == 1:
+                            await session.one_hop(name, i % graph.num_vertices)
+                        else:
+                            await session.sql(
+                                f"SELECT COUNT(*) AS n FROM {name}_edge"
+                            )
+
+            per_reader = 30
+            started = time.perf_counter()
+            await asyncio.gather(*[read_loop(per_reader) for _ in range(n_readers)])
+            seconds = time.perf_counter() - started
+            stats = service.stats()
+            cell["concurrent"] = {
+                "requests": per_reader * n_readers,
+                "seconds": round(seconds, 6),
+                "requests_per_sec": round(per_reader * n_readers / seconds, 1)
+                if seconds
+                else float("inf"),
+                "cache_hits": stats["cache"]["hits"],
+                "cache_misses": stats["cache"]["misses"],
+                "hit_rate": stats["cache"]["hit_rate"],
+                "rejected": stats["rejected"],
+                "serve_p50_s": stats["serve"]["p50_s"],
+                "serve_p95_s": stats["serve"]["p95_s"],
+            }
+
+    asyncio.run(measure())
+    return cell
+
+
 def git_commit() -> str | None:
     try:
         return (
@@ -580,11 +671,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR6.json"
+        out_path = "BENCH_PR7.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR7.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR8.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -721,6 +812,30 @@ def main(argv: list[str] | None = None) -> int:
             f"every1 {ckpt_cell['cells']['shards']['every1']['overhead']*100:.1f}%"
         )
 
+    # Serving tier: cold snapshot execution vs version-keyed cache hit,
+    # plus concurrent-reader throughput — the PR-7 cell (and the quick
+    # mode's cache-correctness parity gate).
+    serving_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        serving_cell = run_serving_cache_cell(graph, args.partitions, args.repeat)
+        serving_cells.append(serving_cell)
+        if not serving_cell["fingerprints_match"]:
+            failures.append(
+                f"{graph_name}/pagerank: cached serving result disagrees "
+                f"with uncached recomputation"
+            )
+        concurrent = serving_cell["concurrent"]
+        print(
+            f"{graph_name:<12} serving cache: "
+            f"cold {serving_cell['cold_seconds']:.3f}s  "
+            f"warm {serving_cell['warm_seconds']*1000:.2f}ms  "
+            f"({serving_cell['speedup_warm_over_cold']:.0f}x)  "
+            f"{concurrent['requests_per_sec']:,.0f} req/s over "
+            f"{serving_cell['n_readers']} readers "
+            f"(hit rate {concurrent['hit_rate']*100:.0f}%)"
+        )
+
     # Incremental vs full refresh after small DML — the PR-3 cell.
     refresh_cells = []
     for graph_name in graph_names:
@@ -753,6 +868,7 @@ def main(argv: list[str] | None = None) -> int:
         "workers_scaling": workers_cells,
         "cf_codec": cf_codec_cells,
         "checkpoint_overhead": checkpoint_cells,
+        "serving_cache": serving_cells,
         "results": results,
     }
     if out_path:
@@ -810,6 +926,19 @@ def main(argv: list[str] | None = None) -> int:
                         file=sys.stderr,
                     )
                     return 1
+        # Serving-cache tripwire: a warm (version-keyed cache hit) run
+        # must beat the cold snapshot-and-execute path by a wide margin
+        # even at smoke scale (the acceptance bar is 10x at benchmark
+        # scale; 5x here leaves slack for tiny cold runs in CI).
+        for cell in serving_cells:
+            if cell["speedup_warm_over_cold"] < 5.0:
+                print(
+                    f"FAIL: serving cache hit only "
+                    f"{cell['speedup_warm_over_cold']}x faster than cold on "
+                    f"{cell['graph']}",
+                    file=sys.stderr,
+                )
+                return 1
         # Refresh tripwire: at smoke scale both paths are sub-millisecond
         # and sit right at the incremental/full crossover, so only an
         # egregious slowdown (2x) fails the run — parity is the hard gate.

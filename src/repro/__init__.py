@@ -19,8 +19,9 @@ Quickstart::
 from repro.core import Vertexica, VertexicaConfig, VertexicaResult, VertexProgram
 from repro.engine import Database
 from repro.graphview import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec
+from repro.serving import ServingSession, VertexicaService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Vertexica",
@@ -32,5 +33,7 @@ __all__ = [
     "NodeSpec",
     "EdgeSpec",
     "CoEdgeSpec",
+    "VertexicaService",
+    "ServingSession",
     "__version__",
 ]

@@ -44,6 +44,9 @@ class SuperstepStats:
     #: (includes the halt-policy boundary sync; 0.0 off boundaries and
     #: with checkpointing disabled).  Excluded from ``seconds``.
     checkpoint_seconds: float = 0.0
+    #: True when the serving tier replayed this superstep's record from
+    #: its version-keyed result cache instead of executing it
+    served_from_cache: bool = False
 
     @property
     def vertices_per_sec(self) -> float:
@@ -82,6 +85,10 @@ class RunStats:
     recovered_supersteps: int = 0
     #: total seconds writing run checkpoints (0.0 when disabled)
     checkpoint_seconds: float = 0.0
+    #: True when the serving tier answered from its version-keyed result
+    #: cache — the timings then describe the *original* computation, not
+    #: this request (demo console and bench output show the marker)
+    served_from_cache: bool = False
 
     @property
     def n_supersteps(self) -> int:
@@ -139,6 +146,8 @@ class RunStats:
             line += f" [recovered {self.recovered_supersteps} supersteps]"
         if self.retries:
             line += f" [{self.retries} transient retries]"
+        if self.served_from_cache:
+            line += " [served from cache]"
         return line
 
     def breakdown(self) -> str:

@@ -387,6 +387,28 @@ class Vertexica:
         """Run arbitrary SQL against the shared database."""
         return self.db.execute(statement, params)
 
+    # ------------------------------------------------------------------
+    # Serving (concurrent read tier over this instance)
+    # ------------------------------------------------------------------
+    def serve(self, **options: Any) -> "Any":
+        """Open a concurrent serving tier over this instance.
+
+        Returns a :class:`~repro.serving.VertexicaService`: an asyncio
+        front door with admission control, snapshot-isolated reads, and
+        a version-keyed result cache — this facade stays the writer::
+
+            async with vx.serve(max_concurrency=8) as service:
+                async with service.session() as s:
+                    result = await s.run("g", PageRankProgram())
+
+        Keyword ``options`` pass through to
+        :class:`~repro.serving.VertexicaService` (``max_concurrency``,
+        ``max_queue``, ``cache_bytes``, ``session_inflight``).
+        """
+        from repro.serving.service import VertexicaService  # lazy: avoid cycle
+
+        return VertexicaService(self, **options)
+
 
 def _maybe_sql(expr: Any) -> str | None:
     """Render an optional parsed expression back to SQL text."""

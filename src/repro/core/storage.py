@@ -250,41 +250,45 @@ class GraphStorage:
 
         handle = GraphHandle(self.db, name, 0, len(src_arr))
         db = self.db
-        db.execute(f"DROP TABLE IF EXISTS {handle.edge_table}")
-        db.execute(f"DROP TABLE IF EXISTS {handle.node_table}")
-        db.execute(
-            f"CREATE TABLE {handle.edge_table} "
-            "(src INTEGER NOT NULL, dst INTEGER NOT NULL, weight FLOAT NOT NULL)"
-        )
-        edge_schema = db.table(handle.edge_table).schema
-        db.insert_batch(
-            handle.edge_table,
-            RecordBatch(
-                edge_schema,
-                [
-                    Column.from_numpy(INTEGER, src_arr),
-                    Column.from_numpy(INTEGER, dst_arr),
-                    Column.from_numpy(FLOAT, weight_arr),
-                ],
-            ),
-        )
-        ids = np.union1d(src_arr, dst_arr) if len(src_arr) else np.empty(0, np.int64)
-        if num_vertices is not None:
-            ids = np.union1d(ids, np.arange(num_vertices, dtype=np.int64))
-        if node_ids is not None:
-            explicit = np.asarray(node_ids, dtype=np.int64)
-            if len(explicit) and explicit.min() < 0:
-                raise GraphLoadError("vertex ids must be non-negative")
-            ids = np.union1d(ids, explicit)
-        db.execute(f"CREATE TABLE {handle.node_table} (id INTEGER NOT NULL)")
-        db.insert_batch(
-            handle.node_table,
-            RecordBatch(
-                db.table(handle.node_table).schema,
-                [Column.from_numpy(INTEGER, ids)],
-            ),
-        )
-        handle.num_vertices = len(ids)
+        # One critical section for the whole DROP/CREATE/INSERT sequence:
+        # a concurrent snapshot pin must never land between the drop and
+        # the reload and see the graph's tables half-gone.
+        with db.lock:
+            db.execute(f"DROP TABLE IF EXISTS {handle.edge_table}")
+            db.execute(f"DROP TABLE IF EXISTS {handle.node_table}")
+            db.execute(
+                f"CREATE TABLE {handle.edge_table} "
+                "(src INTEGER NOT NULL, dst INTEGER NOT NULL, weight FLOAT NOT NULL)"
+            )
+            edge_schema = db.table(handle.edge_table).schema
+            db.insert_batch(
+                handle.edge_table,
+                RecordBatch(
+                    edge_schema,
+                    [
+                        Column.from_numpy(INTEGER, src_arr),
+                        Column.from_numpy(INTEGER, dst_arr),
+                        Column.from_numpy(FLOAT, weight_arr),
+                    ],
+                ),
+            )
+            ids = np.union1d(src_arr, dst_arr) if len(src_arr) else np.empty(0, np.int64)
+            if num_vertices is not None:
+                ids = np.union1d(ids, np.arange(num_vertices, dtype=np.int64))
+            if node_ids is not None:
+                explicit = np.asarray(node_ids, dtype=np.int64)
+                if len(explicit) and explicit.min() < 0:
+                    raise GraphLoadError("vertex ids must be non-negative")
+                ids = np.union1d(ids, explicit)
+            db.execute(f"CREATE TABLE {handle.node_table} (id INTEGER NOT NULL)")
+            db.insert_batch(
+                handle.node_table,
+                RecordBatch(
+                    db.table(handle.node_table).schema,
+                    [Column.from_numpy(INTEGER, ids)],
+                ),
+            )
+            handle.num_vertices = len(ids)
         return handle
 
     def replace_graph(
@@ -309,23 +313,27 @@ class GraphStorage:
         """
         edge_table = f"{name}_edge"
         node_table = f"{name}_node"
-        if not (self.db.has_table(edge_table) and self.db.has_table(node_table)):
-            raise GraphLoadError(f"graph {name!r} is not loaded")
-        edge = self.db.table(edge_table)
-        edge.replace_data(
-            RecordBatch(
-                edge.schema,
-                [
-                    Column.from_numpy(INTEGER, src),
-                    Column.from_numpy(INTEGER, dst),
-                    Column.from_numpy(FLOAT, weights),
-                ],
+        # Both pointer swaps under the engine lock: a concurrent snapshot
+        # pin must see old-edges/old-nodes or new-edges/new-nodes, never
+        # a torn mix of the two.
+        with self.db.lock:
+            if not (self.db.has_table(edge_table) and self.db.has_table(node_table)):
+                raise GraphLoadError(f"graph {name!r} is not loaded")
+            edge = self.db.table(edge_table)
+            edge.replace_data(
+                RecordBatch(
+                    edge.schema,
+                    [
+                        Column.from_numpy(INTEGER, src),
+                        Column.from_numpy(INTEGER, dst),
+                        Column.from_numpy(FLOAT, weights),
+                    ],
+                )
             )
-        )
-        node = self.db.table(node_table)
-        node.replace_data(
-            RecordBatch(node.schema, [Column.from_numpy(INTEGER, node_ids)])
-        )
+            node = self.db.table(node_table)
+            node.replace_data(
+                RecordBatch(node.schema, [Column.from_numpy(INTEGER, node_ids)])
+            )
         return GraphHandle(self.db, name, len(node_ids), len(src))
 
     def handle(self, name: str) -> GraphHandle:

@@ -17,6 +17,31 @@ the log, and readers observe "delta unavailable" and fall back to a full
 recomputation.  The log is bounded: when the retained delta rows exceed
 ``capacity`` the oldest entries are evicted and the reconstructable window
 shrinks accordingly.
+
+The version/uid contract
+------------------------
+
+Everything that derives state from a table — incremental view
+maintenance, snapshot-isolated serving reads, version-keyed result
+caches — leans on two invariants the mutation paths uphold:
+
+1. **Every observable content change bumps ``Table.version``.**  Row
+   DML (INSERT/DELETE/UPDATE) and wholesale swaps (``replace_data``,
+   ``truncate``) each bump exactly once; batches are immutable, so a
+   batch reference taken at version ``v`` *is* the table's contents at
+   ``v`` forever.  Equal ``(uid, version)`` therefore implies equal
+   contents — the premise of version-keyed cache hits and of
+   version-checked snapshot reads failing loudly instead of serving
+   torn data.
+2. **A version number is only meaningful together with the table's
+   ``uid``.**  Versions restart at 0 for recreated tables and repeat
+   after rewinds, so any path that cannot be expressed as a forward
+   bump — DROP + CREATE, transaction rollback, checkpoint ``restore`` —
+   installs a *fresh process-unique uid* (:func:`next_table_uid`).
+   Consumers must record ``(uid, version)`` pairs (see
+   ``Database.table_state`` / ``Database.pin_tables``) and treat a uid
+   mismatch exactly like an unreadable delta window: recompute from
+   scratch (views) or invalidate the handle (snapshots).
 """
 
 from __future__ import annotations

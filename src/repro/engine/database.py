@@ -19,11 +19,13 @@ Example:
 from __future__ import annotations
 
 import contextlib
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.batch import RecordBatch
 from repro.engine.catalog import Catalog
-from repro.engine.changelog import TableDelta
+from repro.engine.changelog import ChangeLog, TableDelta
 from repro.engine.executor import Result, StatementExecutor
 from repro.engine.expressions import ColumnRef
 from repro.engine.functions import FunctionRegistry, ScalarUdf
@@ -45,7 +47,47 @@ from repro.engine.types import DataType
 from repro.engine.udf import StoredProcedure, TransformUdf, UdfCatalog
 from repro.errors import SqlSyntaxError, TransactionError
 
-__all__ = ["Database", "Result"]
+__all__ = ["Database", "PinnedTable", "Result"]
+
+
+@dataclass(frozen=True)
+class PinnedTable:
+    """One table pinned at a point in time for snapshot-isolated reads.
+
+    ``batch`` is the table's contents *at the pinned version* — record
+    batches are immutable and every mutation swaps in a fresh batch, so
+    holding the reference costs nothing and stays stable no matter what
+    the writer does afterwards.  ``(uid, version)`` is the same bookmark
+    contract the change log uses (see :mod:`repro.engine.changelog`): a
+    later read can prove the live table is still the object, at the
+    version, this pin was taken from.
+    """
+
+    name: str
+    uid: int
+    version: int
+    batch: RecordBatch
+    schema: Schema
+    primary_key: str | None
+
+    def as_table(self) -> Table:
+        """Materialize a detached :class:`Table` over the pinned batch —
+        the copy-on-write handle snapshot readers query against.
+
+        Shares the immutable batch (zero copy), keeps the pinned
+        ``(uid, version)`` so nested pins of a shadow database stay
+        truthful, and skips constraint re-checking: the data already
+        passed it when it entered the live table.
+        """
+        table = Table.__new__(Table)
+        table.name = self.name
+        table.schema = self.schema
+        table.primary_key = self.primary_key
+        table.version = self.version
+        table.uid = self.uid
+        table.changelog = ChangeLog()
+        table._batch = self.batch
+        return table
 
 
 class Database:
@@ -55,6 +97,13 @@ class Database:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.udfs = UdfCatalog()
+        #: Writer/reader interlock.  Every statement executes under this
+        #: re-entrant lock, and :meth:`pin_tables` takes it too, so a
+        #: snapshot pin can never observe a half-applied statement.  It
+        #: does NOT make multi-statement operations atomic by itself —
+        #: compound writers (graph loads, transactions, the serving
+        #: tier's write path) hold it across the whole operation.
+        self.lock = threading.RLock()
         self._executor = StatementExecutor(self.catalog, self.functions)
         self._tx_snapshot: tuple[dict[str, Table], dict[str, tuple[Any, int]]] | None = None
         #: number of statements executed (observability for tests/benches)
@@ -83,9 +132,10 @@ class Database:
         statement = self._parse_cached(sql, params)
         self.statements_executed += 1
         handler = self._statement_handlers.get(type(statement))
-        if handler is not None:
-            return handler(self, statement)
-        return self._executor.run(statement)
+        with self.lock:
+            if handler is not None:
+                return handler(self, statement)
+            return self._executor.run(statement)
 
     def _parse_cached(self, sql: str, params: Sequence[Any] | None):
         """Parse via a bounded memo — the coordinator re-issues identical
@@ -112,13 +162,14 @@ class Database:
     def execute_script(self, sql: str) -> list[Result]:
         """Run a ';'-separated script, returning one Result per statement."""
         results = []
-        for statement in parse_statements(sql):
-            self.statements_executed += 1
-            handler = self._statement_handlers.get(type(statement))
-            if handler is not None:
-                results.append(handler(self, statement))
-            else:
-                results.append(self._executor.run(statement))
+        with self.lock:
+            for statement in parse_statements(sql):
+                self.statements_executed += 1
+                handler = self._statement_handlers.get(type(statement))
+                if handler is not None:
+                    results.append(handler(self, statement))
+                else:
+                    results.append(self._executor.run(statement))
         return results
 
     def query_batch(self, sql: str, params: Sequence[Any] | None = None) -> RecordBatch:
@@ -164,22 +215,70 @@ class Database:
     def insert_batch(self, table_name: str, batch: RecordBatch) -> int:
         """Bulk-load a record batch into a table (bypasses SQL parsing —
         this is the engine's COPY path, used by graph loaders)."""
-        return self.catalog.get(table_name).insert_batch(batch)
+        with self.lock:
+            return self.catalog.get(table_name).insert_batch(batch)
 
     # ------------------------------------------------------------------
     # Change capture (incremental view maintenance)
     # ------------------------------------------------------------------
-    def table_state(self, name: str) -> tuple[int, int]:
+    def table_state(self, name: str, arm: bool = True) -> tuple[int, int]:
         """``(uid, version)`` of a table — the bookmark a derived view
         records so a later :meth:`changes_since` can prove the deltas it
         gets belong to the same table object it extracted from.
 
-        Taking a bookmark *arms* change capture on the table: until the
-        first one, mutations record nothing (tables nobody derives from
-        pay zero capture overhead)."""
+        Taking a bookmark *arms* change capture on the table by default:
+        until the first one, mutations record nothing (tables nobody
+        derives from pay zero capture overhead).  Pass ``arm=False`` for
+        a read-only bookmark — snapshot pinning wants the version/uid
+        pair without making every future mutation materialize delta rows
+        nothing will consume."""
         table = self.catalog.get(name)
-        table.changelog.enable(table.version)
+        if arm:
+            table.changelog.enable(table.version)
         return table.uid, table.version
+
+    def current_versions(self, names: Sequence[str] | None = None) -> dict[str, int]:
+        """Current version per table (all tables when ``names`` is
+        ``None``), without arming change capture — the read-only face of
+        the version/uid machinery, used by the serving tier to key
+        caches and name snapshots.
+
+        Taken under :attr:`lock`, so the mapping is a consistent cut:
+        it never interleaves with a half-applied statement.
+        """
+        with self.lock:
+            if names is None:
+                names = self.catalog.table_names()
+            return {name: self.catalog.get(name).version for name in names}
+
+    def pin_tables(self, names: Sequence[str] | None = None) -> dict[str, PinnedTable]:
+        """Pin a consistent snapshot of tables for isolated reads.
+
+        Returns one :class:`PinnedTable` per requested table (all tables
+        when ``names`` is ``None``).  Pinning is O(#tables) and copies
+        nothing — batches are immutable, mutations swap pointers — and
+        runs under :attr:`lock`, so the set is a consistent cut even
+        while a writer streams DML from another thread.  Change capture
+        is *not* armed.
+
+        Raises:
+            CatalogError: a requested table does not exist.
+        """
+        with self.lock:
+            if names is None:
+                names = self.catalog.table_names()
+            pins: dict[str, PinnedTable] = {}
+            for name in names:
+                table = self.catalog.get(name)
+                pins[table.name] = PinnedTable(
+                    name=table.name,
+                    uid=table.uid,
+                    version=table.version,
+                    batch=table.data(),
+                    schema=table.schema,
+                    primary_key=table.primary_key,
+                )
+            return pins
 
     def release_capture(self, name: str) -> None:
         """Disarm change capture on a table and free its retained deltas.
@@ -288,9 +387,10 @@ class Database:
         Raises:
             TransactionError: when one is already open.
         """
-        if self._tx_snapshot is not None:
-            raise TransactionError("transaction already in progress")
-        self._tx_snapshot = (self.catalog.tables_snapshot(), self.catalog.snapshot())
+        with self.lock:
+            if self._tx_snapshot is not None:
+                raise TransactionError("transaction already in progress")
+            self._tx_snapshot = (self.catalog.tables_snapshot(), self.catalog.snapshot())
 
     def commit(self) -> None:
         """Commit the open transaction.
@@ -309,12 +409,13 @@ class Database:
         Raises:
             TransactionError: when none is open.
         """
-        if self._tx_snapshot is None:
-            raise TransactionError("no transaction in progress")
-        tables, data = self._tx_snapshot
-        self.catalog.restore_tables(tables)
-        self.catalog.restore(data)
-        self._tx_snapshot = None
+        with self.lock:
+            if self._tx_snapshot is None:
+                raise TransactionError("no transaction in progress")
+            tables, data = self._tx_snapshot
+            self.catalog.restore_tables(tables)
+            self.catalog.restore(data)
+            self._tx_snapshot = None
 
     @property
     def in_transaction(self) -> bool:

@@ -7,6 +7,7 @@ All nodes are frozen dataclasses: parsing is pure, planning never mutates.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -36,6 +37,7 @@ __all__ = [
     "CreateGraphViewStatement",
     "DropGraphViewStatement",
     "RefreshGraphViewStatement",
+    "referenced_tables",
 ]
 
 
@@ -276,3 +278,43 @@ class RefreshGraphViewStatement(Statement):
 
     name: str
     mode: str | None = None
+
+
+def referenced_tables(statement: object) -> set[str]:
+    """Every catalog table name a parsed statement reads or writes.
+
+    Walks the statement tree generically (every AST and expression node
+    is a frozen dataclass), collecting :class:`NamedTable` FROM items
+    plus the target-table fields of DML/DDL nodes.  The serving tier
+    uses this to pin exactly the tables a query depends on and to key
+    its result cache by their versions.  Names come back lower-cased —
+    the catalog's canonical spelling.
+    """
+    names: set[str] = set()
+    _collect_tables(statement, names)
+    return names
+
+
+#: DML targets name their table via ``.table``; DDL targets via ``.name``.
+_TABLE_FIELD_NODES = (InsertStatement, UpdateStatement, DeleteStatement)
+_NAME_FIELD_NODES = (
+    CreateTableStatement,
+    CreateTableAsStatement,
+    DropTableStatement,
+    TruncateStatement,
+)
+
+
+def _collect_tables(node: object, names: set[str]) -> None:
+    if isinstance(node, NamedTable):
+        names.add(node.name.lower())
+    elif isinstance(node, _TABLE_FIELD_NODES):
+        names.add(node.table.lower())
+    elif isinstance(node, _NAME_FIELD_NODES):
+        names.add(node.name.lower())
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for f in dataclasses.fields(node):
+            _collect_tables(getattr(node, f.name), names)
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            _collect_tables(item, names)

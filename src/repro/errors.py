@@ -82,6 +82,27 @@ class RecoveryError(VertexicaError):
     being resumed (different graph, program, or torn beyond repair)."""
 
 
+class ServingError(VertexicaError):
+    """Base class for errors raised by the concurrent serving tier
+    (session misuse, admission rejection, snapshot staleness)."""
+
+
+class SnapshotInvalid(ServingError):
+    """A pinned snapshot handle no longer matches the live table: the
+    table advanced past the pinned version, was wholesale-replaced,
+    truncated, restored, or dropped.  Raised instead of silently serving
+    a torn read; the caller should re-pin and retry."""
+
+
+class AdmissionError(ServingError):
+    """The serving tier refused a request: the admission queue is full
+    or a per-session limit was exceeded.  Retryable by backing off —
+    carries ``transient = True`` so :func:`repro.core.faults.retry_call`
+    treats it as such."""
+
+    transient = True
+
+
 class BaselineError(ReproError):
     """Base class for errors raised by the Giraph / graph-DB baselines."""
 

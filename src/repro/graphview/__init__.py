@@ -13,7 +13,7 @@ the ``CREATE [MATERIALIZED] GRAPH VIEW ... AS NODES(...) EDGES(...)``
 SQL statement for the declarative surface.
 """
 
-from repro.graphview.catalog import view_from_dict, view_to_dict
+from repro.graphview.catalog import view_fingerprint, view_from_dict, view_to_dict
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
 from repro.graphview.view import (
     DEFAULT_DELTA_THRESHOLD,
@@ -34,4 +34,5 @@ __all__ = [
     "DEFAULT_DELTA_THRESHOLD",
     "view_to_dict",
     "view_from_dict",
+    "view_fingerprint",
 ]

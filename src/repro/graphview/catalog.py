@@ -14,12 +14,20 @@ Everything here is plain JSON-able dicts; no pickle, no code execution.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 from repro.errors import GraphViewError
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView, NodeSpec
 
-__all__ = ["view_to_dict", "view_from_dict", "handle_manifest", "MANIFEST_KEY"]
+__all__ = [
+    "view_to_dict",
+    "view_from_dict",
+    "view_fingerprint",
+    "handle_manifest",
+    "MANIFEST_KEY",
+]
 
 #: Key under which the view catalog lives in checkpoint metadata.
 MANIFEST_KEY = "graph_views"
@@ -79,6 +87,18 @@ def view_from_dict(data: dict[str, Any]) -> GraphView:
         edges=[_spec_from_dict(s) for s in data.get("edges", [])],
         name=data.get("name"),
     )
+
+
+def view_fingerprint(view: GraphView) -> str:
+    """A stable digest of a view *declaration* (specs, not data).
+
+    Two views with equal fingerprints extract identically from identical
+    base tables, so ``(view_fingerprint, pinned base-table versions)``
+    is a sound serving-cache key for extraction results — the same
+    keying discipline the result cache applies to SQL statements.
+    """
+    payload = json.dumps(view_to_dict(view), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def handle_manifest(handle) -> dict[str, Any]:

@@ -1,0 +1,34 @@
+"""``repro.serving`` — the concurrent serving tier.
+
+Turns the single-caller :class:`~repro.core.runner.Vertexica` facade
+into a many-reader/one-writer service: an asyncio front door with
+admission control (:mod:`~repro.serving.service`), snapshot-isolated
+reads pinned to changelog versions (:mod:`~repro.serving.snapshot`), a
+version-keyed LRU result cache (:mod:`~repro.serving.cache`), and
+latency/queue/cache metrics (:mod:`~repro.serving.metrics`).
+
+Typical use::
+
+    vx = Vertexica(); vx.load_graph("g", src, dst)
+    async with vx.serve(max_concurrency=8) as service:
+        async with service.session() as s:
+            hot = await s.run("g", PageRankProgram(iterations=5))
+            neighbors = await s.one_hop("g", 42)
+"""
+
+from repro.serving.cache import CacheStats, ResultCache
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.service import ServedResult, ServingSession, VertexicaService
+from repro.serving.snapshot import Snapshot, SnapshotTableHandle
+
+__all__ = [
+    "VertexicaService",
+    "ServingSession",
+    "ServedResult",
+    "Snapshot",
+    "SnapshotTableHandle",
+    "ResultCache",
+    "CacheStats",
+    "ServingMetrics",
+    "LatencyHistogram",
+]

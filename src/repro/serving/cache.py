@@ -1,0 +1,215 @@
+"""Version-keyed result cache for the serving tier.
+
+Entries are keyed by ``(fingerprint, pinned base-table versions)`` —
+the fingerprint identifies *what* was computed (a SQL statement, a
+vertex program + config, a graph-view definition) and the version
+component identifies *over which data*.  By the version/uid contract
+(:mod:`repro.engine.changelog`), equal keys imply bit-identical inputs,
+so a hit may be served verbatim; any write to a base table advances its
+version and thereby changes every dependent key.  Invalidation is
+therefore **precise and implicit**: stale entries simply stop being
+addressable and age out of the LRU — no invalidation walks, no
+over-broad flushes, no TTL guesswork.
+
+Eviction is LRU under a byte budget (results hold numpy-backed record
+batches, so "number of entries" is a poor proxy for memory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Callable, Hashable, Iterable
+
+import numpy as np
+
+__all__ = ["CacheStats", "ResultCache", "fingerprint_text", "estimate_nbytes"]
+
+#: Default cache byte budget (64 MiB).
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def fingerprint_text(*parts: Any) -> str:
+    """A stable digest of heterogeneous key material (statement text,
+    config scalars, view definitions).  Parts are JSON-encoded with
+    sorted keys so logically equal inputs fingerprint equally."""
+    payload = json.dumps(parts, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Approximate retained bytes of a cached result.
+
+    Walks the common shapes a serving result takes — record batches
+    (column values + validity arrays), plain dicts/lists/tuples, numpy
+    arrays, strings — and charges a small flat overhead for everything
+    else.  An estimate is all the LRU needs; it only has to be
+    *monotone* in actual memory use, not exact.
+    """
+    return _nbytes(value, seen=set())
+
+
+def _nbytes(value: Any, seen: set[int]) -> int:
+    if value is None or isinstance(value, (bool, int, float)):
+        return 8
+    if id(value) in seen:  # shared references charge once
+        return 0
+    seen.add(id(value))
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (str, bytes)):
+        return len(value)
+    if isinstance(value, dict):
+        return 64 + sum(_nbytes(k, seen) + _nbytes(v, seen) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 64 + sum(_nbytes(item, seen) for item in value)
+    # RecordBatch / Result / Column / stats dataclasses: charge their
+    # public containers via __dict__ or __slots__.
+    state = getattr(value, "__dict__", None)
+    if state is None:
+        slots = getattr(type(value), "__slots__", ())
+        state = {name: getattr(value, name) for name in slots if hasattr(value, name)}
+    if state:
+        return 64 + sum(_nbytes(v, seen) for v in state.values())
+    return 64
+
+
+@dataclass
+class CacheStats:
+    """Counters for cache observability (also surfaced by
+    :class:`~repro.serving.metrics.ServingMetrics`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    current_bytes: int = 0
+    current_entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction of all lookups (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "current_bytes": self.current_bytes,
+            "current_entries": self.current_entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+    tables: frozenset[str]
+
+
+@dataclass
+class ResultCache:
+    """Thread-safe LRU over version-addressed results (module docstring).
+
+    Keys are built by the caller as ``(fingerprint, snapshot_key)``
+    tuples — any hashable works.  ``max_bytes <= 0`` disables caching
+    entirely (every ``get`` misses, every ``put`` is dropped), which
+    keeps the serving paths branch-free.
+    """
+
+    max_bytes: int = DEFAULT_CACHE_BYTES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[Hashable, _Entry]" = field(default_factory=OrderedDict)
+    _lock: Lock = field(default_factory=Lock)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, marking it most-recently-used — or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       tables: Iterable[str] = ()) -> tuple[Any, bool]:
+        """``(value, was_hit)`` — compute and admit on miss.
+
+        The compute runs *outside* the cache lock: serving many
+        concurrent misses must not serialize their computations behind
+        one mutex.  Two racing misses for the same key may both compute;
+        the second ``put`` just overwrites the first with an equal value
+        (keys address immutable version-pinned results, so this is
+        benign duplicated work, never an inconsistency).
+        """
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = compute()
+        self.put(key, value, tables)
+        return value, False
+
+    def put(self, key: Hashable, value: Any, tables: Iterable[str] = ()) -> None:
+        """Admit ``value`` under ``key``; evict LRU entries over budget.
+
+        ``tables`` (base-table names the result derives from) enables
+        :meth:`invalidate_tables` for callers that want eager cleanup on
+        wholesale operations — correctness never needs it (the version
+        key already changed), it just frees memory sooner.
+        """
+        nbytes = estimate_nbytes(value)
+        with self._lock:
+            if self.max_bytes <= 0 or nbytes > self.max_bytes:
+                return  # would evict everything and still not fit
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.current_bytes -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes, frozenset(tables))
+            self.stats.current_bytes += nbytes
+            while self.stats.current_bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.current_bytes -= evicted.nbytes
+                self.stats.evictions += 1
+            self.stats.current_entries = len(self._entries)
+
+    def invalidate_tables(self, names: Iterable[str]) -> int:
+        """Eagerly drop every entry derived from any of ``names``
+        (lower-cased catalog spelling).  Returns the number dropped."""
+        targets = {name.lower() for name in names}
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items()
+                      if entry.tables & targets]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.stats.current_bytes -= entry.nbytes
+                self.stats.invalidations += 1
+            self.stats.current_entries = len(self._entries)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counters other than size survive)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+            self.stats.current_bytes = 0
+            self.stats.current_entries = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,159 @@
+"""Admission-control accounting and serving-tier metrics.
+
+The serving tier is judged on tail latency under concurrency, so its
+observability is latency histograms rather than averages: fixed
+log-spaced buckets (~2 per decade from 10 µs to 100 s), cheap to update
+under a lock, quantile-queryable without retaining samples.  Two
+histograms per service — **wait** (admission to execution start: queue
+pressure) and **serve** (execution itself) — plus gauge/counter state
+for queue depth, in-flight requests, admission rejections, and the
+cache's hit/miss/bypass split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+from repro.serving.cache import CacheStats
+
+__all__ = ["LatencyHistogram", "ServingMetrics"]
+
+#: Histogram bucket upper bounds in seconds (log-spaced, ~2/decade),
+#: final bucket is the +Inf overflow.
+_BUCKET_BOUNDS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimation."""
+
+    __slots__ = ("counts", "count", "total", "max_seen")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def observe(self, seconds: float) -> None:
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max_seen:
+            self.max_seen = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample
+        (0.0 when empty).  Conservative: true latency is ≤ the answer."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                return _BUCKET_BOUNDS[i] if i < len(_BUCKET_BOUNDS) else self.max_seen
+        return self.max_seen
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": round(self.mean, 6),
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+            "max_s": round(self.max_seen, 6),
+        }
+
+
+@dataclass
+class ServingMetrics:
+    """All counters and histograms for one :class:`VertexicaService`.
+
+    ``cache`` aliases the service's live :class:`CacheStats` (hits and
+    misses there are bumped by the cache itself); ``bypassed`` counts
+    requests that never consulted the cache — writes and explicitly
+    uncached reads.
+    """
+
+    wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    serve: LatencyHistogram = field(default_factory=LatencyHistogram)
+    cache: CacheStats = field(default_factory=CacheStats)
+    admitted: int = 0
+    rejected: int = 0
+    bypassed: int = 0
+    writes: int = 0
+    snapshot_invalid: int = 0
+    queue_depth: int = 0
+    in_flight: int = 0
+    max_queue_depth: int = 0
+    max_in_flight: int = 0
+    _lock: Lock = field(default_factory=Lock)
+
+    # -- request lifecycle (called by the service) ---------------------
+    def enqueued(self) -> None:
+        with self._lock:
+            self.queue_depth += 1
+            self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+
+    def started(self, waited_s: float) -> None:
+        with self._lock:
+            self.queue_depth -= 1
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+            self.admitted += 1
+            self.wait.observe(waited_s)
+
+    def finished(self, served_s: float) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.serve.observe(served_s)
+
+    def dropped(self) -> None:
+        """A queued request was rejected by admission control."""
+        with self._lock:
+            self.queue_depth -= 1
+            self.rejected += 1
+
+    def bypass(self) -> None:
+        with self._lock:
+            self.bypassed += 1
+
+    def write(self) -> None:
+        with self._lock:
+            self.writes += 1
+
+    def snapshot_invalidated(self) -> None:
+        with self._lock:
+            self.snapshot_invalid += 1
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """One JSON-friendly dict for bench output and the demo console."""
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "writes": self.writes,
+                "bypassed": self.bypassed,
+                "snapshot_invalid": self.snapshot_invalid,
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+                "max_queue_depth": self.max_queue_depth,
+                "max_in_flight": self.max_in_flight,
+                "wait": self.wait.as_dict(),
+                "serve": self.serve.as_dict(),
+                "cache": self.cache.as_dict(),
+            }

@@ -1,0 +1,16 @@
+"""Shared helpers for the serving suite (imported as a plain module —
+the test tree has no packages)."""
+
+from __future__ import annotations
+
+
+def rows_of(result) -> list[tuple]:
+    """Canonical row tuples of a Result (bit-identical comparison)."""
+    batch = result.batch
+    if batch is None:
+        return []
+    cols = [batch.column(name) for name in batch.schema.names()]
+    return [
+        tuple(None if not c.valid[i] else c.values[i].item() for c in cols)
+        for i in range(batch.num_rows)
+    ]

@@ -1,0 +1,117 @@
+"""ResultCache: version-addressed hits, LRU byte-budget eviction,
+precise invalidation, and the stats counters the metrics layer surfaces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.cache import ResultCache, estimate_nbytes, fingerprint_text
+
+
+def _key(fingerprint: str, version: int):
+    return (fingerprint, (("t", 1, version),))
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get(_key("q", 1)) is None
+        cache.put(_key("q", 1), [1, 2, 3])
+        assert cache.get(_key("q", 1)) == [1, 2, 3]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_version_advance_changes_key(self):
+        cache = ResultCache()
+        cache.put(_key("q", 1), "old")
+        assert cache.get(_key("q", 2)) is None  # write bumped the version
+        cache.put(_key("q", 2), "new")
+        assert cache.get(_key("q", 2)) == "new"
+        assert cache.get(_key("q", 1)) == "old"  # pinned readers still hit
+
+    def test_get_or_compute(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        value, hit = cache.get_or_compute(_key("q", 1), compute)
+        assert (value, hit) == ("value", False)
+        value, hit = cache.get_or_compute(_key("q", 1), compute)
+        assert (value, hit) == ("value", True)
+        assert len(calls) == 1
+
+    def test_hit_rate(self):
+        cache = ResultCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put(_key("q", 1), "v")
+        cache.get(_key("q", 1))
+        cache.get(_key("other", 1))
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestEviction:
+    def test_lru_under_byte_budget(self):
+        entry = np.zeros(128, dtype=np.int64)  # 1 KiB each
+        budget = 3 * estimate_nbytes(entry)
+        cache = ResultCache(max_bytes=int(budget))
+        for version in (1, 2, 3):
+            cache.put(_key("q", version), entry.copy())
+        cache.get(_key("q", 1))  # refresh v1 -> v2 is now LRU
+        cache.put(_key("q", 4), entry.copy())
+        assert _key("q", 2) not in cache
+        assert _key("q", 1) in cache and _key("q", 4) in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.current_bytes <= budget
+
+    def test_oversized_entry_not_admitted(self):
+        cache = ResultCache(max_bytes=64)
+        cache.put(_key("q", 1), np.zeros(1024, dtype=np.int64))
+        assert _key("q", 1) not in cache
+        assert len(cache) == 0
+
+    def test_zero_budget_disables(self):
+        cache = ResultCache(max_bytes=0)
+        cache.put(_key("q", 1), "v")
+        assert cache.get(_key("q", 1)) is None
+
+    def test_replacing_entry_reclaims_bytes(self):
+        cache = ResultCache()
+        cache.put(_key("q", 1), np.zeros(1024, dtype=np.int64))
+        before = cache.stats.current_bytes
+        cache.put(_key("q", 1), np.zeros(1024, dtype=np.int64))
+        assert cache.stats.current_bytes == before
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_tables_is_precise(self):
+        cache = ResultCache()
+        cache.put(_key("q1", 1), "a", tables=["kv"])
+        cache.put(_key("q2", 1), "b", tables=["kv", "edges"])
+        cache.put(_key("q3", 1), "c", tables=["other"])
+        assert cache.invalidate_tables(["KV"]) == 2  # case-insensitive
+        assert cache.get(_key("q3", 1)) == "c"
+        assert cache.stats.invalidations == 2
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(_key("q", 1), "v")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.current_bytes == 0
+
+
+class TestFingerprints:
+    def test_fingerprint_text_stable_and_sensitive(self):
+        assert fingerprint_text("SELECT 1", [1]) == fingerprint_text("SELECT 1", [1])
+        assert fingerprint_text("SELECT 1", [1]) != fingerprint_text("SELECT 1", [2])
+        assert fingerprint_text({"a": 1, "b": 2}) == fingerprint_text({"b": 2, "a": 1})
+
+    def test_estimate_nbytes_monotone(self):
+        small = np.zeros(8, dtype=np.int64)
+        large = np.zeros(8192, dtype=np.int64)
+        assert estimate_nbytes(large) > estimate_nbytes(small)
+        assert estimate_nbytes({"x": large}) >= estimate_nbytes(large)
+        shared = [large, large]
+        assert estimate_nbytes(shared) < 2 * estimate_nbytes(large)

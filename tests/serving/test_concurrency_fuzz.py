@@ -1,0 +1,205 @@
+"""Seeded concurrency fuzz: N async readers against a streaming writer.
+
+The serving tier's whole claim is that concurrency changes *scheduling*,
+never *answers*.  So the oracle is serial replay: a second database
+applies the exact same seeded DML stream one statement at a time,
+recording the query results after every statement, keyed by the table
+version each statement produced.  Every concurrent read reports the
+versions it was pinned at (``ServedResult.versions``) — its rows must be
+bit-identical to the serial result at that version, whether it was a
+cache hit or a fresh shadow execution.  A second pass re-reads every
+observed version's query uncached and compares against the cached
+answer (hit == miss, bit for bit).
+
+Seeds come from ``SERVING_FUZZ_SEEDS`` (comma-separated ints) so CI can
+widen the sweep without a code change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Vertexica
+from repro.engine import Database
+from repro.programs import PageRank
+from serving_helpers import rows_of
+
+SEEDS = [int(s) for s in os.environ.get("SERVING_FUZZ_SEEDS", "7,23").split(",")]
+
+QUERIES = (
+    "SELECT id, v FROM kv ORDER BY id",
+    "SELECT COUNT(*) AS n, SUM(v) AS total FROM kv",
+    "SELECT v, COUNT(*) AS n FROM kv GROUP BY v ORDER BY v",
+)
+
+SETUP = (
+    "CREATE TABLE kv (id INTEGER PRIMARY KEY, v INTEGER)",
+    "INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)",
+)
+
+
+def _dml_stream(seed: int, n: int) -> list[str]:
+    """A deterministic DML stream: inserts, updates, deletes."""
+    rng = random.Random(seed)
+    next_id = 100
+    statements = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.5:
+            statements.append(f"INSERT INTO kv VALUES ({next_id}, {rng.randrange(100)})")
+            next_id += 1
+        elif roll < 0.8:
+            statements.append(
+                f"UPDATE kv SET v = {rng.randrange(100)} "
+                f"WHERE id = {rng.randrange(1, next_id)}"
+            )
+        else:
+            statements.append(f"DELETE FROM kv WHERE id = {rng.randrange(1, next_id)}")
+    return statements
+
+
+def _golden_by_version(statements: list[str]) -> dict[int, dict[str, list[tuple]]]:
+    """Serial replay: query results after every statement, keyed by the
+    kv table version that statement produced (plus the initial state)."""
+    db = Database()
+    for stmt in SETUP:
+        db.execute(stmt)
+    golden = {}
+
+    def record():
+        version = db.current_versions(["kv"])["kv"]
+        golden[version] = {q: rows_of(db.execute(q)) for q in QUERIES}
+
+    record()
+    for stmt in statements:
+        db.execute(stmt)
+        record()
+    return golden
+
+
+def _kv_version(served) -> int:
+    [(name, _uid, version)] = [t for t in served.versions if t[0] == "kv"]
+    return version
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+async def test_concurrent_reads_match_serial_execution(seed):
+    vx = Vertexica()
+    for stmt in SETUP:
+        vx.sql(stmt)
+    statements = _dml_stream(seed, n=30)
+    golden = _golden_by_version(statements)
+    rng = random.Random(seed * 31 + 1)
+    observations = []
+
+    async with vx.serve(max_concurrency=6, max_queue=256) as service:
+        stop = asyncio.Event()
+
+        async def writer(session):
+            for stmt in statements:
+                await session.sql(stmt)
+                if rng.random() < 0.3:
+                    await asyncio.sleep(0)
+            stop.set()
+
+        async def reader(session, rdg: random.Random):
+            while not stop.is_set():
+                query = rdg.choice(QUERIES)
+                served = await session.sql(query)
+                observations.append((query, _kv_version(served),
+                                     rows_of(served.value), served.from_cache))
+                await asyncio.sleep(0)
+
+        async with service.session(max_inflight=4) as wsession:
+            readers = [service.session(max_inflight=2) for _ in range(4)]
+            for r in readers:
+                await r.__aenter__()
+            try:
+                await asyncio.gather(
+                    writer(wsession),
+                    *[reader(r, random.Random(seed * 1000 + i))
+                      for i, r in enumerate(readers)],
+                )
+            finally:
+                for r in readers:
+                    await r.__aexit__(None, None, None)
+
+        # Every concurrent read == serial execution at its pinned version.
+        assert observations
+        for query, version, rows, _hit in observations:
+            assert version in golden, f"read pinned unknown version {version}"
+            assert rows == golden[version][query], (
+                f"seed {seed}: torn read at version {version} for {query!r}"
+            )
+
+        # Cache-hit answers == uncached recomputation at the final version.
+        async with service.session() as s:
+            for query in QUERIES:
+                miss = await s.sql(query, cached=False)
+                hit = await s.sql(query)  # populated by the reader storm
+                assert rows_of(hit.value) == rows_of(miss.value)
+
+        stats = service.stats()
+        assert stats["cache"]["hits"] > 0, "fuzz never exercised the cache"
+        assert stats["rejected"] == 0  # queue was sized to absorb the storm
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+async def test_concurrent_runs_match_serial_runs(seed):
+    """Vertex-program runs served concurrently while edges stream in are
+    bit-identical to serial runs at the same pinned edge-table version."""
+    rng = random.Random(seed)
+    src = [0, 0, 1, 2, 2, 3, 4]
+    dst = [1, 2, 2, 0, 3, 4, 0]
+
+    vx = Vertexica()
+    vx.load_graph("g", src=np.array(src), dst=np.array(dst))
+    golden_vx = Vertexica()
+    golden_vx.load_graph("g", src=np.array(src), dst=np.array(dst))
+
+    new_edges = [(rng.randrange(5), rng.randrange(5)) for _ in range(6)]
+    program = PageRank(iterations=3)
+    observations = []
+
+    async with vx.serve(max_concurrency=4, max_queue=256) as service:
+        stop = asyncio.Event()
+
+        async def writer(session):
+            for s_id, d_id in new_edges:
+                await session.sql(f"INSERT INTO g_edge VALUES ({s_id}, {d_id}, 1.0)")
+                await asyncio.sleep(0)
+            stop.set()
+
+        async def reader(session):
+            while not stop.is_set():
+                observations.append(await session.run("g", program))
+                await asyncio.sleep(0)
+
+        async with service.session() as wsession:
+            async with service.session(max_inflight=2) as rsession:
+                await asyncio.gather(writer(wsession), reader(rsession))
+
+        # Serial oracle: replay the stream, snapshotting the run after
+        # every prefix; concurrent results must match one prefix state.
+        golden_values = [golden_vx.run("g", program).values]
+        for s_id, d_id in new_edges:
+            golden_vx.sql(f"INSERT INTO g_edge VALUES ({s_id}, {d_id}, 1.0)")
+            golden_values.append(golden_vx.run("g", program).values)
+
+        assert observations
+        for result in observations:
+            assert result.values in golden_values, (
+                f"seed {seed}: concurrent run matches no serial prefix state"
+            )
+
+        # Warm repeat at the now-quiescent version: cached and identical.
+        async with service.session() as s:
+            warm1 = await s.run("g", program)
+            warm2 = await s.run("g", program)
+            assert warm2.stats.served_from_cache
+            assert warm2.values == warm1.values == golden_values[-1]

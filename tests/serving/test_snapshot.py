@@ -1,0 +1,157 @@
+"""Snapshot pinning: stability under DML, loud invalidation on
+wholesale operations, and the non-arming read-only version API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, SnapshotInvalid
+from repro.serving.snapshot import Snapshot, snapshot_key
+
+from serving_helpers import rows_of
+
+
+@pytest.fixture
+def kv_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO kv VALUES (1, 10), (2, 20)")
+    return db
+
+
+class TestPinning:
+    def test_pinned_data_survives_live_dml(self, kv_db):
+        snap = Snapshot.pin(kv_db, ["kv"])
+        kv_db.execute("INSERT INTO kv VALUES (3, 30)")
+        kv_db.execute("UPDATE kv SET v = 99 WHERE id = 1")
+        kv_db.execute("DELETE FROM kv WHERE id = 2")
+        shadow = snap.reader()
+        rows = rows_of(shadow.execute("SELECT id, v FROM kv ORDER BY id"))
+        assert rows == [(1, 10), (2, 20)]
+        # ... while the live table moved on
+        live = rows_of(kv_db.execute("SELECT id, v FROM kv ORDER BY id"))
+        assert live == [(1, 99), (3, 30)]
+
+    def test_pin_is_zero_copy(self, kv_db):
+        snap = Snapshot.pin(kv_db, ["kv"])
+        assert snap.pins["kv"].batch is kv_db.catalog.get("kv").data()
+
+    def test_pin_all_tables(self, kv_db):
+        kv_db.execute("CREATE TABLE other (id INTEGER)")
+        snap = Snapshot.pin(kv_db)
+        assert set(snap.pins) == {"kv", "other"}
+
+    def test_pin_unknown_table(self, kv_db):
+        with pytest.raises(SnapshotInvalid):
+            Snapshot.pin(kv_db, ["nope"])
+        with pytest.raises(CatalogError):
+            kv_db.pin_tables(["nope"])
+
+    def test_key_is_sorted_and_version_sensitive(self, kv_db):
+        key1 = Snapshot.pin(kv_db, ["kv"]).key()
+        key1b = Snapshot.pin(kv_db, ["kv"]).key()
+        assert key1 == key1b  # unchanged data, equal keys
+        kv_db.execute("INSERT INTO kv VALUES (3, 30)")
+        key2 = Snapshot.pin(kv_db, ["kv"]).key()
+        assert key2 != key1
+        assert snapshot_key(list(kv_db.pin_tables(["kv"]).values())) == key2
+
+    def test_shadow_writes_do_not_touch_live(self, kv_db):
+        snap = Snapshot.pin(kv_db, ["kv"])
+        shadow = snap.reader()
+        shadow.execute("INSERT INTO kv VALUES (7, 70)")
+        shadow.execute("CREATE TABLE scratch (id INTEGER)")
+        assert rows_of(kv_db.execute("SELECT id FROM kv ORDER BY id")) == [(1,), (2,)]
+        assert not kv_db.has_table("scratch")
+        # the pinned batch itself is untouched: a fresh shadow is pristine
+        again = rows_of(snap.reader().execute("SELECT id, v FROM kv ORDER BY id"))
+        assert again == [(1, 10), (2, 20)]
+
+
+class TestHandleInvalidation:
+    def test_live_read_while_current(self, kv_db):
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        assert handle.is_current()
+        assert handle.live_data().num_rows == 2
+
+    def test_dml_advance_fails_loudly(self, kv_db):
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        kv_db.execute("INSERT INTO kv VALUES (3, 30)")
+        assert not handle.is_current()
+        with pytest.raises(SnapshotInvalid, match="advanced from pinned version"):
+            handle.live_data()
+
+    def test_truncate_fails_loudly(self, kv_db):
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        kv_db.execute("TRUNCATE kv")
+        with pytest.raises(SnapshotInvalid):
+            handle.live_data()
+        # pinned contents remain readable
+        assert handle.data().num_rows == 2
+
+    def test_drop_fails_loudly(self, kv_db):
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        kv_db.execute("DROP TABLE kv")
+        assert not handle.is_current()
+        with pytest.raises(SnapshotInvalid, match="dropped"):
+            handle.live_data()
+
+    def test_drop_and_recreate_fails_on_uid(self, kv_db):
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        pinned_version = handle.version
+        kv_db.execute("DROP TABLE kv")
+        kv_db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v INTEGER)")
+        kv_db.execute("INSERT INTO kv VALUES (1, 10)")
+        # the recreated table may even reach the pinned version number;
+        # the fresh uid is what must trip the check
+        assert kv_db.catalog.get("kv").uid != handle.pin.uid
+        with pytest.raises(SnapshotInvalid, match="replaced wholesale"):
+            handle.live_data()
+        assert handle.version == pinned_version
+
+    def test_rollback_fails_on_uid(self, kv_db):
+        kv_db.begin()
+        kv_db.execute("INSERT INTO kv VALUES (3, 30)")
+        handle = Snapshot.pin(kv_db, ["kv"]).table("kv")
+        kv_db.rollback()
+        with pytest.raises(SnapshotInvalid, match="replaced wholesale"):
+            handle.live_data()
+
+    def test_validate_covers_all_pins(self, kv_db):
+        kv_db.execute("CREATE TABLE other (id INTEGER)")
+        snap = Snapshot.pin(kv_db)
+        snap.validate()
+        kv_db.execute("INSERT INTO other VALUES (1)")
+        with pytest.raises(SnapshotInvalid):
+            snap.validate()
+        snap.validate(["kv"])  # untouched table still validates
+
+    def test_key_of_foreign_table_rejected(self, kv_db):
+        snap = Snapshot.pin(kv_db, ["kv"])
+        with pytest.raises(SnapshotInvalid):
+            snap.key(["other"])
+
+
+class TestVersionAPI:
+    def test_current_versions_reports_all(self, kv_db):
+        kv_db.execute("CREATE TABLE other (id INTEGER)")
+        versions = kv_db.current_versions()
+        assert set(versions) == {"kv", "other"}
+        kv_db.execute("INSERT INTO kv VALUES (3, 30)")
+        assert kv_db.current_versions(["kv"])["kv"] == versions["kv"] + 1
+
+    def test_current_versions_does_not_arm_capture(self, kv_db):
+        kv_db.current_versions()
+        assert not kv_db.catalog.get("kv").changelog.enabled
+
+    def test_table_state_arm_false(self, kv_db):
+        state = kv_db.table_state("kv", arm=False)
+        assert not kv_db.catalog.get("kv").changelog.enabled
+        armed = kv_db.table_state("kv")
+        assert kv_db.catalog.get("kv").changelog.enabled
+        assert state == armed  # same (uid, version) bookmark either way
+
+    def test_pin_does_not_arm_capture(self, kv_db):
+        Snapshot.pin(kv_db, ["kv"])
+        assert not kv_db.catalog.get("kv").changelog.enabled
