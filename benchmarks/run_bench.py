@@ -179,32 +179,44 @@ def run_workers_scaling_cell(
     repeat: int = 1,
     workers: tuple[int, ...] = (1, 2, 4),
 ) -> dict[str, Any]:
-    """Parallel-worker scaling on both data planes (the PR-4 cell).
+    """Parallel-worker scaling across execution strategies (the PR-4
+    cell, extended with the PR-8 process plane).
 
     Sweeps ``n_workers`` over the SQL-staged plane (whose global
-    partition lexsort serializes each superstep) and the shard-resident
-    plane under ``superstep_sync="halt"`` (shard tasks are barrier-free
-    and numpy kernels release the GIL).  Asserts every cell lands on the
-    same fingerprint.
+    partition lexsort serializes each superstep), the shard-resident
+    plane on the thread executor (shard tasks are barrier-free and numpy
+    kernels release the GIL), and the shard plane on the **process**
+    executor (shared-memory shard state, spawned workers — the strategy
+    that escapes the GIL entirely), all under ``superstep_sync="halt"``.
+    Asserts every cell lands on the same fingerprint.  Note the process
+    rows only show a real win on multi-core hardware: on a single-core
+    host the workers time-slice one CPU and the pipe/dispatch overhead is
+    pure cost (the report records ``cpu_count`` for exactly this reason).
     """
     # One partition count for every cell — varying it with the worker
     # count would measure partitioning, not worker scaling.
     n_partitions = max(n_partitions, 2 * max(workers))
     cells: dict[str, dict[str, float]] = {}
     fingerprints: list[float] = []
-    for plane in ("sql", "shards"):
+    sweeps = (
+        ("sql", "sql", "auto"),
+        ("shards", "shards", "auto"),
+        ("shards_processes", "shards", "processes"),
+    )
+    for label, plane, executor in sweeps:
         per_worker: dict[str, float] = {}
         for n_workers in workers:
             vx = Vertexica(
                 config=VertexicaConfig(
                     n_partitions=n_partitions,
                     n_workers=n_workers,
+                    executor=executor,
                     data_plane=plane,
                     superstep_sync="halt",
                 )
             )
             handle = vx.load_graph(
-                f"{graph.name}_{plane}_w{n_workers}",
+                f"{graph.name}_{label}_w{n_workers}",
                 graph.src,
                 graph.dst,
                 num_vertices=graph.num_vertices,
@@ -219,9 +231,17 @@ def run_workers_scaling_cell(
                     fingerprint = _fingerprint(result.values)
             per_worker[str(n_workers)] = round(best, 6)
             fingerprints.append(fingerprint)
-        cells[plane] = per_worker
+        cells[label] = per_worker
     base = str(workers[0])
     peak = str(workers[-1])
+
+    def _scaling(label: str) -> float:
+        return (
+            round(cells[label][base] / cells[label][peak], 2)
+            if cells[label][peak]
+            else float("inf")
+        )
+
     return {
         "graph": graph.name,
         "algorithm": algorithm,
@@ -231,14 +251,10 @@ def run_workers_scaling_cell(
         )
         if cells["shards"][base]
         else float("inf"),
-        "sql_scaling_1w_over_4w": round(cells["sql"][base] / cells["sql"][peak], 2)
-        if cells["sql"][peak]
-        else float("inf"),
-        "shards_scaling_1w_over_4w": round(
-            cells["shards"][base] / cells["shards"][peak], 2
-        )
-        if cells["shards"][peak]
-        else float("inf"),
+        "sql_scaling_1w_over_4w": _scaling("sql"),
+        "shards_scaling_1w_over_4w": _scaling("shards"),
+        "processes_scaling_1w_over_4w": _scaling("shards_processes"),
+        "cpu_count": os.cpu_count() or 1,
         "fingerprints_match": all(
             abs(fp - fingerprints[0]) <= 1e-9 * max(1.0, abs(fingerprints[0]))
             for fp in fingerprints
@@ -671,11 +687,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR7.json"
+        out_path = "BENCH_PR8.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR8.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR9.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -756,9 +772,11 @@ def main(argv: list[str] | None = None) -> int:
         workers_cells.append(workers_cell)
         if not workers_cell["fingerprints_match"]:
             failures.append(
-                f"{graph_name}/pagerank: sql and shard data planes disagree"
+                f"{graph_name}/pagerank: sql/shards/process-executor "
+                "cells disagree"
             )
         shards_secs = workers_cell["superstep_seconds"]["shards"]
+        proc_secs = workers_cell["superstep_seconds"]["shards_processes"]
         sql_secs = workers_cell["superstep_seconds"]["sql"]
         base, peak = min(shards_secs, key=int), max(shards_secs, key=int)
         print(
@@ -766,8 +784,11 @@ def main(argv: list[str] | None = None) -> int:
             f"sql {base}w {sql_secs[base]:.3f}s  "
             f"shards {base}w {shards_secs[base]:.3f}s / "
             f"{peak}w {shards_secs[peak]:.3f}s  "
+            f"procs {peak}w {proc_secs[peak]:.3f}s  "
             f"(shards {workers_cell['speedup_shards_over_sql_1w']:.2f}x vs sql, "
-            f"{workers_cell['shards_scaling_1w_over_4w']:.2f}x at {peak} workers)"
+            f"threads {workers_cell['shards_scaling_1w_over_4w']:.2f}x / "
+            f"procs {workers_cell['processes_scaling_1w_over_4w']:.2f}x at "
+            f"{peak} workers on {workers_cell['cpu_count']} CPU(s))"
         )
 
     # Collaborative filtering: JSON codec vs dense vector codec on both

@@ -124,6 +124,24 @@ class ValueCodec:
             out[i] = self.encode(item) if ok else item
         return out
 
+    def __reduce__(self):
+        """Pickle builtin and vector codecs by *name*, not by value.
+
+        The encode/decode fields of the bundled codecs are closures
+        (``vector_codec`` builds them per width), which plain pickling
+        cannot carry into a spawned worker process.  Reconstructing from
+        the registry keeps programs that hold codec instances picklable
+        — the process-parallel shard plane ships the program to its
+        workers exactly once, at pool start.  Custom codecs fall back to
+        default pickling and must use picklable callables to cross a
+        process boundary.
+        """
+        if self.width > 0 and self.name == f"vector{self.width}":
+            return (vector_codec, (self.width,))
+        if _BUILTIN_CODECS.get(self.name) is self:
+            return (_builtin_codec, (self.name,))
+        return super().__reduce__()
+
     def decode_list(self, values: np.ndarray, valid: np.ndarray) -> list[Any]:
         """Decode a storage array into Python values (``None`` for NULL).
 
@@ -160,6 +178,18 @@ INTEGER_CODEC = ValueCodec(
     encode_array_fn=_cast_array(np.int64),
 )
 JSON_CODEC = ValueCodec("json", VARCHAR, json.dumps, json.loads)
+
+#: Name -> instance for the scalar builtins (pickle-by-name support).
+_BUILTIN_CODECS = {
+    "float": FLOAT_CODEC,
+    "integer": INTEGER_CODEC,
+    "json": JSON_CODEC,
+}
+
+
+def _builtin_codec(name: str) -> ValueCodec:
+    """Unpickle hook: resolve a builtin scalar codec by name."""
+    return _BUILTIN_CODECS[name]
 
 
 # ---------------------------------------------------------------------------

@@ -25,8 +25,19 @@ class VertexicaConfig:
         n_partitions: how many vertex batches the worker input is hash
             partitioned into.  1 = a single batch; ``num_vertices`` would
             be one UDF call per vertex (the paper's "extreme case").
-        n_workers: parallel worker threads executing partitions.  1 keeps
-            execution serial and fully deterministic.
+        n_workers: parallel workers executing partition/shard tasks.  1
+            keeps execution serial; any setting is fully deterministic
+            (the parity suite holds every executor to bit-identical
+            results), parallelism only changes wall-clock.
+        executor: which execution strategy runs the per-superstep
+            partition/shard tasks.  ``"auto"`` (default) picks serial
+            execution for ``n_workers=1`` and a thread pool otherwise;
+            ``"serial"`` / ``"threads"`` force those; ``"processes"``
+            runs shard tasks on ``n_workers`` persistent worker
+            *processes* over shared-memory shard state — sidestepping
+            the GIL for pure-Python compute — and requires
+            ``data_plane="shards"`` (the SQL plane's staging is
+            engine-resident and cannot cross process boundaries).
         input_strategy: ``"union"`` or ``"join"`` (see module docstring).
         compute_strategy: ``"auto"`` runs the vectorized batch data plane
             for programs implementing ``compute_batch`` and falls back to
@@ -96,6 +107,7 @@ class VertexicaConfig:
 
     n_partitions: int = 4
     n_workers: int = 1
+    executor: str = "auto"
     input_strategy: str = "union"
     compute_strategy: str = "auto"
     update_strategy: str = "auto"
@@ -122,6 +134,16 @@ class VertexicaConfig:
             raise VertexicaError("n_partitions must be >= 1")
         if self.n_workers < 1:
             raise VertexicaError("n_workers must be >= 1")
+        if self.executor not in ("auto", "serial", "threads", "processes"):
+            raise VertexicaError(
+                "executor must be 'auto', 'serial', 'threads', or "
+                f"'processes', got {self.executor!r}"
+            )
+        if self.executor == "processes" and self.data_plane != "shards":
+            raise VertexicaError(
+                "executor='processes' requires data_plane='shards' "
+                "(the SQL plane stages through the engine in-process)"
+            )
         if self.input_strategy not in ("union", "join"):
             raise VertexicaError(
                 f"input_strategy must be 'union' or 'join', got {self.input_strategy!r}"

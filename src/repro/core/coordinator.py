@@ -48,6 +48,7 @@ from repro.core.worker import EdgeCache, VertexWorker
 from repro.engine.database import Database
 from repro.engine.parallel import (
     PartitionExecutor,
+    ProcessExecutor,
     make_thread_executor,
     serial_executor,
 )
@@ -113,13 +114,8 @@ class Coordinator:
         hard_cap = limit if limit is not None else SUPERSTEP_SAFETY_LIMIT
         use_batch = self._resolve_compute_path(program)
         # One pool for the whole run (closed on exit); a fresh pool per
-        # superstep would put thread spawns on the hot loop.
-        executor_cm = (
-            nullcontext(serial_executor)
-            if config.n_workers == 1
-            else make_thread_executor(config.n_workers)
-        )
-        with executor_cm as executor:
+        # superstep would put thread (or process) spawns on the hot loop.
+        with self._make_executor() as executor:
             if config.data_plane == "shards":
                 self._run_shards(
                     graph, program, stats, executor, limit, hard_cap, use_batch,
@@ -132,6 +128,26 @@ class Coordinator:
                 )
         stats.total_seconds = time.perf_counter() - started
         return stats
+
+    def _make_executor(self):
+        """The run's partition/shard task executor as a context manager.
+
+        ``"auto"`` keeps the historical behavior: serial for one worker,
+        a thread pool otherwise.  ``"processes"`` builds a
+        :class:`ProcessExecutor` — persistent spawn-context worker
+        processes that the shard plane binds its shared-memory state to
+        (see :meth:`ShardedDataPlane.bind_executor`); with one worker it
+        never spawns and degrades to serial execution.
+        """
+        config = self.config
+        choice = config.executor
+        if choice == "auto":
+            choice = "serial" if config.n_workers == 1 else "threads"
+        if choice == "processes":
+            return ProcessExecutor(config.n_workers)
+        if choice == "threads" and config.n_workers > 1:
+            return make_thread_executor(config.n_workers)
+        return nullcontext(serial_executor)
 
     # ------------------------------------------------------------------
     # The SQL-staged plane (the paper's architecture verbatim)
@@ -280,80 +296,93 @@ class Coordinator:
             )
 
         plane = build_plane()
+        # Under executor="processes" this moves the resident shard
+        # arrays into shared memory and installs the plane bootstrap in
+        # the worker pool (no-op for serial/thread executors).
+        plane.bind_executor(executor)
         sync_every = config.superstep_sync == "every"
 
         superstep = start_superstep
         rollbacks_left = config.task_retries
-        while True:
-            messages_in = plane.pending_messages
-            active = plane.active_vertices
-            if superstep > 0 and messages_in == 0 and active == 0:
-                break
-            if limit is not None and superstep >= limit:
-                break
-            self._check_safety_cap(superstep, hard_cap, program)
-            step_started = time.perf_counter()
+        # From here on the plane may hold shared-memory segments; the
+        # finally guarantees they are unlinked even on a failed run (the
+        # `plane` local is rebound on rollback rebuilds, and `finally`
+        # closes whichever plane is current).
+        try:
+            while True:
+                messages_in = plane.pending_messages
+                active = plane.active_vertices
+                if superstep > 0 and messages_in == 0 and active == 0:
+                    break
+                if limit is not None and superstep >= limit:
+                    break
+                self._check_safety_cap(superstep, hard_cap, program)
+                step_started = time.perf_counter()
 
-            try:
-                worker = VertexWorker(
-                    program,
-                    superstep,
-                    graph.num_vertices,
-                    aggregated=aggregated,
-                    use_batch=use_batch,
-                )
-                step = plane.run_superstep(worker, executor)
-                aggregated = dict(plane.aggregated)
-                sync_seconds = plane.sync_tables(superstep) if sync_every else 0.0
-            except Exception as exc:
-                # A fault that escaped the in-task retry loop may have
-                # left resident shard state half-stepped; the rollback
-                # restores the tables, then the plane is rebuilt from
-                # them (resident state is pure cache).
-                superstep, aggregated = self._rollback_or_raise(
-                    exc, recovery, program, stats, rollbacks_left
-                )
-                rollbacks_left -= 1
-                plane = build_plane()
-                continue
-            stats.retries += step.retries
-
-            seconds = time.perf_counter() - step_started
-            checkpoint_seconds = 0.0
-            if recovery is not None and recovery.policy.due(superstep + 1):
-                if not sync_every:
-                    # The halt policy's promise to the checkpoint layer:
-                    # resident arrays hit the tables at boundaries only.
-                    checkpoint_seconds += plane.sync_tables(superstep)
-                checkpoint_seconds += recovery.write(superstep + 1, aggregated)
-                stats.checkpoint_seconds += checkpoint_seconds
-
-            if config.track_metrics:
-                stats.supersteps.append(
-                    SuperstepStats(
-                        superstep=superstep,
-                        active_vertices=step.vertices_ran,
-                        messages_in=messages_in,
-                        messages_out=step.messages_out,
-                        vertex_updates=step.vertex_updates,
-                        update_path="memory" if step.vertex_updates else "none",
-                        seconds=seconds,
-                        aggregated=tuple(sorted(aggregated.items())),
-                        rows_in=step.rows_in,
-                        rows_out=step.rows_out,
-                        compute_path="batch" if use_batch else "scalar",
-                        shard_seconds=step.shard_seconds,
-                        sync_seconds=sync_seconds,
-                        checkpoint_seconds=checkpoint_seconds,
+                try:
+                    worker = VertexWorker(
+                        program,
+                        superstep,
+                        graph.num_vertices,
+                        aggregated=aggregated,
+                        use_batch=use_batch,
                     )
-                )
-            superstep += 1
+                    step = plane.run_superstep(worker, executor)
+                    aggregated = dict(plane.aggregated)
+                    sync_seconds = plane.sync_tables(superstep) if sync_every else 0.0
+                except Exception as exc:
+                    # A fault that escaped the in-task retry loop may have
+                    # left resident shard state half-stepped; the rollback
+                    # restores the tables, then the plane is rebuilt from
+                    # them (resident state is pure cache).
+                    superstep, aggregated = self._rollback_or_raise(
+                        exc, recovery, program, stats, rollbacks_left
+                    )
+                    rollbacks_left -= 1
+                    plane.close()
+                    plane = build_plane()
+                    plane.bind_executor(executor)
+                    continue
+                stats.retries += step.retries
 
-        if not sync_every:
-            # The halt policy's single materialization: final vertex
-            # values (and any messages still pending under a superstep
-            # cap) become visible to SQL exactly once.
-            plane.sync_tables(superstep)
+                seconds = time.perf_counter() - step_started
+                checkpoint_seconds = 0.0
+                if recovery is not None and recovery.policy.due(superstep + 1):
+                    if not sync_every:
+                        # The halt policy's promise to the checkpoint layer:
+                        # resident arrays hit the tables at boundaries only.
+                        checkpoint_seconds += plane.sync_tables(superstep)
+                    checkpoint_seconds += recovery.write(superstep + 1, aggregated)
+                    stats.checkpoint_seconds += checkpoint_seconds
+
+                if config.track_metrics:
+                    stats.supersteps.append(
+                        SuperstepStats(
+                            superstep=superstep,
+                            active_vertices=step.vertices_ran,
+                            messages_in=messages_in,
+                            messages_out=step.messages_out,
+                            vertex_updates=step.vertex_updates,
+                            update_path="memory" if step.vertex_updates else "none",
+                            seconds=seconds,
+                            aggregated=tuple(sorted(aggregated.items())),
+                            rows_in=step.rows_in,
+                            rows_out=step.rows_out,
+                            compute_path="batch" if use_batch else "scalar",
+                            shard_seconds=step.shard_seconds,
+                            sync_seconds=sync_seconds,
+                            checkpoint_seconds=checkpoint_seconds,
+                        )
+                    )
+                superstep += 1
+
+            if not sync_every:
+                # The halt policy's single materialization: final vertex
+                # values (and any messages still pending under a superstep
+                # cap) become visible to SQL exactly once.
+                plane.sync_tables(superstep)
+        finally:
+            plane.close()
 
     # ------------------------------------------------------------------
     # Fault handling (shared by both planes)

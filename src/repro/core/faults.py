@@ -61,6 +61,7 @@ __all__ = [
     "InjectedFault",
     "InjectedKill",
     "activate",
+    "active_plan_json",
     "deactivate",
     "injected",
     "trip",
@@ -109,6 +110,13 @@ class InjectedFault(RuntimeError):
         self.shard = shard
         self.transient = transient
 
+    def __reduce__(self):
+        # The default exception reduce replays ``cls(*args)`` with the
+        # formatted message, which does not match this constructor; a
+        # fault raised inside a worker process must survive the pickle
+        # round-trip back to the coordinator intact.
+        return (InjectedFault, (self.site, self.superstep, self.shard, self.transient))
+
 
 class InjectedKill(BaseException):
     """A planned process death.
@@ -126,6 +134,12 @@ class InjectedKill(BaseException):
         self.site = site
         self.superstep = superstep
         self.shard = shard
+
+    def __reduce__(self):
+        # Same pickling contract as InjectedFault: a kill raised inside a
+        # worker process re-raises as the same BaseException type in the
+        # coordinator, tearing through every Exception handler there too.
+        return (InjectedKill, (self.site, self.superstep, self.shard))
 
 
 @dataclass(frozen=True)
@@ -310,6 +324,23 @@ def _plan_from_env() -> FaultPlan | None:
     if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
         _ENV_CACHE = (raw, FaultPlan.from_json(raw))
     return _ENV_CACHE[1]
+
+
+def active_plan_json() -> str | None:
+    """The armed plan (explicit or environment) as portable JSON, or
+    ``None`` when no plan is armed.
+
+    This is how the process-parallel shard plane ships fault plans into
+    its worker processes: the bootstrap captures the JSON at pool start
+    and re-activates it child-side, so ``shard.compute`` trips inside
+    the process that actually runs the shard.  Spec budgets are restated
+    in full (each child gets its own counters); plans targeting a
+    specific superstep/shard behave identically either way.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        plan = _plan_from_env()
+    return None if plan is None else plan.to_json()
 
 
 def trip(site: str, superstep: int | None = None, shard: int | None = None) -> None:

@@ -335,6 +335,9 @@ class Vertexica:
 
         Keyword overrides are applied on top of this instance's config,
         e.g. ``vx.run(g, prog, n_partitions=16, input_strategy="join")``.
+        ``executor="processes"`` (with ``data_plane="shards"`` and
+        ``n_workers=N``) runs shard tasks in spawned worker processes over
+        shared-memory vertex state — bit-identical to serial execution.
         Fault tolerance rides the same kwargs: ``vx.run(g, prog,
         checkpoint_every=4, checkpoint_dir=d)`` snapshots durable run
         state every 4 supersteps, and ``vx.run(g, prog, resume=True,

@@ -36,6 +36,25 @@ Relational interop is preserved by an explicit sync policy
 after each superstep (the legacy plane's observable behavior — hybrid
 SQL queries, the demo console, and checkpoints see fresh state),
 ``"halt"`` materializes once at completion (the fast path).
+
+**Process-parallel execution** (``executor="processes"``): when the
+coordinator binds a :class:`~repro.engine.parallel.ProcessExecutor`
+(:meth:`ShardedDataPlane.bind_executor`), the fixed-width shard arrays —
+ids, halt flags, encoded values, validity, CSR edges — move into
+``multiprocessing.shared_memory`` segments (:mod:`repro.core.shmem`) and
+the parent's shards are rebound to views over them.  A picklable
+bootstrap ships the program closure, segment descriptors, and the armed
+fault plan to every worker process exactly once (at pool start and on
+plane rebuilds); per superstep only a tiny :class:`_ProcessStep`
+descriptor crosses the pipe.  Message inboxes are published into fresh
+shared segments each superstep (VARCHAR-codec payloads, which have no
+fixed width, ship inline by pickle instead).  Every shard task returns a
+:class:`ShardTaskOutput` whose aggregator partials are already reduced
+to *scalars* — the shard-resident aggregator fast path, shared by all
+executors — so the barrier reduces a handful of floats, not arrays.
+Parent-side apply/route/reduce run in the exact same order as the
+in-process path, which is what keeps ``executor="processes"``
+bit-identical to serial and threaded execution.
 """
 
 from __future__ import annotations
@@ -47,6 +66,7 @@ import numpy as np
 
 from repro.core import faults
 from repro.core.program import VertexProgram
+from repro.core.shmem import GroupDescriptor, SharedArrayGroup, new_segment_name
 from repro.core.storage import GraphHandle, GraphStorage
 from repro.core.worker import (
     StagedRows,
@@ -55,10 +75,16 @@ from repro.core.worker import (
     _DecodedPartition,
 )
 from repro.engine.operators import hash_bucket_order
-from repro.engine.parallel import PartitionExecutor
+from repro.engine.parallel import PartitionExecutor, ProcessExecutor
 from repro.engine.types import VARCHAR
 
-__all__ = ["ShardedDataPlane", "VertexShard", "ShardStepStats"]
+__all__ = [
+    "ShardedDataPlane",
+    "VertexShard",
+    "ShardStepStats",
+    "ShardTaskOutput",
+    "PlaneMeta",
+]
 
 
 @dataclass
@@ -70,7 +96,9 @@ class VertexShard:
     during a run).  Pending messages are kept stably sorted by
     destination id, preserving arrival order within a destination.
     Values are *storage-encoded* (the vertex/message table
-    representation), exactly like the SQL plane's columns.
+    representation), exactly like the SQL plane's columns.  Under
+    process-parallel execution the fixed-width arrays are views into
+    shared-memory segments; the layout is identical either way.
     """
 
     index: int
@@ -143,10 +171,200 @@ class ShardStepStats:
     retries: int = 0
 
 
+@dataclass(frozen=True)
+class PlaneMeta:
+    """The picklable, immutable description of a plane's storage shapes.
+
+    Everything a worker process needs to run a shard task — widths,
+    storage dtypes, retry budget — without holding a reference to the
+    plane itself.  The parent plane and every child plane share one
+    instance, so both sides run the exact same code paths.
+    """
+
+    n_shards: int
+    task_retries: int
+    retry_backoff: float
+    value_width: int
+    msg_width: int
+    value_is_varchar: bool
+    msg_is_varchar: bool
+    value_dtype: str  # numpy dtype .str for numeric codecs ("|O8"-free)
+    msg_dtype: str
+
+    @property
+    def value_storage_dtype(self):
+        return object if self.value_is_varchar else np.dtype(self.value_dtype)
+
+    @property
+    def msg_storage_dtype(self):
+        return object if self.msg_is_varchar else np.dtype(self.msg_dtype)
+
+    def empty_msg_raw(self) -> np.ndarray:
+        """A zero-length message storage array of the run's shape."""
+        if self.msg_width:
+            return np.empty((0, self.msg_width), dtype=np.float64)
+        return np.empty(0, dtype=self.msg_storage_dtype)
+
+
+@dataclass
+class ShardTaskOutput:
+    """One shard task's result, in wire-friendly (picklable) form.
+
+    ``updates`` carries the kind-0 vertex-update rows only and
+    ``agg_partials`` carries each aggregator partial as an already
+    reduced *scalar* — the shard-resident aggregator fast path: the
+    superstep barrier applies updates and reduces a few floats instead
+    of re-scanning whole staged-row arrays (and, under process
+    execution, the pipe never ships kind-1/kind-2 rows at all — routed
+    messages travel pre-bucketed, aggregates as scalars).
+    """
+
+    updates: StagedRows
+    routed: tuple | None
+    agg_partials: list[tuple[str, float]]
+    ran: int
+    dropped: int
+    rows_out: int
+    retried: int
+    seconds: float
+
+
+# ---------------------------------------------------------------------------
+# Shard-task primitives (shared verbatim by the parent plane and worker
+# processes — one implementation is what keeps every executor bit-identical)
+# ---------------------------------------------------------------------------
+def _mask_staged(rows: StagedRows, kind: int) -> StagedRows:
+    """The subset of ``rows`` with the given kind, order preserved."""
+    mask = rows.kind == kind
+    return StagedRows(
+        rows.kind[mask],
+        rows.vid[mask],
+        rows.dst[mask],
+        rows.f1[mask],
+        rows.f1_valid[mask],
+        rows.s1[mask],
+        rows.s1_valid[mask],
+        rows.halted[mask],
+        rows.pay[mask] if rows.pay is not None else None,
+        rows.pay_valid[mask] if rows.pay_valid is not None else None,
+    )
+
+
+def _staged_agg_partials(rows: StagedRows) -> list[tuple[str, float]]:
+    """Kind-2 rows as ``(name, scalar)`` pairs in staging order."""
+    mask = rows.kind == 2
+    if not mask.any():
+        return []
+    return list(zip(rows.s1[mask].tolist(), rows.f1[mask].tolist()))
+
+
+def _bucket_staged(staged: StagedRows, meta: PlaneMeta) -> tuple | None:
+    """One source shard's emitted messages, bucket-sorted by
+    ``(destination shard, destination id)`` — runs *inside* the shard
+    task, so the per-source routing sort lands in the parallel section.
+    Returns ``(senders, dst, values, valid, bounds)`` with destination
+    shard ``d`` owning ``[bounds[d]:bounds[d+1]]``, or ``None`` when the
+    shard emitted nothing."""
+    rows = staged
+    mask = rows.kind == 1
+    if not mask.any():
+        return None
+    if meta.msg_width:
+        values = rows.pay[mask][:, : meta.msg_width]
+        valid = rows.pay_valid[mask]
+    elif meta.msg_is_varchar:
+        values, valid = rows.s1[mask], rows.s1_valid[mask]
+    else:
+        # Mirror the SQL plane's apply_messages cast into the
+        # message table's column type.
+        values = rows.f1[mask].astype(meta.msg_storage_dtype)
+        valid = rows.f1_valid[mask]
+    senders, dst = rows.vid[mask], rows.dst[mask]
+    order, bounds = hash_bucket_order(dst % meta.n_shards, meta.n_shards, (dst,))
+    return senders[order], dst[order], values[order], valid[order], bounds
+
+
+def _apply_updates_to_shard(shard: VertexShard, rows: StagedRows, meta: PlaneMeta) -> int:
+    """Kind-0 rows mutate the owning shard directly — the in-memory
+    equivalent of the paper's Update-vs-Replace choice (``"memory"``
+    in the metrics)."""
+    mask = rows.kind == 0
+    count = int(np.count_nonzero(mask))
+    if count == 0:
+        return 0
+    vids = rows.vid[mask]
+    pos = np.searchsorted(shard.vertex_ids, vids)
+    shard.halted[pos] = rows.halted[mask]
+    if meta.value_width:
+        values = rows.pay[mask][:, : meta.value_width]
+        valid = rows.pay_valid[mask]
+    elif meta.value_is_varchar:
+        values, valid = rows.s1[mask], rows.s1_valid[mask]
+    else:
+        # Numeric payloads stage as float64; the SQL plane casts
+        # them back on the way into the vertex table
+        # (CAST(f1 AS INTEGER) for integral codecs) — mirror it.
+        values = rows.f1[mask].astype(meta.value_storage_dtype)
+        valid = rows.f1_valid[mask]
+    shard.raw_values[pos] = values
+    shard.value_valid[pos] = valid
+    return count
+
+
+def _run_shard_task(
+    shard: VertexShard, index: int, worker: VertexWorker, meta: PlaneMeta
+) -> ShardTaskOutput:
+    """Execute one shard's superstep: trip/retry, compute, pre-bucket.
+
+    A shard task is a pure function of resident state (kernels never
+    mutate their input views; fancy-indexed copies back them), so a
+    transient fault — injected or real — can be retried in place without
+    touching the checkpoint layer.  Run counters are *not* recorded here:
+    the caller accounts exactly once after the task commits.
+    """
+    started = time.perf_counter()
+    retried = [0]
+
+    def attempt() -> tuple[StagedRows, tuple | None, int, int]:
+        faults.trip("shard.compute", superstep=worker.superstep, shard=index)
+        part = shard.decoded()
+        out, ran = worker.compute_decoded(part, record=False)
+        staged = out.to_staged()
+        return staged, _bucket_staged(staged, meta), ran, part.dropped
+
+    def on_retry(exc: BaseException, attempt_no: int, delay: float) -> None:
+        retried[0] = attempt_no
+
+    try:
+        staged, routed, ran, dropped = faults.retry_call(
+            attempt,
+            retries=meta.task_retries,
+            backoff=meta.retry_backoff,
+            on_retry=on_retry,
+        )
+    except Exception as exc:
+        exc.add_note(
+            f"shard {index} failed at superstep {worker.superstep} "
+            f"after {retried[0]} retries"
+        )
+        raise
+    return ShardTaskOutput(
+        updates=_mask_staged(staged, 0),
+        routed=routed,
+        agg_partials=_staged_agg_partials(staged),
+        ran=ran,
+        dropped=dropped,
+        rows_out=staged.num_rows,
+        retried=retried[0],
+        seconds=time.perf_counter() - started,
+    )
+
+
 class ShardedDataPlane:
     """Resident shards for one run: built once, stepped per superstep,
     synced back to the relational tables per the ``superstep_sync``
-    policy."""
+    policy.  :meth:`bind_executor` moves the resident arrays into shared
+    memory when the run executes on worker processes."""
 
     def __init__(
         self,
@@ -163,29 +381,33 @@ class ShardedDataPlane:
         self.program = program
         self.n_shards = max(1, int(n_shards))
         self.use_combiner = bool(use_combiner and program.combiner is not None)
-        #: bounded in-place retry budget for transient shard-task faults
-        self.task_retries = max(0, int(task_retries))
-        self.retry_backoff = retry_backoff
         self.aggregated: dict[str, float] = {}
         v_codec = program.vertex_codec
         m_codec = program.message_codec
         v_sql = v_codec.sql_type
         m_sql = m_codec.sql_type
-        self._value_storage_dtype = object if v_sql is VARCHAR else v_sql.numpy_dtype
-        self._msg_storage_dtype = object if m_sql is VARCHAR else m_sql.numpy_dtype
-        self._msg_is_varchar = m_sql is VARCHAR
-        self._value_is_varchar = v_sql is VARCHAR
-        #: vector codec widths (0 = scalar): resident value/message
-        #: arrays are 2-D ``(n, k)`` when > 0.
-        self._value_width = v_codec.width
-        self._msg_width = m_codec.width
+        self.meta = PlaneMeta(
+            n_shards=self.n_shards,
+            task_retries=max(0, int(task_retries)),
+            retry_backoff=retry_backoff,
+            value_width=v_codec.width,
+            msg_width=m_codec.width,
+            value_is_varchar=v_sql is VARCHAR,
+            msg_is_varchar=m_sql is VARCHAR,
+            value_dtype="f8" if v_sql is VARCHAR else np.dtype(v_sql.numpy_dtype).str,
+            msg_dtype="f8" if m_sql is VARCHAR else np.dtype(m_sql.numpy_dtype).str,
+        )
         self.shards = self._build_shards()
+        # Process-parallel state (armed by bind_executor).
+        self._proc_executor: ProcessExecutor | None = None
+        self._token: str | None = None
+        self._shard_groups: list[SharedArrayGroup] = []
+        self._msg_groups: list[SharedArrayGroup | None] = [None] * self.n_shards
+        self._closed = False
 
     def _empty_msg_raw(self) -> np.ndarray:
         """A zero-length message storage array of the run's shape."""
-        if self._msg_width:
-            return np.empty((0, self._msg_width), dtype=np.float64)
-        return np.empty(0, dtype=self._msg_storage_dtype)
+        return self.meta.empty_msg_raw()
 
     # ------------------------------------------------------------------
     # Partition once (run setup)
@@ -195,14 +417,15 @@ class ShardedDataPlane:
         resident shards — the single partitioning pass of the run."""
         db = self.storage.db
         graph = self.graph
+        meta = self.meta
         vdata = db.table(graph.vertex_table).data()
         ids = np.asarray(vdata.column("id").values, dtype=np.int64)
         halted = np.asarray(vdata.column("halted").values, dtype=bool)
-        if self._value_width:
+        if meta.value_width:
             names = self.program.vertex_codec.column_names()
             raw_values = np.column_stack(
                 [np.asarray(vdata.column(c).values, np.float64) for c in names]
-            ) if len(ids) else np.empty((0, self._value_width), dtype=np.float64)
+            ) if len(ids) else np.empty((0, meta.value_width), dtype=np.float64)
             value_valid = np.asarray(vdata.column(names[0]).valid, dtype=bool)
         else:
             value_col = vdata.column("value")
@@ -269,7 +492,7 @@ class ShardedDataPlane:
             return
         src = np.asarray(mdata.column("src").values, dtype=np.int64)
         dst = np.asarray(mdata.column("dst").values, dtype=np.int64)
-        if self._msg_width:
+        if self.meta.msg_width:
             names = self.program.message_codec.column_names()
             raw = np.column_stack(
                 [np.asarray(mdata.column(c).values, np.float64) for c in names]
@@ -289,6 +512,125 @@ class ShardedDataPlane:
             shard.msg_dst = dst[sel]
             shard.msg_raw = raw[sel]
             shard.msg_valid = np.asarray(valid[sel], dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Process-parallel wiring: shared segments + pickled-once bootstrap
+    # ------------------------------------------------------------------
+    def bind_executor(self, executor: PartitionExecutor) -> None:
+        """Arm the plane for its run executor.
+
+        For a multi-process :class:`ProcessExecutor` over more than one
+        shard, this moves every fixed-width shard array into shared
+        memory and installs the plane bootstrap — program closure,
+        segment descriptors, armed fault plan — into the worker
+        processes, pickled exactly once.  (Called again after a plane
+        rebuild: the fresh bootstrap replaces the workers' stale plane.)
+        For serial/thread executors it is a no-op.
+        """
+        if not isinstance(executor, ProcessExecutor):
+            return
+        if self.n_shards <= 1 or executor.n_processes <= 1:
+            return  # the executor serial-fallbacks anyway; nothing to share
+        token = new_segment_name("vxplane")
+        groups: list[SharedArrayGroup] = []
+        descriptors: list[GroupDescriptor] = []
+        object_values: list[np.ndarray | None] = []
+        for shard in self.shards:
+            arrays = {
+                "vertex_ids": shard.vertex_ids,
+                "halted": shard.halted,
+                "value_valid": shard.value_valid,
+                "edge_indptr": shard.edge_indptr,
+                "edge_targets": shard.edge_targets,
+                "edge_weights": shard.edge_weights,
+            }
+            if not self.meta.value_is_varchar:
+                arrays["raw_values"] = np.asarray(shard.raw_values)
+            group = SharedArrayGroup.create(f"{token}s{shard.index}", arrays)
+            groups.append(group)
+            descriptors.append(group.descriptor)
+            # Rebind the parent's shard to the shared views: parent-side
+            # vertex updates become visible to the workers with no copy.
+            shard.vertex_ids = group.arrays["vertex_ids"]
+            shard.halted = group.arrays["halted"]
+            shard.value_valid = group.arrays["value_valid"]
+            shard.edge_indptr = group.arrays["edge_indptr"]
+            shard.edge_targets = group.arrays["edge_targets"]
+            shard.edge_weights = group.arrays["edge_weights"]
+            if not self.meta.value_is_varchar:
+                shard.raw_values = group.arrays["raw_values"]
+                object_values.append(None)
+            else:
+                object_values.append(shard.raw_values)
+        bootstrap = _PlaneBootstrap(
+            token=token,
+            program=self.program,
+            num_vertices=self.graph.num_vertices,
+            meta=self.meta,
+            shard_groups=tuple(descriptors),
+            object_values=tuple(object_values),
+            fault_plan=faults.active_plan_json(),
+        )
+        executor.install(bootstrap)
+        self._token = token
+        self._shard_groups = groups
+        self._proc_executor = executor
+
+    def _publish_inboxes(self) -> list:
+        """Expose each shard's pending inbox to the worker processes.
+
+        Fixed-width message arrays are copied into a fresh shared
+        segment per shard (the previous superstep's segment is unlinked
+        — workers copy their inbox out at task start, so nothing still
+        references it); VARCHAR payloads ship inline by pickle.
+        """
+        descriptors: list = []
+        for shard in self.shards:
+            old = self._msg_groups[shard.index]
+            if old is not None:
+                old.unlink()
+                self._msg_groups[shard.index] = None
+            if shard.pending_messages == 0:
+                descriptors.append(None)
+                continue
+            if self.meta.msg_is_varchar:
+                descriptors.append(
+                    ("inline", (shard.msg_src, shard.msg_dst, shard.msg_raw, shard.msg_valid))
+                )
+                continue
+            group = SharedArrayGroup.create(
+                f"{self._token}m{shard.index}",
+                {
+                    "msg_src": shard.msg_src,
+                    "msg_dst": shard.msg_dst,
+                    "msg_raw": np.asarray(shard.msg_raw),
+                    "msg_valid": shard.msg_valid,
+                },
+            )
+            self._msg_groups[shard.index] = group
+            descriptors.append(("shm", group.descriptor))
+        return descriptors
+
+    def close(self) -> None:
+        """Release the plane's shared segments (creator side; idempotent).
+        A plane without process execution holds none — no-op."""
+        if self._closed:
+            return
+        self._closed = True
+        for group in self._msg_groups:
+            if group is not None:
+                group.unlink()
+        for group in self._shard_groups:
+            group.unlink()
+        self._msg_groups = [None] * self.n_shards
+        self._shard_groups = []
+        self._proc_executor = None
+
+    def __del__(self) -> None:  # best-effort: never leak shm segments
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Run-state queries (the coordinator's halt condition)
@@ -316,58 +658,55 @@ class ShardedDataPlane:
         parallel section), so the barrier-side router only concatenates
         per-destination inboxes and segment-sorts them.
         """
+        if self._proc_executor is not None:
+            return self._run_superstep_processes(worker)
         messages_in = self.pending_messages
-        shard_seconds = [0.0] * self.n_shards
+        meta = self.meta
 
-        def run_shard(
-            shard: VertexShard, index: int
-        ) -> tuple[StagedRows, tuple | None, int]:
-            started = time.perf_counter()
-            retried = [0]
+        def run_shard(shard: VertexShard, index: int) -> ShardTaskOutput:
+            out = _run_shard_task(shard, index, worker, meta)
+            worker.record_partition_counts(out.ran, out.dropped)
+            return out
 
-            # A shard task is a pure function of resident state (kernels
-            # never mutate their input views; fancy-indexed copies back
-            # them), so a transient fault — injected or real — can be
-            # retried in place without touching the checkpoint layer.
-            # Run counters are recorded exactly once, after the retry
-            # loop commits.
-            def attempt() -> tuple[StagedRows, tuple | None, int, int]:
-                faults.trip("shard.compute", superstep=worker.superstep, shard=index)
-                part = shard.decoded()
-                out, ran = worker.compute_decoded(part, record=False)
-                staged = out.to_staged()
-                return staged, self._bucket_messages(staged), ran, part.dropped
-
-            def on_retry(exc: BaseException, attempt_no: int, delay: float) -> None:
-                retried[0] = attempt_no
-
-            try:
-                staged, routed, ran, dropped = faults.retry_call(
-                    attempt,
-                    retries=self.task_retries,
-                    backoff=self.retry_backoff,
-                    on_retry=on_retry,
-                )
-            except Exception as exc:
-                exc.add_note(
-                    f"shard {index} failed at superstep {worker.superstep} "
-                    f"after {retried[0]} retries"
-                )
-                raise
-            worker.record_partition_counts(ran, dropped)
-            shard_seconds[index] = time.perf_counter() - started
-            return staged, routed, retried[0]
-
-        results = executor(
+        outputs = executor(
             run_shard, [(shard, shard.index) for shard in self.shards]
         )
-        staged = [result[0] for result in results]
-        routed = [result[1] for result in results]
-        retries = sum(result[2] for result in results)
-        vertex_updates = self._apply_vertex_updates(staged)
+        return self._finish_superstep(worker, outputs, messages_in)
+
+    def _run_superstep_processes(self, worker: VertexWorker) -> ShardStepStats:
+        """One superstep on the bound :class:`ProcessExecutor`: publish
+        inboxes, dispatch tiny task descriptors, gather
+        :class:`ShardTaskOutput` results, then run the exact same
+        barrier as the in-process path."""
+        messages_in = self.pending_messages
+        step = _ProcessStep(
+            token=self._token,
+            superstep=worker.superstep,
+            use_batch=worker.use_batch,
+            aggregated=dict(worker.aggregated),
+            inboxes=tuple(self._publish_inboxes()),
+        )
+        outputs = self._proc_executor(
+            step, [(shard.index, shard.index) for shard in self.shards]
+        )
+        for out in outputs:
+            worker.record_partition_counts(out.ran, out.dropped)
+        return self._finish_superstep(worker, outputs, messages_in)
+
+    def _finish_superstep(
+        self,
+        worker: VertexWorker,
+        outputs: list[ShardTaskOutput],
+        messages_in: int,
+    ) -> ShardStepStats:
+        """The superstep barrier: apply updates, route, reduce — same
+        order for every executor (which is what parity rests on)."""
+        vertex_updates = self._apply_vertex_updates([out.updates for out in outputs])
         faults.trip("shard.route", superstep=worker.superstep)
-        messages_out = self._route_messages(routed)
-        self.aggregated = self._reduce_aggregators(staged)
+        messages_out = self._route_messages([out.routed for out in outputs])
+        self.aggregated = self._reduce_aggregators(
+            [out.agg_partials for out in outputs]
+        )
         rows_in = self.graph.num_vertices + messages_in
         if worker.superstep == 0:
             rows_in += self.graph.num_edges
@@ -376,73 +715,25 @@ class ShardedDataPlane:
             vertex_updates=vertex_updates,
             messages_out=messages_out,
             rows_in=rows_in,
-            rows_out=sum(rows.num_rows for rows in staged),
-            shard_seconds=tuple(shard_seconds),
-            retries=retries,
+            rows_out=sum(out.rows_out for out in outputs),
+            shard_seconds=tuple(out.seconds for out in outputs),
+            retries=sum(out.retried for out in outputs),
         )
 
     # ------------------------------------------------------------------
     # Apply staged vertex updates in place
     # ------------------------------------------------------------------
     def _apply_vertex_updates(self, staged: list[StagedRows]) -> int:
-        """Kind-0 rows mutate the owning shard directly — the in-memory
-        equivalent of the paper's Update-vs-Replace choice (``"memory"``
-        in the metrics)."""
+        """Each shard's kind-0 rows mutate the owning shard directly (see
+        :func:`_apply_updates_to_shard`)."""
         total = 0
         for shard, rows in zip(self.shards, staged):
-            mask = rows.kind == 0
-            count = int(np.count_nonzero(mask))
-            if count == 0:
-                continue
-            vids = rows.vid[mask]
-            pos = np.searchsorted(shard.vertex_ids, vids)
-            shard.halted[pos] = rows.halted[mask]
-            if self._value_width:
-                values = rows.pay[mask][:, : self._value_width]
-                valid = rows.pay_valid[mask]
-            elif self._value_is_varchar:
-                values, valid = rows.s1[mask], rows.s1_valid[mask]
-            else:
-                # Numeric payloads stage as float64; the SQL plane casts
-                # them back on the way into the vertex table
-                # (CAST(f1 AS INTEGER) for integral codecs) — mirror it.
-                values = rows.f1[mask].astype(self._value_storage_dtype)
-                valid = rows.f1_valid[mask]
-            shard.raw_values[pos] = values
-            shard.value_valid[pos] = valid
-            total += count
+            total += _apply_updates_to_shard(shard, rows, self.meta)
         return total
 
     # ------------------------------------------------------------------
     # In-plane message routing
     # ------------------------------------------------------------------
-    def _bucket_messages(
-        self, staged: StagedRows
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
-        """One source shard's emitted messages, bucket-sorted by
-        ``(destination shard, destination id)`` — runs *inside* the shard
-        task, so the per-source routing sort lands in the parallel
-        section.  Returns ``(senders, dst, values, valid, bounds)`` with
-        destination shard ``d`` owning ``[bounds[d]:bounds[d+1]]``, or
-        ``None`` when the shard emitted nothing."""
-        rows = staged
-        mask = rows.kind == 1
-        if not mask.any():
-            return None
-        if self._msg_width:
-            values = rows.pay[mask][:, : self._msg_width]
-            valid = rows.pay_valid[mask]
-        elif self._msg_is_varchar:
-            values, valid = rows.s1[mask], rows.s1_valid[mask]
-        else:
-            # Mirror the SQL plane's apply_messages cast into the
-            # message table's column type.
-            values = rows.f1[mask].astype(self._msg_storage_dtype)
-            valid = rows.f1_valid[mask]
-        senders, dst = rows.vid[mask], rows.dst[mask]
-        order, bounds = hash_bucket_order(dst % self.n_shards, self.n_shards, (dst,))
-        return senders[order], dst[order], values[order], valid[order], bounds
-
     def _route_messages(self, routed: list[tuple | None]) -> int:
         """Deliver the pre-bucketed messages to their destination shards.
 
@@ -452,7 +743,7 @@ class ShardedDataPlane:
         — so vertex ``v`` receives messages ordered by (source
         partition, emission order).  Here each source shard has already
         stable-sorted its own messages by ``(destination shard,
-        destination id)`` (:meth:`_bucket_messages`); a destination
+        destination id)`` (:func:`_bucket_staged`); a destination
         concatenates its per-source buckets in shard-index order (the
         staging order) and one stable segment-sort by destination id
         restores exactly that delivery order — the ties within a
@@ -527,13 +818,15 @@ class ShardedDataPlane:
             floats = np.where(valid, floats, -np.inf)
             agg = np.maximum.reduceat(floats, boundaries)
         agg = np.where(out_valid, agg, 0.0)
-        return out_src, out_dst, agg.astype(self._msg_storage_dtype), out_valid
+        return out_src, out_dst, agg.astype(self.meta.msg_storage_dtype), out_valid
 
     # ------------------------------------------------------------------
     # Aggregators
     # ------------------------------------------------------------------
-    def _reduce_aggregators(self, staged: list[StagedRows]) -> dict[str, float]:
-        """Reduce the per-shard kind-2 partials across shards.
+    def _reduce_aggregators(
+        self, partials_per_shard: list[list[tuple[str, float]]]
+    ) -> dict[str, float]:
+        """Reduce the per-shard scalar partials across shards.
 
         The SQL plane runs ``OP(f1)`` over the partials in staging
         (shard-index) order through ``ufunc.reduceat``; the same ufunc
@@ -545,11 +838,8 @@ class ShardedDataPlane:
         if not names:
             return {}
         partials: dict[str, list[float]] = {name: [] for name in names}
-        for rows in staged:
-            mask = rows.kind == 2
-            if not mask.any():
-                continue
-            for name, value in zip(rows.s1[mask], rows.f1[mask].tolist()):
+        for shard_partials in partials_per_shard:
+            for name, value in shard_partials:
                 partials[name].append(value)
         start = np.zeros(1, dtype=np.int64)
         ufuncs = {"SUM": np.add, "MIN": np.minimum, "MAX": np.maximum}
@@ -600,3 +890,154 @@ class ShardedDataPlane:
             valid[morder],
         )
         return time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side: the child plane and its pickled task descriptors
+# ---------------------------------------------------------------------------
+#: Planes installed in *this* process by a ProcessExecutor bootstrap,
+#: keyed by plane token.  In the coordinator process this stays empty.
+_CHILD_PLANES: dict[str, "_ChildPlane"] = {}
+
+
+@dataclass(frozen=True)
+class _PlaneBootstrap:
+    """The pickled-once worker bootstrap a plane installs at pool start.
+
+    Carries everything per-superstep dispatch must not re-ship: the
+    program closure, the shared-segment descriptors, VARCHAR value
+    arrays (object dtype cannot live in shared memory), and the armed
+    fault plan so injection sites trip inside the worker that actually
+    runs the shard.
+    """
+
+    token: str
+    program: VertexProgram
+    num_vertices: int
+    meta: PlaneMeta
+    shard_groups: tuple[GroupDescriptor, ...]
+    object_values: tuple[np.ndarray | None, ...]
+    fault_plan: str | None
+
+    def __call__(self) -> None:
+        for plane in _CHILD_PLANES.values():
+            plane.close()
+        _CHILD_PLANES.clear()
+        if self.fault_plan is not None:
+            faults.activate(faults.FaultPlan.from_json(self.fault_plan))
+        else:
+            faults.deactivate()
+        _CHILD_PLANES[self.token] = _ChildPlane(self)
+
+
+class _ChildPlane:
+    """One worker process's view of a plane: shards whose fixed-width
+    arrays are views into the shared segments, VARCHAR values as local
+    copies kept in lockstep by replaying the same kind-0 updates."""
+
+    def __init__(self, boot: _PlaneBootstrap) -> None:
+        self.meta = boot.meta
+        self.program = boot.program
+        self.num_vertices = boot.num_vertices
+        self.groups: list[SharedArrayGroup] = []
+        self.shards: list[VertexShard] = []
+        for index, descriptor in enumerate(boot.shard_groups):
+            group = SharedArrayGroup.attach(descriptor)
+            self.groups.append(group)
+            arrays = group.arrays
+            raw_values = (
+                boot.object_values[index]
+                if boot.object_values[index] is not None
+                else arrays["raw_values"]
+            )
+            self.shards.append(
+                VertexShard(
+                    index=index,
+                    vertex_ids=arrays["vertex_ids"],
+                    halted=arrays["halted"],
+                    raw_values=raw_values,
+                    value_valid=arrays["value_valid"],
+                    edge_indptr=arrays["edge_indptr"],
+                    edge_targets=arrays["edge_targets"],
+                    edge_weights=arrays["edge_weights"],
+                    msg_src=np.empty(0, dtype=np.int64),
+                    msg_dst=np.empty(0, dtype=np.int64),
+                    msg_raw=self.meta.empty_msg_raw(),
+                    msg_valid=np.empty(0, dtype=bool),
+                )
+            )
+
+    def close(self) -> None:
+        self.shards = []
+        for group in self.groups:
+            group.close()
+        self.groups = []
+
+    def _load_inbox(self, shard: VertexShard, descriptor) -> None:
+        if descriptor is None:
+            shard.clear_messages(self.meta.empty_msg_raw())
+            return
+        tag, payload = descriptor
+        if tag == "inline":
+            shard.msg_src, shard.msg_dst, shard.msg_raw, shard.msg_valid = payload
+            return
+        group = SharedArrayGroup.attach(payload)
+        try:
+            arrays = group.arrays
+            # Copy out immediately: the coordinator replaces the segment
+            # next superstep, so the shard must not keep views into it.
+            shard.msg_src = np.array(arrays["msg_src"])
+            shard.msg_dst = np.array(arrays["msg_dst"])
+            shard.msg_raw = np.array(arrays["msg_raw"])
+            shard.msg_valid = np.array(arrays["msg_valid"])
+        finally:
+            group.close()
+
+    def run_task(
+        self,
+        superstep: int,
+        use_batch: bool,
+        aggregated: dict[str, float],
+        inbox,
+        index: int,
+    ) -> ShardTaskOutput:
+        shard = self.shards[index]
+        self._load_inbox(shard, inbox)
+        worker = VertexWorker(
+            self.program,
+            superstep,
+            self.num_vertices,
+            aggregated=aggregated,
+            use_batch=use_batch,
+        )
+        out = _run_shard_task(shard, index, worker, self.meta)
+        if self.meta.value_is_varchar and out.updates.num_rows:
+            # VARCHAR values live process-locally (object dtype cannot be
+            # shared); replaying the shard's own committed updates keeps
+            # this copy in lockstep with the coordinator's apply.
+            _apply_updates_to_shard(shard, out.updates, self.meta)
+        return out
+
+
+@dataclass(frozen=True)
+class _ProcessStep:
+    """The per-superstep task descriptor — the only thing pickled per
+    dispatch: superstep scalars, the aggregated dict, and per-shard inbox
+    descriptors (segment references, or inline VARCHAR payloads)."""
+
+    token: str
+    superstep: int
+    use_batch: bool
+    aggregated: dict[str, float]
+    inboxes: tuple
+
+    def __call__(self, item, index: int) -> ShardTaskOutput:
+        plane = _CHILD_PLANES.get(self.token)
+        if plane is None:
+            raise RuntimeError(
+                f"worker process has no installed shard plane {self.token!r}; "
+                "the executor bootstrap did not run"
+            )
+        return plane.run_task(
+            self.superstep, self.use_batch, self.aggregated, self.inboxes[index], index
+        )

@@ -117,6 +117,12 @@ class _Entry:
     tables: frozenset[str]
 
 
+#: Private miss sentinel: ``None`` (and every other falsy value) is a
+#: legitimate cached result, so lookups distinguish "absent" from
+#: "cached falsy" by identity against this object instead.
+_MISS = object()
+
+
 @dataclass
 class ResultCache:
     """Thread-safe LRU over version-addressed results (module docstring).
@@ -133,12 +139,23 @@ class ResultCache:
     _lock: Lock = field(default_factory=Lock)
 
     def get(self, key: Hashable) -> Any | None:
-        """The cached value, marking it most-recently-used — or ``None``."""
+        """The cached value, marking it most-recently-used — or ``None``.
+
+        ``None`` is ambiguous here (it is also a cacheable value);
+        callers that must tell a miss from a cached falsy result use
+        :meth:`lookup`.
+        """
+        value = self.lookup(key)
+        return None if value is _MISS else value
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached value marked most-recently-used, or the private
+        ``_MISS`` sentinel — the unambiguous form of :meth:`get`."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None
+                return _MISS
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return entry.value
@@ -154,8 +171,8 @@ class ResultCache:
         (keys address immutable version-pinned results, so this is
         benign duplicated work, never an inconsistency).
         """
-        value = self.get(key)
-        if value is not None:
+        value = self.lookup(key)
+        if value is not _MISS:
             return value, True
         value = compute()
         self.put(key, value, tables)

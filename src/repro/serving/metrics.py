@@ -55,8 +55,11 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile sample
-        (0.0 when empty).  Conservative: true latency is ≤ the answer."""
+        """Upper bound of the bucket holding the ``q``-quantile sample,
+        clamped to ``max_seen`` (0.0 when empty).  Conservative — true
+        latency is ≤ the answer — but never above the observed maximum:
+        without the clamp, samples faster than the first bucket bound
+        would report p50 > max in the metrics output."""
         if not self.count:
             return 0.0
         rank = q * self.count
@@ -64,7 +67,8 @@ class LatencyHistogram:
         for i, n in enumerate(self.counts):
             seen += n
             if seen >= rank and n:
-                return _BUCKET_BOUNDS[i] if i < len(_BUCKET_BOUNDS) else self.max_seen
+                bound = _BUCKET_BOUNDS[i] if i < len(_BUCKET_BOUNDS) else self.max_seen
+                return min(bound, self.max_seen)
         return self.max_seen
 
     def as_dict(self) -> dict[str, float]:

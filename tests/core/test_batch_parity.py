@@ -282,6 +282,21 @@ class TestShardPlaneParity:
         )
         assert_runs_identical(serial, threaded)
 
+    @pytest.mark.parametrize(
+        "program_factory,symmetrize,matching", ALL_PROGRAMS_BOTH_PLANES
+    )
+    def test_shard_plane_process_workers(self, program_factory, symmetrize, matching):
+        """``executor="processes"`` — shard state in shared memory,
+        compute in spawned worker processes — must be bit-identical to
+        serial execution for every shipped program (exact values AND
+        per-superstep stats), including the order-sensitive ones."""
+        serial = run_on_plane("shards", program_factory, symmetrize, matching)
+        processes = run_on_plane(
+            "shards", program_factory, symmetrize, matching,
+            n_workers=2, executor="processes",
+        )
+        assert_runs_identical(serial, processes)
+
     def test_shard_plane_scalar_strategy_parity(self):
         sql = run_on_plane("sql", lambda: PageRank(iterations=5), compute_strategy="scalar")
         shards = run_on_plane(

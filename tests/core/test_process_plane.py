@@ -1,0 +1,172 @@
+"""The process-parallel shard plane: shared-memory plumbing, fault-plan
+propagation into worker processes, and config gating.
+
+Bit-parity of ``executor="processes"`` against serial/threaded execution
+for every shipped program lives in ``test_batch_parity.py``; this module
+covers the machinery around it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Vertexica, VertexicaConfig, faults
+from repro.core.faults import FaultPlan, FaultSpec, InjectedFault, InjectedKill
+from repro.core.shmem import SharedArrayGroup
+from repro.errors import VertexicaError
+from repro.programs import PageRank, ShortestPaths
+
+
+def _graph(vx: Vertexica, name: str = "g"):
+    src = [i for i in range(40)] * 2
+    dst = [(i * 7 + 1) % 40 for i in range(40)] + [(i * 3 + 2) % 40 for i in range(40)]
+    return vx.load_graph(name, src, dst, num_vertices=40)
+
+
+class TestSharedArrayGroup:
+    def test_create_attach_round_trip(self):
+        arrays = {
+            "ids": np.arange(10, dtype=np.int64),
+            "flags": np.array([True, False] * 5),
+            "vals": np.linspace(0, 1, 20).reshape(10, 2),
+        }
+        group = SharedArrayGroup.create("vxtest", arrays)
+        try:
+            other = SharedArrayGroup.attach(group.descriptor)
+            try:
+                for field, array in arrays.items():
+                    np.testing.assert_array_equal(other.arrays[field], array)
+                # writes through one mapping are visible through the other
+                group.arrays["ids"][0] = 99
+                assert other.arrays["ids"][0] == 99
+            finally:
+                other.close()
+        finally:
+            group.unlink()
+
+    def test_descriptor_pickles(self):
+        group = SharedArrayGroup.create("vxtest", {"a": np.zeros(3)})
+        try:
+            descriptor = pickle.loads(pickle.dumps(group.descriptor))
+            assert descriptor == group.descriptor
+        finally:
+            group.unlink()
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValueError, match="object dtype"):
+            SharedArrayGroup.create("vxtest", {"bad": np.array(["x", "y"], dtype=object)})
+
+    def test_empty_arrays_supported(self):
+        group = SharedArrayGroup.create("vxtest", {"e": np.empty(0, dtype=np.int64)})
+        try:
+            assert len(group.arrays["e"]) == 0
+        finally:
+            group.unlink()
+
+    def test_unlink_idempotent(self):
+        group = SharedArrayGroup.create("vxtest", {"a": np.ones(4)})
+        group.unlink()
+        group.unlink()  # second unlink: no error
+
+
+class TestInjectedExceptionPickling:
+    """Faults raised inside a worker process cross the pipe by pickle;
+    the injected exception types must round-trip with their metadata
+    (the default exception reduce re-calls ``cls(formatted_message)``,
+    which their keyword-only constructors reject)."""
+
+    def test_injected_fault_round_trip(self):
+        exc = InjectedFault("shard.compute", superstep=3, shard=1, transient=True)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, InjectedFault)
+        assert (clone.site, clone.superstep, clone.shard, clone.transient) == (
+            "shard.compute", 3, 1, True,
+        )
+        assert faults.is_transient(clone)
+
+    def test_injected_kill_round_trip(self):
+        exc = InjectedKill("storage.sync", superstep=2, shard=None)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, InjectedKill)
+        assert not isinstance(clone, Exception)  # still tears through handlers
+        assert (clone.site, clone.superstep) == ("storage.sync", 2)
+
+
+class TestFaultPlanInWorkers:
+    def test_transient_fault_trips_inside_worker_and_retries(self, vx):
+        """The armed plan travels with the plane bootstrap, so a
+        ``shard.compute`` fault fires inside the worker *process*; the
+        in-task retry absorbs it and the run stays bit-identical."""
+        g = _graph(vx)
+        clean = vx.run(g, PageRank(iterations=4), data_plane="shards")
+        plan = FaultPlan(
+            [FaultSpec(site="shard.compute", kind="transient", superstep=2, times=1)]
+        )
+        with faults.injected(plan):
+            faulted = vx.run(
+                g, PageRank(iterations=4), data_plane="shards",
+                n_workers=2, executor="processes", task_retries=2,
+            )
+        assert faulted.stats.retries >= 1
+        assert clean.values == faulted.values
+
+    def test_kill_inside_worker_tears_through(self, vx):
+        g = _graph(vx)
+        plan = FaultPlan([FaultSpec(site="shard.compute", kind="kill", superstep=1)])
+        with faults.injected(plan):
+            with pytest.raises(InjectedKill):
+                vx.run(
+                    g, PageRank(iterations=4), data_plane="shards",
+                    n_workers=2, executor="processes", task_retries=2,
+                )
+
+    def test_deterministic_fault_fails_fast(self, vx):
+        g = _graph(vx)
+        plan = FaultPlan(
+            [FaultSpec(site="shard.compute", kind="deterministic", superstep=1, times=9)]
+        )
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault) as excinfo:
+                vx.run(
+                    g, PageRank(iterations=4), data_plane="shards",
+                    n_workers=2, executor="processes", task_retries=2,
+                )
+        assert not faults.is_transient(excinfo.value)
+
+
+class TestExecutorConfig:
+    def test_processes_requires_shard_plane(self):
+        with pytest.raises(VertexicaError, match="data_plane='shards'"):
+            VertexicaConfig(executor="processes").validated()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(VertexicaError, match="executor"):
+            VertexicaConfig(executor="fibers").validated()
+
+    def test_explicit_thread_and_serial_choices(self, vx):
+        g = _graph(vx)
+        serial = vx.run(g, ShortestPaths(source=0), data_plane="shards",
+                        executor="serial", n_workers=4)
+        threaded = vx.run(g, ShortestPaths(source=0), data_plane="shards",
+                          executor="threads", n_workers=4)
+        assert serial.values == threaded.values
+
+    def test_single_worker_processes_degrades_to_serial(self, vx):
+        """``n_workers=1`` under ``executor='processes'`` must not spawn
+        anything (the executor serial-fallbacks) and still be correct."""
+        g = _graph(vx)
+        base = vx.run(g, PageRank(iterations=3), data_plane="shards")
+        one = vx.run(g, PageRank(iterations=3), data_plane="shards",
+                     executor="processes", n_workers=1)
+        assert base.values == one.values
+
+    def test_sync_halt_with_processes(self, vx):
+        g = _graph(vx)
+        every = vx.run(g, PageRank(iterations=3), data_plane="shards",
+                       n_workers=2, executor="processes", superstep_sync="every")
+        halt = vx.run(g, PageRank(iterations=3), data_plane="shards",
+                      n_workers=2, executor="processes", superstep_sync="halt")
+        assert every.values == halt.values

@@ -1,14 +1,21 @@
 """Executor error handling: first-failure propagation with task context,
-sibling cancellation, and idempotent/exception-safe close."""
+sibling cancellation, idempotent/exception-safe close — and the
+process-pool executor's ordering, bootstrap, and failure contracts."""
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
 import pytest
 
-from repro.engine.parallel import ThreadExecutor, serial_executor
+from repro.engine.parallel import (
+    ProcessExecutor,
+    ThreadExecutor,
+    WorkerProcessDied,
+    serial_executor,
+)
 
 
 class TestSerialExecutor:
@@ -76,6 +83,26 @@ class TestThreadExecutor:
         finally:
             ex.close()
 
+    def test_sibling_failures_are_noted(self):
+        """Regression: when several tasks fail, only the first used to be
+        retrieved — the rest were silently dropped with their futures.
+        Now the primary failure carries a note enumerating its siblings."""
+        barrier = threading.Barrier(2)
+        ex = ThreadExecutor(2)
+        try:
+            def boom_both(item, index):
+                barrier.wait(timeout=5)  # both tasks are mid-flight: neither cancellable
+                raise RuntimeError(f"failure {index}")
+
+            with pytest.raises(RuntimeError, match="failure 0") as excinfo:
+                ex(boom_both, [(None, 0), (None, 1)])
+            notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+            assert "parallel task 0" in notes
+            assert "1 sibling task(s) also failed" in notes
+            assert "RuntimeError: failure 1" in notes
+        finally:
+            ex.close()
+
     def test_close_is_idempotent(self):
         ex = ThreadExecutor(2)
         ex([].__class__, [])  # no-op call, no pool yet
@@ -104,3 +131,125 @@ class TestThreadExecutor:
         with ThreadExecutor(2) as ex:
             assert ex(lambda item, index: item, [(1, 0), (2, 1)]) == [1, 2]
         ex.close()  # already closed by __exit__; still safe
+
+
+# ---------------------------------------------------------------------------
+# ProcessExecutor: spawned workers need module-level (picklable) helpers
+# ---------------------------------------------------------------------------
+_BOOT_VALUE: int | None = None
+
+
+def _mul(item, index):
+    return item * 10 + index
+
+
+class _SetBootValue:
+    """A picklable bootstrap: records a value in the worker's module."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __call__(self) -> None:
+        global _BOOT_VALUE
+        _BOOT_VALUE = self.value
+
+
+def _read_boot_value(item, index):
+    return (os.getpid(), _BOOT_VALUE)
+
+
+def _boom_at(item, index):
+    if index in (2, 3):
+        raise ValueError(f"remote task {index} exploded")
+    return item
+
+
+class _TestKill(BaseException):
+    pass
+
+
+def _kill_at(item, index):
+    if index == 1:
+        raise _TestKill("killed")
+    return item
+
+
+def _die_at(item, index):
+    if index == 1:
+        os._exit(3)  # simulate a crashed worker: no reply, no cleanup
+    return item
+
+
+class TestProcessExecutor:
+    def test_order_preserved_across_processes(self):
+        with ProcessExecutor(2) as ex:
+            tasks = [(i, i) for i in range(8)]
+            assert ex(_mul, tasks) == [i * 10 + i for i in range(8)]
+            # pool is persistent: a second call reuses the same workers
+            assert ex(_mul, tasks) == [i * 10 + i for i in range(8)]
+
+    def test_single_task_runs_in_process(self):
+        """Serial fallback: nothing pickles, so even closures work."""
+        with ProcessExecutor(4) as ex:
+            marker = object()
+            assert ex(lambda item, index: item, [(marker, 0)]) == [marker]
+
+    def test_install_runs_in_every_worker(self):
+        with ProcessExecutor(2) as ex:
+            ex.install(_SetBootValue(42))
+            out = ex(_read_boot_value, [(None, i) for i in range(8)])
+            pids = {pid for pid, _ in out}
+            assert len(pids) == 2  # both workers took tasks
+            assert all(value == 42 for _, value in out)
+            # a re-install (e.g. after a plane rebuild) replaces the state
+            ex.install(_SetBootValue(7))
+            out = ex(_read_boot_value, [(None, i) for i in range(8)])
+            assert all(value == 7 for _, value in out)
+
+    def test_install_before_spawn_replays_at_start(self):
+        with ProcessExecutor(2) as ex:
+            ex.install(_SetBootValue(13))  # no workers yet: stored only
+            out = ex(_read_boot_value, [(None, i) for i in range(4)])
+            assert all(value == 13 for _, value in out)
+
+    def test_remote_failure_carries_context(self):
+        with ProcessExecutor(2) as ex:
+            with pytest.raises(ValueError, match="remote task 2 exploded") as excinfo:
+                ex(_boom_at, [(i, i) for i in range(6)])
+            notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+            assert "parallel task 2 (in a worker process)" in notes
+            assert "remote traceback" in notes
+            # the second failure (task 3) is enumerated, not dropped
+            assert "sibling task(s) also failed" in notes
+            assert "remote task 3 exploded" in notes
+            # the pool survives a task failure
+            assert ex(_mul, [(i, i) for i in range(4)]) == [0, 11, 22, 33]
+
+    def test_base_exception_kill_wins_and_crosses(self):
+        """A non-Exception BaseException (an injected kill) raised inside
+        a worker must come back as-is and take priority."""
+        with ProcessExecutor(2) as ex:
+            with pytest.raises(_TestKill):
+                ex(_kill_at, [(i, i) for i in range(4)])
+
+    def test_dead_worker_is_transient_and_pool_recovers(self):
+        from repro.core import faults
+
+        with ProcessExecutor(2) as ex:
+            ex.install(_SetBootValue(99))
+            with pytest.raises(WorkerProcessDied) as excinfo:
+                ex(_die_at, [(i, i) for i in range(4)])
+            assert faults.is_transient(excinfo.value)
+            # next call respawns the pool and replays the bootstrap
+            out = ex(_read_boot_value, [(None, i) for i in range(4)])
+            assert all(value == 99 for _, value in out)
+
+    def test_close_is_idempotent_and_reusable(self):
+        ex = ProcessExecutor(2)
+        try:
+            assert ex(_mul, [(1, 0), (2, 1)]) == [10, 21]
+            ex.close()
+            ex.close()
+            assert ex(_mul, [(1, 0), (2, 1)]) == [10, 21]  # fresh pool
+        finally:
+            ex.close()

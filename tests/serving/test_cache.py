@@ -42,6 +42,35 @@ class TestLookup:
         assert (value, hit) == ("value", True)
         assert len(calls) == 1
 
+    def test_falsy_results_cache_as_hits(self):
+        """Regression: ``get``/``get_or_compute`` used ``None`` as the
+        miss sentinel, so legitimately falsy results — an empty SELECT, a
+        0-count aggregate, ``None`` itself — were recomputed on every
+        request.  A private miss sentinel makes them first-class hits."""
+        for falsy in (None, [], 0, "", {}):
+            cache = ResultCache()
+            calls = []
+
+            def compute():
+                calls.append(1)
+                return falsy
+
+            value, hit = cache.get_or_compute(_key("q", 1), compute)
+            assert (value, hit) == (falsy, False)
+            value, hit = cache.get_or_compute(_key("q", 1), compute)
+            assert (value, hit) == (falsy, True), f"falsy result {falsy!r} missed"
+            assert len(calls) == 1
+            assert cache.stats.hits == 1
+
+    def test_get_still_returns_none_on_miss(self):
+        """The public ``get`` contract is unchanged: ``None`` on a miss
+        (``lookup`` exists for callers that must distinguish)."""
+        cache = ResultCache()
+        assert cache.get(_key("q", 1)) is None
+        cache.put(_key("q", 1), None)
+        assert cache.get(_key("q", 1)) is None  # a cached None looks the same
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
     def test_hit_rate(self):
         cache = ResultCache()
         assert cache.stats.hit_rate == 0.0

@@ -1,0 +1,60 @@
+"""LatencyHistogram: quantiles stay within the observed range.
+
+Regression coverage for the p50 > max bug: ``quantile`` used to return
+the raw bucket upper bound, so a burst of very fast samples (everything
+under the first 10 µs bound) reported p50 = 10 µs while max_s showed
+2 µs — quantiles above the maximum in the same metrics dict.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+
+
+class TestQuantileClamp:
+    def test_fast_samples_do_not_exceed_max(self):
+        h = LatencyHistogram()
+        for _ in range(100):
+            h.observe(2e-6)  # all faster than the first bucket bound
+        assert h.max_seen == 2e-6
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) <= h.max_seen
+
+    def test_overflow_bucket_reports_max(self):
+        h = LatencyHistogram()
+        h.observe(250.0)  # beyond the last finite bound
+        assert h.quantile(0.99) == 250.0
+
+    def test_quantiles_never_exceed_max_property(self):
+        rng = random.Random(7)
+        h = LatencyHistogram()
+        for _ in range(500):
+            h.observe(10 ** rng.uniform(-6, 2))
+            for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+                assert 0.0 <= h.quantile(q) <= h.max_seen
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_as_dict_internally_consistent(self):
+        h = LatencyHistogram()
+        for s in (1e-6, 5e-6, 2e-3):
+            h.observe(s)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["p50_s"] <= d["p95_s"] <= d["p99_s"] <= h.max_seen
+
+
+class TestServingMetricsSummary:
+    def test_summary_quantiles_bounded_by_max(self):
+        m = ServingMetrics()
+        m.enqueued()
+        m.started(3e-6)
+        m.finished(4e-6)
+        summary = m.summary()
+        assert summary["serve"]["p95_s"] <= summary["serve"]["max_s"]
+        assert summary["wait"]["p95_s"] <= summary["wait"]["max_s"]
