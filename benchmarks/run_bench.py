@@ -32,8 +32,15 @@ from repro.bench.figure2 import sssp_source
 from repro.bench.harness import bench_graphs, pagerank_iterations
 from repro.core import Vertexica, VertexicaConfig
 from repro.datasets.generators import Graph
-from repro.datasets.relational import load_graph_as_schema
-from repro.graphview import EdgeSpec, GraphView, GraphViewHandle, NodeSpec
+from repro.datasets.relational import load_graph_as_schema, load_social_schema
+from repro.graphview import (
+    CoEdgeSpec,
+    EdgeSpec,
+    ExtractionOptions,
+    GraphView,
+    GraphViewHandle,
+    NodeSpec,
+)
 from repro.programs import (
     CollaborativeFiltering,
     ConnectedComponents,
@@ -544,6 +551,128 @@ def run_refresh_cell(graph: Graph, repeat: int = 1) -> dict[str, Any]:
     }
 
 
+def run_extraction_scaling_cell(repeat: int = 1, quick: bool = False) -> dict[str, Any]:
+    """Production-scale extraction ablation (the PR-9 cell).
+
+    A skewed social schema (Zipfian like targets, so a few celebrity
+    posts carry dense co-occurrence groups) is extracted under five
+    configurations:
+
+    * ``selfjoin_pushdown`` / ``selfjoin_no_pushdown`` — the legacy SQL
+      self-join lowering with the planner's predicate pushdown on/off
+      (the co spec's filter either sinks into both scans beneath the
+      join or runs above it);
+    * ``exact_serial`` / ``exact_threads`` — the group-by-``via``
+      pairwise expansion, serial and fanned across the thread executor
+      with partition-sliced scans;
+    * ``capped`` — degree-capped expansion (lossy, so it is excluded
+      from the parity gate; its ``truncated_groups`` count is recorded).
+
+    All four exact configurations must produce bit-identical graph
+    tables — that parity is this cell's hard gate.
+    """
+    if quick:
+        scale = dict(num_users=300, num_follows=1_500, num_likes=2_500,
+                     num_posts=24, likes_zipf=2.0)
+    else:
+        scale = dict(num_users=3_000, num_follows=20_000, num_likes=40_000,
+                     num_posts=80, likes_zipf=2.0)
+    member_cut = scale["num_users"] // 2  # selective co filter: half the members
+
+    def build_view(schema) -> GraphView:
+        return GraphView(
+            vertices=NodeSpec(schema.users_table, key="id", where="karma > 2.0"),
+            edges=[
+                EdgeSpec(schema.follows_table, src="follower_id",
+                         dst="followee_id", weight="closeness",
+                         where="closeness > 1.0"),
+                CoEdgeSpec(schema.likes_table, member="user_id", via="post_id",
+                           where=f"user_id < {member_cut}"),
+            ],
+        )
+
+    def run_variant(label: str, options: ExtractionOptions | None,
+                    pushdown: bool) -> dict[str, Any]:
+        best: dict[str, Any] | None = None
+        for _ in range(max(repeat, 1)):
+            vx = Vertexica()
+            schema = load_social_schema(vx.db, **scale)
+            vx.db.pushdown = pushdown
+            handle = vx.create_graph_view(
+                "scalebench", build_view(schema), materialized=True,
+                extraction=options,
+            )
+            stats = handle.last_extraction
+            edges = vx.db.query_batch("SELECT src, dst, weight FROM scalebench_edge")
+            nodes = vx.db.query_batch("SELECT id FROM scalebench_node")
+            fingerprint = hash((
+                edges.column("src").values.tobytes(),
+                edges.column("dst").values.tobytes(),
+                edges.column("weight").values.tobytes(),
+                nodes.column("id").values.tobytes(),
+            ))
+            trial = {
+                "variant": label,
+                "seconds": stats.seconds,
+                "lower_seconds": stats.lower_seconds,
+                "load_seconds": stats.load_seconds,
+                "num_queries": stats.num_queries,
+                "parallelism": stats.parallelism,
+                "truncated_groups": stats.truncated_groups,
+                "num_vertices": stats.num_vertices,
+                "num_edges": stats.num_edges,
+                "fingerprint": fingerprint,
+            }
+            if best is None or trial["seconds"] < best["seconds"]:
+                best = trial
+        best["seconds"] = round(best["seconds"], 6)
+        best["lower_seconds"] = round(best["lower_seconds"], 6)
+        best["load_seconds"] = round(best["load_seconds"], 6)
+        return best
+
+    slice_rows = max(500, scale["num_likes"] // 8)
+    variants = {
+        "selfjoin_pushdown": run_variant(
+            "selfjoin_pushdown",
+            ExtractionOptions(executor="serial", co_mode="selfjoin"), True),
+        "selfjoin_no_pushdown": run_variant(
+            "selfjoin_no_pushdown",
+            ExtractionOptions(executor="serial", co_mode="selfjoin"), False),
+        "exact_serial": run_variant(
+            "exact_serial",
+            ExtractionOptions(executor="serial", co_mode="exact"), True),
+        "exact_threads": run_variant(
+            "exact_threads",
+            ExtractionOptions(executor="threads", n_workers=4, co_mode="exact",
+                              slice_min_rows=slice_rows), True),
+        "capped": run_variant(
+            "capped",
+            ExtractionOptions(executor="serial", co_mode="capped", co_cap=32), True),
+    }
+    exact_labels = [
+        "selfjoin_pushdown", "selfjoin_no_pushdown", "exact_serial", "exact_threads"
+    ]
+    parity = len({variants[label]["fingerprint"] for label in exact_labels}) == 1
+
+    def ratio(numer: str, denom: str) -> float:
+        d = variants[denom]["seconds"]
+        return round(variants[numer]["seconds"] / d, 2) if d else float("inf")
+
+    return {
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "variants": list(variants.values()),
+        "parity_ok": parity,
+        "speedup_pushdown_over_no_pushdown": ratio(
+            "selfjoin_no_pushdown", "selfjoin_pushdown"),
+        "speedup_expansion_over_selfjoin": ratio(
+            "selfjoin_pushdown", "exact_serial"),
+        "speedup_threads_over_serial": ratio("exact_serial", "exact_threads"),
+        "speedup_capped_over_exact": ratio("exact_serial", "capped"),
+        "capped_truncated_groups": variants["capped"]["truncated_groups"],
+    }
+
+
 def run_serving_cache_cell(
     graph: Graph, n_partitions: int, repeat: int = 1, n_readers: int = 4
 ) -> dict[str, Any]:
@@ -687,11 +816,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR8.json"
+        out_path = "BENCH_PR9.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR9.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR10.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -875,6 +1004,26 @@ def main(argv: list[str] | None = None) -> int:
             f"{refresh_cell['delta_rows_per_refresh']} delta rows)"
         )
 
+    # Production-scale extraction ablation: pushdown on/off, group-by
+    # expansion vs SQL self-join, serial vs threaded lowering, degree
+    # cap — the PR-9 cell (and the quick mode's extraction parity gate).
+    scaling_cell = run_extraction_scaling_cell(args.repeat, quick=args.quick)
+    if not scaling_cell["parity_ok"]:
+        failures.append(
+            "extraction scaling: exact variants disagree "
+            "(selfjoin/pushdown/expansion/threads must be bit-identical)"
+        )
+    print(
+        f"{'social':<12} extraction scaling: "
+        f"pushdown {scaling_cell['speedup_pushdown_over_no_pushdown']:.2f}x  "
+        f"expansion-vs-selfjoin "
+        f"{scaling_cell['speedup_expansion_over_selfjoin']:.2f}x  "
+        f"threads {scaling_cell['speedup_threads_over_serial']:.2f}x "
+        f"({os.cpu_count()} cpus)  "
+        f"capped {scaling_cell['speedup_capped_over_exact']:.2f}x "
+        f"({scaling_cell['capped_truncated_groups']} truncated groups)"
+    )
+
     report = {
         "bench": "figure2 data-plane trajectory",
         "commit": git_commit(),
@@ -890,6 +1039,7 @@ def main(argv: list[str] | None = None) -> int:
         "cf_codec": cf_codec_cells,
         "checkpoint_overhead": checkpoint_cells,
         "serving_cache": serving_cells,
+        "extraction_scaling": scaling_cell,
         "results": results,
     }
     if out_path:
@@ -971,6 +1121,31 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+        # Extraction-scaling tripwire: parity across the exact variants is
+        # the hard gate (checked above); perf gates are generous because at
+        # smoke scale the co-occurrence groups are small and CI is often
+        # single-core, so only egregious regressions (2x) fail the run.
+        if scaling_cell["speedup_pushdown_over_no_pushdown"] < 0.5:
+            print(
+                f"FAIL: predicate pushdown slowed selective extraction "
+                f"({scaling_cell['speedup_pushdown_over_no_pushdown']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if scaling_cell["speedup_expansion_over_selfjoin"] < 0.25:
+            print(
+                f"FAIL: group-by expansion slower than SQL self-join "
+                f"({scaling_cell['speedup_expansion_over_selfjoin']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if scaling_cell["capped_truncated_groups"] < 1:
+            print(
+                "FAIL: capped extraction truncated no groups "
+                "(skew knob not producing dense via groups)",
+                file=sys.stderr,
+            )
+            return 1
         print("quick bench OK:", ", ".join(f"{k}={v}x" for k, v in speedups.items()))
     return 0
 

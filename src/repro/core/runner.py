@@ -39,6 +39,7 @@ from repro.engine.sql.ast import (
 from repro.errors import GraphViewError
 from repro.graphview.catalog import MANIFEST_KEY, handle_manifest, view_from_dict
 from repro.graphview.compiler import render_expression
+from repro.graphview.lowering import ExtractionOptions, options_for_config
 from repro.graphview.maintenance import involved_tables
 from repro.graphview.spec import CoEdgeSpec, EdgeSpec, EdgeSource, GraphView, NodeSpec
 from repro.graphview.view import DEFAULT_DELTA_THRESHOLD, GraphViewHandle
@@ -141,6 +142,7 @@ class Vertexica:
         materialized: bool = True,
         replace: bool = False,
         delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
+        extraction: ExtractionOptions | None = None,
     ) -> GraphViewHandle:
         """Declare (and, when materialized, extract) a graph view.
 
@@ -166,6 +168,9 @@ class Vertexica:
             delta_threshold: largest base-table delta (as a fraction of
                 its rows) the incremental refresh path will patch before
                 falling back to a full re-extraction.
+            extraction: how full extractions execute (executor, worker
+                count, co-occurrence lowering mode); ``None`` inherits
+                the run plane's ``executor`` / ``n_workers`` config.
 
         Raises:
             GraphViewError: invalid declaration, duplicate name, or a
@@ -182,6 +187,8 @@ class Vertexica:
             # Drop the old extraction so a materialized -> virtual redefine
             # cannot leave stale {name}_edge/{name}_node tables behind.
             displaced.drop()
+        if extraction is None:
+            extraction = options_for_config(self.config)
         handle = GraphViewHandle(
             self.db,
             self.storage,
@@ -189,6 +196,7 @@ class Vertexica:
             view,
             materialized=materialized,
             delta_threshold=delta_threshold,
+            options=extraction,
         )
         if materialized:
             handle.refresh()

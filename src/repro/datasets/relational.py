@@ -69,6 +69,7 @@ def load_social_schema(
     num_posts: int | None = None,
     prefix: str = "",
     seed: int = 42,
+    likes_zipf: float = 1.6,
 ) -> SocialSchema:
     """Create and populate the normalized 3-table social schema.
 
@@ -77,6 +78,12 @@ def load_social_schema(
     directed follower graph; ``{prefix}likes(user_id, post_id)`` a
     junction table connecting users who liked the same post (the
     co-occurrence edge source).  Deterministic under ``seed``.
+
+    The row-count arguments are the scale knobs the extraction benchmark
+    turns; ``likes_zipf`` shapes the Zipfian distribution of like targets
+    (*larger* exponents concentrate likes on fewer posts, producing the
+    celebrity-post via groups that stress co-occurrence expansion; the
+    default 1.6 keeps the historical random stream bit-identical).
     """
     users = f"{prefix}users"
     follows = f"{prefix}follows"
@@ -121,7 +128,7 @@ def load_social_schema(
 
     # Likes: distinct (user, post) pairs, posts zipf-weighted so some posts
     # have many co-likers (dense co-occurrence neighborhoods).
-    posts = rng.zipf(1.6, size=num_likes * 2) % num_posts
+    posts = rng.zipf(likes_zipf, size=num_likes * 2) % num_posts
     likers = rng.integers(0, num_users, num_likes * 2)
     pairs = np.unique(np.stack([likers, posts], axis=1), axis=0)[:num_likes]
     _insert_numpy(

@@ -119,6 +119,17 @@ class Database:
     # ------------------------------------------------------------------
     # SQL execution
     # ------------------------------------------------------------------
+    @property
+    def pushdown(self) -> bool:
+        """Whether the planner pushes WHERE conjuncts beneath joins/unions
+        toward the scans.  On by default; flip off to A/B plans — pushed
+        and unpushed plans return bit-identical batches."""
+        return self._executor.planner.pushdown
+
+    @pushdown.setter
+    def pushdown(self, value: bool) -> None:
+        self._executor.planner.pushdown = bool(value)
+
     def execute(self, sql: str, params: Sequence[Any] | None = None) -> Result:
         """Parse and run exactly one SQL statement.
 
@@ -177,12 +188,30 @@ class Database:
         materialization) — the fast path used by the Vertexica layer."""
         return self.execute(sql, params).batch
 
+    def plan_query(self, sql: str):
+        """Parse and plan a SELECT without executing it.
+
+        The returned plan holds direct :class:`Table` references resolved
+        under the database lock, so callers may run ``plan.execute()``
+        *outside* the lock (batches are immutable); the graph-view
+        extraction path plans every lowered query up front this way and
+        fans the executions across worker threads.
+        """
+        statement = self._parse_cached(sql, None)
+        if not isinstance(statement, (SelectStatement, SetOperation)):
+            raise SqlSyntaxError("plan_query supports only SELECT statements")
+        with self.lock:
+            self.statements_executed += 1
+            return self._executor.planner.plan_select(statement)
+
     def explain(self, sql: str) -> str:
         """The physical plan of a query as indented text."""
         statement = parse_statement(sql)
         if not isinstance(statement, (SelectStatement, SetOperation)):
             raise SqlSyntaxError("EXPLAIN supports only SELECT statements")
-        plan = Planner(self.catalog, self.functions).plan_select(statement)
+        plan = Planner(
+            self.catalog, self.functions, pushdown=self.pushdown
+        ).plan_select(statement)
         return explain_tree(plan)
 
     def explain_analyze(self, sql: str) -> tuple[Result, str]:
@@ -192,7 +221,9 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, (SelectStatement, SetOperation)):
             raise SqlSyntaxError("EXPLAIN ANALYZE supports only SELECT statements")
-        plan = Planner(self.catalog, self.functions).plan_select(statement)
+        plan = Planner(
+            self.catalog, self.functions, pushdown=self.pushdown
+        ).plan_select(statement)
         batch, text = analyze_tree(plan)
         self.statements_executed += 1
         return Result(batch=batch), text

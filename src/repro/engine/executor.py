@@ -109,10 +109,12 @@ class Result:
 class StatementExecutor:
     """Executes parsed statements against a catalog."""
 
-    def __init__(self, catalog: Catalog, registry: FunctionRegistry) -> None:
+    def __init__(
+        self, catalog: Catalog, registry: FunctionRegistry, pushdown: bool = True
+    ) -> None:
         self.catalog = catalog
         self.registry = registry
-        self.planner = Planner(catalog, registry)
+        self.planner = Planner(catalog, registry, pushdown=pushdown)
 
     def run(self, stmt: Statement) -> Result:
         """Execute one statement and return its :class:`Result`."""

@@ -131,9 +131,15 @@ def _rewrite(expr: Expression, mapping: dict[Expression, Expression]) -> Express
 class Planner:
     """Plans statements against one catalog + function registry."""
 
-    def __init__(self, catalog: Catalog, registry: FunctionRegistry) -> None:
+    def __init__(
+        self, catalog: Catalog, registry: FunctionRegistry, pushdown: bool = True
+    ) -> None:
         self.catalog = catalog
         self.registry = registry
+        #: When True, WHERE conjuncts are pushed beneath joins / unions /
+        #: projections toward the scans.  The rewrite is row-identical —
+        #: see :meth:`_apply_where`.
+        self.pushdown = pushdown
 
     # ------------------------------------------------------------------
     # Entry point
@@ -182,7 +188,7 @@ class Planner:
     def _plan_select_core(self, stmt: SelectStatement) -> Operator:
         source = self._plan_from(stmt.from_clause)
         if stmt.where is not None:
-            source = FilterOp(source, stmt.where, self.registry)
+            source = self._apply_where(source, stmt.where)
 
         items = self._expand_stars(stmt.items, source.schema)
         visible_names = _uniquified(
@@ -346,6 +352,226 @@ class Planner:
         if _refs_resolvable(b, left_schema) and _refs_resolvable(a, right_schema):
             return b, a
         return None
+
+    # ------------------------------------------------------------------
+    # Predicate pushdown
+    # ------------------------------------------------------------------
+    def _apply_where(self, source: Operator, where: Expression) -> Operator:
+        """Attach the WHERE clause, pushing conjuncts toward the scans when
+        :attr:`pushdown` is enabled.
+
+        The rewrite is row-identical, not just multiset-identical: every
+        operator a conjunct crosses is row-wise (filter, project, alias) or
+        preserves the relative order of surviving rows (hash and cross
+        joins emit pairs in left-major order with right indices increasing,
+        UNION ALL concatenates children in order, DISTINCT keeps first
+        occurrences of rows that are bit-identical to their duplicates), so
+        pushed plans return bit-identical batches to unpushed ones.
+        """
+        if not self.pushdown:
+            return FilterOp(source, where, self.registry)
+        source, refused = self._sink_conjuncts(source, _split_conjuncts(where))
+        residual = _conjoin(refused)
+        if residual is not None:
+            source = FilterOp(source, residual, self.registry)
+        return source
+
+    def _sink_conjuncts(
+        self, op: Operator, conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        """Sink ``conjuncts`` as deep into ``op`` as the safety rules allow.
+
+        Returns ``(new_op, refused)`` where refused conjuncts were applied
+        nowhere inside ``op`` and must be filtered above it.  Rules:
+
+        * scans / batch sources absorb any conjunct they can resolve;
+        * filters and DISTINCT are transparent (row predicates commute);
+        * joins route single-side conjuncts into that side — except the
+          right side of a LEFT JOIN (a filter there would turn NULL-padded
+          rows into drops) and conjuncts resolvable on *both* sides (the
+          unpushed plan raises an ambiguity error; keep that behavior);
+        * UNION ALL copies a conjunct into every child with column refs
+          rewritten positionally (set operations match by position);
+        * aliases strip the alias qualifier and recurse into the child;
+        * projections substitute output expressions into the conjunct
+          (expression evaluation is total — errors mask to NULL — so
+          evaluating a predicate on pre-filter rows is safe);
+        * aggregates / sorts / limits / unknown operators absorb nothing.
+        """
+        if not conjuncts:
+            return op, []
+        if isinstance(op, (TableScanOp, BatchSourceOp)):
+            take: list[Expression] = []
+            refused: list[Expression] = []
+            for conjunct in conjuncts:
+                bucket = take if _refs_resolvable(conjunct, op.schema) else refused
+                bucket.append(conjunct)
+            predicate = _conjoin(take)
+            if predicate is not None:
+                op = FilterOp(op, predicate, self.registry)
+            return op, refused
+        if isinstance(op, FilterOp):
+            child, refused = self._sink_conjuncts(op.child, conjuncts)
+            return FilterOp(child, op.predicate, self.registry), refused
+        if isinstance(op, DistinctOp):
+            child, refused = self._sink_conjuncts(op.child, conjuncts)
+            return DistinctOp(child), refused
+        if isinstance(op, (HashJoinOp, CrossJoinOp)):
+            return self._sink_into_join(op, conjuncts)
+        if isinstance(op, UnionAllOp):
+            return self._sink_into_union(op, conjuncts)
+        if isinstance(op, AliasOp):
+            return self._sink_into_alias(op, conjuncts)
+        if isinstance(op, ProjectOp):
+            return self._sink_into_project(op, conjuncts)
+        return op, list(conjuncts)
+
+    def _absorb(self, op: Operator, conjuncts: list[Expression]) -> Operator:
+        """Sink into ``op``; whatever comes back refused is filtered right
+        above it (callers guarantee each conjunct resolves in ``op.schema``)."""
+        op, refused = self._sink_conjuncts(op, conjuncts)
+        residual = _conjoin(refused)
+        if residual is not None:
+            op = FilterOp(op, residual, self.registry)
+        return op
+
+    def _sink_into_join(
+        self, op: Operator, conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        left, right = op.children()
+        protect_right = isinstance(op, HashJoinOp) and op.kind == "left"
+        left_take: list[Expression] = []
+        right_take: list[Expression] = []
+        refused: list[Expression] = []
+        for conjunct in conjuncts:
+            on_left = _refs_resolvable(conjunct, left.schema)
+            on_right = _refs_resolvable(conjunct, right.schema)
+            if on_left and not on_right:
+                left_take.append(conjunct)
+            elif on_right and not on_left and not protect_right:
+                right_take.append(conjunct)
+            else:
+                refused.append(conjunct)
+        if not left_take and not right_take:
+            return op, refused
+        new_left = self._absorb(left, left_take)
+        new_right = self._absorb(right, right_take)
+        if isinstance(op, HashJoinOp):
+            rebuilt: Operator = HashJoinOp(
+                new_left, new_right, op.left_keys, op.right_keys,
+                op.kind, op.residual, self.registry,
+            )
+        else:
+            rebuilt = CrossJoinOp(new_left, new_right)
+        return rebuilt, refused
+
+    def _sink_into_union(
+        self, op: UnionAllOp, conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        children = list(op.children())
+        refused: list[Expression] = []
+        per_child: list[list[Expression]] = [[] for _ in children]
+        for conjunct in conjuncts:
+            rewrites = self._union_rewrites(conjunct, op.schema, children)
+            if rewrites is None:
+                refused.append(conjunct)
+            else:
+                for bucket, rewritten in zip(per_child, rewrites):
+                    bucket.append(rewritten)
+        if all(not bucket for bucket in per_child):
+            return op, refused
+        new_children = [
+            self._absorb(child, bucket)
+            for child, bucket in zip(children, per_child)
+        ]
+        return UnionAllOp(new_children), refused
+
+    def _union_rewrites(
+        self, conjunct: Expression, schema: Schema, children: list[Operator]
+    ) -> list[Expression] | None:
+        """Positional per-child rewrites of a union-level conjunct, or None
+        if any ref fails to resolve uniquely in the union or any child."""
+        positions = self._ref_positions(conjunct, schema)
+        if positions is None:
+            return None
+        out: list[Expression] = []
+        for child in children:
+            mapping: dict[Expression, Expression] = {
+                ref: ColumnRef(child.schema[pos].name, child.schema[pos].qualifier)
+                for ref, pos in positions.items()
+            }
+            rewritten = _rewrite(conjunct, mapping)
+            if not _refs_resolvable(rewritten, child.schema):
+                return None
+            out.append(rewritten)
+        return out
+
+    def _sink_into_alias(
+        self, op: AliasOp, conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        refused: list[Expression] = []
+        pushed: list[Expression] = []
+        for conjunct in conjuncts:
+            positions = self._ref_positions(conjunct, op.schema)
+            if positions is None:
+                refused.append(conjunct)
+                continue
+            mapping: dict[Expression, Expression] = {
+                ref: ColumnRef(op.child.schema[pos].name, op.child.schema[pos].qualifier)
+                for ref, pos in positions.items()
+            }
+            rewritten = _rewrite(conjunct, mapping)
+            if _refs_resolvable(rewritten, op.child.schema):
+                pushed.append(rewritten)
+            else:
+                refused.append(conjunct)
+        if not pushed:
+            return op, refused
+        return AliasOp(self._absorb(op.child, pushed), op.alias), refused
+
+    def _sink_into_project(
+        self, op: ProjectOp, conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        refused: list[Expression] = []
+        pushed: list[Expression] = []
+        for conjunct in conjuncts:
+            positions = self._ref_positions(conjunct, op.schema)
+            if positions is None:
+                refused.append(conjunct)
+                continue
+            mapping = {ref: op.exprs[pos] for ref, pos in positions.items()}
+            rewritten = _rewrite(conjunct, mapping)
+            if _refs_resolvable(rewritten, op.child.schema):
+                pushed.append(rewritten)
+            else:
+                refused.append(conjunct)
+        if not pushed:
+            return op, refused
+        child = self._absorb(op.child, pushed)
+        return (
+            ProjectOp(
+                child,
+                op.exprs,
+                [coldef.name for coldef in op.schema],
+                self.registry,
+                qualifiers=[coldef.qualifier for coldef in op.schema],
+            ),
+            refused,
+        )
+
+    @staticmethod
+    def _ref_positions(
+        conjunct: Expression, schema: Schema
+    ) -> dict[ColumnRef, int] | None:
+        """Map each column ref in ``conjunct`` to its unique position in
+        ``schema``, or None when refless / unresolvable / ambiguous."""
+        refs = _column_refs(conjunct)
+        if not refs:
+            return None
+        try:
+            return {ref: schema.index_of(ref.name, ref.qualifier) for ref in refs}
+        except CatalogError:
+            return None
 
     # ------------------------------------------------------------------
     # Star expansion

@@ -66,6 +66,12 @@ class DataType:
             return False
         return ""
 
+    def __reduce__(self) -> tuple:
+        """Unpickle to the canonical singleton — the engine compares types
+        with ``is`` throughout, so a schema shipped to a worker process
+        must resolve back to the same four instances."""
+        return (type_from_name, (self.name,))
+
 
 INTEGER = DataType("INTEGER", np.int64, int)
 FLOAT = DataType("FLOAT", np.float64, float)

@@ -15,6 +15,9 @@ expression renderer (:func:`render_expression`) turns parsed
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.engine.sql.parser import parse_statement
 from repro.engine.expressions import (
     Between,
     BinaryOp,
@@ -40,6 +43,7 @@ __all__ = [
     "edge_spec_queries",
     "co_edge_query",
     "co_edge_side_query",
+    "qualify_predicate",
     "render_expression",
 ]
 
@@ -118,19 +122,70 @@ def co_edge_side_query(spec: CoEdgeSpec, table: str | None = None) -> str:
 def co_edge_query(spec: CoEdgeSpec, table: str | None = None) -> str:
     """The co-occurrence self-join: members sharing a ``via`` key connect.
 
-    Filters are pushed into the derived tables so user ``where``
-    expressions stay unqualified; the member cast happens there too, so
-    the outer GROUP BY keys are bare column references.
+    Lowered as a *flat* self-join over the base table: the spec's filter
+    is qualified onto both join sides (via :func:`qualify_predicate`) and
+    sits in the top-level WHERE, where the planner's predicate pushdown
+    sinks each copy beneath the join into its scan on its own — the
+    compiler no longer hand-builds filtered derived tables.  Grouping is
+    on the casted member pair (``GROUP BY 1, 2``), so the group keys, the
+    ``<>`` self-guard, and the output columns all see the same integer
+    values.
     """
     weight = spec.weight if spec.weight is not None else "COUNT(*)"
-    side = co_edge_side_query(spec, table)
+    base = table or spec.table
+    member_a = f"CAST(a.{spec.member} AS INTEGER)"
+    member_b = f"CAST(b.{spec.member} AS INTEGER)"
+    conditions = []
+    if spec.where:
+        conditions.append(qualify_predicate(spec.where, spec.table, "a"))
+        conditions.append(qualify_predicate(spec.where, spec.table, "b"))
+    conditions.append(f"{member_a} <> {member_b}")
     return (
-        f"SELECT a.member AS src, b.member AS dst, "
+        f"SELECT {member_a} AS src, {member_b} AS dst, "
         f"CAST({weight} AS FLOAT) AS weight "
-        f"FROM ({side}) a JOIN ({side}) b ON a.via = b.via "
-        f"WHERE a.member <> b.member "
-        f"GROUP BY a.member, b.member"
+        f"FROM {base} AS a JOIN {base} AS b ON a.{spec.via} = b.{spec.via} "
+        f"WHERE {' AND '.join(conditions)} "
+        f"GROUP BY 1, 2"
     )
+
+
+def qualify_predicate(where: str, table: str, alias: str) -> str:
+    """Re-render a spec filter with every column reference qualified by
+    ``alias`` so it can sit above a self-join of ``table``.
+
+    Bare references and references qualified with the base table's own
+    name both rewrite to ``alias.column``; references to other qualifiers
+    pass through untouched (they would not have resolved in the original
+    single-table scope either, so this never silently changes meaning).
+    """
+    stmt = parse_statement(f"SELECT 1 WHERE {where}")
+    return render_expression(_qualify(stmt.where, table, alias))
+
+
+def _qualify(expr: Expression, table: str, alias: str) -> Expression:
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier is None or expr.qualifier == table:
+            return ColumnRef(expr.name, alias)
+        return expr
+    if isinstance(expr, CaseExpr):
+        return CaseExpr(
+            whens=tuple(
+                (_qualify(c, table, alias), _qualify(r, table, alias))
+                for c, r in expr.whens
+            ),
+            default=None if expr.default is None else _qualify(expr.default, table, alias),
+            operand=None if expr.operand is None else _qualify(expr.operand, table, alias),
+        )
+    updates: dict[str, object] = {}
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, Expression):
+            updates[field.name] = _qualify(value, table, alias)
+        elif isinstance(value, tuple) and value and isinstance(value[0], Expression):
+            updates[field.name] = tuple(_qualify(item, table, alias) for item in value)
+    if not updates:
+        return expr
+    return dataclasses.replace(expr, **updates)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,680 @@
+"""Executor-parallel spec lowering for graph-view extraction.
+
+The serial extraction path runs each compiled query through
+:meth:`Database.query_batch` one after another.  This module fans that
+work across the engine's :data:`~repro.engine.parallel.PartitionExecutor`
+seam instead, at two grains:
+
+* **independent specs** — every node query, edge query, and co-occurrence
+  side query is its own task;
+* **partition-sliced scans** — a single-table query over a large base
+  table is split into row slices (registered as short-lived scratch
+  tables, one per slice) whose results concatenate back in slice order.
+  Scans, filters, and projections preserve row order, so the
+  concatenation is bit-identical to the unsliced query.
+
+Two executor-specific tricks keep parallelism real:
+
+* **threads** — :meth:`Database.execute` serializes on the database lock,
+  so every task is *planned* up front under one lock acquisition
+  (:meth:`Database.plan_query`) and only the lock-free ``plan.execute()``
+  runs on the pool.  Scratch slice tables live only for the duration of
+  planning (plans hold direct table references) and are dropped in a
+  ``finally`` even when a later spec fails to plan.
+* **processes** — each task ships ``(sql, tables)`` with exactly the
+  slice of data it scans; the worker rebuilds a throwaway
+  :class:`Database`, runs the query, and pickles the batch back.
+
+Co-occurrence specs are additionally lowered through
+:func:`expand_co_occurrence` — a group-by-``via`` pairwise expansion that
+replaces the quadratic SQL self-join (see :func:`co_edge_query`); the
+``"capped"`` mode bounds any one group to its top-``cap`` members and
+reports how many groups were truncated.
+
+Every path produces bit-identical per-spec arrays; the determinism suite
+in ``tests/graphview/test_parallel_extraction.py`` locks serial, thread,
+and process lowering to the same bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.parallel import (
+    ProcessExecutor,
+    make_thread_executor,
+    recommended_process_count,
+)
+from repro.engine.table import Table
+from repro.errors import EngineError, GraphViewError
+from repro.graphview.compiler import (
+    co_edge_query,
+    co_edge_side_query,
+    edge_spec_queries,
+    node_query,
+)
+from repro.graphview.maintenance import (
+    co_group_cap,
+    edge_triples_from_batch,
+    node_ids_from_batch,
+)
+from repro.graphview.spec import CoEdgeSpec, EdgeSpec, GraphView
+
+__all__ = [
+    "CO_MODES",
+    "EXECUTOR_CHOICES",
+    "ExtractionOptions",
+    "EdgeSpecResult",
+    "LoweredExtraction",
+    "expand_co_occurrence",
+    "lower_view",
+]
+
+EXECUTOR_CHOICES = ("auto", "serial", "threads", "processes")
+CO_MODES = ("exact", "capped", "selfjoin")
+
+#: Pair buffer size above which the streamed expansion compacts its
+#: accumulated per-group contributions into one summed array.
+_EXPANSION_FLUSH_PAIRS = 1 << 21
+
+#: Largest distinct-member universe expanded through the dense
+#: ``member x member`` count matrix (4096**2 int64 = 128 MiB); bigger
+#: universes take the bounded-memory streaming path instead.
+_DENSE_MEMBER_LIMIT = 4096
+
+_slice_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class ExtractionOptions:
+    """How a view's extraction is executed.
+
+    Attributes:
+        executor: ``"auto"`` (serial for one worker, threads otherwise),
+            ``"serial"``, ``"threads"``, or ``"processes"``.
+        n_workers: parallel lowering tasks in flight; ``0`` means "use
+            every usable core" (affinity-aware).
+        co_mode: how :class:`CoEdgeSpec` co-occurrence is lowered —
+            ``"exact"`` (group-by-``via`` streamed pairwise expansion,
+            bit-identical to the self-join), ``"capped"`` (each group
+            truncated to its top-``co_cap`` members by row count, with a
+            ``truncated_groups`` stat; lossy, opt-in), or ``"selfjoin"``
+            (the legacy SQL self-join).  Specs with a custom aggregate
+            ``weight`` always take the self-join — only counting is
+            decomposable per group.
+        co_cap: group cap for ``"capped"`` mode; ``None`` uses the
+            ``REPRO_CO_GROUP_CAP`` knob (default 1024).
+        slice_min_rows: a single-table scan is split into row slices only
+            when its base table has at least this many rows (below it,
+            per-task overhead beats the parallelism).
+    """
+
+    executor: str = "auto"
+    n_workers: int = 1
+    co_mode: str = "exact"
+    co_cap: int | None = None
+    slice_min_rows: int = 50_000
+
+    def validate(self) -> None:
+        """Raise :class:`GraphViewError` on an invalid combination."""
+        if self.executor not in EXECUTOR_CHOICES:
+            raise GraphViewError(
+                f"extraction executor must be one of {EXECUTOR_CHOICES}, "
+                f"got {self.executor!r}"
+            )
+        if self.co_mode not in CO_MODES:
+            raise GraphViewError(
+                f"co_mode must be one of {CO_MODES}, got {self.co_mode!r}"
+            )
+        if self.n_workers < 0:
+            raise GraphViewError("n_workers must be >= 0 (0 = all cores)")
+        if self.co_cap is not None and self.co_cap < 1:
+            raise GraphViewError("co_cap must be >= 1")
+        if self.slice_min_rows < 1:
+            raise GraphViewError("slice_min_rows must be >= 1")
+
+    def resolved_workers(self) -> int:
+        if self.n_workers == 0:
+            return recommended_process_count()
+        return self.n_workers
+
+    def resolved_executor(self) -> str:
+        if self.executor == "auto":
+            return "serial" if self.resolved_workers() == 1 else "threads"
+        return self.executor
+
+
+@dataclass
+class EdgeSpecResult:
+    """Extraction output of one edge spec.
+
+    ``triples`` holds one ``(src, dst, weight)`` array triple per lowered
+    statement (undirected :class:`EdgeSpec` contributes two).  For
+    expansion-lowered co-occurrence specs, ``side_member`` / ``side_via``
+    carry the filtered side rows (NULLs already dropped) so incremental
+    maintenance can seed its ledger without re-scanning the base table.
+    """
+
+    spec: object
+    triples: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    side_member: np.ndarray | None = None
+    side_via: np.ndarray | None = None
+
+
+@dataclass
+class LoweredExtraction:
+    """Everything one pass over the base tables produced."""
+
+    node_parts: list[np.ndarray] = field(default_factory=list)
+    edge_parts: list[EdgeSpecResult] = field(default_factory=list)
+    num_queries: int = 0
+    parallelism: int = 1
+    truncated_groups: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Co-occurrence expansion
+# ---------------------------------------------------------------------------
+def expand_co_occurrence(
+    members: np.ndarray,
+    vias: np.ndarray,
+    cap: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Pairwise co-occurrence counts, group by group.
+
+    Equivalent to the SQL self-join ``... ON a.via = b.via WHERE
+    a.member <> b.member GROUP BY a.member, b.member`` with a ``COUNT(*)``
+    weight: within each ``via`` group, every ordered pair of *distinct*
+    members ``(a, b)`` receives ``rows(a) * rows(b)`` joined row pairs,
+    summed across groups.  Runs in O(sum of group-pair counts) instead of
+    materializing the join.  When the distinct-member universe is small
+    enough for a dense ``member x member`` accumulator
+    (:data:`_DENSE_MEMBER_LIMIT`), groups sum straight into it via
+    ``np.ix_`` outer products; otherwise per-group contributions stream
+    through a pair buffer compacted at a fixed budget, so peak memory is
+    bounded by the output size plus one flush buffer.
+
+    Args:
+        members: integer member ids (already cast, NULL rows dropped).
+        vias: group keys, any comparable dtype, parallel to ``members``.
+        cap: when set, a group with more than ``cap`` distinct members is
+            truncated to its top-``cap`` members by row count (ties broken
+            by smaller member id) before expanding — the degree-capped
+            mode.  ``None`` expands exactly.
+
+    Returns:
+        ``(src, dst, weight, truncated_groups)`` — one row per surviving
+        ordered pair, sorted by ``(src, dst)``; weights are float counts.
+    """
+    empty = (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+    )
+    if len(members) == 0:
+        return (*empty, 0)
+    # Per (group, member) row counts: one lexsort puts each group in a
+    # contiguous slice with its members sorted, then run-length boundaries
+    # give the distinct rows.  (Plain-array lexsort + reduceat throughout —
+    # structured-dtype np.unique is comparison-sorted and order-of-magnitude
+    # slower at the millions-of-pairs scale this feeds.)
+    _, group_codes = np.unique(vias, return_inverse=True)
+    m_arr = np.asarray(members, dtype=np.int64)
+    order = np.lexsort((m_arr, group_codes))
+    g_sorted, m_sorted = group_codes[order], m_arr[order]
+    firsts = np.empty(len(m_sorted), dtype=bool)
+    firsts[0] = True
+    firsts[1:] = (g_sorted[1:] != g_sorted[:-1]) | (m_sorted[1:] != m_sorted[:-1])
+    starts = np.flatnonzero(firsts)
+    gm_g, gm_m = g_sorted[starts], m_sorted[starts]
+    gm_counts = np.diff(np.append(starts, len(m_sorted)))
+    boundaries = np.flatnonzero(np.diff(gm_g, prepend=gm_g[0] - 1))
+    boundaries = np.append(boundaries, len(gm_g))
+
+    univ = np.unique(gm_m)
+    if len(univ) <= _DENSE_MEMBER_LIMIT:
+        return _expand_dense(univ, gm_m, gm_counts, boundaries, cap)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+    buffered = 0
+    truncated_groups = 0
+    for g in range(len(boundaries) - 1):
+        uniq = gm_m[boundaries[g]:boundaries[g + 1]]
+        counts = gm_counts[boundaries[g]:boundaries[g + 1]]
+        if cap is not None and len(uniq) > cap:
+            truncated_groups += 1
+            top = np.lexsort((uniq, -counts))[:cap]
+            uniq, counts = uniq[top], counts[top]
+        if len(uniq) < 2:
+            continue
+        a_idx = np.repeat(np.arange(len(uniq)), len(uniq))
+        b_idx = np.tile(np.arange(len(uniq)), len(uniq))
+        off_diag = a_idx != b_idx
+        a_idx, b_idx = a_idx[off_diag], b_idx[off_diag]
+        src_parts.append(uniq[a_idx])
+        dst_parts.append(uniq[b_idx])
+        count_parts.append(counts[a_idx] * counts[b_idx])
+        buffered += len(a_idx)
+        if buffered > _EXPANSION_FLUSH_PAIRS:
+            src_parts, dst_parts, count_parts = _compact_pairs(
+                src_parts, dst_parts, count_parts
+            )
+            buffered = len(src_parts[0])
+    if not src_parts:
+        return (*empty, truncated_groups)
+    (src,), (dst,), (counts,) = _compact_pairs(src_parts, dst_parts, count_parts)
+    return src, dst, counts.astype(np.float64), truncated_groups
+
+
+def _expand_dense(
+    univ: np.ndarray,
+    gm_m: np.ndarray,
+    gm_counts: np.ndarray,
+    boundaries: np.ndarray,
+    cap: int | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Sum every group's ``outer(counts, counts)`` into one dense
+    ``member x member`` matrix — each group touches only its own
+    submatrix (``np.ix_``), so the work is O(sum of group-pair counts)
+    with array constants instead of repeated sort-and-merge passes.
+    ``np.nonzero`` walks the matrix row-major, which IS the canonical
+    ``(src, dst)`` order (``univ`` is sorted ascending)."""
+    matrix = np.zeros((len(univ), len(univ)), dtype=np.int64)
+    codes = np.searchsorted(univ, gm_m)
+    truncated_groups = 0
+    for g in range(len(boundaries) - 1):
+        group_codes = codes[boundaries[g]:boundaries[g + 1]]
+        counts = gm_counts[boundaries[g]:boundaries[g + 1]]
+        if cap is not None and len(group_codes) > cap:
+            truncated_groups += 1
+            # univ[group_codes] is sorted, so lexsorting on the codes
+            # matches the member-ascending tiebreak of the streamed path.
+            top = np.lexsort((group_codes, -counts))[:cap]
+            group_codes, counts = group_codes[top], counts[top]
+        if len(group_codes) < 2:
+            continue
+        matrix[np.ix_(group_codes, group_codes)] += np.outer(counts, counts)
+    np.fill_diagonal(matrix, 0)
+    src_idx, dst_idx = np.nonzero(matrix)
+    return (
+        univ[src_idx],
+        univ[dst_idx],
+        matrix[src_idx, dst_idx].astype(np.float64),
+        truncated_groups,
+    )
+
+
+def _compact_pairs(
+    src_parts: list[np.ndarray],
+    dst_parts: list[np.ndarray],
+    count_parts: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Merge buffered per-group pair contributions into one summed array,
+    sorted by ``(src, dst)`` (so the final compaction's order IS the
+    canonical output order)."""
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    counts = np.concatenate(count_parts)
+    order = np.lexsort((dst, src))
+    src, dst, counts = src[order], dst[order], counts[order]
+    firsts = np.empty(len(src), dtype=bool)
+    firsts[0] = True
+    firsts[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+    starts = np.flatnonzero(firsts)
+    return [src[starts]], [dst[starts]], [np.add.reduceat(counts, starts)]
+
+
+# ---------------------------------------------------------------------------
+# Query jobs
+# ---------------------------------------------------------------------------
+@dataclass
+class _QueryJob:
+    """One compiled statement of the extraction, with a table override
+    hook so the same lowering can run over scratch slice tables."""
+
+    what: str  # error label: "node spec" / "edge spec" / "co-occurrence spec"
+    sql_for: Callable[[str | None], str]
+    base_table: str | None  # None: not sliceable (join-shaped query)
+    convert: str  # "ids" | "triples" | "side"
+
+
+def _build_jobs(view: GraphView, options: ExtractionOptions) -> list[_QueryJob]:
+    jobs: list[_QueryJob] = []
+    for spec in view.vertices:
+        jobs.append(
+            _QueryJob(
+                "node spec",
+                lambda t, s=spec: node_query(s, table=t),
+                spec.table,
+                "ids",
+            )
+        )
+    for spec in view.edges:
+        if isinstance(spec, EdgeSpec):
+            n_directions = 1 if spec.directed else 2
+            for k in range(n_directions):
+                jobs.append(
+                    _QueryJob(
+                        "edge spec",
+                        lambda t, s=spec, k=k: edge_spec_queries(s, table=t)[k],
+                        spec.table,
+                        "triples",
+                    )
+                )
+        elif isinstance(spec, CoEdgeSpec):
+            if _co_spec_mode(spec, options) == "selfjoin":
+                jobs.append(
+                    _QueryJob(
+                        "co-occurrence spec",
+                        lambda t, s=spec: co_edge_query(s, table=t),
+                        None,
+                        "triples",
+                    )
+                )
+            else:
+                jobs.append(
+                    _QueryJob(
+                        "co-occurrence spec",
+                        lambda t, s=spec: co_edge_side_query(s, table=t),
+                        spec.table,
+                        "side",
+                    )
+                )
+        else:  # pragma: no cover - GraphView.validate rejects this
+            raise GraphViewError(f"unknown edge spec type {type(spec).__name__}")
+    return jobs
+
+
+def _co_spec_mode(spec: CoEdgeSpec, options: ExtractionOptions) -> str:
+    """Expansion cannot reproduce custom aggregate weights — only
+    ``COUNT(*)`` decomposes per group — so such specs keep the SQL path."""
+    if spec.weight is not None:
+        return "selfjoin"
+    return options.co_mode
+
+
+def _slice_bounds(num_rows: int, n_slices: int) -> list[tuple[int, int]]:
+    edges = [round(num_rows * i / n_slices) for i in range(n_slices + 1)]
+    return [(a, b) for a, b in zip(edges, edges[1:]) if a < b]
+
+
+def _plan_slices(
+    db: Database, job: _QueryJob, workers: int, options: ExtractionOptions
+) -> list[tuple[str | None, tuple[int, int] | None]]:
+    """Decide the (table_override, row_range) units one job runs as."""
+    if job.base_table is None or workers <= 1:
+        return [(None, None)]
+    num_rows = db.table(job.base_table).num_rows
+    if num_rows < options.slice_min_rows:
+        return [(None, None)]
+    n_slices = min(workers, max(1, num_rows // options.slice_min_rows))
+    if n_slices < 2:
+        return [(None, None)]
+    return [(None, bounds) for bounds in _slice_bounds(num_rows, n_slices)]
+
+
+# ---------------------------------------------------------------------------
+# Execution strategies
+# ---------------------------------------------------------------------------
+def _wrap_engine_error(what: str, sql: str, exc: EngineError) -> GraphViewError:
+    return GraphViewError(f"graph-view {what} failed: {exc}\n  SQL: {sql}")
+
+
+def _run_serial(db: Database, jobs: list[_QueryJob]) -> tuple[list[list], int]:
+    """The historical path: one ``query_batch`` per compiled statement."""
+    per_job: list[list] = []
+    for job in jobs:
+        sql = job.sql_for(None)
+        try:
+            per_job.append([db.query_batch(sql)])
+        except EngineError as exc:
+            raise _wrap_engine_error(job.what, sql, exc) from exc
+    return per_job, len(jobs)
+
+
+def _run_threads(
+    db: Database, jobs: list[_QueryJob], workers: int, options: ExtractionOptions
+) -> tuple[list[list], int]:
+    """Plan every unit under the database lock, execute lock-free on a
+    thread pool.  Scratch slice tables exist only while their unit plans."""
+    units: list[tuple[int, object]] = []  # (job index, plan)
+    with db.lock:
+        for job_index, job in enumerate(jobs):
+            for _, bounds in _plan_slices(db, job, workers, options):
+                if bounds is None:
+                    sql = job.sql_for(None)
+                    try:
+                        plan = db.plan_query(sql)
+                    except EngineError as exc:
+                        raise _wrap_engine_error(job.what, sql, exc) from exc
+                else:
+                    plan = _plan_over_slice(db, job, bounds)
+                units.append((job_index, plan))
+    executor = make_thread_executor(workers)
+    try:
+        batches = executor(
+            lambda plan, index: plan.execute(),
+            [(plan, index) for index, (_, plan) in enumerate(units)],
+        )
+    except EngineError as exc:
+        raise GraphViewError(f"graph-view extraction failed: {exc}") from exc
+    finally:
+        executor.close()
+    per_job: list[list] = [[] for _ in jobs]
+    for (job_index, _), batch in zip(units, batches):
+        per_job[job_index].append(batch)
+    return per_job, len(units)
+
+
+def _plan_over_slice(db: Database, job: _QueryJob, bounds: tuple[int, int]):
+    """Register one scratch slice table, plan against it, and drop it —
+    the plan keeps a direct reference to the slice, so the catalog entry
+    only needs to exist for the duration of planning."""
+    base = db.table(job.base_table)
+    scratch = f"_gvslice_{next(_slice_counter)}"
+    sql = job.sql_for(scratch)
+    db.catalog.register(
+        Table(scratch, base.schema, base.data().slice(bounds[0], bounds[1]))
+    )
+    try:
+        return db.plan_query(sql)
+    except EngineError as exc:
+        raise _wrap_engine_error(job.what, sql, exc) from exc
+    finally:
+        db.catalog.drop(scratch, if_exists=True)
+
+
+def _execute_remote_unit(item, index):
+    """Process-worker task body: rebuild a throwaway database holding
+    exactly the shipped tables, run the query, return the batch.
+    Module-level so it pickles into spawned workers."""
+    sql, tables = item
+    db = Database()
+    for name, schema, batch in tables:
+        db.catalog.register(Table(name, schema, batch))
+    return db.query_batch(sql)
+
+
+def _run_processes(
+    db: Database, jobs: list[_QueryJob], workers: int, options: ExtractionOptions
+) -> tuple[list[list], int]:
+    """Ship each unit's slice of base data to spawned workers."""
+    units: list[tuple[int, tuple]] = []  # (job index, (sql, tables))
+    with db.lock:
+        for job_index, job in enumerate(jobs):
+            for _, bounds in _plan_slices(db, job, workers, options):
+                if bounds is None:
+                    tables = sorted(_job_tables(job))
+                    payload_tables = [
+                        (t, db.table(t).schema, db.table(t).data()) for t in tables
+                    ]
+                    sql = job.sql_for(None)
+                else:
+                    base = db.table(job.base_table)
+                    scratch = f"_gvslice_{next(_slice_counter)}"
+                    payload_tables = [
+                        (scratch, base.schema, base.data().slice(bounds[0], bounds[1]))
+                    ]
+                    sql = job.sql_for(scratch)
+                units.append((job_index, (sql, payload_tables)))
+    executor = ProcessExecutor(workers)
+    try:
+        batches = executor(
+            _execute_remote_unit,
+            [(payload, index) for index, (_, payload) in enumerate(units)],
+        )
+    except EngineError as exc:
+        raise GraphViewError(f"graph-view extraction failed: {exc}") from exc
+    finally:
+        executor.close()
+    per_job: list[list] = [[] for _ in jobs]
+    for (job_index, _), batch in zip(units, batches):
+        per_job[job_index].append(batch)
+    return per_job, len(units)
+
+
+def _job_tables(job: _QueryJob) -> set[str]:
+    """Base tables a job's query reads (what a process worker must have
+    registered).  Sliceable jobs name theirs; a join-shaped co-occurrence
+    query reads its spec table under two aliases, so take the token after
+    every FROM/JOIN keyword (compiled SQL never nests derived tables)."""
+    if job.base_table is not None:
+        return {job.base_table}
+    tokens = job.sql_for(None).split()
+    return {
+        tokens[i + 1]
+        for i, token in enumerate(tokens[:-1])
+        if token.upper() in ("FROM", "JOIN")
+    }
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+def lower_view(
+    db: Database, view: GraphView, options: ExtractionOptions | None = None
+) -> LoweredExtraction:
+    """Run every compiled query of ``view`` and convert the results.
+
+    Serial, thread, and process execution produce bit-identical per-spec
+    arrays; see the module docstring for how each strategy works.
+    """
+    options = options or ExtractionOptions()
+    options.validate()
+    jobs = _build_jobs(view, options)
+    choice = options.resolved_executor()
+    workers = options.resolved_workers()
+    if choice == "serial" or workers == 1:
+        per_job, num_queries = _run_serial(db, jobs)
+        parallelism = 1
+    elif choice == "threads":
+        per_job, num_queries = _run_threads(db, jobs, workers, options)
+        parallelism = workers
+    else:
+        per_job, num_queries = _run_processes(db, jobs, workers, options)
+        parallelism = workers
+
+    result = LoweredExtraction(
+        num_queries=num_queries, parallelism=parallelism
+    )
+    job_iter = iter(zip(jobs, per_job))
+
+    for _ in view.vertices:
+        job, batches = next(job_iter)
+        result.node_parts.append(
+            _concat_int([node_ids_from_batch(b) for b in batches])
+        )
+    for spec in view.edges:
+        if isinstance(spec, EdgeSpec):
+            triples = []
+            n_directions = 1 if spec.directed else 2
+            for _ in range(n_directions):
+                _, batches = next(job_iter)
+                triples.append(_concat_triples([edge_triples_from_batch(b) for b in batches]))
+            result.edge_parts.append(EdgeSpecResult(spec=spec, triples=triples))
+        else:
+            job, batches = next(job_iter)
+            if job.convert == "triples":  # selfjoin lowering
+                result.edge_parts.append(
+                    EdgeSpecResult(
+                        spec=spec,
+                        triples=[_concat_triples(
+                            [edge_triples_from_batch(b) for b in batches]
+                        )],
+                    )
+                )
+                continue
+            member, via = _concat_side(batches)
+            cap = None
+            if options.co_mode == "capped":
+                cap = options.co_cap if options.co_cap is not None else co_group_cap()
+            src, dst, weight, truncated = expand_co_occurrence(member, via, cap)
+            result.truncated_groups += truncated
+            result.edge_parts.append(
+                EdgeSpecResult(
+                    spec=spec,
+                    triples=[(src, dst, weight)],
+                    side_member=member,
+                    side_via=via,
+                )
+            )
+    return result
+
+
+def _concat_int(parts: Sequence[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def _concat_triples(
+    triples: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if len(triples) == 1:
+        return triples[0]
+    return (
+        np.concatenate([t[0] for t in triples]),
+        np.concatenate([t[1] for t in triples]),
+        np.concatenate([t[2] for t in triples]),
+    )
+
+
+def _concat_side(batches: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    """Valid ``(member, via)`` rows of the side-query batches, in row
+    order (NULL member or via rows never join — drop them here once)."""
+    member_parts: list[np.ndarray] = []
+    via_parts: list[np.ndarray] = []
+    for batch in batches:
+        member_col = batch.column("member")
+        via_col = batch.column("via")
+        keep = np.asarray(member_col.valid, dtype=bool) & np.asarray(
+            via_col.valid, dtype=bool
+        )
+        member_parts.append(np.asarray(member_col.values, dtype=np.int64)[keep])
+        via_parts.append(np.asarray(via_col.values)[keep])
+    member = (
+        np.concatenate(member_parts) if member_parts else np.empty(0, dtype=np.int64)
+    )
+    via = np.concatenate(via_parts) if via_parts else np.empty(0, dtype=np.int64)
+    return member, via
+
+
+def options_for_config(config) -> ExtractionOptions:
+    """Derive extraction options from a :class:`VertexicaConfig` — the
+    extraction plane inherits the run plane's executor choice and worker
+    count unless the caller overrides them per view."""
+    return ExtractionOptions(executor=config.executor, n_workers=config.n_workers)
+
+
+def with_overrides(options: ExtractionOptions, **overrides) -> ExtractionOptions:
+    """A copy of ``options`` with the given fields replaced."""
+    return replace(options, **overrides)

@@ -28,20 +28,27 @@ of its table, a ``CoEdgeSpec`` with a custom aggregate weight or
 non-integer join key — the caller falls back to a full re-extraction
 (which also rebuilds this module's state).
 
-Recomputing a touched co-occurrence group is O(|group|²) — the group's
-pairs are materialized twice (old and new) and diffed.  That is the right
-trade for ordinary groups, but a very dense ``via`` group (a celebrity
-post with 10⁵ likers) would stall every refresh that grazes it, so
-touched groups larger than :data:`MAX_INCREMENTAL_CO_GROUP` unique
-members trip the same full-recompute fallback: the refresh re-extracts
-from scratch (bounded, well-understood cost — the dense group dominates
-the view's edge set anyway) and the incremental ledger work stays capped
-at O(cap²) per touched group.
+Recomputing a touched co-occurrence group is *delta-directed*: only
+pairs with at least one member whose row count actually changed are
+re-derived, so the cost is O(|changed members| · |group|) rather than
+O(|group|²) — a one-row delta against a dense ``via`` group (a celebrity
+post with 10⁵ likers) touches one stripe of the pair matrix, not the
+whole square.  A delta that changes many members of a very dense group
+can still blow that budget, so when ``|changed| · |group|`` exceeds the
+square of :data:`co_group_cap` the refresh falls back to a full
+re-extraction (bounded, well-understood cost — the dense group dominates
+the view's edge set anyway).
+
+Every fallback records its reason on
+:attr:`MaintenanceState.last_fallback_reason` and logs it on the
+``repro.graphview`` logger, so "why did my refresh go full?" is
+answerable without a debugger.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 from dataclasses import dataclass, field
 
@@ -64,14 +71,35 @@ __all__ = [
     "MAX_INCREMENTAL_CO_GROUP",
     "MaintenanceState",
     "build_state",
+    "co_group_cap",
     "incremental_refresh",
     "involved_tables",
 ]
 
-#: Largest ``via`` group (unique members) the pair ledger recomputes
-#: incrementally; denser touched groups force a full re-extraction.
-#: Overridable via the ``REPRO_CO_GROUP_CAP`` environment variable.
+logger = logging.getLogger("repro.graphview")
+
+#: Default co-occurrence group cap (see :func:`co_group_cap`), as read
+#: from ``REPRO_CO_GROUP_CAP`` at import; tests monkeypatch this.
 MAX_INCREMENTAL_CO_GROUP = int(os.environ.get("REPRO_CO_GROUP_CAP", "1024"))
+
+
+def co_group_cap() -> int:
+    """The co-occurrence group cap, re-reading ``REPRO_CO_GROUP_CAP`` at
+    call time (so a knob set after import still takes effect) and falling
+    back to :data:`MAX_INCREMENTAL_CO_GROUP`.
+
+    Two consumers: the ``"capped"`` extraction mode truncates any via
+    group to this many members, and the incremental pair ledger falls
+    back to a full refresh when one delta's recompute budget
+    (``|changed members| · |group members|``) exceeds its square.
+    """
+    value = os.environ.get("REPRO_CO_GROUP_CAP")
+    if value is None:
+        return MAX_INCREMENTAL_CO_GROUP
+    try:
+        return int(value)
+    except ValueError:
+        return MAX_INCREMENTAL_CO_GROUP
 
 #: One extracted edge; field order *is* the canonical sort order.
 EDGE_DTYPE = np.dtype([("src", np.int64), ("dst", np.int64), ("weight", np.float64)])
@@ -276,10 +304,15 @@ class _CoState:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Apply side-row deltas; return ``(added, removed)`` edge triples.
 
-        Only groups whose ``via`` key appears in the delta are recomputed;
-        a touched pair's old triple (its previous global count) is removed
-        and its new triple added, so the caller can treat co-occurrence
-        changes as ordinary edge-multiset arithmetic.
+        Only groups whose ``via`` key appears in the delta are touched,
+        and within a touched group only the *delta-directed* stripe of
+        the pair matrix — pairs with at least one member whose row count
+        changed — is re-derived (pairs between two unchanged members
+        keep their exact old count, since a pair's count is the product
+        of its members' counts).  A touched pair's old triple (its
+        previous global count) is removed and its new triple added, so
+        the caller can treat co-occurrence changes as ordinary
+        edge-multiset arithmetic.
         """
         if len(inserted_side) == 0 and len(deleted_side) == 0:
             empty = np.empty(0, dtype=EDGE_DTYPE)
@@ -287,14 +320,14 @@ class _CoState:
         touched_vias = np.unique(
             np.concatenate([inserted_side["via"], deleted_side["via"]])
         )
-        old_contrib = _pair_contributions(self.side, touched_vias)
+        old_counts = _touched_group_counts(self.side, touched_vias)
         new_side = sorted_multiset_insert(self.side, inserted_side)
         new_side = sorted_multiset_remove(new_side, deleted_side)
         self.side = new_side
-        new_contrib = _pair_contributions(new_side, touched_vias)
+        new_counts = _touched_group_counts(new_side, touched_vias)
 
         # Net count change per (src, dst) pair across the touched groups.
-        changed_pairs, deltas = _diff_contributions(old_contrib, new_contrib)
+        changed_pairs, deltas = _delta_pair_contributions(old_counts, new_counts)
         if len(changed_pairs) == 0:
             empty = np.empty(0, dtype=EDGE_DTYPE)
             return empty, empty
@@ -342,74 +375,93 @@ def _pair_keys_of(edges: np.ndarray) -> np.ndarray:
     return out
 
 
-def _pair_contributions(
+def _touched_group_counts(
     side: np.ndarray, vias: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Co-occurrence counts contributed by the given ``via`` groups.
+    """Per-``(via, member)`` row counts within the given groups.
 
-    Returns ``(pairs, counts)`` where each ordered pair ``(a, b)``,
-    ``a != b``, receives ``count_a * count_b`` from every group both
-    members appear in — exactly what the self-join's row pairing counts
-    when rows repeat.
-
-    Raises:
-        _Fallback: a group exceeds :data:`MAX_INCREMENTAL_CO_GROUP`
-            unique members — its O(|group|²) recompute is capped out and
-            the caller must take the full-refresh path instead.
+    Returns ``(rows, counts)`` where ``rows`` is a sorted
+    :data:`SIDE_DTYPE` array of the distinct ``(via, member)`` pairs.
     """
     subset = side[np.isin(side["via"], vias)]
-    if len(subset) == 0:
-        return np.empty(0, dtype=_PAIR_DTYPE), np.empty(0, dtype=np.int64)
-    pair_parts: list[np.ndarray] = []
-    count_parts: list[np.ndarray] = []
-    group_vias, group_starts = np.unique(subset["via"], return_index=True)
-    boundaries = np.append(group_starts, len(subset))
-    for g in range(len(group_vias)):
-        members = subset["member"][boundaries[g]:boundaries[g + 1]]
-        uniq, counts = np.unique(members, return_counts=True)
-        if len(uniq) > MAX_INCREMENTAL_CO_GROUP:
-            raise _Fallback(
-                f"co-occurrence via group {int(group_vias[g])} has "
-                f"{len(uniq)} members (cap {MAX_INCREMENTAL_CO_GROUP}); "
-                "falling back to full recompute"
-            )
-        if len(uniq) < 2:
-            continue
-        a_idx, b_idx = np.meshgrid(
-            np.arange(len(uniq)), np.arange(len(uniq)), indexing="ij"
-        )
-        off_diag = a_idx != b_idx
-        a_idx, b_idx = a_idx[off_diag], b_idx[off_diag]
-        pairs = np.empty(len(a_idx), dtype=_PAIR_DTYPE)
-        pairs["src"] = uniq[a_idx]
-        pairs["dst"] = uniq[b_idx]
-        pair_parts.append(pairs)
-        count_parts.append(counts[a_idx] * counts[b_idx])
-    if not pair_parts:
-        return np.empty(0, dtype=_PAIR_DTYPE), np.empty(0, dtype=np.int64)
-    all_pairs = np.concatenate(pair_parts)
-    all_counts = np.concatenate(count_parts)
-    uniq_pairs, inverse = np.unique(all_pairs, return_inverse=True)
-    summed = np.zeros(len(uniq_pairs), dtype=np.int64)
-    np.add.at(summed, inverse, all_counts)
-    return uniq_pairs, summed
+    return np.unique(subset, return_counts=True)
 
 
-def _diff_contributions(
+def _delta_pair_contributions(
     old: tuple[np.ndarray, np.ndarray], new: tuple[np.ndarray, np.ndarray]
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Pairs whose contribution changed, with the signed count delta."""
-    old_pairs, old_counts = old
-    new_pairs, new_counts = new
-    all_pairs = np.concatenate([old_pairs, new_pairs])
-    signed = np.concatenate([-old_counts, new_counts])
-    if len(all_pairs) == 0:
-        return all_pairs, signed
-    uniq, inverse = np.unique(all_pairs, return_inverse=True)
-    net = np.zeros(len(uniq), dtype=np.int64)
-    np.add.at(net, inverse, signed)
-    changed = net != 0
-    return uniq[changed], net[changed]
+    """Pairs whose co-occurrence count changed, with signed count deltas.
+
+    A pair's count is ``sum over groups of count_a * count_b``, so only
+    pairs with at least one *changed* member (per-group row count moved)
+    can shift.  Per touched group this derives exactly that stripe:
+    ``changed × union`` plus ``(union − changed) × changed`` — never the
+    full ``union × union`` square.
+
+    Raises:
+        _Fallback: one group's stripe (``|changed| · |union|``) exceeds
+            the square of :func:`co_group_cap` — the recompute budget is
+            blown and the caller must take the full-refresh path.
+    """
+    cap = co_group_cap()
+    gm_old, c_old = old
+    gm_new, c_new = new
+    vias = np.unique(np.concatenate([gm_old["via"], gm_new["via"]]))
+    pair_parts: list[np.ndarray] = []
+    delta_parts: list[np.ndarray] = []
+    for via in vias:
+        lo_o, hi_o = np.searchsorted(gm_old["via"], via, "left"), np.searchsorted(
+            gm_old["via"], via, "right"
+        )
+        lo_n, hi_n = np.searchsorted(gm_new["via"], via, "left"), np.searchsorted(
+            gm_new["via"], via, "right"
+        )
+        members_old = gm_old["member"][lo_o:hi_o]
+        members_new = gm_new["member"][lo_n:hi_n]
+        union = np.union1d(members_old, members_new)
+        old_vec = np.zeros(len(union), dtype=np.int64)
+        old_vec[np.searchsorted(union, members_old)] = c_old[lo_o:hi_o]
+        new_vec = np.zeros(len(union), dtype=np.int64)
+        new_vec[np.searchsorted(union, members_new)] = c_new[lo_n:hi_n]
+        changed = np.flatnonzero(old_vec != new_vec)
+        if len(changed) == 0:
+            continue
+        if len(changed) * len(union) > cap * cap:
+            raise _Fallback(
+                f"co-occurrence via group {int(via)} delta recompute needs "
+                f"{len(changed)}x{len(union)} pair updates "
+                f"(budget {cap}^2); falling back to full recompute"
+            )
+        # changed × union (minus the diagonal) ...
+        a_idx = np.repeat(changed, len(union))
+        b_idx = np.tile(np.arange(len(union)), len(changed))
+        keep = a_idx != b_idx
+        a_idx, b_idx = a_idx[keep], b_idx[keep]
+        # ... plus (union − changed) × changed; disjoint sides, so no
+        # diagonal and no overlap with the first stripe.
+        unchanged = np.setdiff1d(np.arange(len(union)), changed, assume_unique=True)
+        a_idx = np.concatenate([a_idx, np.repeat(unchanged, len(changed))])
+        b_idx = np.concatenate([b_idx, np.tile(changed, len(unchanged))])
+        delta = new_vec[a_idx] * new_vec[b_idx] - old_vec[a_idx] * old_vec[b_idx]
+        moved = delta != 0
+        if not moved.any():
+            continue
+        pairs = np.empty(int(np.count_nonzero(moved)), dtype=_PAIR_DTYPE)
+        pairs["src"] = union[a_idx[moved]]
+        pairs["dst"] = union[b_idx[moved]]
+        pair_parts.append(pairs)
+        delta_parts.append(delta[moved])
+    if not pair_parts:
+        return np.empty(0, dtype=_PAIR_DTYPE), np.empty(0, dtype=np.int64)
+    # The same pair can co-occur through several touched groups; sum the
+    # per-group deltas and drop pairs that net out to zero.
+    all_pairs = np.concatenate(pair_parts)
+    all_deltas = np.concatenate(delta_parts)
+    uniq_pairs, inverse = np.unique(all_pairs, return_inverse=True)
+    net = np.zeros(len(uniq_pairs), dtype=np.int64)
+    np.add.at(net, inverse, all_deltas)
+    moved = net != 0
+    return uniq_pairs[moved], net[moved]
 
 
 # ---------------------------------------------------------------------------
@@ -425,6 +477,9 @@ class MaintenanceState:
     co_states: dict[int, _CoState]  # edge-spec index -> state
     bookmarks: dict[str, tuple[int, int]]  # table -> (uid, version)
     capable: bool  # False: this view always takes the full path
+    #: why the last refresh attempt (or state build) abandoned the
+    #: incremental path; ``None`` when it has never fallen back
+    last_fallback_reason: str | None = None
 
     @property
     def num_edges(self) -> int:
@@ -460,21 +515,39 @@ def build_state(
     db: Database,
     view: GraphView,
     node_parts: list[np.ndarray],
-    edge_parts: list[tuple[object, list[tuple[np.ndarray, np.ndarray, np.ndarray]]]],
+    edge_parts: list,
     sorted_edges: tuple[np.ndarray, np.ndarray, np.ndarray],
+    truncated_groups: int = 0,
 ) -> MaintenanceState:
     """Construct maintenance state from a just-completed full extraction.
 
-    ``node_parts``/``edge_parts`` are the per-spec arrays the extraction
-    produced and ``sorted_edges`` the already-canonically-ordered
-    concatenation the graph tables were loaded from (so nothing is
-    scanned — or sorted — twice); each :class:`CoEdgeSpec` runs one extra
-    side query to seed its ``(member, via)`` ledger.
+    ``node_parts``/``edge_parts`` are the per-spec results the extraction
+    produced (``edge_parts`` holds one
+    :class:`~repro.graphview.lowering.EdgeSpecResult` per edge spec) and
+    ``sorted_edges`` the already-canonically-ordered concatenation the
+    graph tables were loaded from (so nothing is scanned — or sorted —
+    twice).  A :class:`CoEdgeSpec` lowered through the expansion path
+    carries its filtered ``(member, via)`` side rows on its result, so
+    seeding the pair ledger costs no extra query; the self-join lowering
+    runs one side query per co spec as before.
+
+    ``truncated_groups``: how many via groups the extraction truncated
+    (capped co-occurrence mode).  Any truncation makes the state
+    incapable — the materialized tables are deliberately lossy, and an
+    exact delta against them would diverge.
     """
     capable = incremental_capable(view)
+    reason: str | None = None if capable else "spec has no incremental lowering"
+    if truncated_groups and capable:
+        capable = False
+        reason = (
+            f"capped co-occurrence extraction truncated {truncated_groups} "
+            "group(s); the materialized tables are lossy"
+        )
     edges = as_edge_struct(*sorted_edges)
-    if len(edges) and np.isnan(edges["weight"]).any():
+    if len(edges) and np.isnan(edges["weight"]).any() and capable:
         capable = False  # NaN breaks sorted-multiset matching
+        reason = "NaN edge weight"
 
     derivations = [part for part in node_parts]
     derivations.append(edges["src"].astype(np.int64, copy=True))
@@ -489,17 +562,18 @@ def build_state(
             for index, spec in enumerate(view.edges):
                 if not isinstance(spec, CoEdgeSpec):
                     continue
-                side = _side_pairs_from_batch(db.query_batch(co_edge_side_query(spec)))
-                spec_triples = edge_parts[index][1]
-                (src, dst, weight) = spec_triples[0]
+                part = edge_parts[index]
+                side = _spec_side_rows(db, spec, part)
+                (src, dst, weight) = part.triples[0]
                 if not np.all(weight == np.rint(weight)):
                     raise _Fallback("co-occurrence counts are not integral")
                 co_states[index] = _CoState(
                     side=np.sort(side),
                     pairs=np.sort(as_edge_struct(src, dst, weight)),
                 )
-        except _Fallback:
+        except _Fallback as exc:
             capable = False
+            reason = str(exc)
             co_states = {}
 
     bookmarks = {t: db.table_state(t) for t in involved_tables(view)}
@@ -509,7 +583,23 @@ def build_state(
         co_states=co_states,
         bookmarks=bookmarks,
         capable=capable,
+        last_fallback_reason=reason,
     )
+
+
+def _spec_side_rows(db: Database, spec: CoEdgeSpec, part) -> np.ndarray:
+    """The sorted ``(member, via)`` side ledger seed for one co spec —
+    reused from the extraction result when the expansion path captured
+    it, otherwise one side query against the base table."""
+    if getattr(part, "side_member", None) is None:
+        return _side_pairs_from_batch(db.query_batch(co_edge_side_query(spec)))
+    vias = np.asarray(part.side_via)
+    if vias.dtype.kind not in "iu":
+        raise _Fallback("co-occurrence via key is not integer-typed")
+    out = np.empty(len(vias), dtype=SIDE_DTYPE)
+    out["via"] = vias
+    out["member"] = np.asarray(part.side_member, dtype=np.int64)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -548,19 +638,28 @@ def incremental_refresh(
     refresh), or an exactness guard tripping mid-apply.
 
     On ``None`` the state may be partially consumed and must be rebuilt —
-    :func:`build_state` runs as part of the full refresh anyway.
+    :func:`build_state` runs as part of the full refresh anyway.  Every
+    ``None`` records why on ``state.last_fallback_reason`` and logs it.
     """
     if not state.capable:
-        return None
+        return _fall_back(
+            state, state.last_fallback_reason or "maintenance state not capable"
+        )
     deltas = gather_deltas(db, state)
     if deltas is None:
-        return None
+        return _fall_back(
+            state, "base-table deltas unavailable (change log evicted or reset)"
+        )
     delta_rows = sum(d.num_rows for d in deltas.values())
     if max_delta_fraction is not None:
         for table, delta in deltas.items():
             budget = max_delta_fraction * max(db.table(table).num_rows, 1)
             if delta.num_rows > budget:
-                return None
+                return _fall_back(
+                    state,
+                    f"delta of {delta.num_rows} rows on {table!r} exceeds "
+                    f"{max_delta_fraction:.0%} of the table",
+                )
     if delta_rows == 0:
         handle = GraphHandle(db, name, state.num_vertices, state.num_edges)
         _refresh_bookmarks(db, state)
@@ -579,9 +678,9 @@ def incremental_refresh(
             np.concatenate([node_removed, removed["src"], removed["dst"]]),
         )
         state.edges = edges
-    except _Fallback:
+    except _Fallback as exc:
         state.capable = False  # force the rebuild the caller now performs
-        return None
+        return _fall_back(state, str(exc))
 
     handle = storage.replace_graph(
         name,
@@ -592,6 +691,13 @@ def incremental_refresh(
     )
     _refresh_bookmarks(db, state)
     return handle, delta_rows
+
+
+def _fall_back(state: MaintenanceState, reason: str) -> None:
+    """Record and log why an incremental refresh is being abandoned."""
+    state.last_fallback_reason = reason
+    logger.info("incremental refresh fell back to full extraction: %s", reason)
+    return None
 
 
 def _refresh_bookmarks(db: Database, state: MaintenanceState) -> None:

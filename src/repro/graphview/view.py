@@ -27,6 +27,7 @@ maintains the same order (the randomized DML parity suite in
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
@@ -34,18 +35,19 @@ import numpy as np
 
 from repro.core.storage import GraphHandle, GraphStorage, canonical_edge_order
 from repro.engine.database import Database
-from repro.errors import EngineError, GraphLoadError, GraphViewError
+from repro.errors import GraphLoadError, GraphViewError
 from repro.graphview import maintenance
-from repro.graphview.compiler import node_queries
-from repro.graphview.compiler import edge_queries as _compiled_edge_queries
-from repro.graphview.maintenance import (
-    MaintenanceState,
-    edge_triples_from_batch,
-    node_ids_from_batch,
+from repro.graphview.lowering import (
+    ExtractionOptions,
+    LoweredExtraction,
+    lower_view,
 )
-from repro.graphview.spec import EdgeSpec, GraphView
+from repro.graphview.maintenance import MaintenanceState
+from repro.graphview.spec import GraphView
 
 __all__ = ["ExtractionStats", "GraphViewHandle", "extract_graph"]
+
+logger = logging.getLogger("repro.graphview")
 
 #: Default ceiling on delta size as a fraction of a base table's rows —
 #: beyond it a refresh re-extracts instead of patching (the crossover
@@ -61,10 +63,17 @@ class ExtractionStats:
         seconds: wall time of the pass.
         num_vertices, num_edges: sizes of the resulting graph.
         num_queries: SQL statements issued (0 for a no-op incremental
-            refresh).
+            refresh; slice-parallel lowering counts each slice's query).
         mode: ``"full"`` (re-extraction) or ``"incremental"``
             (delta-patched).
         delta_rows: base-table delta rows consumed (incremental only).
+        lower_seconds: time spent running/converting the compiled queries
+            (full mode only).
+        load_seconds: time spent sorting and bulk-loading the graph
+            tables (full mode only).
+        parallelism: worker count the lowering fanned out to (1 = serial).
+        truncated_groups: via groups truncated by capped co-occurrence
+            expansion (0 in exact and self-join modes).
     """
 
     seconds: float
@@ -73,52 +82,47 @@ class ExtractionStats:
     num_queries: int
     mode: str = "full"
     delta_rows: int = 0
+    lower_seconds: float = 0.0
+    load_seconds: float = 0.0
+    parallelism: int = 1
+    truncated_groups: int = 0
 
     def summary(self) -> str:
         """One-line human-readable report."""
         delta = f" delta_rows={self.delta_rows}" if self.mode == "incremental" else ""
+        workers = f" workers={self.parallelism}" if self.parallelism > 1 else ""
+        capped = (
+            f" truncated_groups={self.truncated_groups}"
+            if self.truncated_groups
+            else ""
+        )
         return (
             f"{self.mode} refresh: |V|={self.num_vertices} |E|={self.num_edges} "
-            f"from {self.num_queries} queries in {self.seconds:.3f}s{delta}"
+            f"from {self.num_queries} queries in {self.seconds:.3f}s"
+            f"{delta}{workers}{capped}"
         )
 
 
-def _run(db: Database, sql: str, what: str):
-    try:
-        return db.query_batch(sql)
-    except EngineError as exc:
-        raise GraphViewError(f"graph-view {what} failed: {exc}\n  SQL: {sql}") from exc
-
-
-def _run_extraction(db: Database, view: GraphView):
+def _run_extraction(
+    db: Database, view: GraphView, options: ExtractionOptions | None
+) -> LoweredExtraction:
     """Execute every compiled query; return per-spec arrays.
 
-    Returns ``(node_parts, edge_parts, num_queries)`` where ``node_parts``
-    has one id array per node spec and ``edge_parts`` one
-    ``(spec, [(src, dst, weight), ...])`` entry per edge spec (undirected
-    edge specs contribute two triples — forward and reversed).
+    Delegates to :func:`repro.graphview.lowering.lower_view`, which fans
+    the compiled queries across the configured executor and lowers
+    co-occurrence specs through pairwise expansion — every executor and
+    co-occurrence mode (except the lossy ``"capped"`` one) produces
+    bit-identical arrays.
     """
-    queries = 0
-    node_parts: list[np.ndarray] = []
-    for sql in node_queries(view):
-        node_parts.append(node_ids_from_batch(_run(db, sql, "node spec")))
-        queries += 1
-
-    edge_parts: list[tuple[object, list[tuple[np.ndarray, np.ndarray, np.ndarray]]]] = []
-    compiled = iter(_compiled_edge_queries(view))
-    for spec in view.edges:
-        n_queries = 2 if isinstance(spec, EdgeSpec) and not spec.directed else 1
-        triples = []
-        for _ in range(n_queries):
-            batch = _run(db, next(compiled), "edge spec")
-            queries += 1
-            triples.append(edge_triples_from_batch(batch))
-        edge_parts.append((spec, triples))
-    return node_parts, edge_parts, queries
+    return lower_view(db, view, options)
 
 
 def extract_graph(
-    db: Database, storage: GraphStorage, name: str, view: GraphView
+    db: Database,
+    storage: GraphStorage,
+    name: str,
+    view: GraphView,
+    options: ExtractionOptions | None = None,
 ) -> tuple[GraphHandle, ExtractionStats]:
     """Run the view's compiled queries and (re)load ``{name}_*`` tables.
 
@@ -130,7 +134,9 @@ def extract_graph(
             column, malformed filter/weight expression) — chained to the
             engine error naming the spec that caused it.
     """
-    handle, stats, _ = _extract_with_state(db, storage, name, view, want_state=False)
+    handle, stats, _ = _extract_with_state(
+        db, storage, name, view, want_state=False, options=options
+    )
     return handle, stats
 
 
@@ -140,18 +146,21 @@ def _extract_with_state(
     name: str,
     view: GraphView,
     want_state: bool,
+    options: ExtractionOptions | None = None,
 ) -> tuple[GraphHandle, ExtractionStats, MaintenanceState | None]:
     """Full extraction, optionally also building maintenance state from
     the same per-spec arrays (no base table is scanned twice)."""
     view.validate()
     started = time.perf_counter()
-    node_parts, edge_parts, queries = _run_extraction(db, view)
+    lowered = _run_extraction(db, view, options)
+    lowered_at = time.perf_counter()
+    node_parts, edge_parts = lowered.node_parts, lowered.edge_parts
 
     empty_i = np.empty(0, dtype=np.int64)
     empty_f = np.empty(0, dtype=np.float64)
-    src_parts = [src for _, triples in edge_parts for (src, _, _) in triples]
-    dst_parts = [dst for _, triples in edge_parts for (_, dst, _) in triples]
-    weight_parts = [w for _, triples in edge_parts for (_, _, w) in triples]
+    src_parts = [src for part in edge_parts for (src, _, _) in part.triples]
+    dst_parts = [dst for part in edge_parts for (_, dst, _) in part.triples]
+    weight_parts = [w for part in edge_parts for (_, _, w) in part.triples]
     src_arr = np.concatenate(src_parts) if src_parts else empty_i
     dst_arr = np.concatenate(dst_parts) if dst_parts else empty_i
     weight_arr = np.concatenate(weight_parts) if weight_parts else empty_f
@@ -168,17 +177,27 @@ def _extract_with_state(
     )
     state = (
         maintenance.build_state(
-            db, view, node_parts, edge_parts, (src_arr, dst_arr, weight_arr)
+            db,
+            view,
+            node_parts,
+            edge_parts,
+            (src_arr, dst_arr, weight_arr),
+            truncated_groups=lowered.truncated_groups,
         )
         if want_state
         else None
     )
+    finished = time.perf_counter()
     stats = ExtractionStats(
-        seconds=time.perf_counter() - started,
+        seconds=finished - started,
         num_vertices=handle.num_vertices,
         num_edges=handle.num_edges,
-        num_queries=queries,
+        num_queries=lowered.num_queries,
         mode="full",
+        lower_seconds=lowered_at - started,
+        load_seconds=finished - lowered_at,
+        parallelism=lowered.parallelism,
+        truncated_groups=lowered.truncated_groups,
     )
     return handle, stats, state
 
@@ -194,6 +213,10 @@ class GraphViewHandle:
     ``delta_threshold`` caps how large a base table's delta may grow
     (as a fraction of its current rows) before :meth:`refresh` abandons
     the incremental path for a full re-extraction.
+
+    ``options`` configures how full extractions execute (executor and
+    worker count, co-occurrence lowering mode); ``None`` means serial
+    exact-expansion defaults.
     """
 
     def __init__(
@@ -204,17 +227,21 @@ class GraphViewHandle:
         view: GraphView,
         materialized: bool = True,
         delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
+        options: ExtractionOptions | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise GraphViewError(f"graph view name must be an identifier, got {name!r}")
         if not 0.0 <= delta_threshold <= 1.0:
             raise GraphViewError("delta_threshold must be within [0, 1]")
+        if options is not None:
+            options.validate()
         self.db = db
         self.storage = storage
         self.name = name
         self.view = view
         self.materialized = materialized
         self.delta_threshold = delta_threshold
+        self.options = options
         self._handle: GraphHandle | None = None
         self._state: MaintenanceState | None = None
         #: base-table versions carried over from a checkpoint restore
@@ -222,6 +249,9 @@ class GraphViewHandle:
         self._restored_versions: dict[str, int] = {}
         #: stats of the most recent extraction (``None`` before the first)
         self.last_extraction: ExtractionStats | None = None
+        #: why the most recent refresh abandoned the incremental path
+        #: (``None`` when it ran incrementally or never tried)
+        self.last_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
     def resolve(self) -> GraphHandle:
@@ -246,16 +276,33 @@ class GraphViewHandle:
                 ``False`` forces a full re-extraction.
 
         The two paths produce bit-identical tables; ``last_extraction``
-        records which one ran, its delta size, and its wall time.
+        records which one ran, its delta size, and its wall time.  When a
+        requested or possible incremental refresh falls back to the full
+        path, :attr:`last_fallback_reason` says why (also logged on the
+        ``repro.graphview`` logger).
         """
-        if incremental is not False and self.materialized:
+        wanted_incremental = incremental is not False and self.materialized
+        if wanted_incremental:
             handle = self._try_incremental(
                 max_delta_fraction=None if incremental else self.delta_threshold
             )
             if handle is not None:
+                self.last_fallback_reason = None
                 return handle
+            if self._state is not None:
+                self.last_fallback_reason = self._state.last_fallback_reason
+            else:
+                self.last_fallback_reason = "no maintenance state (first refresh)"
+                logger.info(
+                    "graph view %r: %s", self.name, self.last_fallback_reason
+                )
         handle, stats, state = _extract_with_state(
-            self.db, self.storage, self.name, self.view, want_state=self.materialized
+            self.db,
+            self.storage,
+            self.name,
+            self.view,
+            want_state=self.materialized,
+            options=self.options,
         )
         self._handle = handle
         self._state = state

@@ -1,0 +1,201 @@
+"""Predicate pushdown: plan shapes and pushed-vs-unpushed parity.
+
+The planner sinks WHERE conjuncts beneath joins, unions, aliases, and
+projections toward the scans (``Planner._sink_conjuncts``).  These tests
+pin the plan *shapes* via EXPLAIN — which side of a join a conjunct lands
+on, what a LEFT JOIN protects, how union conjuncts are rewritten
+positionally — and then hammer on the only invariant that matters:
+pushed and unpushed plans must return bit-identical batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.batch import RecordBatch
+from repro.engine.column import Column
+from repro.engine.types import FLOAT, INTEGER, VARCHAR
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def joined_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE t1 (a INTEGER, b INTEGER)")
+    db.execute("CREATE TABLE t2 (a INTEGER, c INTEGER)")
+    db.execute("INSERT INTO t1 VALUES (1, 2), (3, 4), (5, 0)")
+    db.execute("INSERT INTO t2 VALUES (1, 5), (3, 6), (7, 1)")
+    return db
+
+
+def _filter_depths(plan: str) -> list[int]:
+    """Indent depth of every Filter line (tree depth in EXPLAIN output)."""
+    return [
+        (len(line) - len(line.lstrip())) // 2
+        for line in plan.splitlines()
+        if line.lstrip().startswith("Filter")
+    ]
+
+
+def _join_depth(plan: str) -> int:
+    (line,) = [l for l in plan.splitlines() if "Join" in l]
+    return (len(line) - len(line.lstrip())) // 2
+
+
+class TestPlanShapes:
+    def test_conjuncts_split_across_inner_join(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a "
+            "WHERE t1.b > 1 AND t2.c < 9"
+        )
+        # Both conjuncts sank beneath the join, one per side; nothing left
+        # above it.
+        assert all(d > _join_depth(plan) for d in _filter_depths(plan))
+        assert len(_filter_depths(plan)) == 2
+        assert "residual=False" in plan
+
+    def test_pushdown_off_keeps_filter_above_join(self, joined_db):
+        joined_db.pushdown = False
+        plan = joined_db.explain(
+            "SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a "
+            "WHERE t1.b > 1 AND t2.c < 9"
+        )
+        depths = _filter_depths(plan)
+        assert len(depths) == 1 and depths[0] < _join_depth(plan)
+
+    def test_left_join_protects_right_side(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT t1.a FROM t1 LEFT JOIN t2 ON t1.a = t2.a "
+            "WHERE t1.b > 1 AND t2.c < 9"
+        )
+        # The t1 conjunct sinks; the t2 conjunct must stay above the join
+        # (filtering the right side would turn NULL-padded rows into drops).
+        depths = _filter_depths(plan)
+        join = _join_depth(plan)
+        assert sorted(d > join for d in depths) == [False, True]
+
+    def test_union_conjunct_rewritten_per_child(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT * FROM (SELECT a, b FROM t1 UNION ALL SELECT a, c FROM t2) u "
+            "WHERE u.b > 2"
+        )
+        # Copied into both children with the ref rewritten positionally:
+        # column 2 is b in the first child, c in the second.
+        assert "UnionAll" in plan
+        assert "name='b'" in plan and "name='c'" in plan
+        assert len(_filter_depths(plan)) == 2
+
+    def test_alias_stripped_on_the_way_down(self, joined_db):
+        plan = joined_db.explain("SELECT x.b FROM t1 AS x WHERE x.b > 1")
+        lines = plan.splitlines()
+        # Filter landed right on the (aliased) scan.
+        assert lines[-2].lstrip().startswith("Filter")
+        assert "TableScan(t1 AS x" in lines[-1]
+
+    def test_derived_table_alias_is_transparent(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT x.b FROM (SELECT b FROM t1) x WHERE x.b > 1"
+        )
+        lines = plan.splitlines()
+        assert any(l.lstrip().startswith("Alias") for l in lines)
+        # The conjunct crossed the Alias and the inner projection down to
+        # the scan.
+        assert lines[-2].lstrip().startswith("Filter")
+        assert "TableScan(t1" in lines[-1]
+
+    def test_projection_substitutes_output_expressions(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT * FROM (SELECT a, b * 2 AS d FROM t1) s WHERE s.d > 4"
+        )
+        # The conjunct crossed the projection with d := b * 2 substituted,
+        # so the filter sits on the scan and mentions b, not d.
+        lines = plan.splitlines()
+        assert lines[-2].lstrip().startswith("Filter")
+        assert "name='b'" in lines[-2] and "name='d'" not in lines[-2]
+
+    def test_ambiguous_conjunct_still_errors(self, joined_db):
+        # `a` resolves on both join sides; the unpushed plan raises an
+        # ambiguity error and pushdown must preserve that, not pick a side.
+        sql = "SELECT t1.b FROM t1 JOIN t2 ON t1.b = t2.c WHERE a = 1"
+        with pytest.raises(EngineError, match="[Aa]mbiguous"):
+            joined_db.query_batch(sql)
+        joined_db.pushdown = False
+        with pytest.raises(EngineError, match="[Aa]mbiguous"):
+            joined_db.query_batch(sql)
+
+    def test_aggregate_blocks_sinking(self, joined_db):
+        plan = joined_db.explain(
+            "SELECT * FROM (SELECT a, COUNT(*) AS n FROM t1 GROUP BY a) g "
+            "WHERE g.n > 0"
+        )
+        # HAVING-like predicates must stay above the aggregate.
+        agg_line = [l for l in plan.splitlines() if "Aggregate" in l][0]
+        agg_depth = (len(agg_line) - len(agg_line.lstrip())) // 2
+        assert all(d < agg_depth for d in _filter_depths(plan))
+
+
+PARITY_QUERIES = [
+    "SELECT * FROM r WHERE k > 5 AND v < 0.5",
+    "SELECT r.k, s.w FROM r JOIN s ON r.k = s.k WHERE r.v > 0.2 AND s.w < 40",
+    "SELECT r.k FROM r LEFT JOIN s ON r.k = s.k WHERE r.tag LIKE 'a%'",
+    "SELECT r.k, s.k FROM r JOIN s ON r.k = s.k "
+    "WHERE r.k IN (1, 2, 3, 5, 8) AND s.w BETWEEN 10 AND 60",
+    "SELECT * FROM (SELECT k, v FROM r UNION ALL SELECT k, w FROM s) u "
+    "WHERE u.v > 0.4 ORDER BY u.k, u.v",
+    "SELECT x.k, x.d FROM (SELECT k, v * 10 AS d FROM r) x WHERE x.d > 3",
+    "SELECT DISTINCT r.tag FROM r JOIN s ON r.k = s.k WHERE s.w > 20",
+    "SELECT a.k, b.k FROM r AS a JOIN r AS b ON a.k = b.k WHERE a.v > 0.5",
+    "SELECT COUNT(*) FROM r JOIN s ON r.k = s.k WHERE r.v + s.w > 10",
+    "SELECT r.k FROM r CROSS JOIN s WHERE r.k = 2 AND s.w > 30",
+]
+
+
+def _random_tables(db: Database, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    n, m = int(rng.integers(20, 60)), int(rng.integers(20, 60))
+    db.execute("CREATE TABLE r (k INTEGER, v FLOAT, tag VARCHAR)")
+    db.execute("CREATE TABLE s (k INTEGER, w FLOAT)")
+    tags = np.array(["ant", "bee", "cat", "auk"], dtype=object)
+    db.insert_batch(
+        "r",
+        RecordBatch(
+            db.table("r").schema,
+            [
+                Column.from_numpy(INTEGER, rng.integers(0, 12, n)),
+                Column.from_numpy(FLOAT, np.round(rng.random(n), 3)),
+                Column.from_numpy(VARCHAR, tags[rng.integers(0, len(tags), n)]),
+            ],
+        ),
+    )
+    db.insert_batch(
+        "s",
+        RecordBatch(
+            db.table("s").schema,
+            [
+                Column.from_numpy(INTEGER, rng.integers(0, 12, m)),
+                Column.from_numpy(FLOAT, np.round(rng.random(m) * 80, 3)),
+            ],
+        ),
+    )
+
+
+class TestPushdownParity:
+    """Pushed and unpushed plans must return bit-identical batches."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("sql", PARITY_QUERIES)
+    def test_bit_identical_results(self, seed, sql):
+        db = Database()
+        _random_tables(db, seed)
+        db.pushdown = True
+        pushed = db.query_batch(sql)
+        db.pushdown = False
+        plain = db.query_batch(sql)
+        assert pushed.schema.names() == plain.schema.names()
+        assert pushed.num_rows == plain.num_rows
+        for name in pushed.schema.names():
+            a, b = pushed.column(name).values, plain.column(name).values
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), f"{name} differs for {sql!r}"

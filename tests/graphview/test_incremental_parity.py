@@ -231,6 +231,77 @@ class TestFallbacks:
         assert handle.last_extraction.mode == "incremental"
         assert_view_parity(vx, handle, "shadow_cap_small")
 
+    def test_dense_group_small_delta_stays_incremental(self, monkeypatch):
+        # The budget is |changed| x |group union|, not group size: one new
+        # liker touching a group 3x denser than the cap still patches
+        # incrementally (changed=1, so 1 x |union| fits in cap^2).
+        from repro.graphview import maintenance
+
+        vx = fresh_vertexica(14)
+        handle = vx.create_graph_view("live", VIEWS["co_edge"])
+        monkeypatch.setattr(maintenance, "MAX_INCREMENTAL_CO_GROUP", 8)
+        rows = ", ".join(f"({uid}, 3)" for uid in range(1000, 1024))
+        vx.sql(f"INSERT INTO likes VALUES {rows}")  # 24 changed members
+        handle.refresh()  # 24 x ~24 > 64: over budget, full
+        assert handle.last_extraction.mode == "full"
+        vx.sql("INSERT INTO likes VALUES (2000, 3)")  # 1 changed member
+        handle.refresh()
+        assert handle.last_extraction.mode == "incremental"
+        assert handle.last_fallback_reason is None
+        assert_view_parity(vx, handle, "shadow_dense_small")
+
+    def test_budget_fallback_reports_reason(self, monkeypatch):
+        from repro.graphview import maintenance
+
+        vx = fresh_vertexica(13)
+        handle = vx.create_graph_view("live", VIEWS["co_edge"])
+        monkeypatch.setattr(maintenance, "MAX_INCREMENTAL_CO_GROUP", 4)
+        rows = ", ".join(f"({uid}, 0)" for uid in range(40, 52))
+        vx.sql(f"INSERT INTO likes VALUES {rows}")
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"
+        assert "budget 4^2" in handle.last_fallback_reason
+        assert "falling back to full recompute" in handle.last_fallback_reason
+
+    def test_env_knob_overrides_module_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CO_GROUP_CAP", "4")
+        vx = fresh_vertexica(13)
+        handle = vx.create_graph_view("live", VIEWS["co_edge"])
+        rows = ", ".join(f"({uid}, 0)" for uid in range(40, 52))
+        vx.sql(f"INSERT INTO likes VALUES {rows}")
+        handle.refresh()  # module default is generous; the env cap bites
+        assert handle.last_extraction.mode == "full"
+        assert "budget 4^2" in handle.last_fallback_reason
+        assert_view_parity(vx, handle, "shadow_env_cap")
+
+    def test_fallback_reason_lifecycle(self):
+        vx = fresh_vertexica(15)
+        handle = vx.create_graph_view("live", VIEWS["edge_directed"])
+        # create_graph_view's initial refresh had nothing to patch.
+        assert handle.last_fallback_reason == "no maintenance state (first refresh)"
+        vx.sql("INSERT INTO follows VALUES (1, 2, 1.5)")
+        handle.refresh()
+        assert handle.last_extraction.mode == "incremental"
+        assert handle.last_fallback_reason is None
+        # An explicit full refresh is not a fallback; the reason field
+        # tracks only abandoned *incremental* attempts.
+        handle.refresh(incremental=False)
+        assert handle.last_fallback_reason is None
+
+    def test_custom_weight_reason_names_the_cause(self):
+        vx = fresh_vertexica(9)
+        view = GraphView(
+            vertices=NodeSpec("users", key="id"),
+            edges=CoEdgeSpec(
+                "likes", member="user_id", via="post_id", weight="COUNT(*) * 2"
+            ),
+        )
+        handle = vx.create_graph_view("live", view)
+        vx.sql("INSERT INTO likes VALUES (0, 1)")
+        handle.refresh()
+        assert handle.last_extraction.mode == "full"
+        assert handle.last_fallback_reason == "spec has no incremental lowering"
+
     def test_custom_co_edge_weight_always_full(self):
         vx = fresh_vertexica(9)
         view = GraphView(

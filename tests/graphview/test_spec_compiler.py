@@ -67,9 +67,21 @@ class TestCompiler:
     def test_co_edge_groups_on_member_pair(self):
         view = GraphView(edges=CoEdgeSpec("likes", member="user_id", via="post_id"))
         (sql,) = edge_queries(view)
-        assert "GROUP BY a.member, b.member" in sql
+        # Flat self-join over the base table, grouped on the casted member
+        # pair by position so group keys and output see identical values.
+        assert "FROM likes AS a JOIN likes AS b ON a.post_id = b.post_id" in sql
+        assert "GROUP BY 1, 2" in sql
         assert "COUNT(*)" in sql
-        assert "a.member <> b.member" in sql
+        assert "CAST(a.user_id AS INTEGER) <> CAST(b.user_id AS INTEGER)" in sql
+
+    def test_co_edge_filter_qualified_onto_both_sides(self):
+        view = GraphView(
+            edges=CoEdgeSpec("likes", member="user_id", via="post_id",
+                             where="score > 0.5 AND likes.flag = 1")
+        )
+        (sql,) = edge_queries(view)
+        assert "(a.score > 0.5)" in sql and "(a.flag = 1)" in sql
+        assert "(b.score > 0.5)" in sql and "(b.flag = 1)" in sql
 
     def test_queries_are_parseable_sql(self, db):
         """Every compiled query must be valid for the engine's parser."""
