@@ -44,6 +44,8 @@ from repro.graphview import (
 from repro.programs import (
     CollaborativeFiltering,
     ConnectedComponents,
+    FeaturePropagation,
+    MultiSourceSSSP,
     PageRank,
     ShortestPaths,
 )
@@ -352,6 +354,107 @@ def run_cf_codec_cell(
             for fp in fingerprints
         ),
     }
+
+
+def run_vector_workloads_cell(
+    graph: Graph, n_partitions: int, repeat: int = 1
+) -> dict[str, Any]:
+    """Embedding workloads: element-wise vector combiners on / off, on
+    both data planes (the PR-10 cell).
+
+    Multi-source SSSP (element-wise MIN over width-k distance vectors)
+    and GNN feature propagation (element-wise SUM over width-k feature
+    vectors) run with the combiner honored and suppressed.  All four
+    cells per workload must land on bit-identical vertex vectors — the
+    combiners reduce with the same float64 ``reduceat`` arithmetic in
+    delivery order at every site — and the combined cells must route
+    strictly fewer message rows (``messages_precombine`` counts rows
+    before combining, so combined precombine == uncombined delivered).
+    The edges get small synthetic weights and are symmetrized so every
+    source reaches the whole component and fan-in is high enough for
+    combining to collapse rows.
+    """
+    weights = 1.0 + (np.arange(graph.num_edges, dtype=np.float64) % 7) / 3.0
+    workloads: dict[str, Any] = {
+        "multi_sssp": lambda: MultiSourceSSSP(sources=(0, 1, 2, 3)),
+        "feature_prop": lambda: FeaturePropagation(iterations=3, width=8),
+    }
+    report: dict[str, Any] = {"graph": graph.name, "workloads": {}}
+    for name, make_program in workloads.items():
+        cells: dict[str, dict[str, Any]] = {}
+        fingerprints: list[float] = []
+        for plane in ("sql", "shards"):
+            for combine in (True, False):
+                vx = Vertexica(
+                    config=VertexicaConfig(
+                        n_partitions=n_partitions,
+                        data_plane=plane,
+                        use_combiner=combine,
+                        superstep_sync="halt",
+                    )
+                )
+                handle = vx.load_graph(
+                    f"{graph.name}_vec",
+                    graph.src,
+                    graph.dst,
+                    weights=weights,
+                    num_vertices=graph.num_vertices,
+                    symmetrize=True,
+                )
+                best = float("inf")
+                fingerprint = 0.0
+                messages = 0
+                precombine = 0
+                for _ in range(max(repeat, 1)):
+                    result = vx.run(handle, make_program())
+                    step_secs = sum(s.seconds for s in result.stats.supersteps)
+                    if step_secs < best:
+                        best = step_secs
+                        messages = result.stats.total_messages
+                        precombine = result.stats.total_messages_precombine
+                        fingerprint = float(
+                            sum(
+                                sum(
+                                    x
+                                    for x in vector
+                                    if x == x and x != float("inf")
+                                )
+                                for vector in result.values.values()
+                                if vector is not None
+                            )
+                        )
+                label = f"{plane}_{'combined' if combine else 'uncombined'}"
+                cells[label] = {
+                    "superstep_seconds": round(best, 6),
+                    "messages": messages,
+                    "messages_precombine": precombine,
+                }
+                fingerprints.append(fingerprint)
+
+        def _speedup(plane: str) -> float:
+            combined = cells[f"{plane}_combined"]["superstep_seconds"]
+            uncombined = cells[f"{plane}_uncombined"]["superstep_seconds"]
+            return round(uncombined / combined, 2) if combined else float("inf")
+
+        report["workloads"][name] = {
+            "cells": cells,
+            # Vector-combiner parity is exact by construction; the usual
+            # relative tolerance only absorbs float printing noise.
+            "fingerprints_match": all(
+                abs(fp - fingerprints[0]) <= 1e-9 * max(1.0, abs(fingerprints[0]))
+                for fp in fingerprints
+            ),
+            "combiner_reduces_messages": all(
+                cells[f"{plane}_combined"]["messages"]
+                < cells[f"{plane}_uncombined"]["messages"]
+                and cells[f"{plane}_combined"]["messages_precombine"]
+                == cells[f"{plane}_uncombined"]["messages"]
+                for plane in ("sql", "shards")
+            ),
+            "speedup_combined_over_uncombined_sql": _speedup("sql"),
+            "speedup_combined_over_uncombined_shards": _speedup("shards"),
+        }
+    return report
 
 
 def run_checkpoint_overhead_cell(
@@ -816,11 +919,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_path is None and not args.quick:
         # Trajectory files are append-only history: never clobber an
         # existing one implicitly — require an explicit --out for that.
-        out_path = "BENCH_PR9.json"
+        out_path = "BENCH_PR10.json"
         if os.path.exists(out_path):
             print(
                 f"{out_path} already exists; pass --out to overwrite it or "
-                "choose a new trajectory filename (e.g. --out BENCH_PR10.json)",
+                "choose a new trajectory filename (e.g. --out BENCH_PR11.json)",
                 file=sys.stderr,
             )
             out_path = None
@@ -942,6 +1045,39 @@ def main(argv: list[str] | None = None) -> int:
             f"({cf_cell['speedup_vector_over_json_shards']:.2f}x)"
         )
 
+    # Embedding workloads: element-wise vector combiners on/off on both
+    # data planes, with routed-message-row counters — the PR-10 cell
+    # (and the quick mode's vector-combiner parity gate).
+    vector_workload_cells = []
+    for graph_name in graph_names:
+        graph = graphs.by_name(graph_name)
+        vec_cell = run_vector_workloads_cell(graph, args.partitions, args.repeat)
+        vector_workload_cells.append(vec_cell)
+        for workload, data in vec_cell["workloads"].items():
+            if not data["fingerprints_match"]:
+                failures.append(
+                    f"{graph_name}/{workload}: combined and uncombined "
+                    "vector runs disagree (combiner must be bit-exact)"
+                )
+            if not data["combiner_reduces_messages"]:
+                failures.append(
+                    f"{graph_name}/{workload}: combiner did not reduce "
+                    "routed message rows on every plane"
+                )
+            cells = data["cells"]
+            combined = cells["shards_combined"]
+            uncombined = cells["shards_uncombined"]
+            print(
+                f"{graph_name:<12} {workload}: "
+                f"sql {cells['sql_uncombined']['superstep_seconds']:.3f}s -> "
+                f"{cells['sql_combined']['superstep_seconds']:.3f}s "
+                f"({data['speedup_combined_over_uncombined_sql']:.2f}x)  "
+                f"shards {uncombined['superstep_seconds']:.3f}s -> "
+                f"{combined['superstep_seconds']:.3f}s "
+                f"({data['speedup_combined_over_uncombined_shards']:.2f}x)  "
+                f"rows {uncombined['messages']} -> {combined['messages']}"
+            )
+
     # Checkpoint overhead: fault-tolerance cost per checkpoint policy on
     # both data planes — the PR-6 cell (and the quick mode's
     # checkpointing-perturbs-nothing parity gate).
@@ -1037,6 +1173,7 @@ def main(argv: list[str] | None = None) -> int:
         "incremental_refresh": refresh_cells,
         "workers_scaling": workers_cells,
         "cf_codec": cf_codec_cells,
+        "vector_workloads": vector_workload_cells,
         "checkpoint_overhead": checkpoint_cells,
         "serving_cache": serving_cells,
         "extraction_scaling": scaling_cell,
@@ -1082,6 +1219,23 @@ def main(argv: list[str] | None = None) -> int:
                         file=sys.stderr,
                     )
                     return 1
+        # Vector-combiner tripwire: combining collapses routed message
+        # rows (that reduction is the hard gate above, and is robust on
+        # any machine); the wall-clock win is modest at smoke scale and
+        # CI is often single-core, so only an egregious slowdown of the
+        # combined path (1.5x) fails the run.
+        for cell in vector_workload_cells:
+            for workload, data in cell["workloads"].items():
+                for plane in ("sql", "shards"):
+                    ratio = data[f"speedup_combined_over_uncombined_{plane}"]
+                    if ratio < 1.0 / 1.5:
+                        print(
+                            f"FAIL: combined {workload} slower than "
+                            f"uncombined on {cell['graph']}/{plane} "
+                            f"({ratio}x)",
+                            file=sys.stderr,
+                        )
+                        return 1
         # Checkpoint tripwire: snapshotting every 4 supersteps must stay
         # a small fraction of compute time.  The acceptance bar is 15% at
         # benchmark scale; smoke scale has tiny supersteps against the

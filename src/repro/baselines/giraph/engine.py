@@ -229,11 +229,13 @@ class GiraphEngine:
 
             # Sender-side combining, then the shuffle.
             messages_out = 0
+            messages_precombine = 0
             for w in range(n_workers):
                 for r in range(n_workers):
                     buffer = buffers[w][r]
                     if not buffer:
                         continue
+                    messages_precombine += len(buffer)
                     if program.combiner is not None:
                         buffer = _combine_buffer(program, buffer)
                     if config.serialize_messages:
@@ -258,6 +260,7 @@ class GiraphEngine:
                         update_path="memory",
                         seconds=time.perf_counter() - step_started,
                         aggregated=tuple(sorted(aggregated.items())),
+                        messages_precombine=messages_precombine,
                     )
                 )
             superstep += 1

@@ -52,7 +52,7 @@ from repro.engine.parallel import (
     make_thread_executor,
     serial_executor,
 )
-from repro.errors import VertexicaError
+from repro.errors import ProgramError, VertexicaError
 
 __all__ = ["Coordinator", "register_coordinator", "SUPERSTEP_SAFETY_LIMIT"]
 
@@ -81,6 +81,21 @@ class Coordinator:
         """
         program.validate()
         config = self.config
+        if config.data_plane != "shards" and config.input_strategy == "join":
+            # Fail before setup_run: the three-way join projects a single
+            # ``value`` column per table, which vector codecs don't have —
+            # without this check the mismatch surfaces deep inside decode.
+            for role, codec in (
+                ("vertex", program.vertex_codec),
+                ("message", program.message_codec),
+            ):
+                if codec.is_vector:
+                    raise ProgramError(
+                        f"the join input format cannot carry vector codec "
+                        f"payloads ({role} codec {codec.name!r}, width "
+                        f"{codec.width}); use input_strategy='union' "
+                        "(or data_plane='shards')"
+                    )
         stats = RunStats(program=program.name, graph=graph.name)
         started = time.perf_counter()
 
@@ -229,6 +244,7 @@ class Coordinator:
                 vertex_updates = storage.count_staged(graph, 0)
                 replace, path = self._choose_path(vertex_updates, graph.num_vertices)
                 storage.apply_vertex_updates(graph, program, replace, superstep=superstep)
+                messages_staged = storage.count_staged(graph, 1)
                 messages_out = storage.apply_messages(
                     graph, program, config.use_combiner, replace=replace
                 )
@@ -259,6 +275,7 @@ class Coordinator:
                         rows_out=output.num_rows,
                         compute_path="batch" if use_batch else "scalar",
                         checkpoint_seconds=checkpoint_seconds,
+                        messages_precombine=messages_staged,
                     )
                 )
             superstep += 1
@@ -372,6 +389,7 @@ class Coordinator:
                             shard_seconds=step.shard_seconds,
                             sync_seconds=sync_seconds,
                             checkpoint_seconds=checkpoint_seconds,
+                            messages_precombine=step.messages_precombine,
                         )
                     )
                 superstep += 1

@@ -47,6 +47,11 @@ class SuperstepStats:
     #: True when the serving tier replayed this superstep's record from
     #: its version-keyed result cache instead of executing it
     served_from_cache: bool = False
+    #: message rows staged *before* the combiner ran (equals
+    #: ``messages_out`` when combining is off or nothing combined); the
+    #: gap to ``messages_out`` is the message volume the combiner kept
+    #: out of routing / staging / the shared-memory pipes
+    messages_precombine: int = 0
 
     @property
     def vertices_per_sec(self) -> float:
@@ -99,6 +104,18 @@ class RunStats:
     def total_messages(self) -> int:
         """Messages produced across all supersteps."""
         return sum(s.messages_out for s in self.supersteps)
+
+    @property
+    def total_messages_precombine(self) -> int:
+        """Message rows staged before combining, across all supersteps
+        (equals :attr:`total_messages` when no combiner ran)."""
+        return sum(s.messages_precombine for s in self.supersteps)
+
+    @property
+    def messages_combined_away(self) -> int:
+        """Message rows the combiner eliminated before routing/delivery
+        — the volume that never crossed staging or the executor pipes."""
+        return self.total_messages_precombine - self.total_messages
 
     @property
     def total_vertex_updates(self) -> int:

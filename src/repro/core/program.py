@@ -101,16 +101,30 @@ class VertexProgram:
     def combine(self, values: Sequence[Any]) -> Any:
         """Reduce messages headed to one destination per ``combiner``.
 
+        Scalar message codecs reduce with plain Python ``sum``/``min``/
+        ``max`` (the arithmetic the scalar compute path uses).  Vector
+        message codecs reduce *element-wise* with the same float64
+        ``reduceat`` call the data planes' combiners run, so a baseline
+        that combines through this method stays bit-compatible with them.
+
         Raises:
             ProgramError: when called with no combiner declared.
         """
+        if self.combiner not in COMBINERS:
+            raise ProgramError(
+                f"program {type(self).__name__} declares no combiner"
+            )
+        if self.message_codec.is_vector:
+            block = np.asarray(list(values), dtype=np.float64)
+            ufunc = {"SUM": np.add, "MIN": np.minimum, "MAX": np.maximum}[
+                self.combiner
+            ]
+            return ufunc.reduceat(block, [0], axis=0)[0].tolist()
         if self.combiner == "SUM":
             return sum(values)
         if self.combiner == "MIN":
             return min(values)
-        if self.combiner == "MAX":
-            return max(values)
-        raise ProgramError(f"program {type(self).__name__} declares no combiner")
+        return max(values)
 
     def validate(self) -> None:
         """Sanity-check declarations before a run.
@@ -118,22 +132,25 @@ class VertexProgram:
         Raises:
             ProgramError: on an unknown combiner name or a combiner with a
                 non-numeric message codec (SQL can only push down numeric
-                reductions).
+                reductions; vector codecs qualify — they store ``k`` FLOAT
+                columns, reduced element-wise).
         """
         if self.combiner is not None:
             if self.combiner not in COMBINERS:
                 raise ProgramError(
                     f"unknown combiner {self.combiner!r}; expected one of {COMBINERS}"
                 )
-            if self.message_codec.is_vector:
-                raise ProgramError(
-                    "combiners cannot reduce vector message codecs "
-                    f"(got {self.message_codec.name}); set combiner = None"
-                )
             if not self.message_codec.sql_type.is_numeric:
+                width = self.message_codec.width
+                shape = (
+                    f"width-{width} vector codec" if width else "scalar codec"
+                )
                 raise ProgramError(
-                    "combiners require a numeric message codec "
-                    f"(got {self.message_codec.name})"
+                    f"combiner {self.combiner!r} requires a numeric message "
+                    f"codec, but {self.message_codec.name!r} is a {shape} "
+                    f"over {self.message_codec.sql_type.name} columns; "
+                    "use a numeric scalar codec or vector_codec(k), or set "
+                    "combiner = None"
                 )
         for name, op in self.aggregators.items():
             if op not in COMBINERS:
@@ -169,9 +186,12 @@ class VertexBatch:
     ``message_senders`` aligned to the same extents — the message table's
     ``src`` column).  Vector codecs make ``values`` / ``message_values``
     dense 2-D ``(n, k)`` float64 arrays; the built-in segment reductions
-    (:meth:`sum_messages` & co) are scalar-only, so vector batch kernels
-    reduce over ``msg_indptr`` themselves (e.g. ``np.add.reduceat(...,
-    axis=0)``).
+    (:meth:`sum_messages` & co) handle both shapes — 2-D message blocks
+    reduce element-wise per column with the same float64 ``reduceat``
+    arithmetic the data planes' combiners use, so combined and uncombined
+    runs of an element-wise-reducible program stay bit-identical.  The
+    standalone :func:`repro.core.worker.segment_sum` family exposes the
+    same kernels over arbitrary (values, indptr) pairs.
 
     Mutations are buffered exactly like on :class:`~repro.core.api.Vertex`:
     the worker collects them after :meth:`BatchVertexProgram.compute_batch`
@@ -284,46 +304,66 @@ class VertexBatch:
     def sum_messages(self) -> np.ndarray:
         """Per-vertex sum of incoming messages (0.0 where none).
 
-        Accumulates strictly in delivery order (``np.bincount``), so the
-        result is bit-identical to the scalar path's ``sum(messages)``.
-        NULL messages are excluded (a scalar ``sum`` over ``None`` would
-        raise; programs needing NULL semantics must inspect
-        ``message_valid`` themselves).
+        Scalar messages accumulate strictly in delivery order
+        (``np.bincount``), so the result is bit-identical to the scalar
+        path's ``sum(messages)``.  Vector (2-D) messages reduce with
+        ``np.add.reduceat`` over float64 — the exact arithmetic of the
+        data planes' SUM combiner, so combined and uncombined runs agree
+        bitwise.  NULL messages are excluded (a scalar ``sum`` over
+        ``None`` would raise; programs needing NULL semantics must
+        inspect ``message_valid`` themselves).
         """
+        values = self.message_values
+        if values.ndim == 2:
+            weights = values.astype(np.float64, copy=False)
+            if not bool(self.message_valid.all()):
+                weights = np.where(self.message_valid[:, None], weights, 0.0)
+            out = np.zeros((self.size, values.shape[1]), dtype=np.float64)
+            nonempty = np.flatnonzero(self.message_counts)
+            if len(nonempty):
+                out[nonempty] = np.add.reduceat(
+                    weights, self.msg_indptr[:-1][nonempty], axis=0
+                )
+            return out
         counts = self.message_counts
-        if len(self.message_values) == 0:
+        if len(values) == 0:
             return np.zeros(self.size, dtype=np.float64)
         segments = np.repeat(np.arange(self.size), counts)
-        weights = self.message_values.astype(np.float64, copy=False)
+        weights = values.astype(np.float64, copy=False)
         if not bool(self.message_valid.all()):
             weights = np.where(self.message_valid, weights, 0.0)
         return np.bincount(segments, weights=weights, minlength=self.size)
 
     def min_messages(self, default: Any = None) -> np.ndarray:
-        """Per-vertex minimum of incoming messages (``default`` where
-        none; NULL messages are excluded)."""
+        """Per-vertex (element-wise for vectors) minimum of incoming
+        messages (``default`` where none; NULL messages are excluded)."""
         return self._segment_reduce(np.minimum, default, _dtype_max)
 
     def max_messages(self, default: Any = None) -> np.ndarray:
-        """Per-vertex maximum of incoming messages (``default`` where
-        none; NULL messages are excluded)."""
+        """Per-vertex (element-wise for vectors) maximum of incoming
+        messages (``default`` where none; NULL messages are excluded)."""
         return self._segment_reduce(np.maximum, default, _dtype_min)
 
     def _segment_reduce(self, ufunc: np.ufunc, default: Any, fallback: Any) -> np.ndarray:
         values = self.message_values
         if default is None:
             default = fallback(values.dtype)
+        two_d = values.ndim == 2
         if not bool(self.message_valid.all()):
             # NULL storage fillers must not win the reduction: replace
             # them with the reduction's identity (the default fill).
-            values = np.where(self.message_valid, values, default)
-        out = np.full(self.size, default, dtype=values.dtype)
+            mask = self.message_valid[:, None] if two_d else self.message_valid
+            values = np.where(mask, values, default)
+        shape = (self.size, values.shape[1]) if two_d else self.size
+        out = np.full(shape, default, dtype=values.dtype)
         nonempty = np.flatnonzero(self.message_counts)
         if len(nonempty):
             # The message array is compact, so the start of each nonempty
             # segment doubles as the stop of the previous one — exactly the
             # index vector ``reduceat`` wants.
-            out[nonempty] = ufunc.reduceat(values, self.msg_indptr[:-1][nonempty])
+            out[nonempty] = ufunc.reduceat(
+                values, self.msg_indptr[:-1][nonempty], axis=0
+            )
         return out
 
     # ------------------------------------------------------------------

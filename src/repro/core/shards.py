@@ -169,6 +169,9 @@ class ShardStepStats:
     shard_seconds: tuple[float, ...]
     #: transient shard-task faults retried in place this superstep
     retries: int = 0
+    #: routed message rows before the combiner ran (== messages_out when
+    #: combining is off)
+    messages_precombine: int = 0
 
 
 @dataclass(frozen=True)
@@ -703,7 +706,9 @@ class ShardedDataPlane:
         order for every executor (which is what parity rests on)."""
         vertex_updates = self._apply_vertex_updates([out.updates for out in outputs])
         faults.trip("shard.route", superstep=worker.superstep)
-        messages_out = self._route_messages([out.routed for out in outputs])
+        messages_precombine, messages_out = self._route_messages(
+            [out.routed for out in outputs]
+        )
         self.aggregated = self._reduce_aggregators(
             [out.agg_partials for out in outputs]
         )
@@ -718,6 +723,7 @@ class ShardedDataPlane:
             rows_out=sum(out.rows_out for out in outputs),
             shard_seconds=tuple(out.seconds for out in outputs),
             retries=sum(out.retried for out in outputs),
+            messages_precombine=messages_precombine,
         )
 
     # ------------------------------------------------------------------
@@ -734,8 +740,9 @@ class ShardedDataPlane:
     # ------------------------------------------------------------------
     # In-plane message routing
     # ------------------------------------------------------------------
-    def _route_messages(self, routed: list[tuple | None]) -> int:
+    def _route_messages(self, routed: list[tuple | None]) -> tuple[int, int]:
         """Deliver the pre-bucketed messages to their destination shards.
+        Returns ``(rows_before_combining, rows_delivered)``.
 
         Ordering contract (what makes the planes bit-identical): the SQL
         plane concatenates partition outputs in partition-index order
@@ -753,8 +760,9 @@ class ShardedDataPlane:
         if not chunks:
             for shard in self.shards:
                 shard.clear_messages(self._empty_msg_raw())
-            return 0
+            return 0, 0
 
+        staged = 0
         total = 0
         for shard in self.shards:
             d = shard.index
@@ -778,11 +786,12 @@ class ShardedDataPlane:
                 valid = np.concatenate([p[3] for p in parts])
                 order = np.argsort(dst, kind="stable")
                 inbox = (senders[order], dst[order], values[order], valid[order])
+            staged += sum(len(p[1]) for p in parts)
             if self.use_combiner:
                 inbox = self._combine(*inbox)
             shard.msg_src, shard.msg_dst, shard.msg_raw, shard.msg_valid = inbox
             total += len(inbox[1])
-        return total
+        return staged, total
 
     def _combine(
         self,
@@ -793,11 +802,15 @@ class ShardedDataPlane:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Apply the program's combiner per destination.
 
-        Reproduces the SQL plane's ``SELECT MIN(vid), dst, OP(value) ...
+        Reproduces the SQL plane's ``SELECT MIN(vid), dst, OP(...) ...
         GROUP BY dst`` arithmetic exactly: reductions run over float64
         with ``reduceat`` in arrival order, NULLs replaced by the
         reduction identity, and the result cast back to the message
-        column's storage type.
+        column's storage type.  Vector message codecs arrive as 2-D
+        ``(rows, k)`` blocks and reduce element-wise with the same
+        ``reduceat`` call over ``axis=0`` — bit-identical to the SQL
+        plane's per-column aggregates (whole-vector validity broadcasts
+        across the row).
         """
         boundaries = np.flatnonzero(
             np.r_[True, dst[1:] != dst[:-1]] if len(dst) else np.empty(0, bool)
@@ -807,17 +820,19 @@ class ShardedDataPlane:
         valid_counts = np.add.reduceat(valid.astype(np.int64), boundaries)
         out_valid = valid_counts > 0
         floats = values.astype(np.float64)
+        two_d = floats.ndim == 2
+        row_valid = valid[:, None] if two_d else valid
         op = self.program.combiner
         if op == "SUM":
-            floats = np.where(valid, floats, 0.0)
-            agg = np.add.reduceat(floats, boundaries)
+            floats = np.where(row_valid, floats, 0.0)
+            agg = np.add.reduceat(floats, boundaries, axis=0)
         elif op == "MIN":
-            floats = np.where(valid, floats, np.inf)
-            agg = np.minimum.reduceat(floats, boundaries)
+            floats = np.where(row_valid, floats, np.inf)
+            agg = np.minimum.reduceat(floats, boundaries, axis=0)
         else:  # MAX (validate() admits nothing else)
-            floats = np.where(valid, floats, -np.inf)
-            agg = np.maximum.reduceat(floats, boundaries)
-        agg = np.where(out_valid, agg, 0.0)
+            floats = np.where(row_valid, floats, -np.inf)
+            agg = np.maximum.reduceat(floats, boundaries, axis=0)
+        agg = np.where(out_valid[:, None] if two_d else out_valid, agg, 0.0)
         return out_src, out_dst, agg.astype(self.meta.msg_storage_dtype), out_valid
 
     # ------------------------------------------------------------------

@@ -528,11 +528,19 @@ class GraphStorage:
         db = self.db
         codec = program.message_codec
         if use_combiner and program.combiner is not None:
-            # validate() rejects combiners on vector codecs, so the
-            # single-column expression always exists here.
-            value_expr = _staged_value_expr(codec, alias=None)
+            # Vector codecs combine element-wise: one aggregate per
+            # payload column, all under the same GROUP BY.  Whole-vector
+            # validity means a NULL message is NULL in every column, so
+            # the per-column NULL-skip of SQL aggregates cannot mix lanes
+            # from different messages.
+            agg_list = ", ".join(
+                f"{program.combiner}({expr}) AS {name}"
+                for expr, name in zip(
+                    _staged_value_exprs(codec, alias=None), codec.column_names()
+                )
+            )
             select = (
-                f"SELECT MIN(vid) AS src, dst, {program.combiner}({value_expr}) AS value "
+                f"SELECT MIN(vid) AS src, dst, {agg_list} "
                 f"FROM {graph.output_table} WHERE kind = 1 GROUP BY dst"
             )
         else:

@@ -61,7 +61,16 @@ from repro.engine.schema import ColumnDef, Schema
 from repro.engine.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
 from repro.errors import ProgramError
 
-__all__ = ["EdgeCache", "StagedRows", "VertexWorker", "worker_output_schema"]
+__all__ = [
+    "EdgeCache",
+    "StagedRows",
+    "VertexWorker",
+    "worker_output_schema",
+    "segment_sum",
+    "segment_min",
+    "segment_max",
+    "segment_mean",
+]
 
 
 def worker_output_schema(width: int = 0) -> Schema:
@@ -71,6 +80,84 @@ def worker_output_schema(width: int = 0) -> Schema:
         ColumnDef(name, dtype, nullable=nullable)
         for name, dtype, nullable in worker_output_columns(width)
     )
+
+
+# ---------------------------------------------------------------------------
+# Segment-reduction kernels (sorted-segment reduceat machinery)
+# ---------------------------------------------------------------------------
+def _segment_prepare(values: Any, segments: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a (values, indptr) pair for the ``segment_*`` kernels.
+
+    ``segments`` is a CSR-style index pointer of length ``n_segments + 1``:
+    segment ``i`` owns rows ``values[segments[i]:segments[i+1]]``.  The
+    segments must tile ``values`` exactly (``segments[0] == 0`` and
+    ``segments[-1] == len(values)``) — the compact layout ``reduceat``
+    needs, and the one :class:`~repro.core.program.VertexBatch` exposes
+    via ``msg_indptr``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    indptr = np.asarray(segments, dtype=np.int64)
+    if indptr.ndim != 1 or len(indptr) == 0:
+        raise ProgramError("segments must be a 1-D indptr array of length >= 1")
+    if indptr[0] != 0 or indptr[-1] != len(values):
+        raise ProgramError(
+            "segments must tile values exactly: expected segments[0] == 0 and "
+            f"segments[-1] == len(values) ({len(values)}), got "
+            f"[{indptr[0]}, {indptr[-1]}]"
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise ProgramError("segments must be non-decreasing")
+    return values, indptr
+
+
+def _segment_reduce_kernel(
+    ufunc: np.ufunc, values: Any, segments: Any, identity: float
+) -> np.ndarray:
+    values, indptr = _segment_prepare(values, segments)
+    n_segments = len(indptr) - 1
+    shape = (n_segments,) + values.shape[1:]
+    out = np.full(shape, identity, dtype=np.float64)
+    nonempty = np.flatnonzero(np.diff(indptr))
+    if len(nonempty):
+        # Compact segments: each nonempty start doubles as the previous
+        # stop, exactly the index vector ``reduceat`` wants.
+        out[nonempty] = ufunc.reduceat(values, indptr[:-1][nonempty], axis=0)
+    return out
+
+
+def segment_sum(values: Any, segments: Any) -> np.ndarray:
+    """Per-segment sum over a 1-D or 2-D ``(rows, k)`` float array.
+
+    Runs the same float64 ``np.add.reduceat`` the data planes' SUM
+    combiner uses, so a batch kernel reducing messages with this helper
+    is bit-identical with and without combining.  Empty segments yield
+    0.0; NaN rows propagate.
+    """
+    return _segment_reduce_kernel(np.add, values, segments, 0.0)
+
+
+def segment_min(values: Any, segments: Any) -> np.ndarray:
+    """Per-segment (element-wise for 2-D) minimum; empty segments yield
+    ``+inf``, NaN rows propagate.  Matches the MIN combiner bitwise."""
+    return _segment_reduce_kernel(np.minimum, values, segments, np.inf)
+
+
+def segment_max(values: Any, segments: Any) -> np.ndarray:
+    """Per-segment (element-wise for 2-D) maximum; empty segments yield
+    ``-inf``, NaN rows propagate.  Matches the MAX combiner bitwise."""
+    return _segment_reduce_kernel(np.maximum, values, segments, -np.inf)
+
+
+def segment_mean(values: Any, segments: Any) -> np.ndarray:
+    """Per-segment mean (``segment_sum`` divided by the member count —
+    the SQL ``AVG`` arithmetic).  Empty segments yield NaN."""
+    sums = _segment_reduce_kernel(np.add, values, segments, 0.0)
+    counts = np.diff(np.asarray(segments, dtype=np.int64)).astype(np.float64)
+    if sums.ndim == 2:
+        counts = counts[:, None]
+    empty = counts == 0.0
+    out = sums / np.where(empty, 1.0, counts)
+    return np.where(empty, np.nan, out)
 
 
 # ---------------------------------------------------------------------------

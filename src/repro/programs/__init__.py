@@ -10,23 +10,38 @@ unchanged on both Vertexica and the Giraph-like baseline:
 * :class:`RandomWalkWithRestart` — personalized PageRank;
 * :class:`InDegree` / :class:`OutDegree` — degree counting warm-ups;
 * :class:`LabelPropagation` — majority-label communities.
+
+The embedding workload family exercises the vector message plane with
+element-wise combiners:
+
+* :class:`MultiSourceSSSP` — width-k distance vectors, element-wise MIN;
+* :class:`FeaturePropagation` — GNN-style feature smoothing, element-wise
+  SUM;
+* :class:`RandomWalkEmbeddings` — DeepWalk-style positional embeddings
+  (width-2k vertex state, width-k walk messages), element-wise SUM.
 """
 
 from repro.programs.adaptive_pagerank import AdaptivePageRank
 from repro.programs.collaborative_filtering import CollaborativeFiltering
 from repro.programs.connected_components import ConnectedComponents
 from repro.programs.degree import InDegree, OutDegree
+from repro.programs.feature_propagation import FeaturePropagation
 from repro.programs.label_propagation import LabelPropagation
+from repro.programs.multi_source_sssp import MultiSourceSSSP
 from repro.programs.pagerank import PageRank
 from repro.programs.random_walk import RandomWalkWithRestart
+from repro.programs.random_walk_embeddings import RandomWalkEmbeddings
 from repro.programs.shortest_paths import ShortestPaths
 
 __all__ = [
     "PageRank",
     "AdaptivePageRank",
     "ShortestPaths",
+    "MultiSourceSSSP",
     "ConnectedComponents",
     "CollaborativeFiltering",
+    "FeaturePropagation",
+    "RandomWalkEmbeddings",
     "RandomWalkWithRestart",
     "InDegree",
     "OutDegree",

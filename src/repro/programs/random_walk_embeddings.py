@@ -1,0 +1,143 @@
+"""DeepWalk-style random-walk positional embeddings.
+
+Every vertex starts from a seeded random projection and diffuses it
+along the graph's uniform random-walk transition: each round, the walk
+vector splits evenly over the out-edges and receivers sum what arrives
+— after ``t`` rounds a vertex's walk vector is its expected ``t``-step
+random-walk visit mass over the projected starting points (the very
+quantity DeepWalk samples; this is the deterministic FastRP-flavored
+formulation).  The embedding accumulates the walk vectors with a
+per-hop decay, so near co-visited vertices end up with similar
+embeddings::
+
+    walk'_v      = sum_{u -> v} walk_u / out_degree(u)
+    embedding'_v = embedding_v + decay^t * walk'_v
+
+The vertex value is the width-``2k`` concatenation ``[embedding, walk]``
+while messages carry only the width-``k`` walk vector — exercising the
+planes' support for different vertex and message codec widths.  The
+neighbor sum is an element-wise ``SUM`` combiner, reduced with the same
+float64 ``reduceat`` arithmetic at every site, keeping combined runs
+bit-identical to uncombined runs on both planes and all executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Vertex
+from repro.core.codecs import vector_codec
+from repro.core.program import BatchVertexProgram, VertexBatch
+
+__all__ = ["RandomWalkEmbeddings", "reference_random_walk_embeddings"]
+
+
+class RandomWalkEmbeddings(BatchVertexProgram):
+    """Decayed accumulation of diffused random-walk mass.
+
+    Args:
+        iterations: diffusion rounds (walk length).
+        dim: embedding dimensionality (messages are width ``dim``; the
+            vertex value is width ``2 * dim``).
+        decay: per-hop weight of the accumulated walk vectors.
+        seed: seeds the deterministic per-vertex starting projections.
+    """
+
+    combiner = "SUM"
+
+    def __init__(
+        self,
+        iterations: int = 4,
+        dim: int = 8,
+        decay: float = 0.5,
+        seed: int = 19,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.iterations = iterations
+        self.dim = dim
+        self.decay = decay
+        self.seed = seed
+        self.vertex_codec = vector_codec(2 * dim)
+        self.message_codec = vector_codec(dim)
+        self.max_supersteps = iterations + 1
+
+    def initial_value(
+        self, vertex_id: int, out_degree: int, num_vertices: int
+    ) -> list[float]:
+        rng = np.random.default_rng(self.seed * 1_000_003 + vertex_id)
+        walk = rng.standard_normal(self.dim)
+        return np.concatenate([np.zeros(self.dim), walk]).tolist()
+
+    def compute(self, vertex: Vertex) -> None:
+        state = np.asarray(vertex.value, dtype=np.float64)
+        embedding, walk = state[: self.dim], state[self.dim :]
+        if vertex.superstep > 0:
+            if vertex.messages:
+                # The same reduceat call the combiner and sum_messages
+                # run — combined/uncombined inboxes reduce identically.
+                block = np.asarray(vertex.messages, dtype=np.float64)
+                walk = np.add.reduceat(block, [0], axis=0)[0]
+            else:
+                walk = np.zeros(self.dim)
+            embedding = embedding + (self.decay**vertex.superstep) * walk
+            vertex.modify_vertex_value(np.concatenate([embedding, walk]).tolist())
+        if vertex.superstep < self.iterations:
+            degree = len(vertex.out_edges)
+            if degree:
+                vertex.send_message_to_all_neighbors((walk / degree).tolist())
+        else:
+            vertex.vote_to_halt()
+
+    def compute_batch(self, batch: VertexBatch) -> None:
+        k = self.dim
+        state = batch.values
+        walk = state[:, k:]
+        if batch.superstep > 0:
+            walk = batch.sum_messages()
+            embedding = state[:, :k] + (self.decay**batch.superstep) * walk
+            batch.set_values(np.concatenate([embedding, walk], axis=1))
+        if batch.superstep < self.iterations:
+            degrees = batch.out_degrees
+            senders = degrees > 0
+            outgoing = walk / np.where(senders, degrees, 1)[:, None]
+            batch.send_to_all_neighbors(outgoing, mask=senders)
+        else:
+            batch.vote_to_halt()
+
+    def embeddings(self, values: dict[int, list[float]]) -> np.ndarray:
+        """Extract the ``(n, dim)`` embedding block from final values."""
+        return np.stack(
+            [np.asarray(values[v][: self.dim]) for v in sorted(values)]
+        )
+
+
+def reference_random_walk_embeddings(
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    program: RandomWalkEmbeddings,
+) -> np.ndarray:
+    """Dense-matrix oracle for the ``(n, 2 * dim)`` final vertex state
+    (same recurrence, independent arithmetic — compare with allclose)."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    walk = np.stack(
+        [
+            np.asarray(program.initial_value(v, 0, num_vertices))[program.dim :]
+            for v in range(num_vertices)
+        ]
+    )
+    embedding = np.zeros_like(walk)
+    degrees = np.bincount(src, minlength=num_vertices).astype(np.float64)
+    for step in range(1, program.iterations + 1):
+        outgoing = walk / np.where(degrees > 0, degrees, 1.0)[:, None]
+        incoming = np.zeros_like(walk)
+        np.add.at(incoming, dst, outgoing[src])
+        walk = incoming
+        embedding = embedding + (program.decay**step) * walk
+    return np.concatenate([embedding, walk], axis=1)

@@ -82,6 +82,26 @@ class TestExecution:
         for v in range(n):
             assert combined.values[v] == pytest.approx(raw.values[v], abs=1e-12)
 
+    def test_vector_combiner_reduces_shuffled_bytes(self):
+        # The element-wise MIN combiner collapses width-k distance
+        # vectors sender-side; MIN is exact under any grouping, so the
+        # hub sees bit-identical distances either way.
+        from repro.programs import MultiSourceSSSP
+
+        n = 40
+        src = list(range(1, n)) + [0] * (n - 1)
+        dst = [0] * (n - 1) + list(range(1, n))
+        combined = quiet(n, src, dst, n_workers=2).run(
+            MultiSourceSSSP(sources=(1, 2, 3))
+        )
+        raw_program = MultiSourceSSSP(sources=(1, 2, 3))
+        raw_program.combiner = None
+        raw = quiet(n, src, dst, n_workers=2).run(raw_program)
+        assert combined.bytes_shuffled < raw.bytes_shuffled
+        assert combined.values == raw.values  # bit-identical, not approx
+        pre = sum(s.messages_precombine for s in combined.stats.supersteps)
+        assert sum(s.messages_out for s in combined.stats.supersteps) < pre
+
     def test_sssp_terminates_by_quiescence(self, tiny_edges):
         src, dst = tiny_edges
         result = quiet(5, src, dst).run(ShortestPaths(source=0))

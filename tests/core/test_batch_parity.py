@@ -16,22 +16,26 @@ import pytest
 
 from repro.core import Vertexica, VertexicaConfig
 from repro.core.api import Vertex
-from repro.core.codecs import vector_codec
+from repro.core.codecs import JSON_CODEC, vector_codec
 from repro.core.program import (
     BatchVertexProgram,
     VertexBatch,
     VertexProgram,
     supports_batch,
 )
+from repro.core.worker import segment_max, segment_mean, segment_min, segment_sum
 from repro.errors import ProgramError, VertexicaError
 from repro.programs import (
     AdaptivePageRank,
     CollaborativeFiltering,
     ConnectedComponents,
+    FeaturePropagation,
     InDegree,
     LabelPropagation,
+    MultiSourceSSSP,
     OutDegree,
     PageRank,
+    RandomWalkEmbeddings,
     RandomWalkWithRestart,
     ShortestPaths,
 )
@@ -253,6 +257,21 @@ ALL_PROGRAMS_BOTH_PLANES = [
     pytest.param(lambda: InDegree(), False, False, id="in-degree"),
     pytest.param(lambda: OutDegree(), False, False, id="out-degree"),
     pytest.param(lambda: LabelPropagation(iterations=4), True, False, id="label-prop"),
+    pytest.param(
+        lambda: MultiSourceSSSP(sources=(0, 5, 11)), False, False, id="multi-sssp"
+    ),
+    pytest.param(
+        lambda: FeaturePropagation(iterations=4, width=5),
+        False,
+        False,
+        id="feature-prop",
+    ),
+    pytest.param(
+        lambda: RandomWalkEmbeddings(iterations=3, dim=4),
+        False,
+        False,
+        id="rw-embeddings",
+    ),
 ]
 
 
@@ -505,17 +524,315 @@ class TestVectorValuePlane:
                 input_strategy="join",
             )
 
-    def test_vector_codec_rejects_combiner(self):
+    def test_vector_message_codec_rejects_join_input_format(self):
+        # A vector *message* codec alone (scalar vertex value) must fail
+        # the join strategy with the same clear up-front error, not a
+        # confusing missing-column failure deep inside decode.
+        class VectorMessages(VertexProgram):
+            message_codec = vector_codec(3)
+
+            def compute(self, vertex):
+                vertex.vote_to_halt()
+
+        with pytest.raises(VertexicaError, match="join input format") as excinfo:
+            run_on_plane("sql", VectorMessages, input_strategy="join")
+        assert "message codec" in str(excinfo.value)
+
+    def test_vector_combiners_validate(self):
+        # Numeric vector codecs are element-wise reducible; validate()
+        # must admit them (the blunt rejection is gone).
+        MultiSourceSSSP(sources=(0, 1)).validate()
+        FeaturePropagation(iterations=2, width=3).validate()
+        RandomWalkEmbeddings(iterations=2, dim=3).validate()
+
+    def test_non_numeric_codec_rejects_combiner(self):
         class BadCombiner(VertexProgram):
-            vertex_codec = vector_codec(2)
-            message_codec = vector_codec(2)
+            vertex_codec = JSON_CODEC
+            message_codec = JSON_CODEC
             combiner = "SUM"
 
             def compute(self, vertex):  # pragma: no cover - never runs
                 pass
 
-        with pytest.raises(ProgramError, match="vector"):
+        with pytest.raises(ProgramError, match="numeric message codec") as excinfo:
             BadCombiner().validate()
+        # The error names the offending codec precisely.
+        assert JSON_CODEC.name in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Element-wise vector combiners: combined runs must be bit-identical to
+# uncombined runs on both planes and every executor
+# ---------------------------------------------------------------------------
+#: The embedding workload family — every program whose messages reduce
+#: element-wise (MIN for distance vectors, SUM for feature/walk vectors).
+VECTOR_COMBINER_PROGRAMS = [
+    pytest.param(lambda: MultiSourceSSSP(sources=(0, 5, 11)), id="multi-sssp"),
+    pytest.param(
+        lambda: FeaturePropagation(iterations=4, width=5), id="feature-prop"
+    ),
+    pytest.param(
+        lambda: RandomWalkEmbeddings(iterations=3, dim=4), id="rw-embeddings"
+    ),
+]
+
+
+def assert_combined_equals_uncombined(combined, uncombined):
+    """Values and per-superstep activity must match bitwise; message
+    counts differ by design (that is the point of combining)."""
+    assert combined.values == uncombined.values  # bit-identical
+    assert len(combined.stats.supersteps) == len(uncombined.stats.supersteps)
+    for c, u in zip(combined.stats.supersteps, uncombined.stats.supersteps):
+        assert c.active_vertices == u.active_vertices
+        assert c.vertex_updates == u.vertex_updates
+        assert c.aggregated == u.aggregated
+    # The message-volume counters: the same rows were staged, fewer were
+    # delivered.
+    assert (
+        combined.stats.total_messages_precombine == uncombined.stats.total_messages
+    )
+    assert combined.stats.total_messages < uncombined.stats.total_messages
+    assert combined.stats.messages_combined_away > 0
+    assert uncombined.stats.messages_combined_away == 0
+
+
+class TestVectorCombiners:
+    """Width-k messages reduce element-wise inside the data plane; every
+    reduction site runs the same float64 reduceat arithmetic, so the
+    combiner must never change a single bit of any result."""
+
+    @pytest.mark.parametrize("program_factory", VECTOR_COMBINER_PROGRAMS)
+    @pytest.mark.parametrize("plane", ["sql", "shards"])
+    def test_combined_bit_identical_to_uncombined(self, plane, program_factory):
+        combined = run_on_plane(plane, program_factory)
+        uncombined = run_on_plane(plane, program_factory, use_combiner=False)
+        assert_combined_equals_uncombined(combined, uncombined)
+
+    @pytest.mark.parametrize("program_factory", VECTOR_COMBINER_PROGRAMS)
+    def test_combined_parity_across_thread_executor(self, program_factory):
+        serial = run_on_plane("shards", program_factory)
+        threaded = run_on_plane("shards", program_factory, n_workers=4)
+        assert_runs_identical(serial, threaded)
+
+    @pytest.mark.parametrize("program_factory", VECTOR_COMBINER_PROGRAMS)
+    def test_combined_parity_across_process_executor(self, program_factory):
+        serial = run_on_plane("shards", program_factory)
+        processes = run_on_plane(
+            "shards", program_factory, n_workers=2, executor="processes"
+        )
+        assert_runs_identical(serial, processes)
+
+    @pytest.mark.parametrize("program_factory", VECTOR_COMBINER_PROGRAMS)
+    def test_batch_scalar_parity(self, program_factory):
+        # random_graph pads 8 isolated vertices: empty message segments
+        # and degree-0 senders go through both compute paths.
+        scalar = run_with("scalar", program_factory, 3)
+        batch = run_with("batch", program_factory, 3)
+        assert_runs_identical(scalar, batch)
+
+    # -- the Giraph semantic baseline ---------------------------------
+    def _giraph(self, program, n_workers):
+        from repro.baselines.giraph import GiraphConfig, GiraphEngine
+
+        src, dst, weights, n = _plane_graph_data(False)
+        engine = GiraphEngine(
+            n, src, dst, weights,
+            config=GiraphConfig(n_workers=n_workers, barrier_latency_s=0.0),
+        )
+        return engine.run(program)
+
+    def test_min_combiner_exact_on_giraph_any_worker_count(self):
+        # Element-wise MIN is exact under any grouping, so sender-side
+        # partial combining cannot perturb it — at any worker count the
+        # combined Giraph run matches Vertexica bitwise.
+        vertexica = run_on_plane("sql", lambda: MultiSourceSSSP(sources=(0, 5, 11)))
+        for n_workers in (1, 4):
+            combined = self._giraph(MultiSourceSSSP(sources=(0, 5, 11)), n_workers)
+            uncombined_program = MultiSourceSSSP(sources=(0, 5, 11))
+            uncombined_program.combiner = None
+            uncombined = self._giraph(uncombined_program, n_workers)
+            assert combined.values == uncombined.values
+            assert combined.values == vertexica.values
+
+    def test_sum_combiner_exact_on_giraph_single_worker(self):
+        # With one worker the sender-side buffer holds whole inboxes in
+        # delivery order, so SUM combining is the identical reduceat call
+        # — bit-exact.
+        for factory in (
+            lambda: FeaturePropagation(iterations=4, width=5),
+            lambda: RandomWalkEmbeddings(iterations=3, dim=4),
+        ):
+            combined = self._giraph(factory(), n_workers=1)
+            uncombined_program = factory()
+            uncombined_program.combiner = None
+            uncombined = self._giraph(uncombined_program, n_workers=1)
+            assert combined.values == uncombined.values
+
+    def test_sum_combiner_giraph_multi_worker(self):
+        # Multi-worker Giraph combines *partial* per-buffer groups
+        # (sender-side, as real Giraph does), so SUM results agree with
+        # the uncombined run only to float tolerance — while the shuffle
+        # volume drops.
+        combined = self._giraph(FeaturePropagation(iterations=4, width=5), 4)
+        uncombined_program = FeaturePropagation(iterations=4, width=5)
+        uncombined_program.combiner = None
+        uncombined = self._giraph(uncombined_program, 4)
+        for vid, value in combined.values.items():
+            assert value == pytest.approx(uncombined.values[vid], abs=1e-12)
+        assert combined.bytes_shuffled < uncombined.bytes_shuffled
+        assert (
+            combined.stats.total_messages
+            < combined.stats.total_messages_precombine
+        )
+
+    def test_uncombined_giraph_matches_vertexica_exactly(self):
+        # Matching worker/partition counts give identical delivery order,
+        # so even order-sensitive SUM runs agree bitwise across engines.
+        for factory in (
+            lambda: FeaturePropagation(iterations=4, width=5),
+            lambda: RandomWalkEmbeddings(iterations=3, dim=4),
+        ):
+            vertexica = run_on_plane("sql", factory)
+            uncombined_program = factory()
+            uncombined_program.combiner = None
+            giraph = self._giraph(uncombined_program, n_workers=4)
+            assert vertexica.values == giraph.values
+
+
+# ---------------------------------------------------------------------------
+# segment_* kernels: the public sorted-segment reduction helpers
+# ---------------------------------------------------------------------------
+def _random_segments(rng, n_segments, width=None):
+    counts = rng.integers(0, 5, n_segments)
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    shape = (indptr[-1],) if width is None else (indptr[-1], width)
+    return rng.standard_normal(shape), indptr
+
+
+class TestSegmentKernels:
+    def test_sum_matches_per_segment_numpy(self):
+        rng = np.random.default_rng(5)
+        values, indptr = _random_segments(rng, 40, width=3)
+        out = segment_sum(values, indptr)
+        for i in range(40):
+            seg = values[indptr[i] : indptr[i + 1]]
+            assert out[i] == pytest.approx(seg.sum(axis=0) if len(seg) else 0.0)
+
+    def test_min_max_match_per_segment_numpy(self):
+        rng = np.random.default_rng(6)
+        values, indptr = _random_segments(rng, 30, width=4)
+        lo, hi = segment_min(values, indptr), segment_max(values, indptr)
+        for i in range(30):
+            seg = values[indptr[i] : indptr[i + 1]]
+            if len(seg):
+                assert np.array_equal(lo[i], seg.min(axis=0))
+                assert np.array_equal(hi[i], seg.max(axis=0))
+            else:
+                assert np.all(lo[i] == np.inf) and np.all(hi[i] == -np.inf)
+
+    def test_empty_segments_yield_identities(self):
+        values = np.ones((0, 2))
+        indptr = np.zeros(5, dtype=np.int64)  # four empty segments
+        assert np.array_equal(segment_sum(values, indptr), np.zeros((4, 2)))
+        assert np.all(segment_min(values, indptr) == np.inf)
+        assert np.all(segment_max(values, indptr) == -np.inf)
+        assert np.all(np.isnan(segment_mean(values, indptr)))
+
+    def test_single_member_segments_are_identity(self):
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal((6, 3))
+        indptr = np.arange(7)
+        for kernel in (segment_sum, segment_min, segment_max, segment_mean):
+            assert np.array_equal(kernel(values, indptr), values)
+
+    def test_nan_propagates(self):
+        values = np.array([[1.0, 2.0], [np.nan, 3.0], [4.0, 5.0]])
+        indptr = np.array([0, 2, 3])
+        for kernel in (segment_sum, segment_min, segment_max, segment_mean):
+            out = kernel(values, indptr)
+            assert np.isnan(out[0, 0])  # NaN lane poisons its segment
+            assert not np.isnan(out[0, 1])
+            assert not np.isnan(out[1]).any()
+
+    def test_width_1_matches_1d(self):
+        rng = np.random.default_rng(8)
+        values, indptr = _random_segments(rng, 25)
+        for kernel in (segment_sum, segment_min, segment_max, segment_mean):
+            wide = kernel(values[:, None], indptr)
+            flat = kernel(values, indptr)
+            assert np.array_equal(wide[:, 0], flat, equal_nan=True)
+
+    def test_sum_uses_combiner_reduceat_arithmetic(self):
+        # The whole point of these kernels: the exact reduceat call the
+        # data planes' combiners run, not bincount/pairwise-sum.
+        rng = np.random.default_rng(9)
+        values, indptr = _random_segments(rng, 20, width=2)
+        nonempty = np.flatnonzero(np.diff(indptr))
+        expected = np.add.reduceat(values, indptr[:-1][nonempty], axis=0)
+        assert np.array_equal(segment_sum(values, indptr)[nonempty], expected)
+
+    def test_mean_matches_sum_over_count(self):
+        rng = np.random.default_rng(10)
+        values, indptr = _random_segments(rng, 20, width=2)
+        counts = np.diff(indptr)
+        nonempty = counts > 0
+        expected = segment_sum(values, indptr)[nonempty] / counts[nonempty, None]
+        assert np.array_equal(segment_mean(values, indptr)[nonempty], expected)
+
+    def test_rejects_non_tiling_segments(self):
+        values = np.zeros((4, 2))
+        with pytest.raises(ProgramError, match="tile"):
+            segment_sum(values, np.array([0, 2]))  # stops short of len(values)
+        with pytest.raises(ProgramError, match="tile"):
+            segment_sum(values, np.array([1, 4]))  # does not start at 0
+        with pytest.raises(ProgramError, match="non-decreasing"):
+            segment_sum(values, np.array([0, 3, 2, 4]))
+
+    def test_vertex_batch_2d_reductions_match_kernels(self):
+        rng = np.random.default_rng(11)
+        counts = np.array([3, 0, 1, 4])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        messages = rng.standard_normal((int(indptr[-1]), 3))
+        size = len(counts)
+        batch = VertexBatch(
+            ids=np.arange(size),
+            values=np.zeros((size, 3)),
+            values_valid=np.ones(size, dtype=bool),
+            was_halted=np.zeros(size, dtype=bool),
+            edge_indptr=np.zeros(size + 1, dtype=np.int64),
+            edge_targets=np.empty(0, dtype=np.int64),
+            edge_weights=np.empty(0, dtype=np.float64),
+            msg_indptr=indptr,
+            message_values=messages,
+            message_valid=np.ones(len(messages), dtype=bool),
+            superstep=1,
+            num_vertices=size,
+        )
+        assert np.array_equal(batch.sum_messages(), segment_sum(messages, indptr))
+        assert np.array_equal(batch.min_messages(), segment_min(messages, indptr))
+        assert np.array_equal(batch.max_messages(), segment_max(messages, indptr))
+
+    def test_vertex_batch_2d_reductions_skip_null_rows(self):
+        messages = np.array([[1.0, -2.0], [5.0, 7.0], [3.0, 4.0]])
+        valid = np.array([True, False, True])  # whole-vector NULL row
+        indptr = np.array([0, 2, 3])
+        batch = VertexBatch(
+            ids=np.arange(2),
+            values=np.zeros((2, 2)),
+            values_valid=np.ones(2, dtype=bool),
+            was_halted=np.zeros(2, dtype=bool),
+            edge_indptr=np.zeros(3, dtype=np.int64),
+            edge_targets=np.empty(0, dtype=np.int64),
+            edge_weights=np.empty(0, dtype=np.float64),
+            msg_indptr=indptr,
+            message_values=messages,
+            message_valid=valid,
+            superstep=1,
+            num_vertices=2,
+        )
+        assert np.array_equal(batch.sum_messages(), [[1.0, -2.0], [3.0, 4.0]])
+        assert np.array_equal(batch.min_messages(), [[1.0, -2.0], [3.0, 4.0]])
+        assert np.array_equal(batch.max_messages(), [[1.0, -2.0], [3.0, 4.0]])
 
 
 class TestEdgeCases:
